@@ -1,0 +1,69 @@
+//! End-to-end regeneration cost of every paper artifact.
+//!
+//! One bench per table and figure of the paper: each runs the same code
+//! path as the corresponding `occache-experiments` binary, at a reduced
+//! trace length so the suite completes quickly. Besides tracking harness
+//! performance, these benches are executable proof that every artifact
+//! regenerates from scratch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use occache_experiments::runs::{
+    run_ablations, run_fig9, run_figure, run_headline, run_risc2, run_table6, run_table7,
+    run_table8, Workbench,
+};
+
+/// Reduced trace length for benchmarking (the binaries default to the
+/// paper's 1 million).
+const TRACE_LEN: usize = 20_000;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("artifact");
+    group.sample_size(10);
+    group.bench_function("table6", |b| {
+        b.iter(|| run_table6(&mut Workbench::new(TRACE_LEN)).report.len())
+    });
+    group.bench_function("table7", |b| {
+        b.iter(|| run_table7(&mut Workbench::new(TRACE_LEN)).report.len())
+    });
+    group.bench_function("table8", |b| {
+        b.iter(|| run_table8(&mut Workbench::new(TRACE_LEN)).report.len())
+    });
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("artifact");
+    group.sample_size(10);
+    for figure in 1u8..=8 {
+        group.bench_with_input(BenchmarkId::new("figure", figure), &figure, |b, &figure| {
+            b.iter(|| {
+                run_figure(&mut Workbench::new(TRACE_LEN), figure)
+                    .report
+                    .len()
+            })
+        });
+    }
+    group.bench_function("figure/9", |b| {
+        b.iter(|| run_fig9(&mut Workbench::new(TRACE_LEN)).report.len())
+    });
+    group.finish();
+}
+
+fn bench_extras(c: &mut Criterion) {
+    let mut group = c.benchmark_group("artifact");
+    group.sample_size(10);
+    group.bench_function("risc2", |b| {
+        b.iter(|| run_risc2(&mut Workbench::new(TRACE_LEN)).report.len())
+    });
+    group.bench_function("ablations", |b| {
+        b.iter(|| run_ablations(&mut Workbench::new(TRACE_LEN)).report.len())
+    });
+    group.bench_function("headline", |b| {
+        b.iter(|| run_headline(&mut Workbench::new(TRACE_LEN)).report.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures, bench_extras);
+criterion_main!(benches);

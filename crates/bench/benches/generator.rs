@@ -1,0 +1,35 @@
+//! Synthetic trace generation throughput, per architecture.
+//!
+//! Every experiment consumes generated traces, so generator speed bounds
+//! the whole harness; this bench tracks references generated per second
+//! for each architecture's baseline profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use occache_workloads::{Architecture, Profile, ProgramGenerator};
+
+const TRACE_LEN: usize = 100_000;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.throughput(Throughput::Elements(TRACE_LEN as u64));
+    for arch in Architecture::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(arch.name()),
+            &arch,
+            |b, &arch| {
+                b.iter(|| {
+                    let generator = ProgramGenerator::new(Profile::baseline(arch), 1);
+                    generator
+                        .take(TRACE_LEN)
+                        .map(|r| r.address().value())
+                        .sum::<u64>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

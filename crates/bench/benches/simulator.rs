@@ -1,0 +1,174 @@
+//! Per-access cost of the sub-block cache simulator.
+//!
+//! Measures the simulation engine itself (the paper's "trace-driven cache
+//! simulator [18]"): accesses per second across cache geometries,
+//! replacement policies, fetch policies, and the Mattson stack-distance
+//! analyzer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use occache_bench::bench_trace;
+use occache_core::{
+    CacheConfig, FetchPolicy, InstructionBuffer, LruStackAnalyzer, ReplacementPolicy,
+    SetAssocLruAnalyzer, SubBlockCache,
+};
+use occache_workloads::Architecture;
+
+const TRACE_LEN: usize = 100_000;
+
+fn config(
+    net: u64,
+    block: u64,
+    sub: u64,
+    policy: ReplacementPolicy,
+    fetch: FetchPolicy,
+) -> CacheConfig {
+    CacheConfig::builder()
+        .net_size(net)
+        .block_size(block)
+        .sub_block_size(sub)
+        .word_size(2)
+        .replacement(policy)
+        .fetch(fetch)
+        .build()
+        .expect("benchmark geometry is valid")
+}
+
+fn bench_geometries(c: &mut Criterion) {
+    let trace = bench_trace(Architecture::Pdp11, TRACE_LEN);
+    let mut group = c.benchmark_group("access/geometry");
+    group.throughput(Throughput::Elements(TRACE_LEN as u64));
+    for (net, block, sub) in [
+        (64u64, 8u64, 4u64),
+        (256, 16, 4),
+        (1024, 16, 8),
+        (1024, 32, 2),
+        (16 * 1024, 1024, 64), // the 360/85 sector organisation
+    ] {
+        let cfg = config(net, block, sub, ReplacementPolicy::Lru, FetchPolicy::Demand);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{net}B_{block},{sub}")),
+            &cfg,
+            |b, &cfg| {
+                b.iter(|| {
+                    let mut cache = SubBlockCache::new(cfg);
+                    cache.run(trace.iter().copied());
+                    cache.metrics().misses()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_replacement(c: &mut Criterion) {
+    let trace = bench_trace(Architecture::Pdp11, TRACE_LEN);
+    let mut group = c.benchmark_group("access/replacement");
+    group.throughput(Throughput::Elements(TRACE_LEN as u64));
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+    ] {
+        let cfg = config(1024, 16, 8, policy, FetchPolicy::Demand);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.to_string()),
+            &cfg,
+            |b, &cfg| {
+                b.iter(|| {
+                    let mut cache = SubBlockCache::new(cfg);
+                    cache.run(trace.iter().copied());
+                    cache.metrics().misses()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fetch_policies(c: &mut Criterion) {
+    let trace = bench_trace(Architecture::Z8000, TRACE_LEN);
+    let mut group = c.benchmark_group("access/fetch");
+    group.throughput(Throughput::Elements(TRACE_LEN as u64));
+    for (name, fetch) in [
+        ("demand", FetchPolicy::Demand),
+        ("load_forward", FetchPolicy::LOAD_FORWARD),
+        (
+            "load_forward_optimized",
+            FetchPolicy::LoadForward {
+                remember_valid: true,
+            },
+        ),
+        (
+            "prefetch_on_miss",
+            FetchPolicy::PrefetchNext { tagged: false },
+        ),
+        (
+            "tagged_prefetch",
+            FetchPolicy::PrefetchNext { tagged: true },
+        ),
+    ] {
+        let cfg = config(256, 16, 2, ReplacementPolicy::Lru, fetch);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, &cfg| {
+            b.iter(|| {
+                let mut cache = SubBlockCache::new(cfg);
+                cache.run(trace.iter().copied());
+                cache.metrics().misses()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stack_distance(c: &mut Criterion) {
+    let trace = bench_trace(Architecture::Z8000, TRACE_LEN);
+    let mut group = c.benchmark_group("stackdist");
+    group.throughput(Throughput::Elements(TRACE_LEN as u64));
+    group.bench_function("lru_analyzer_16B_blocks", |b| {
+        b.iter(|| {
+            let mut an = LruStackAnalyzer::new(16);
+            for r in &trace {
+                an.access(r.address());
+            }
+            an.misses_at_capacity(64)
+        });
+    });
+    group.bench_function("set_assoc_analyzer_16_sets", |b| {
+        b.iter(|| {
+            let mut an = SetAssocLruAnalyzer::new(16, 16);
+            for r in &trace {
+                an.access(r.address());
+            }
+            an.misses_at_ways(4)
+        });
+    });
+    group.finish();
+}
+
+fn bench_instruction_buffers(c: &mut Criterion) {
+    let trace = bench_trace(Architecture::Vax11, TRACE_LEN);
+    let mut group = c.benchmark_group("ibuffer");
+    group.throughput(Throughput::Elements(TRACE_LEN as u64));
+    for (name, buffers, blocks) in [("vax780", 1usize, 1u64), ("cray_4x16", 4, 16)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut buffer = InstructionBuffer::new(buffers, blocks, 8, buffers > 1);
+                for r in &trace {
+                    buffer.fetch(r.address());
+                }
+                buffer.bytes_fetched()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_geometries,
+    bench_replacement,
+    bench_fetch_policies,
+    bench_stack_distance,
+    bench_instruction_buffers
+);
+criterion_main!(benches);

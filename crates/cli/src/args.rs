@@ -1,0 +1,172 @@
+//! A small, dependency-free command-line parser.
+//!
+//! Supports `--flag value`, `--flag=value`, boolean switches, and
+//! positional arguments; unknown flags are errors. Just enough for the
+//! three binaries — deliberately not a general argument framework.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::CliError;
+
+/// Parsed command line: flag values, boolean switches, positionals.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    values: HashMap<String, String>,
+    switches: HashSet<String>,
+    positional: Vec<String>,
+}
+
+impl Parsed {
+    /// The raw value of `--name`, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Parses the value of `--name` into `T`, or returns `default` when
+    /// the flag is absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when the value does not parse.
+    pub fn value_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// Parses the value of `--name` into `T` if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when the value does not parse.
+    pub fn value_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("--{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// Whether the boolean switch `--name` was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+
+    /// The positional arguments in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+/// Parses `argv` (without the program name) against the declared flags.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] on unknown flags, missing values, or a
+/// value supplied to a boolean switch.
+pub fn parse<S: AsRef<str>>(
+    argv: &[S],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<Parsed, CliError> {
+    let mut parsed = Parsed::default();
+    let mut iter = argv.iter().map(AsRef::as_ref).peekable();
+    while let Some(token) = iter.next() {
+        if let Some(flag) = token.strip_prefix("--") {
+            let (name, inline_value) = match flag.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (flag, None),
+            };
+            if bool_flags.contains(&name) {
+                if let Some(v) = inline_value {
+                    return Err(CliError::Usage(format!(
+                        "--{name} is a switch and takes no value (got {v:?})"
+                    )));
+                }
+                parsed.switches.insert(name.to_string());
+            } else if value_flags.contains(&name) {
+                let value = match inline_value {
+                    Some(v) => v,
+                    None => iter
+                        .next()
+                        .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?
+                        .to_string(),
+                };
+                if parsed.values.insert(name.to_string(), value).is_some() {
+                    return Err(CliError::Usage(format!("--{name} given twice")));
+                }
+            } else {
+                return Err(CliError::Usage(format!("unknown flag --{name}")));
+            }
+        } else {
+            parsed.positional.push(token.to_string());
+        }
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALUES: &[&str] = &["net", "block"];
+    const BOOLS: &[&str] = &["nibble"];
+
+    #[test]
+    fn parses_space_and_equals_forms() {
+        let p = parse(&["--net", "1024", "--block=16"], VALUES, BOOLS).unwrap();
+        assert_eq!(p.value("net"), Some("1024"));
+        assert_eq!(p.value("block"), Some("16"));
+    }
+
+    #[test]
+    fn parses_switches_and_positionals() {
+        let p = parse(&["trace.din", "--nibble"], VALUES, BOOLS).unwrap();
+        assert!(p.switch("nibble"));
+        assert_eq!(p.positional(), ["trace.din"]);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let e = parse(&["--bogus"], VALUES, BOOLS).unwrap_err();
+        assert!(e.to_string().contains("--bogus"));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let e = parse(&["--net"], VALUES, BOOLS).unwrap_err();
+        assert!(e.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn rejects_duplicate_flags() {
+        let e = parse(&["--net", "1", "--net", "2"], VALUES, BOOLS).unwrap_err();
+        assert!(e.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn rejects_value_on_switch() {
+        let e = parse(&["--nibble=yes"], VALUES, BOOLS).unwrap_err();
+        assert!(e.to_string().contains("switch"));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let p = parse(&["--net", "1024"], VALUES, BOOLS).unwrap();
+        assert_eq!(p.value_or("net", 0u64).unwrap(), 1024);
+        assert_eq!(p.value_or("block", 16u64).unwrap(), 16);
+        assert_eq!(p.value_opt::<u64>("block").unwrap(), None);
+        assert!(p.value_or::<u64>("net", 0).is_ok());
+    }
+
+    #[test]
+    fn typed_accessor_rejects_garbage() {
+        let p = parse(&["--net", "lots"], VALUES, BOOLS).unwrap();
+        assert!(p.value_or("net", 0u64).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! Binary wrapper; the logic lives in `occache_cli::gen`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match occache_cli::gen::run(&argv) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("\n{}", occache_cli::gen::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Binary wrapper; the logic lives in `occache_cli::sim`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match occache_cli::sim::run(&argv) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("\n{}", occache_cli::sim::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The CLI error type.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use occache_core::ConfigError;
+use occache_trace::io::ParseTraceError;
+
+/// Anything that can go wrong running a CLI command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command-line usage; the message is shown with the usage text.
+    Usage(String),
+    /// The cache configuration was invalid.
+    Config(ConfigError),
+    /// A trace file failed to parse.
+    Trace(ParseTraceError),
+    /// Filesystem or pipe failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Config(e) => write!(f, "invalid cache configuration: {e}"),
+            CliError::Trace(e) => write!(f, "invalid trace: {e}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Config(e) => Some(e),
+            CliError::Trace(e) => Some(e),
+            CliError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for CliError {
+    fn from(e: ConfigError) -> Self {
+        CliError::Config(e)
+    }
+}
+
+impl From<ParseTraceError> for CliError {
+    fn from(e: ParseTraceError) -> Self {
+        CliError::Trace(e)
+    }
+}
+
+impl From<io::Error> for CliError {
+    fn from(e: io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = CliError::Usage("--net wants a number".into());
+        assert!(e.to_string().contains("--net"));
+        let e: CliError = occache_core::ConfigError::ZeroAssociativity.into();
+        assert!(e.to_string().contains("associativity"));
+    }
+}

@@ -1,0 +1,166 @@
+//! `occache-gen`: emit a synthetic workload as a text trace.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+use occache_trace::din::write_din;
+use occache_trace::io::write_trace;
+use occache_trace::MemRef;
+use occache_workloads::WorkloadSpec;
+
+use crate::args::parse;
+use crate::CliError;
+
+/// Usage text for `occache-gen`.
+pub const USAGE: &str = "\
+occache-gen — generate a synthetic workload trace
+
+USAGE:
+  occache-gen --workload NAME [--refs N] [--seed N] [--out FILE]
+
+  --workload NAME   a Table 2-5 trace name (ED, GREP, spice, FGO1, ...)
+                    optionally architecture-qualified (z8000:C2)
+  --refs N          references to emit                  [1000000]
+  --seed N          generator seed                      [0]
+  --out FILE        output path (default: standard output)
+  --format FMT      text (i|r|w <hex>) or din (0|1|2 <hex>)  [text]
+
+Both formats are one record per line and readable by occache-sim; `din`
+matches the dinero simulator family's convention.
+";
+
+const VALUE_FLAGS: &[&str] = &["workload", "refs", "seed", "out", "format"];
+const BOOL_FLAGS: &[&str] = &["help"];
+
+/// Runs the command, writing the trace to `--out` or `stdout`.
+///
+/// Returns the text to print to stdout (the usage text for `--help`,
+/// otherwise an empty string when the trace went to a file, or the trace
+/// itself when no `--out` was given).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad usage or I/O failure.
+pub fn run<S: AsRef<str>>(argv: &[S]) -> Result<String, CliError> {
+    let parsed = parse(argv, VALUE_FLAGS, BOOL_FLAGS)?;
+    if parsed.switch("help") {
+        return Ok(USAGE.to_string());
+    }
+    if !parsed.positional().is_empty() {
+        return Err(CliError::Usage(
+            "occache-gen takes no positional arguments".into(),
+        ));
+    }
+    let name = parsed
+        .value("workload")
+        .ok_or_else(|| CliError::Usage("--workload NAME is required".into()))?;
+    let spec = WorkloadSpec::by_name(name)
+        .ok_or_else(|| CliError::Usage(format!("unknown workload {name:?}")))?;
+    let refs = parsed.value_or("refs", 1_000_000usize)?;
+    let seed = parsed.value_or("seed", 0u64)?;
+    let din = match parsed.value("format").unwrap_or("text") {
+        "text" => false,
+        "din" => true,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--format: expected text|din, got {other:?}"
+            )))
+        }
+    };
+    let stream = spec.generator(seed).take(refs);
+    let emit = |writer: &mut dyn Write, stream: &mut dyn Iterator<Item = MemRef>| {
+        if din {
+            write_din(writer, stream)
+        } else {
+            write_trace(writer, stream)
+        }
+    };
+
+    let mut stream = stream;
+    match parsed.value("out") {
+        Some(path) => {
+            let mut writer = BufWriter::new(File::create(path)?);
+            writeln!(
+                writer,
+                "# occache-gen workload={} seed={seed} refs={refs}",
+                spec.name()
+            )?;
+            emit(&mut writer, &mut stream)?;
+            writer.flush()?;
+            Ok(String::new())
+        }
+        None => {
+            let mut out = Vec::new();
+            emit(&mut out, &mut stream)?;
+            Ok(String::from_utf8(out).expect("trace formats are ASCII"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occache_trace::io::parse_trace;
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(&["--help"]).unwrap().contains("occache-gen"));
+    }
+
+    #[test]
+    fn emits_parseable_trace_to_stdout() {
+        let out = run(&["--workload", "GREP", "--refs", "500"]).unwrap();
+        let refs = parse_trace(out.as_bytes()).unwrap();
+        assert_eq!(refs.len(), 500);
+    }
+
+    #[test]
+    fn writes_file_with_provenance_header() {
+        let dir = std::env::temp_dir().join("occache_gen_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grep.din");
+        let out = run(&[
+            "--workload",
+            "GREP",
+            "--refs",
+            "100",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.is_empty());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("# occache-gen workload=GREP"));
+        assert_eq!(parse_trace(text.as_bytes()).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let a = run(&["--workload", "ED", "--refs", "200", "--seed", "5"]).unwrap();
+        let b = run(&["--workload", "ED", "--refs", "200", "--seed", "5"]).unwrap();
+        assert_eq!(a, b);
+        let c = run(&["--workload", "ED", "--refs", "200", "--seed", "6"]).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn din_format_is_supported() {
+        let out = run(&["--workload", "ED", "--refs", "50", "--format", "din"]).unwrap();
+        let refs = occache_trace::din::parse_din(out.as_bytes()).unwrap();
+        assert_eq!(refs.len(), 50);
+        assert!(out.lines().all(|l| l.starts_with(['0', '1', '2'])), "{out}");
+    }
+
+    #[test]
+    fn rejects_unknown_format() {
+        assert!(run(&["--workload", "ED", "--format", "elf"]).is_err());
+    }
+
+    #[test]
+    fn requires_workload() {
+        assert!(run(&["--refs", "10"])
+            .unwrap_err()
+            .to_string()
+            .contains("required"));
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # occache-cli — command-line front ends
+//!
+//! Four binaries in the spirit of the trace-driven-simulation tooling the
+//! paper's methodology spawned (dinero and its descendants):
+//!
+//! * **`occache-sim`** — simulate one cache configuration against a trace
+//!   file (text format: `i|r|w <hex-address>` per line) or a named
+//!   synthetic workload, printing miss/traffic ratios and cost,
+//! * **`occache-gen`** — emit a named synthetic workload as a text trace,
+//! * **`occache-sweep`** — run the Table 1 design-space grid for one
+//!   architecture and write the CSV,
+//! * **`occache-stats`** — locality characterisation (mix, footprint,
+//!   sequential runs, Denning working-set curve) of a trace or workload.
+//!
+//! The command logic lives in this library so it is unit-testable; the
+//! `src/bin` wrappers only shuttle `std::env::args` in and exit codes out.
+
+pub mod args;
+mod error;
+pub mod gen;
+pub mod sim;
+pub mod stats_cmd;
+pub mod sweep_cmd;
+
+pub use error::CliError;

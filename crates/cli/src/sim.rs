@@ -1,0 +1,322 @@
+//! `occache-sim`: simulate one cache configuration against a trace.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Read;
+
+use occache_core::{BusModel, CacheConfig, FetchPolicy, ReplacementPolicy, SubBlockCache};
+use occache_trace::io::parse_trace_auto;
+use occache_trace::MemRef;
+use occache_workloads::WorkloadSpec;
+
+use crate::args::{parse, Parsed};
+use crate::CliError;
+
+/// Usage text for `occache-sim`.
+pub const USAGE: &str = "\
+occache-sim — trace-driven sub-block cache simulation
+
+USAGE:
+  occache-sim [OPTIONS] [TRACE_FILE]
+
+INPUT (one of):
+  TRACE_FILE            trace file, text (`i|r|w <hex>`) or dinero din
+                        (`0|1|2 <hex>`) format, auto-detected
+                        (`-` reads standard input)
+  --workload NAME       synthetic workload from the paper's tables,
+                        e.g. ED, grep, spice, FGO1, z8000:C2
+
+CACHE (defaults: a 1024-byte 4-way LRU demand cache, 16-byte blocks):
+  --net BYTES           net (data) size              [1024]
+  --block BYTES         block size                   [16]
+  --sub BYTES           sub-block size               [= block]
+  --assoc N             associativity                [4]
+  --replacement POLICY  lru | fifo | random          [lru]
+  --fetch POLICY        demand | load-forward | load-forward-opt [demand]
+  --word BYTES          bus word size                [2]
+  --address-bits N      address width for tag cost   [32]
+
+RUN:
+  --refs N              max references to simulate   [1000000]
+  --warmup N            uncounted warm-up prefix     [0]
+  --seed N              synthetic workload seed      [0]
+  --nibble              also print the nibble-mode scaled traffic ratio
+";
+
+const VALUE_FLAGS: &[&str] = &[
+    "workload",
+    "net",
+    "block",
+    "sub",
+    "assoc",
+    "replacement",
+    "fetch",
+    "word",
+    "address-bits",
+    "refs",
+    "warmup",
+    "seed",
+];
+const BOOL_FLAGS: &[&str] = &["nibble", "help"];
+
+/// Builds a [`CacheConfig`] from parsed flags (shared with `occache-sweep`).
+pub fn config_from(parsed: &Parsed) -> Result<CacheConfig, CliError> {
+    let block = parsed.value_or("block", 16u64)?;
+    let mut builder = CacheConfig::builder();
+    builder
+        .net_size(parsed.value_or("net", 1024u64)?)
+        .block_size(block)
+        .sub_block_size(parsed.value_or("sub", block)?)
+        .associativity(parsed.value_or("assoc", 4u64)?)
+        .word_size(parsed.value_or("word", 2u64)?)
+        .address_bits(parsed.value_or("address-bits", 32u32)?);
+    if let Some(policy) = parsed.value("replacement") {
+        builder.replacement(match policy.to_ascii_lowercase().as_str() {
+            "lru" => ReplacementPolicy::Lru,
+            "fifo" => ReplacementPolicy::Fifo,
+            "random" => ReplacementPolicy::Random,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "--replacement: expected lru|fifo|random, got {other:?}"
+                )))
+            }
+        });
+    }
+    if let Some(policy) = parsed.value("fetch") {
+        builder.fetch(match policy.to_ascii_lowercase().as_str() {
+            "demand" => FetchPolicy::Demand,
+            "load-forward" | "lf" => FetchPolicy::LOAD_FORWARD,
+            "load-forward-opt" | "lf-opt" => FetchPolicy::LoadForward {
+                remember_valid: true,
+            },
+            other => {
+                return Err(CliError::Usage(format!(
+                    "--fetch: expected demand|load-forward|load-forward-opt, got {other:?}"
+                )))
+            }
+        });
+    }
+    Ok(builder.build()?)
+}
+
+/// Loads the reference stream named by the command line.
+fn load_refs(parsed: &Parsed, limit: usize, seed: u64) -> Result<Vec<MemRef>, CliError> {
+    match (parsed.value("workload"), parsed.positional()) {
+        (Some(name), []) => {
+            let spec = WorkloadSpec::by_name(name).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown workload {name:?}; the names are those of the paper's \
+                     Tables 2-5 (ED, GREP, spice, FGO1, ...)"
+                ))
+            })?;
+            Ok(spec.generator(seed).take(limit).collect())
+        }
+        (None, [path]) if path == "-" => {
+            let mut text = String::new();
+            std::io::stdin().read_to_string(&mut text)?;
+            let mut refs = parse_trace_auto(text.as_bytes())?;
+            refs.truncate(limit);
+            Ok(refs)
+        }
+        (None, [path]) => {
+            let mut refs = parse_trace_auto(File::open(path)?)?;
+            refs.truncate(limit);
+            Ok(refs)
+        }
+        (Some(_), _) => Err(CliError::Usage(
+            "give either --workload or a trace file, not both".into(),
+        )),
+        (None, []) => Err(CliError::Usage(
+            "no input: give a trace file or --workload NAME".into(),
+        )),
+        (None, _) => Err(CliError::Usage("at most one trace file".into())),
+    }
+}
+
+/// Runs the command and returns the report to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for bad usage, invalid configuration, unreadable
+/// or malformed traces.
+pub fn run<S: AsRef<str>>(argv: &[S]) -> Result<String, CliError> {
+    let parsed = parse(argv, VALUE_FLAGS, BOOL_FLAGS)?;
+    if parsed.switch("help") {
+        return Ok(USAGE.to_string());
+    }
+    let config = config_from(&parsed)?;
+    let limit = parsed.value_or("refs", 1_000_000usize)?;
+    let warmup = parsed.value_or("warmup", 0usize)?;
+    let seed = parsed.value_or("seed", 0u64)?;
+    let refs = load_refs(&parsed, limit, seed)?;
+    if warmup >= refs.len() {
+        return Err(CliError::Usage(format!(
+            "--warmup {warmup} consumes the whole {}-reference trace",
+            refs.len()
+        )));
+    }
+
+    let mut cache = SubBlockCache::new(config);
+    for r in &refs[..warmup] {
+        cache.access(r.address(), r.kind());
+    }
+    cache.reset_metrics();
+    for r in &refs[warmup..] {
+        cache.access(r.address(), r.kind());
+    }
+    let m = cache.metrics();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "configuration : {config}");
+    let _ = writeln!(
+        out,
+        "gross size    : {} bytes ({} data + {} tag/valid)",
+        config.gross_size(),
+        config.net_size(),
+        config.gross_size() - config.net_size()
+    );
+    let _ = writeln!(
+        out,
+        "references    : {} counted, {} writes (uncounted), {} warm-up",
+        m.accesses(),
+        m.write_accesses(),
+        warmup
+    );
+    let _ = writeln!(out, "miss ratio    : {:.4}", m.miss_ratio());
+    let _ = writeln!(out, "traffic ratio : {:.4}", m.traffic_ratio());
+    if parsed.switch("nibble") {
+        let _ = writeln!(
+            out,
+            "nibble traffic: {:.4}   (bus cost 1 + (w-1)/3)",
+            m.scaled_traffic_ratio(BusModel::paper_nibble())
+        );
+    }
+    if m.redundant_sub_loads() > 0 {
+        let _ = writeln!(
+            out,
+            "redundant     : {} of {} sub-block loads ({:.1}%)",
+            m.redundant_sub_loads(),
+            m.sub_loads(),
+            m.redundant_sub_loads() as f64 / m.sub_loads() as f64 * 100.0
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_strs(argv: &[&str]) -> Result<String, CliError> {
+        run(argv)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_strs(&["--help"]).unwrap();
+        assert!(out.contains("occache-sim"));
+    }
+
+    #[test]
+    fn simulates_named_workload() {
+        let out = run_strs(&["--workload", "ED", "--refs", "20000"]).unwrap();
+        assert!(out.contains("miss ratio"), "{out}");
+        // Default: sub-block = block (a conventional cache), gross 1256.
+        assert!(out.contains("(16,16)"), "{out}");
+        assert!(
+            out.contains("1256 bytes"),
+            "default config gross size: {out}"
+        );
+        // The paper's 16,8 headline cache costs 1264 bytes.
+        let out = run_strs(&["--workload", "ED", "--refs", "20000", "--sub", "8"]).unwrap();
+        assert!(out.contains("1264 bytes"), "{out}");
+    }
+
+    #[test]
+    fn qualified_workload_names_work() {
+        let out = run_strs(&["--workload", "z8000:C2", "--refs", "5000"]).unwrap();
+        assert!(out.contains("miss ratio"));
+    }
+
+    #[test]
+    fn rejects_unknown_workload() {
+        let e = run_strs(&["--workload", "doom"]).unwrap_err();
+        assert!(e.to_string().contains("doom"));
+    }
+
+    #[test]
+    fn rejects_conflicting_inputs() {
+        let e = run_strs(&["--workload", "ED", "t.din"]).unwrap_err();
+        assert!(e.to_string().contains("not both"));
+    }
+
+    #[test]
+    fn rejects_missing_input() {
+        let e = run_strs(&[]).unwrap_err();
+        assert!(e.to_string().contains("no input"));
+    }
+
+    #[test]
+    fn rejects_overlong_warmup() {
+        let e = run_strs(&["--workload", "ED", "--refs", "100", "--warmup", "100"]).unwrap_err();
+        assert!(e.to_string().contains("warmup"));
+    }
+
+    #[test]
+    fn load_forward_reports_redundant_loads() {
+        let out = run_strs(&[
+            "--workload",
+            "z8000:CPP",
+            "--refs",
+            "50000",
+            "--block",
+            "16",
+            "--sub",
+            "2",
+            "--fetch",
+            "load-forward",
+            "--net",
+            "256",
+        ])
+        .unwrap();
+        assert!(out.contains("redundant"), "{out}");
+    }
+
+    #[test]
+    fn reads_trace_files() {
+        let dir = std::env::temp_dir().join("occache_sim_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.din");
+        std::fs::write(&path, "i 100\nr 8000\ni 102\n").unwrap();
+        let out = run_strs(&[path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("3 counted"), "{out}");
+    }
+
+    #[test]
+    fn config_flags_are_respected() {
+        let out = run_strs(&[
+            "--workload",
+            "ED",
+            "--refs",
+            "5000",
+            "--net",
+            "64",
+            "--block",
+            "8",
+            "--sub",
+            "4",
+            "--replacement",
+            "fifo",
+            "--nibble",
+        ])
+        .unwrap();
+        assert!(out.contains("FIFO"), "{out}");
+        assert!(out.contains("nibble traffic"), "{out}");
+    }
+
+    #[test]
+    fn invalid_geometry_is_a_config_error() {
+        let e = run_strs(&["--workload", "ED", "--net", "100"]).unwrap_err();
+        assert!(matches!(e, CliError::Config(_)));
+    }
+}

@@ -1,0 +1,136 @@
+//! `occache-stats`: locality characterisation of a trace or workload.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Read;
+
+use occache_trace::io::parse_trace_auto;
+use occache_trace::{MemRef, TraceStats, WorkingSetCurve};
+use occache_workloads::WorkloadSpec;
+
+use crate::args::parse;
+use crate::CliError;
+
+/// Usage text for `occache-stats`.
+pub const USAGE: &str = "\
+occache-stats — locality statistics of a trace
+
+USAGE:
+  occache-stats [OPTIONS] [TRACE_FILE]
+
+INPUT (one of):
+  TRACE_FILE        text trace (`-` reads standard input)
+  --workload NAME   a Table 2-5 synthetic workload (ED, GREP, spice, ...)
+
+OPTIONS:
+  --word BYTES      data-path word size              [2]
+  --block BYTES     block granularity for working-set sizes [16]
+  --refs N          max references                   [1000000]
+  --seed N          synthetic workload seed          [0]
+";
+
+const VALUE_FLAGS: &[&str] = &["workload", "word", "block", "refs", "seed"];
+const BOOL_FLAGS: &[&str] = &["help"];
+
+/// Runs the command and returns the report to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad usage or unreadable/malformed traces.
+pub fn run<S: AsRef<str>>(argv: &[S]) -> Result<String, CliError> {
+    let parsed = parse(argv, VALUE_FLAGS, BOOL_FLAGS)?;
+    if parsed.switch("help") {
+        return Ok(USAGE.to_string());
+    }
+    let limit = parsed.value_or("refs", 1_000_000usize)?;
+    let seed = parsed.value_or("seed", 0u64)?;
+    let word = parsed.value_or("word", 2u64)?;
+    let block = parsed.value_or("block", 16u64)?;
+    if !word.is_power_of_two() || !block.is_power_of_two() {
+        return Err(CliError::Usage(
+            "--word/--block must be powers of two".into(),
+        ));
+    }
+
+    let refs: Vec<MemRef> = match (parsed.value("workload"), parsed.positional()) {
+        (Some(name), []) => {
+            let spec = WorkloadSpec::by_name(name)
+                .ok_or_else(|| CliError::Usage(format!("unknown workload {name:?}")))?;
+            spec.generator(seed).take(limit).collect()
+        }
+        (None, [path]) if path == "-" => {
+            let mut text = String::new();
+            std::io::stdin().read_to_string(&mut text)?;
+            let mut refs = parse_trace_auto(text.as_bytes())?;
+            refs.truncate(limit);
+            refs
+        }
+        (None, [path]) => {
+            let mut refs = parse_trace_auto(File::open(path)?)?;
+            refs.truncate(limit);
+            refs
+        }
+        _ => {
+            return Err(CliError::Usage(
+                "give a trace file or --workload NAME (not both, not neither)".into(),
+            ))
+        }
+    };
+
+    let mut stats = TraceStats::new(word);
+    let mut ws = WorkingSetCurve::new(block);
+    for &r in &refs {
+        stats.observe(r);
+        ws.observe(r);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "references   : {}", stats.total());
+    let _ = writeln!(
+        out,
+        "mix          : {:.1}% ifetch, {:.1}% read, {:.1}% write",
+        stats.ifetch_fraction() * 100.0,
+        stats.reads() as f64 / stats.total().max(1) as f64 * 100.0,
+        stats.writes() as f64 / stats.total().max(1) as f64 * 100.0
+    );
+    let _ = writeln!(out, "footprint    : {} bytes", stats.footprint_bytes());
+    let _ = writeln!(out, "mean i-run   : {:.1} words", stats.mean_ifetch_run());
+    let _ = writeln!(out, "working set ({block}-byte blocks):");
+    for (window, size) in ws.curve(&[100, 1_000, 10_000, 100_000]) {
+        let _ = writeln!(
+            out,
+            "  s({window:>6}) = {size:8.0} blocks ({} bytes)",
+            (size * block as f64) as u64
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(&["--help"]).unwrap().contains("occache-stats"));
+    }
+
+    #[test]
+    fn characterises_a_workload() {
+        let out = run(&["--workload", "ED", "--refs", "20000"]).unwrap();
+        assert!(out.contains("footprint"), "{out}");
+        assert!(out.contains("working set"), "{out}");
+    }
+
+    #[test]
+    fn requires_exactly_one_input() {
+        assert!(run::<&str>(&[]).is_err());
+        assert!(run(&["--workload", "ED", "file.din"]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_granularity() {
+        let e = run(&["--workload", "ED", "--block", "3"]).unwrap_err();
+        assert!(e.to_string().contains("powers of two"));
+    }
+}

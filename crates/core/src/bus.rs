@@ -1,0 +1,139 @@
+//! Bus-cost models (§4.3).
+//!
+//! The paper observes that with nibble/page-mode memories or transactional
+//! busses, fetching `w` sequential words costs `a + b*w` rather than `w`.
+//! With unit cost for a single word (`a + b = 1`) and Bursky's 160 ns / 55 ns
+//! timings approximated as 3:1, the paper uses `cost(w) = 1 + (w-1)/3`.
+
+/// A model of the cost of one memory transaction transferring `w` words.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum BusModel {
+    /// Cost proportional to words moved (`cost(w) = w`): the conventional
+    /// microprocessor bus all non-scaled traffic ratios assume.
+    #[default]
+    Linear,
+    /// Affine cost `overhead + per_word * w`.
+    ///
+    /// Use [`BusModel::paper_nibble`] for the paper's calibration.
+    Affine {
+        /// Fixed cost per transaction (`a`).
+        overhead: f64,
+        /// Marginal cost per word (`b`).
+        per_word: f64,
+    },
+}
+
+impl BusModel {
+    /// The paper's nibble-mode calibration: `cost(w) = 1 + (w-1)/3`,
+    /// i.e. `a = 2/3`, `b = 1/3` (first word 3× the cost of subsequent
+    /// words, unit cost for a single-word transfer).
+    pub const fn paper_nibble() -> BusModel {
+        BusModel::Affine {
+            overhead: 2.0 / 3.0,
+            per_word: 1.0 / 3.0,
+        }
+    }
+
+    /// Builds an affine model from device timings: access time for the
+    /// first word and for each subsequent word, normalised so a single-word
+    /// transfer costs 1. Bursky's typical RAM (`first = 160 ns`,
+    /// `subsequent = 55 ns`) gives approximately the paper's 3:1 model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either timing is not positive.
+    pub fn from_timings(first: f64, subsequent: f64) -> BusModel {
+        assert!(first > 0.0 && subsequent > 0.0, "timings must be positive");
+        BusModel::Affine {
+            overhead: (first - subsequent) / first,
+            per_word: subsequent / first,
+        }
+    }
+
+    /// Cost of one transaction transferring `words` sequential words.
+    pub fn transfer_cost(&self, words: u64) -> f64 {
+        match *self {
+            BusModel::Linear => words as f64,
+            BusModel::Affine { overhead, per_word } => overhead + per_word * words as f64,
+        }
+    }
+
+    /// Total cost of `transactions` transactions moving `words` words in
+    /// aggregate. Exact for any affine model because
+    /// `Σ (a + b·wᵢ) = a·T + b·ΣWᵢ`.
+    pub fn total_cost(&self, transactions: u64, words: u64) -> f64 {
+        match *self {
+            BusModel::Linear => words as f64,
+            BusModel::Affine { overhead, per_word } => {
+                overhead * transactions as f64 + per_word * words as f64
+            }
+        }
+    }
+
+    /// The paper's scaling factor for a fixed transfer size of `w` words:
+    /// `cost(w) / w`. Multiplying a standard traffic ratio by this factor
+    /// yields the scaled traffic ratio when every transaction moves
+    /// exactly `w` words (demand fetch).
+    pub fn scale_factor(&self, words: u64) -> f64 {
+        assert!(words > 0, "transfer size must be positive");
+        self.transfer_cost(words) / words as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_cost_is_words() {
+        assert_eq!(BusModel::Linear.transfer_cost(1), 1.0);
+        assert_eq!(BusModel::Linear.transfer_cost(8), 8.0);
+        assert_eq!(BusModel::Linear.total_cost(3, 24), 24.0);
+    }
+
+    #[test]
+    fn paper_nibble_matches_formula() {
+        let bus = BusModel::paper_nibble();
+        for w in 1..=32u64 {
+            let expected = 1.0 + (w as f64 - 1.0) / 3.0;
+            assert!((bus.transfer_cost(w) - expected).abs() < 1e-12, "w = {w}");
+        }
+    }
+
+    #[test]
+    fn paper_scale_factors_match_table_7() {
+        // Table 7's nibble columns are traffic × (1 + (w-1)/3)/w; for
+        // w = 4 words (8-byte sub-blocks, 2-byte words) the factor is 1/2.
+        let bus = BusModel::paper_nibble();
+        assert!((bus.scale_factor(1) - 1.0).abs() < 1e-12);
+        assert!((bus.scale_factor(2) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((bus.scale_factor(4) - 0.5).abs() < 1e-12);
+        assert!((bus.scale_factor(16) - 6.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_timings_normalises_first_word_to_unit() {
+        let bus = BusModel::from_timings(160.0, 55.0);
+        assert!((bus.transfer_cost(1) - 1.0).abs() < 1e-12);
+        // Two words: (160 + 55)/160.
+        assert!((bus.transfer_cost(2) - 215.0 / 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_timings_approximates_paper_model() {
+        let bursky = BusModel::from_timings(160.0, 55.0);
+        let paper = BusModel::paper_nibble();
+        for w in 1..=16u64 {
+            let diff = (bursky.transfer_cost(w) - paper.transfer_cost(w)).abs();
+            assert!(diff / paper.transfer_cost(w) < 0.07, "w = {w}: {diff}");
+        }
+    }
+
+    #[test]
+    fn total_cost_is_sum_of_transactions() {
+        let bus = BusModel::paper_nibble();
+        // Three transactions of 4 words each.
+        let individual = 3.0 * bus.transfer_cost(4);
+        assert!((bus.total_cost(3, 12) - individual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,640 @@
+//! The sub-block cache simulator.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use occache_trace::{AccessKind, Address};
+
+use crate::config::{CacheConfig, FetchPolicy, WritePolicy};
+use crate::frame::Frame;
+use crate::metrics::Metrics;
+use crate::set::CacheSet;
+
+/// What happened on one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessOutcome {
+    /// Block resident and the referenced sub-block valid.
+    Hit,
+    /// Block resident but the referenced sub-block had to be fetched
+    /// (the extra misses sub-block placement introduces, §3.1).
+    SubBlockMiss,
+    /// Block not resident: a frame was (re)allocated and the sub-block
+    /// fetched.
+    BlockMiss,
+}
+
+impl AccessOutcome {
+    /// Whether the access counts as a miss (anything but a full hit).
+    pub const fn is_miss(self) -> bool {
+        !matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// A set-associative cache with sub-block placement — the organisation the
+/// paper studies. A conventional cache is the special case
+/// `sub_block_size == block_size`.
+///
+/// ```
+/// use occache_core::{AccessOutcome, CacheConfig, SubBlockCache};
+/// use occache_trace::{AccessKind, Address};
+///
+/// let config = CacheConfig::builder()
+///     .net_size(256)
+///     .block_size(16)
+///     .sub_block_size(4)
+///     .word_size(4)
+///     .build()?;
+/// let mut cache = SubBlockCache::new(config);
+///
+/// let a = Address::new(0x100);
+/// assert_eq!(cache.access(a, AccessKind::DataRead), AccessOutcome::BlockMiss);
+/// assert_eq!(cache.access(a, AccessKind::DataRead), AccessOutcome::Hit);
+/// // Same block, different sub-block: tag matches but data is absent.
+/// let b = Address::new(0x104);
+/// assert_eq!(cache.access(b, AccessKind::DataRead), AccessOutcome::SubBlockMiss);
+/// # Ok::<(), occache_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubBlockCache {
+    config: CacheConfig,
+    sets: Vec<CacheSet>,
+    metrics: Metrics,
+    rng: StdRng,
+    subs_per_block: u32,
+}
+
+impl SubBlockCache {
+    /// Creates a cache with a fixed default seed for Random replacement.
+    pub fn new(config: CacheConfig) -> Self {
+        SubBlockCache::with_seed(config, 0x0cac_4e5e)
+    }
+
+    /// Creates a cache seeding the Random-replacement generator with `seed`.
+    pub fn with_seed(config: CacheConfig, seed: u64) -> Self {
+        let num_sets = config.num_sets() as usize;
+        let ways = config.effective_associativity() as usize;
+        SubBlockCache {
+            config,
+            sets: (0..num_sets).map(|_| CacheSet::new(ways)).collect(),
+            metrics: Metrics::new(config.word_size()),
+            rng: StdRng::seed_from_u64(seed),
+            subs_per_block: config.sub_blocks_per_block() as u32,
+        }
+    }
+
+    /// The configuration this cache was built from.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Zeroes the metrics while keeping cache contents — the warm-start
+    /// discipline of §4.2.2.
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Invalidates all cache contents and zeroes the metrics.
+    pub fn flush(&mut self) {
+        let ways = self.config.effective_associativity() as usize;
+        for set in &mut self.sets {
+            *set = CacheSet::new(ways);
+        }
+        self.metrics.reset();
+    }
+
+    /// Whether the sub-block containing `addr` is resident and valid.
+    pub fn contains(&self, addr: Address) -> bool {
+        let (set_idx, block_num, sub_idx) = self.locate(addr);
+        self.sets[set_idx]
+            .find(block_num)
+            .is_some_and(|fi| self.sets[set_idx].frame(fi).is_valid(sub_idx))
+    }
+
+    /// Whether the *block* containing `addr` is resident (its data may
+    /// still be only partially valid).
+    pub fn block_resident(&self, addr: Address) -> bool {
+        let (set_idx, block_num, _) = self.locate(addr);
+        self.sets[set_idx].find(block_num).is_some()
+    }
+
+    fn locate(&self, addr: Address) -> (usize, u64, u32) {
+        let block_num = addr.block_number(self.config.block_size());
+        let set_idx = (block_num % self.config.num_sets()) as usize;
+        let sub_idx =
+            (addr.offset_in_block(self.config.block_size()) / self.config.sub_block_size()) as u32;
+        (set_idx, block_num, sub_idx)
+    }
+
+    /// Presents one reference to the cache and returns what happened.
+    ///
+    /// Data writes update cache state (and the auxiliary write-traffic
+    /// counters) but are excluded from the miss/traffic ratios, following
+    /// the paper's metric definition.
+    pub fn access(&mut self, addr: Address, kind: AccessKind) -> AccessOutcome {
+        let (set_idx, block_num, sub_idx) = self.locate(addr);
+        let counted = kind.is_counted();
+        let policy = self.config.replacement();
+        let fetch = self.config.fetch();
+        let sub_size = self.config.sub_block_size();
+        let subs_per_block = self.subs_per_block;
+        let set = &mut self.sets[set_idx];
+
+        let outcome = match set.find(block_num) {
+            Some(fi) => {
+                set.touch(fi, policy);
+                let frame = set.frame_mut(fi);
+                frame.set_referenced(sub_idx);
+                if frame.is_valid(sub_idx) {
+                    self.metrics.record_access(counted, true);
+                    if frame.take_prefetched(sub_idx) {
+                        self.metrics.record_prefetch_use();
+                        // Tagged prefetch: first use of a prefetched
+                        // sub-block keeps the stream one step ahead.
+                        if fetch == (FetchPolicy::PrefetchNext { tagged: true }) {
+                            let next = sub_idx + 1;
+                            if next < subs_per_block && !frame.is_valid(next) {
+                                frame.set_valid(next);
+                                frame.set_prefetched(next);
+                                self.metrics.record_fetch(counted, sub_size, 1, 0);
+                                self.metrics.record_prefetch();
+                            }
+                        }
+                    }
+                    AccessOutcome::Hit
+                } else {
+                    let (bytes, subs, redundant, prefetched) =
+                        fill(frame, sub_idx, fetch, subs_per_block, sub_size);
+                    self.metrics.record_access(counted, false);
+                    self.metrics.record_fetch(counted, bytes, subs, redundant);
+                    for _ in 0..prefetched {
+                        self.metrics.record_prefetch();
+                    }
+                    AccessOutcome::SubBlockMiss
+                }
+            }
+            None => {
+                let vi = set.choose_victim(policy, &mut self.rng);
+                let frame = set.frame_mut(vi);
+                if frame.present {
+                    let slots = u64::from(subs_per_block);
+                    let referenced = u64::from(frame.referenced.count_ones());
+                    self.metrics.record_eviction(slots, slots - referenced);
+                    if self.config.write_policy() == WritePolicy::CopyBack {
+                        let dirty = u64::from(frame.dirty.count_ones());
+                        self.metrics.record_write_back(dirty * sub_size);
+                    }
+                }
+                frame.install(block_num);
+                frame.set_referenced(sub_idx);
+                let (bytes, subs, redundant, prefetched) =
+                    fill(frame, sub_idx, fetch, subs_per_block, sub_size);
+                self.metrics.record_access(counted, false);
+                self.metrics.record_fetch(counted, bytes, subs, redundant);
+                for _ in 0..prefetched {
+                    self.metrics.record_prefetch();
+                }
+                AccessOutcome::BlockMiss
+            }
+        };
+
+        if kind == AccessKind::DataWrite {
+            let (set_idx, block_num, sub_idx) = self.locate(addr);
+            let set = &mut self.sets[set_idx];
+            if let Some(fi) = set.find(block_num) {
+                set.frame_mut(fi).set_dirty(sub_idx);
+            }
+            if self.config.write_policy() == WritePolicy::WriteThrough {
+                self.metrics.record_write_through(self.config.word_size());
+            }
+        }
+
+        outcome
+    }
+
+    /// Runs an entire reference sequence through the cache.
+    pub fn run<I>(&mut self, refs: I)
+    where
+        I: IntoIterator<Item = occache_trace::MemRef>,
+    {
+        for r in refs {
+            self.access(r.address(), r.kind());
+        }
+    }
+}
+
+/// Loads data for a miss on `sub_idx`, returning
+/// `(bytes_fetched, sub_blocks_fetched, redundant_sub_blocks, prefetched_sub_blocks)`.
+fn fill(
+    frame: &mut Frame,
+    sub_idx: u32,
+    fetch: FetchPolicy,
+    subs_per_block: u32,
+    sub_size: u64,
+) -> (u64, u64, u64, u64) {
+    match fetch {
+        FetchPolicy::Demand => {
+            frame.set_valid(sub_idx);
+            (sub_size, 1, 0, 0)
+        }
+        FetchPolicy::PrefetchNext { .. } => {
+            frame.set_valid(sub_idx);
+            let next = sub_idx + 1;
+            if next < subs_per_block && !frame.is_valid(next) {
+                frame.set_valid(next);
+                frame.set_prefetched(next);
+                (2 * sub_size, 2, 0, 1)
+            } else {
+                (sub_size, 1, 0, 0)
+            }
+        }
+        FetchPolicy::LoadForward { remember_valid } => {
+            let mut fetched = 0u64;
+            let mut redundant = 0u64;
+            for i in sub_idx..subs_per_block {
+                if frame.is_valid(i) {
+                    // The simple scheme re-fetches resident sub-blocks; the
+                    // optimized scheme remembers and skips them.
+                    if !remember_valid {
+                        fetched += 1;
+                        redundant += 1;
+                    }
+                } else {
+                    frame.set_valid(i);
+                    fetched += 1;
+                }
+            }
+            (fetched * sub_size, fetched, redundant, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplacementPolicy;
+
+    fn cfg(net: u64, block: u64, sub: u64) -> CacheConfig {
+        CacheConfig::builder()
+            .net_size(net)
+            .block_size(block)
+            .sub_block_size(sub)
+            .word_size(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = SubBlockCache::new(cfg(64, 8, 4));
+        let a = Address::new(0x40);
+        assert_eq!(c.access(a, AccessKind::DataRead), AccessOutcome::BlockMiss);
+        assert_eq!(c.access(a, AccessKind::DataRead), AccessOutcome::Hit);
+        assert!(c.contains(a));
+    }
+
+    #[test]
+    fn sub_block_miss_within_resident_block() {
+        let mut c = SubBlockCache::new(cfg(64, 8, 2));
+        c.access(Address::new(0), AccessKind::DataRead);
+        assert!(c.block_resident(Address::new(6)));
+        assert!(!c.contains(Address::new(6)));
+        assert_eq!(
+            c.access(Address::new(6), AccessKind::DataRead),
+            AccessOutcome::SubBlockMiss
+        );
+        assert!(c.contains(Address::new(6)));
+    }
+
+    #[test]
+    fn demand_fetch_loads_exactly_one_sub_block() {
+        let mut c = SubBlockCache::new(cfg(64, 8, 2));
+        c.access(Address::new(0), AccessKind::DataRead);
+        assert_eq!(c.metrics().fetch_bytes(), 2);
+        assert!(
+            !c.contains(Address::new(2)),
+            "neighbour sub-block not loaded"
+        );
+    }
+
+    #[test]
+    fn load_forward_fills_to_end_of_block() {
+        let config = CacheConfig::builder()
+            .net_size(64)
+            .block_size(16)
+            .sub_block_size(2)
+            .word_size(2)
+            .fetch(FetchPolicy::LOAD_FORWARD)
+            .build()
+            .unwrap();
+        let mut c = SubBlockCache::new(config);
+        // Miss on sub-block 2 of 8 → loads sub-blocks 2..8 (6 of them).
+        c.access(Address::new(4), AccessKind::DataRead);
+        assert_eq!(c.metrics().fetch_bytes(), 12);
+        assert!(
+            !c.contains(Address::new(0)),
+            "backward sub-blocks untouched"
+        );
+        assert!(!c.contains(Address::new(2)));
+        for off in [4u64, 6, 8, 10, 12, 14] {
+            assert!(c.contains(Address::new(off)), "offset {off}");
+        }
+    }
+
+    #[test]
+    fn redundant_load_forward_refetches_valid_data() {
+        let config = CacheConfig::builder()
+            .net_size(64)
+            .block_size(16)
+            .sub_block_size(2)
+            .word_size(2)
+            .fetch(FetchPolicy::LOAD_FORWARD)
+            .build()
+            .unwrap();
+        let mut c = SubBlockCache::new(config);
+        c.access(Address::new(8), AccessKind::DataRead); // loads subs 4..8
+                                                         // Backward reference: miss on sub 0 → redundant loads of subs 4..8.
+        c.access(Address::new(0), AccessKind::DataRead);
+        assert_eq!(c.metrics().redundant_sub_loads(), 4);
+        assert_eq!(c.metrics().fetch_bytes(), 8 + 16);
+    }
+
+    #[test]
+    fn optimized_load_forward_skips_valid_data() {
+        let config = CacheConfig::builder()
+            .net_size(64)
+            .block_size(16)
+            .sub_block_size(2)
+            .word_size(2)
+            .fetch(FetchPolicy::LoadForward {
+                remember_valid: true,
+            })
+            .build()
+            .unwrap();
+        let mut c = SubBlockCache::new(config);
+        c.access(Address::new(8), AccessKind::DataRead);
+        c.access(Address::new(0), AccessKind::DataRead);
+        assert_eq!(c.metrics().redundant_sub_loads(), 0);
+        assert_eq!(c.metrics().fetch_bytes(), 8 + 8);
+    }
+
+    #[test]
+    fn prefetch_on_miss_loads_the_next_sub_block() {
+        let config = CacheConfig::builder()
+            .net_size(64)
+            .block_size(16)
+            .sub_block_size(4)
+            .word_size(2)
+            .fetch(FetchPolicy::PrefetchNext { tagged: false })
+            .build()
+            .unwrap();
+        let mut c = SubBlockCache::new(config);
+        c.access(Address::new(0), AccessKind::DataRead);
+        assert!(c.contains(Address::new(4)), "next sub-block prefetched");
+        assert!(!c.contains(Address::new(8)), "only one ahead");
+        assert_eq!(c.metrics().fetch_bytes(), 8);
+        assert_eq!(c.metrics().prefetched_subs(), 1);
+        // Using the prefetched sub-block is a hit and counts as a use.
+        assert_eq!(
+            c.access(Address::new(4), AccessKind::DataRead),
+            AccessOutcome::Hit
+        );
+        assert_eq!(c.metrics().prefetch_uses(), 1);
+        assert_eq!(c.metrics().prefetch_pollution(), 0.0);
+    }
+
+    #[test]
+    fn tagged_prefetch_stays_ahead_of_a_sequential_stream() {
+        let config = CacheConfig::builder()
+            .net_size(64)
+            .block_size(16)
+            .sub_block_size(2)
+            .word_size(2)
+            .fetch(FetchPolicy::PrefetchNext { tagged: true })
+            .build()
+            .unwrap();
+        let mut c = SubBlockCache::new(config);
+        // Walk a whole block: one miss, the rest ride the prefetch train.
+        for off in (0..16).step_by(2) {
+            c.access(Address::new(off), AccessKind::DataRead);
+        }
+        assert_eq!(
+            c.metrics().misses(),
+            1,
+            "only the head of the stream misses"
+        );
+        assert_eq!(
+            c.metrics().fetch_bytes(),
+            16,
+            "every byte still crossed the bus"
+        );
+    }
+
+    #[test]
+    fn prefetch_at_end_of_block_does_nothing() {
+        let config = CacheConfig::builder()
+            .net_size(64)
+            .block_size(16)
+            .sub_block_size(4)
+            .word_size(2)
+            .fetch(FetchPolicy::PrefetchNext { tagged: false })
+            .build()
+            .unwrap();
+        let mut c = SubBlockCache::new(config);
+        // Miss on the last sub-block: nothing beyond the block to fetch.
+        c.access(Address::new(12), AccessKind::DataRead);
+        assert_eq!(c.metrics().fetch_bytes(), 4);
+        assert_eq!(c.metrics().prefetched_subs(), 0);
+    }
+
+    #[test]
+    fn unused_prefetches_count_as_pollution() {
+        let config = CacheConfig::builder()
+            .net_size(16)
+            .block_size(8)
+            .sub_block_size(4)
+            .associativity(1)
+            .word_size(2)
+            .fetch(FetchPolicy::PrefetchNext { tagged: false })
+            .build()
+            .unwrap();
+        let mut c = SubBlockCache::new(config);
+        c.access(Address::new(0), AccessKind::DataRead); // prefetches sub 1, never used
+        c.access(Address::new(16), AccessKind::DataRead); // conflicting block
+        assert_eq!(c.metrics().prefetched_subs(), 2);
+        assert_eq!(c.metrics().prefetch_uses(), 0);
+        assert_eq!(c.metrics().prefetch_pollution(), 1.0);
+    }
+
+    #[test]
+    fn writes_are_excluded_from_metrics() {
+        let mut c = SubBlockCache::new(cfg(64, 8, 4));
+        c.access(Address::new(0), AccessKind::DataWrite);
+        assert_eq!(c.metrics().accesses(), 0);
+        assert_eq!(c.metrics().misses(), 0);
+        assert_eq!(c.metrics().fetch_bytes(), 0);
+        assert_eq!(c.metrics().write_accesses(), 1);
+        assert_eq!(c.metrics().write_misses(), 1);
+        // The write still allocated state: a read of the same word hits.
+        assert_eq!(
+            c.access(Address::new(0), AccessKind::DataRead),
+            AccessOutcome::Hit
+        );
+    }
+
+    #[test]
+    fn write_through_accounts_word_per_write() {
+        let mut c = SubBlockCache::new(cfg(64, 8, 4));
+        c.access(Address::new(0), AccessKind::DataWrite);
+        c.access(Address::new(0), AccessKind::DataWrite);
+        assert_eq!(c.metrics().write_through_bytes(), 4);
+        assert_eq!(c.metrics().write_back_bytes(), 0);
+    }
+
+    #[test]
+    fn copy_back_flushes_dirty_sub_blocks_on_eviction() {
+        let config = CacheConfig::builder()
+            .net_size(16)
+            .block_size(8)
+            .sub_block_size(4)
+            .associativity(1)
+            .word_size(2)
+            .write_policy(WritePolicy::CopyBack)
+            .build()
+            .unwrap();
+        let mut c = SubBlockCache::new(config);
+        c.access(Address::new(0), AccessKind::DataWrite); // dirty sub 0 of block 0
+                                                          // Conflict: block mapping to the same (direct-mapped) set 0.
+        c.access(Address::new(16), AccessKind::DataRead);
+        assert_eq!(c.metrics().write_back_bytes(), 4);
+        assert_eq!(c.metrics().write_through_bytes(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_order_at_block_granularity() {
+        // Direct-mapped 2-set cache: blocks 0 and 2 collide in set 0.
+        let config = CacheConfig::builder()
+            .net_size(16)
+            .block_size(8)
+            .sub_block_size(8)
+            .associativity(1)
+            .word_size(2)
+            .build()
+            .unwrap();
+        let mut c = SubBlockCache::new(config);
+        c.access(Address::new(0), AccessKind::DataRead);
+        c.access(Address::new(16), AccessKind::DataRead); // evicts block 0
+        assert!(!c.block_resident(Address::new(0)));
+        assert_eq!(
+            c.access(Address::new(0), AccessKind::DataRead),
+            AccessOutcome::BlockMiss
+        );
+    }
+
+    #[test]
+    fn four_way_lru_keeps_recently_used() {
+        let config = CacheConfig::builder()
+            .net_size(32)
+            .block_size(8)
+            .sub_block_size(8)
+            .associativity(4)
+            .word_size(2)
+            .build()
+            .unwrap();
+        let mut c = SubBlockCache::new(config); // 1 set, 4 ways
+        for blk in 0..4u64 {
+            c.access(Address::new(blk * 8), AccessKind::DataRead);
+        }
+        // Re-touch block 0; block 1 is now LRU and must be the victim.
+        c.access(Address::new(0), AccessKind::DataRead);
+        c.access(Address::new(4 * 8), AccessKind::DataRead);
+        assert!(c.block_resident(Address::new(0)));
+        assert!(!c.block_resident(Address::new(8)));
+    }
+
+    #[test]
+    fn eviction_statistics_track_unreferenced_sub_blocks() {
+        let config = CacheConfig::builder()
+            .net_size(16)
+            .block_size(8)
+            .sub_block_size(2)
+            .associativity(1)
+            .word_size(2)
+            .build()
+            .unwrap();
+        let mut c = SubBlockCache::new(config);
+        c.access(Address::new(0), AccessKind::DataRead); // 1 of 4 subs referenced
+        c.access(Address::new(16), AccessKind::DataRead); // evicts block 0
+        assert_eq!(c.metrics().evicted_blocks(), 1);
+        assert!((c.metrics().unreferenced_sub_block_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_empties_cache_and_metrics() {
+        let mut c = SubBlockCache::new(cfg(64, 8, 4));
+        c.access(Address::new(0), AccessKind::DataRead);
+        c.flush();
+        assert!(!c.block_resident(Address::new(0)));
+        assert_eq!(c.metrics().accesses(), 0);
+    }
+
+    #[test]
+    fn reset_metrics_preserves_contents() {
+        let mut c = SubBlockCache::new(cfg(64, 8, 4));
+        c.access(Address::new(0), AccessKind::DataRead);
+        c.reset_metrics();
+        assert!(c.contains(Address::new(0)));
+        assert_eq!(
+            c.access(Address::new(0), AccessKind::DataRead),
+            AccessOutcome::Hit
+        );
+        assert_eq!(c.metrics().accesses(), 1);
+        assert_eq!(c.metrics().misses(), 0);
+    }
+
+    #[test]
+    fn run_consumes_a_trace() {
+        use occache_trace::MemRef;
+        let mut c = SubBlockCache::new(cfg(64, 8, 4));
+        c.run(vec![MemRef::read(0), MemRef::read(0), MemRef::read(8)]);
+        assert_eq!(c.metrics().accesses(), 3);
+        assert_eq!(c.metrics().misses(), 2);
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic_per_seed() {
+        let config = CacheConfig::builder()
+            .net_size(64)
+            .block_size(8)
+            .sub_block_size(8)
+            .replacement(ReplacementPolicy::Random)
+            .word_size(2)
+            .build()
+            .unwrap();
+        let trace: Vec<_> = (0..200u64)
+            .map(|i| occache_trace::MemRef::read((i * 37) % 512 * 2))
+            .collect();
+        let mut a = SubBlockCache::with_seed(config, 9);
+        let mut b = SubBlockCache::with_seed(config, 9);
+        a.run(trace.clone());
+        b.run(trace);
+        assert_eq!(a.metrics().misses(), b.metrics().misses());
+    }
+
+    #[test]
+    fn miss_ratio_traffic_identity_for_demand() {
+        // For demand fetch: traffic ratio == miss ratio × (sub / word).
+        let mut c = SubBlockCache::new(cfg(256, 16, 8));
+        let trace: Vec<_> = (0..5000u64)
+            .map(|i| occache_trace::MemRef::read((i * 71) % 2048 * 2))
+            .collect();
+        c.run(trace);
+        let m = c.metrics();
+        let expected = m.miss_ratio() * 8.0 / 2.0;
+        assert!((m.traffic_ratio() - expected).abs() < 1e-12);
+    }
+}

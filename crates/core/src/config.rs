@@ -1,0 +1,741 @@
+//! Cache configuration: the design parameters of Table 1 plus the policies
+//! held fixed by the paper (which we expose anyway so they can be ablated).
+
+use std::error::Error;
+use std::fmt;
+
+/// Block replacement policy within a set.
+///
+/// The paper runs everything with LRU ("LRU permits more efficient
+/// simulation and reasonable alternatives perform comparably", §3.1, citing
+/// Strecker's observation that LRU, FIFO and RANDOM differ little); FIFO and
+/// Random are provided for the ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used (the paper's choice).
+    #[default]
+    Lru,
+    /// First-in first-out: eviction order is fill order, untouched by hits.
+    Fifo,
+    /// Uniform-random victim selection (deterministic given the cache seed).
+    Random,
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Fifo => "FIFO",
+            ReplacementPolicy::Random => "RANDOM",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Fetch policy: what gets loaded on a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FetchPolicy {
+    /// Demand fetch: only the missing sub-block is loaded (§1: "only the
+    /// missing sub-block is loaded").
+    #[default]
+    Demand,
+    /// Load-forward (§4.4): the missing sub-block *and all subsequent
+    /// sub-blocks in the same block* are loaded.
+    LoadForward {
+        /// `false` selects the paper's *redundant-load* scheme, which
+        /// re-fetches sub-blocks that are already resident (simple memory
+        /// interface, some redundant bus traffic). `true` selects the
+        /// optimized scheme that remembers valid sub-blocks and skips them —
+        /// the variant the paper describes but does not implement.
+        remember_valid: bool,
+    },
+    /// Sequential sub-block prefetch — the §2.2 "smart cache" direction,
+    /// after Smith \[11\]: a miss on sub-block *i* also loads *i+1*
+    /// (within the block). Prefetching trades extra traffic and possible
+    /// pollution for latency, exactly the cost/risk §2.2 describes.
+    PrefetchNext {
+        /// `false` is *prefetch-on-miss*; `true` is Smith's *tagged*
+        /// prefetch: the first reference to a prefetched sub-block also
+        /// triggers the next prefetch, keeping sequential streams ahead.
+        tagged: bool,
+    },
+}
+
+impl FetchPolicy {
+    /// The paper's load-forward variant (redundant loads allowed).
+    pub const LOAD_FORWARD: FetchPolicy = FetchPolicy::LoadForward {
+        remember_valid: false,
+    };
+}
+
+impl fmt::Display for FetchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchPolicy::Demand => f.write_str("demand"),
+            FetchPolicy::LoadForward {
+                remember_valid: false,
+            } => f.write_str("load-forward"),
+            FetchPolicy::LoadForward {
+                remember_valid: true,
+            } => f.write_str("load-forward(optimized)"),
+            FetchPolicy::PrefetchNext { tagged: false } => f.write_str("prefetch-on-miss"),
+            FetchPolicy::PrefetchNext { tagged: true } => f.write_str("tagged-prefetch"),
+        }
+    }
+}
+
+/// Write-update policy (an extension; the paper filters writes out of its
+/// metrics, and we do too — these control only the auxiliary write-traffic
+/// accounting in [`Metrics`](crate::Metrics)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WritePolicy {
+    /// Every write also goes to memory; no dirty state.
+    #[default]
+    WriteThrough,
+    /// Writes dirty the sub-block; dirty sub-blocks are flushed on eviction.
+    CopyBack,
+}
+
+impl fmt::Display for WritePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WritePolicy::WriteThrough => f.write_str("write-through"),
+            WritePolicy::CopyBack => f.write_str("copy-back"),
+        }
+    }
+}
+
+/// Error constructing a [`CacheConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A size parameter was zero or not a power of two.
+    NotPowerOfTwo {
+        /// Which parameter was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// Sizes must satisfy `word <= sub_block <= block <= net`.
+    SizeOrdering {
+        /// Human-readable description of the violated relation.
+        relation: &'static str,
+    },
+    /// Associativity must be at least 1.
+    ZeroAssociativity,
+    /// More than 64 sub-blocks per block (the per-frame bitmask limit).
+    TooManySubBlocks {
+        /// Requested sub-blocks per block.
+        requested: u64,
+    },
+    /// Address width outside `16..=48` bits.
+    BadAddressBits {
+        /// Requested width.
+        requested: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a nonzero power of two, got {value}")
+            }
+            ConfigError::SizeOrdering { relation } => {
+                write!(f, "size ordering violated: {relation}")
+            }
+            ConfigError::ZeroAssociativity => f.write_str("associativity must be at least 1"),
+            ConfigError::TooManySubBlocks { requested } => write!(
+                f,
+                "at most 64 sub-blocks per block are supported, got {requested}"
+            ),
+            ConfigError::BadAddressBits { requested } => {
+                write!(
+                    f,
+                    "address width must be within 16..=48 bits, got {requested}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A validated cache design point.
+///
+/// Mirrors Table 1 of the paper: net (data) size, block size, sub-block
+/// size, associativity, replacement and fetch policies — plus the bus word
+/// size (the per-reference transfer unit of a cacheless system, 2 bytes for
+/// the 16-bit architectures and 4 for the 32-bit ones) and the address width
+/// used for gross-size arithmetic (32 bits in the paper, even for the 16-bit
+/// machines).
+///
+/// ```
+/// use occache_core::CacheConfig;
+///
+/// let config = CacheConfig::builder()
+///     .net_size(1024)
+///     .block_size(16)
+///     .sub_block_size(8)
+///     .word_size(2)
+///     .build()?;
+/// assert_eq!(config.num_sets(), 16);
+/// assert_eq!(config.sub_blocks_per_block(), 2);
+/// assert_eq!(config.gross_size(), 1264); // Table 7, row "1264 / 16,8"
+/// # Ok::<(), occache_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    net_size: u64,
+    block_size: u64,
+    sub_block_size: u64,
+    associativity: u64,
+    replacement: ReplacementPolicy,
+    fetch: FetchPolicy,
+    write: WritePolicy,
+    word_size: u64,
+    address_bits: u32,
+}
+
+impl CacheConfig {
+    /// Starts building a configuration.
+    ///
+    /// Defaults match the paper's fixed parameters: 4-way set associative,
+    /// LRU replacement, demand fetch, 32-bit addresses; `word_size` defaults
+    /// to 4 bytes (the 32-bit data path) and the Table-1 sweep overrides it
+    /// per architecture.
+    pub fn builder() -> CacheConfigBuilder {
+        CacheConfigBuilder::new()
+    }
+
+    /// Net (data-only) cache size in bytes.
+    pub const fn net_size(&self) -> u64 {
+        self.net_size
+    }
+
+    /// Block size in bytes (the unit an address tag covers).
+    pub const fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Sub-block size in bytes (the memory transfer unit).
+    pub const fn sub_block_size(&self) -> u64 {
+        self.sub_block_size
+    }
+
+    /// Requested associativity. The *effective* associativity is capped at
+    /// the number of blocks (a 64-byte cache of 16-byte blocks can be at most
+    /// 4-way); see [`CacheConfig::effective_associativity`].
+    pub const fn associativity(&self) -> u64 {
+        self.associativity
+    }
+
+    /// Replacement policy.
+    pub const fn replacement(&self) -> ReplacementPolicy {
+        self.replacement
+    }
+
+    /// Fetch policy.
+    pub const fn fetch(&self) -> FetchPolicy {
+        self.fetch
+    }
+
+    /// Write-update policy (auxiliary accounting only).
+    pub const fn write_policy(&self) -> WritePolicy {
+        self.write
+    }
+
+    /// Bus word size in bytes: what a cacheless system would transfer per
+    /// reference. Denominator of the traffic ratio.
+    pub const fn word_size(&self) -> u64 {
+        self.word_size
+    }
+
+    /// Address width in bits used for tag-size arithmetic.
+    pub const fn address_bits(&self) -> u32 {
+        self.address_bits
+    }
+
+    /// Number of blocks in the cache.
+    pub const fn num_blocks(&self) -> u64 {
+        self.net_size / self.block_size
+    }
+
+    /// Effective associativity: `min(associativity, num_blocks)`.
+    pub const fn effective_associativity(&self) -> u64 {
+        let blocks = self.num_blocks();
+        if self.associativity < blocks {
+            self.associativity
+        } else {
+            blocks
+        }
+    }
+
+    /// Number of sets.
+    pub const fn num_sets(&self) -> u64 {
+        self.num_blocks() / self.effective_associativity()
+    }
+
+    /// Sub-blocks per block.
+    pub const fn sub_blocks_per_block(&self) -> u64 {
+        self.block_size / self.sub_block_size
+    }
+
+    /// Words per sub-block (the `w` of the paper's `a + b*w` bus-cost model).
+    pub const fn words_per_sub_block(&self) -> u64 {
+        self.sub_block_size / self.word_size
+    }
+
+    /// Tag width in bits. The paper stores the full block address as the tag
+    /// (it does not shave off set-index bits — footnote 3 neglects
+    /// "lower-order effects of changes in the number of bits in the address
+    /// tag"), and its published gross sizes only reproduce under that model.
+    pub const fn tag_bits(&self) -> u32 {
+        self.address_bits - self.block_size.trailing_zeros()
+    }
+
+    /// Gross cache size in bytes: data + tags + sub-block valid bits,
+    /// rounded up to whole bytes. Reproduces the paper's Table 7 cost
+    /// column exactly (e.g. 1024-byte net, 16-byte blocks, 8-byte
+    /// sub-blocks → 1264).
+    pub const fn gross_size(&self) -> u64 {
+        let data_bits = self.net_size * 8;
+        let tag_bits = self.num_blocks() * self.tag_bits() as u64;
+        let valid_bits = self.num_blocks() * self.sub_blocks_per_block();
+        (data_bits + tag_bits + valid_bits).div_ceil(8)
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}B net ({},{}) {}-way {} {}",
+            self.net_size,
+            self.block_size,
+            self.sub_block_size,
+            self.effective_associativity(),
+            self.replacement,
+            self.fetch
+        )
+    }
+}
+
+/// Builder for [`CacheConfig`]; see [`CacheConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct CacheConfigBuilder {
+    net_size: u64,
+    block_size: u64,
+    sub_block_size: Option<u64>,
+    associativity: u64,
+    replacement: ReplacementPolicy,
+    fetch: FetchPolicy,
+    write: WritePolicy,
+    word_size: u64,
+    address_bits: u32,
+}
+
+impl CacheConfigBuilder {
+    fn new() -> Self {
+        CacheConfigBuilder {
+            net_size: 1024,
+            block_size: 16,
+            sub_block_size: None,
+            associativity: 4,
+            replacement: ReplacementPolicy::Lru,
+            fetch: FetchPolicy::Demand,
+            write: WritePolicy::WriteThrough,
+            word_size: 4,
+            address_bits: 32,
+        }
+    }
+
+    /// Sets the net (data) size in bytes.
+    pub fn net_size(&mut self, bytes: u64) -> &mut Self {
+        self.net_size = bytes;
+        self
+    }
+
+    /// Sets the block size in bytes.
+    pub fn block_size(&mut self, bytes: u64) -> &mut Self {
+        self.block_size = bytes;
+        self
+    }
+
+    /// Sets the sub-block size in bytes. Defaults to the block size
+    /// (i.e. a conventional cache without sub-block placement).
+    pub fn sub_block_size(&mut self, bytes: u64) -> &mut Self {
+        self.sub_block_size = Some(bytes);
+        self
+    }
+
+    /// Sets the associativity (ways per set).
+    pub fn associativity(&mut self, ways: u64) -> &mut Self {
+        self.associativity = ways;
+        self
+    }
+
+    /// Sets the replacement policy.
+    pub fn replacement(&mut self, policy: ReplacementPolicy) -> &mut Self {
+        self.replacement = policy;
+        self
+    }
+
+    /// Sets the fetch policy.
+    pub fn fetch(&mut self, policy: FetchPolicy) -> &mut Self {
+        self.fetch = policy;
+        self
+    }
+
+    /// Sets the write-update policy (auxiliary accounting only).
+    pub fn write_policy(&mut self, policy: WritePolicy) -> &mut Self {
+        self.write = policy;
+        self
+    }
+
+    /// Sets the bus word size in bytes.
+    pub fn word_size(&mut self, bytes: u64) -> &mut Self {
+        self.word_size = bytes;
+        self
+    }
+
+    /// Sets the address width in bits (default 32, as in the paper).
+    pub fn address_bits(&mut self, bits: u32) -> &mut Self {
+        self.address_bits = bits;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first violated invariant:
+    /// non-power-of-two sizes, bad ordering (`word <= sub <= block <= net`),
+    /// zero associativity, more than 64 sub-blocks per block, or an address
+    /// width outside `16..=48`.
+    pub fn build(&self) -> Result<CacheConfig, ConfigError> {
+        let sub_block_size = self.sub_block_size.unwrap_or(self.block_size);
+        for (what, value) in [
+            ("net size", self.net_size),
+            ("block size", self.block_size),
+            ("sub-block size", sub_block_size),
+            ("word size", self.word_size),
+        ] {
+            if value == 0 || !value.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo { what, value });
+            }
+        }
+        if self.associativity == 0 {
+            return Err(ConfigError::ZeroAssociativity);
+        }
+        if self.word_size > sub_block_size {
+            return Err(ConfigError::SizeOrdering {
+                relation: "word size must not exceed sub-block size",
+            });
+        }
+        if sub_block_size > self.block_size {
+            return Err(ConfigError::SizeOrdering {
+                relation: "sub-block size must not exceed block size",
+            });
+        }
+        if self.block_size > self.net_size {
+            return Err(ConfigError::SizeOrdering {
+                relation: "block size must not exceed net cache size",
+            });
+        }
+        let subs = self.block_size / sub_block_size;
+        if subs > 64 {
+            return Err(ConfigError::TooManySubBlocks { requested: subs });
+        }
+        if !(16..=48).contains(&self.address_bits) {
+            return Err(ConfigError::BadAddressBits {
+                requested: self.address_bits,
+            });
+        }
+        Ok(CacheConfig {
+            net_size: self.net_size,
+            block_size: self.block_size,
+            sub_block_size,
+            associativity: self.associativity,
+            replacement: self.replacement,
+            fetch: self.fetch,
+            write: self.write,
+            word_size: self.word_size,
+            address_bits: self.address_bits,
+        })
+    }
+}
+
+impl Default for CacheConfigBuilder {
+    fn default() -> Self {
+        CacheConfigBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(net: u64, block: u64, sub: u64, word: u64) -> CacheConfig {
+        CacheConfig::builder()
+            .net_size(net)
+            .block_size(block)
+            .sub_block_size(sub)
+            .word_size(word)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn geometry_of_paper_headline_config() {
+        let c = cfg(1024, 16, 8, 2);
+        assert_eq!(c.num_blocks(), 64);
+        assert_eq!(c.effective_associativity(), 4);
+        assert_eq!(c.num_sets(), 16);
+        assert_eq!(c.sub_blocks_per_block(), 2);
+        assert_eq!(c.words_per_sub_block(), 4);
+        assert_eq!(c.tag_bits(), 28);
+    }
+
+    #[test]
+    fn gross_sizes_match_table_7_net_64() {
+        // (block, sub) -> gross size from the Table 7 left column.
+        for (block, sub, gross) in [
+            (16, 8, 79),
+            (16, 4, 80),
+            (16, 2, 82),
+            (8, 8, 94),
+            (8, 4, 95),
+            (8, 2, 97),
+            (4, 4, 126),
+            (4, 2, 128),
+            (2, 2, 192),
+        ] {
+            assert_eq!(
+                cfg(64, block, sub, 2).gross_size(),
+                gross,
+                "({block},{sub})"
+            );
+        }
+    }
+
+    #[test]
+    fn gross_sizes_match_table_7_net_256() {
+        for (block, sub, gross) in [
+            (32, 32, 284),
+            (32, 16, 285),
+            (32, 8, 287),
+            (32, 4, 291),
+            (32, 2, 299),
+            (16, 16, 314),
+            (16, 8, 316),
+            (16, 4, 320),
+            (16, 2, 328),
+            (8, 8, 376),
+            (8, 4, 380),
+            (8, 2, 388),
+            (4, 4, 504),
+            (4, 2, 512),
+            (2, 2, 768),
+        ] {
+            assert_eq!(
+                cfg(256, block, sub, 2).gross_size(),
+                gross,
+                "({block},{sub})"
+            );
+        }
+    }
+
+    #[test]
+    fn gross_sizes_match_table_7_net_1024() {
+        for (block, sub, gross) in [
+            (64, 16, 1084),
+            (64, 8, 1092),
+            (64, 4, 1108),
+            (64, 2, 1140),
+            (32, 32, 1136),
+            (32, 16, 1140),
+            (32, 8, 1148),
+            (32, 4, 1164),
+            (32, 2, 1196),
+            (16, 16, 1256),
+            (16, 8, 1264),
+            (16, 4, 1280),
+            (16, 2, 1312),
+            (8, 8, 1504),
+            (8, 4, 1520),
+            (8, 2, 1552),
+            (4, 4, 2016),
+            (4, 2, 2048),
+            (2, 2, 3072),
+        ] {
+            assert_eq!(
+                cfg(1024, block, sub, 2).gross_size(),
+                gross,
+                "({block},{sub})"
+            );
+        }
+    }
+
+    #[test]
+    fn minimum_cache_ram_estimate_matches_section_2_2() {
+        // §2.2: 16 blocks × [29 tag + 2 valid + 64 data bits] / 8 = 190 bytes.
+        let c = CacheConfig::builder()
+            .net_size(128) // 32 words of 4 bytes
+            .block_size(8)
+            .sub_block_size(4)
+            .associativity(2)
+            .word_size(4)
+            .build()
+            .unwrap();
+        assert_eq!(c.num_blocks(), 16);
+        assert_eq!(c.tag_bits(), 29);
+        assert_eq!(c.gross_size(), 190);
+    }
+
+    #[test]
+    fn vax_minimum_cache_is_95_bytes() {
+        // §5: 64-byte 8,4 cache on the 32-bit VAX needs 95 bytes of RAM.
+        let c = cfg(64, 8, 4, 4);
+        assert_eq!(c.gross_size(), 95);
+    }
+
+    #[test]
+    fn sub_block_defaults_to_block() {
+        let c = CacheConfig::builder()
+            .net_size(512)
+            .block_size(16)
+            .word_size(2)
+            .build()
+            .unwrap();
+        assert_eq!(c.sub_block_size(), 16);
+        assert_eq!(c.sub_blocks_per_block(), 1);
+    }
+
+    #[test]
+    fn effective_associativity_caps_at_block_count() {
+        let c = CacheConfig::builder()
+            .net_size(32)
+            .block_size(16)
+            .sub_block_size(8)
+            .associativity(4)
+            .word_size(2)
+            .build()
+            .unwrap();
+        assert_eq!(c.num_blocks(), 2);
+        assert_eq!(c.effective_associativity(), 2);
+        assert_eq!(c.num_sets(), 1);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let err = CacheConfig::builder().net_size(1000).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::NotPowerOfTwo {
+                what: "net size",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_sub_bigger_than_block() {
+        let err = CacheConfig::builder()
+            .net_size(1024)
+            .block_size(8)
+            .sub_block_size(16)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::SizeOrdering { .. }));
+    }
+
+    #[test]
+    fn rejects_block_bigger_than_net() {
+        let err = CacheConfig::builder()
+            .net_size(16)
+            .block_size(32)
+            .sub_block_size(8)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::SizeOrdering { .. }));
+    }
+
+    #[test]
+    fn rejects_word_bigger_than_sub() {
+        let err = CacheConfig::builder()
+            .net_size(1024)
+            .block_size(16)
+            .sub_block_size(2)
+            .word_size(4)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::SizeOrdering { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_associativity() {
+        let err = CacheConfig::builder().associativity(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroAssociativity);
+    }
+
+    #[test]
+    fn rejects_too_many_sub_blocks() {
+        // 1024-byte blocks of 2-byte sub-blocks would need 512 valid bits.
+        let err = CacheConfig::builder()
+            .net_size(16384)
+            .block_size(1024)
+            .sub_block_size(2)
+            .word_size(2)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::TooManySubBlocks { requested: 512 });
+    }
+
+    #[test]
+    fn rejects_bad_address_bits() {
+        let err = CacheConfig::builder().address_bits(8).build().unwrap_err();
+        assert_eq!(err, ConfigError::BadAddressBits { requested: 8 });
+    }
+
+    #[test]
+    fn sector_cache_360_85_geometry() {
+        // 16 KB, 1024-byte sectors, 64-byte sub-blocks, fully associative.
+        let c = CacheConfig::builder()
+            .net_size(16 * 1024)
+            .block_size(1024)
+            .sub_block_size(64)
+            .associativity(16)
+            .word_size(4)
+            .build()
+            .unwrap();
+        assert_eq!(c.num_blocks(), 16);
+        assert_eq!(c.num_sets(), 1);
+        assert_eq!(c.sub_blocks_per_block(), 16);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = cfg(1024, 16, 8, 2);
+        let s = c.to_string();
+        assert!(s.contains("1024"), "{s}");
+        assert!(s.contains("(16,8)"), "{s}");
+        assert!(s.contains("LRU"), "{s}");
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errs: Vec<ConfigError> = vec![
+            ConfigError::NotPowerOfTwo {
+                what: "net size",
+                value: 3,
+            },
+            ConfigError::SizeOrdering { relation: "x" },
+            ConfigError::ZeroAssociativity,
+            ConfigError::TooManySubBlocks { requested: 128 },
+            ConfigError::BadAddressBits { requested: 8 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared-bus contention: the paper's motivating scenario.
+//!
+//! §1 and §3.2 motivate the traffic ratio with bus-limited systems —
+//! "this problem is particularly acute if the bus is to be shared among
+//! two or more microprocessors". This module provides the standard
+//! back-of-envelope model for that scenario: each processor offers bus
+//! work in proportion to its traffic ratio; the bus saturates at
+//! utilisation 1; queueing delay grows as utilisation approaches 1
+//! (M/M/1 approximation, the classic first-order sizing model).
+
+/// A bus shared by identical cached processors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedBus {
+    /// Fraction of a single *cacheless* processor's time the bus would be
+    /// busy serving it (offered load per processor before caching).
+    /// 1.0 means one cacheless processor saturates the bus exactly.
+    pub uncached_demand: f64,
+}
+
+impl SharedBus {
+    /// Creates a bus model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `uncached_demand` is positive.
+    pub fn new(uncached_demand: f64) -> Self {
+        assert!(uncached_demand > 0.0, "demand must be positive");
+        SharedBus { uncached_demand }
+    }
+
+    /// Bus utilisation with `processors` processors each reduced to
+    /// `traffic_ratio` of the cacheless demand. May exceed 1 — that means
+    /// the configuration saturates.
+    pub fn utilization(&self, processors: u32, traffic_ratio: f64) -> f64 {
+        assert!(traffic_ratio >= 0.0, "traffic ratio must be nonnegative");
+        processors as f64 * self.uncached_demand * traffic_ratio
+    }
+
+    /// Whether the configuration keeps the bus below saturation.
+    pub fn is_feasible(&self, processors: u32, traffic_ratio: f64) -> bool {
+        self.utilization(processors, traffic_ratio) < 1.0
+    }
+
+    /// Largest processor count that keeps utilisation strictly below
+    /// `target` (e.g. 0.7 for a comfortably-provisioned bus).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < target <= 1`.
+    pub fn max_processors(&self, traffic_ratio: f64, target: f64) -> u32 {
+        assert!(target > 0.0 && target <= 1.0, "target out of (0, 1]");
+        if traffic_ratio <= 0.0 {
+            return u32::MAX;
+        }
+        let per_processor = self.uncached_demand * traffic_ratio;
+        // Largest n with n * per_processor < target.
+        let n = (target / per_processor).ceil() - 1.0;
+        if n < 0.0 {
+            0
+        } else {
+            n as u32
+        }
+    }
+
+    /// Mean queueing-delay multiplier at the given load (M/M/1:
+    /// `1 / (1 - utilisation)`); `None` at or beyond saturation.
+    pub fn delay_factor(&self, processors: u32, traffic_ratio: f64) -> Option<f64> {
+        let rho = self.utilization(processors, traffic_ratio);
+        (rho < 1.0).then(|| 1.0 / (1.0 - rho))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_scales_linearly() {
+        let bus = SharedBus::new(0.5);
+        assert!((bus.utilization(1, 0.2) - 0.1).abs() < 1e-12);
+        assert!((bus.utilization(4, 0.2) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility_threshold() {
+        let bus = SharedBus::new(1.0);
+        // A cacheless processor exactly saturates the bus.
+        assert!(!bus.is_feasible(1, 1.0));
+        // The paper's minimum cache (traffic ratio ~0.66) makes one
+        // processor feasible.
+        assert!(bus.is_feasible(1, 0.66));
+    }
+
+    #[test]
+    fn caches_multiply_the_processor_count() {
+        // §4.2.1: a 16,8 1024-byte PDP-11 cache has traffic ratio 0.206 —
+        // five times more processors than the 1.0 cacheless baseline.
+        let bus = SharedBus::new(1.0);
+        assert_eq!(bus.max_processors(1.0, 0.99), 0);
+        let with_cache = bus.max_processors(0.206, 0.99);
+        assert_eq!(with_cache, 4);
+        // A sub-block size of 2 bytes (traffic 0.190) does not change the
+        // integer count here, but 0.10 would.
+        assert_eq!(bus.max_processors(0.10, 0.99), 9);
+    }
+
+    #[test]
+    fn delay_factor_blows_up_near_saturation() {
+        let bus = SharedBus::new(0.25);
+        let light = bus.delay_factor(1, 0.2).unwrap();
+        let heavy = bus.delay_factor(15, 0.25).unwrap();
+        assert!(light < 1.1);
+        assert!(heavy > 15.0, "{heavy}");
+        assert_eq!(bus.delay_factor(16, 0.25), None, "saturated");
+    }
+
+    #[test]
+    fn zero_traffic_is_unbounded() {
+        let bus = SharedBus::new(1.0);
+        assert_eq!(bus.max_processors(0.0, 0.9), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand must be positive")]
+    fn rejects_nonpositive_demand() {
+        let _ = SharedBus::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of")]
+    fn rejects_bad_target() {
+        SharedBus::new(1.0).max_processors(0.5, 1.5);
+    }
+}

@@ -1,0 +1,122 @@
+//! A cache frame: one block's worth of state — tag, per-sub-block valid,
+//! referenced and dirty bitmasks.
+
+/// Per-block cache state.
+///
+/// Bitmasks are indexed by sub-block number within the block; configurations
+/// are validated to at most 64 sub-blocks per block so a `u64` suffices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Frame {
+    /// Block address (full block number; the simulator compares full block
+    /// numbers, which subsumes any tag/index split).
+    pub tag: u64,
+    /// Sub-blocks currently resident.
+    pub valid: u64,
+    /// Sub-blocks referenced by the processor while this block was resident
+    /// (used for the paper's "sub-blocks never referenced" statistic).
+    pub referenced: u64,
+    /// Sub-blocks written while resident (copy-back accounting).
+    pub dirty: u64,
+    /// Sub-blocks loaded by prefetch and not yet referenced (pollution
+    /// accounting for the §2.2 prefetch policies).
+    pub prefetched: u64,
+    /// Whether the frame holds a block at all.
+    pub present: bool,
+}
+
+impl Frame {
+    pub(crate) const EMPTY: Frame = Frame {
+        tag: 0,
+        valid: 0,
+        referenced: 0,
+        dirty: 0,
+        prefetched: 0,
+        present: false,
+    };
+
+    /// Re-initialises the frame for a newly allocated block.
+    pub(crate) fn install(&mut self, tag: u64) {
+        self.tag = tag;
+        self.valid = 0;
+        self.referenced = 0;
+        self.dirty = 0;
+        self.prefetched = 0;
+        self.present = true;
+    }
+
+    /// Whether sub-block `idx` is resident.
+    pub(crate) fn is_valid(&self, idx: u32) -> bool {
+        self.valid & (1u64 << idx) != 0
+    }
+
+    /// Marks sub-block `idx` resident.
+    pub(crate) fn set_valid(&mut self, idx: u32) {
+        self.valid |= 1u64 << idx;
+    }
+
+    /// Marks sub-block `idx` as referenced by the processor.
+    pub(crate) fn set_referenced(&mut self, idx: u32) {
+        self.referenced |= 1u64 << idx;
+    }
+
+    /// Marks sub-block `idx` dirty.
+    pub(crate) fn set_dirty(&mut self, idx: u32) {
+        self.dirty |= 1u64 << idx;
+    }
+
+    /// Marks sub-block `idx` as resident-by-prefetch.
+    pub(crate) fn set_prefetched(&mut self, idx: u32) {
+        self.prefetched |= 1u64 << idx;
+    }
+
+    /// Clears the prefetched mark of `idx`, returning whether it was set
+    /// (i.e. this reference is the prefetch's first use).
+    pub(crate) fn take_prefetched(&mut self, idx: u32) -> bool {
+        let bit = 1u64 << idx;
+        let was = self.prefetched & bit != 0;
+        self.prefetched &= !bit;
+        was
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_resets_masks() {
+        let mut f = Frame::EMPTY;
+        f.set_valid(3);
+        f.set_referenced(3);
+        f.set_dirty(3);
+        f.set_prefetched(3);
+        f.install(42);
+        assert!(f.present);
+        assert_eq!(f.tag, 42);
+        assert_eq!(f.valid, 0);
+        assert_eq!(f.referenced, 0);
+        assert_eq!(f.dirty, 0);
+        assert_eq!(f.prefetched, 0);
+    }
+
+    #[test]
+    fn bitmask_operations() {
+        let mut f = Frame::EMPTY;
+        assert!(!f.is_valid(0));
+        f.set_valid(0);
+        f.set_valid(63);
+        assert!(f.is_valid(0));
+        assert!(f.is_valid(63));
+        assert!(!f.is_valid(32));
+        assert_eq!(f.valid.count_ones(), 2);
+    }
+
+    #[test]
+    fn prefetched_marks_are_consumed_once() {
+        let mut f = Frame::EMPTY;
+        f.set_prefetched(2);
+        assert!(f.take_prefetched(2));
+        assert!(!f.take_prefetched(2), "second take finds nothing");
+        assert!(!f.take_prefetched(3));
+    }
+}

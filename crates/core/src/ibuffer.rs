@@ -1,0 +1,283 @@
+//! Instruction buffers (§2.2): the design point *between* no cache and a
+//! minimum cache.
+//!
+//! An instruction buffer holds one or more runs of consecutive
+//! instruction blocks and feeds the fetch stage. The paper distinguishes
+//! two kinds:
+//!
+//! * buffers that do **not** recognise branch targets (DEC VAX-11/780:
+//!   eight contiguous bytes) — they "reduce latency for consecutive
+//!   instruction accesses, they do not reduce the number of bytes required
+//!   from the memory system";
+//! * buffers that **do** (CRAY-1: four 64-instruction buffers) — these can
+//!   hold entire loops and therefore also cut memory traffic.
+//!
+//! [`InstructionBuffer`] models both, parameterised by buffer count,
+//! buffer length, and target recognition; the metrics separate *stall
+//! ratio* (latency events) from *traffic* (bytes fetched), because for
+//! buffers the two diverge — which is exactly the paper's point.
+
+use occache_trace::Address;
+
+/// One contiguous window of buffered instruction blocks.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    /// First buffered block (inclusive); `None` when empty.
+    start: Option<u64>,
+    /// Number of valid blocks from `start`.
+    len: u64,
+}
+
+/// A set of sequential instruction buffers.
+#[derive(Debug, Clone)]
+pub struct InstructionBuffer {
+    block_size: u64,
+    capacity_blocks: u64,
+    recognize_targets: bool,
+    windows: Vec<Window>,
+    /// LRU order over windows, most recent first.
+    order: Vec<usize>,
+    fetches: u64,
+    stalls: u64,
+    bytes_fetched: u64,
+}
+
+impl InstructionBuffer {
+    /// Creates `buffers` buffers, each holding `capacity_blocks`
+    /// consecutive blocks of `block_size` bytes.
+    ///
+    /// `recognize_targets = false` models the VAX-11/780 style (a branch
+    /// always refills, even to a buffered address); `true` models the
+    /// CRAY-1 style (a branch whose target is buffered hits, so whole
+    /// loops execute out of the buffers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffers` or `capacity_blocks` is zero, or `block_size`
+    /// is not a power of two.
+    pub fn new(
+        buffers: usize,
+        capacity_blocks: u64,
+        block_size: u64,
+        recognize_targets: bool,
+    ) -> Self {
+        assert!(buffers > 0, "need at least one buffer");
+        assert!(capacity_blocks > 0, "buffers must hold at least one block");
+        assert!(
+            block_size.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        InstructionBuffer {
+            block_size,
+            capacity_blocks,
+            recognize_targets,
+            windows: vec![
+                Window {
+                    start: None,
+                    len: 0
+                };
+                buffers
+            ],
+            order: (0..buffers).collect(),
+            fetches: 0,
+            stalls: 0,
+            bytes_fetched: 0,
+        }
+    }
+
+    /// The VAX-11/780 instruction buffer: eight contiguous bytes, no
+    /// branch-target recognition.
+    pub fn vax780() -> Self {
+        InstructionBuffer::new(1, 1, 8, false)
+    }
+
+    /// The CRAY-1 arrangement scaled to the study: four buffers of
+    /// `capacity_blocks` blocks with target recognition.
+    pub fn cray_style(capacity_blocks: u64, block_size: u64) -> Self {
+        InstructionBuffer::new(4, capacity_blocks, block_size, true)
+    }
+
+    fn window_containing(&self, block: u64) -> Option<usize> {
+        self.windows.iter().position(|w| match w.start {
+            Some(start) => block >= start && block < start + w.len,
+            None => false,
+        })
+    }
+
+    fn promote(&mut self, idx: usize) {
+        let pos = self
+            .order
+            .iter()
+            .position(|&i| i == idx)
+            .expect("window index is in order list");
+        let entry = self.order.remove(pos);
+        self.order.insert(0, entry);
+    }
+
+    /// Presents one instruction fetch. Returns `true` when the fetch was
+    /// served without a stall.
+    pub fn fetch(&mut self, addr: Address) -> bool {
+        let block = addr.block_number(self.block_size);
+        self.fetches += 1;
+
+        // Already buffered?
+        if let Some(idx) = self.window_containing(block) {
+            let start = self.windows[idx].start.expect("window is nonempty");
+            let is_newest = start + self.windows[idx].len - 1 == block;
+            if self.recognize_targets || is_newest {
+                self.promote(idx);
+                return true;
+            }
+            // Without target recognition a non-sequential re-reference
+            // refills below, as if the data were absent.
+        }
+
+        // Sequential continuation of the most recent window?
+        let mru = self.order[0];
+        if let Some(start) = self.windows[mru].start {
+            if block == start + self.windows[mru].len {
+                // Streamed in ahead of the processor: no stall, but the
+                // bytes still cross the pins.
+                self.bytes_fetched += self.block_size;
+                let w = &mut self.windows[mru];
+                if w.len == self.capacity_blocks {
+                    w.start = Some(start + 1);
+                } else {
+                    w.len += 1;
+                }
+                return true;
+            }
+        }
+
+        // Branch out: refill the least-recently-used window.
+        self.stalls += 1;
+        self.bytes_fetched += self.block_size;
+        let victim = *self.order.last().expect("at least one window");
+        self.windows[victim] = Window {
+            start: Some(block),
+            len: 1,
+        };
+        self.promote(victim);
+        false
+    }
+
+    /// Total fetches presented.
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Fraction of fetches that stalled (the latency metric).
+    pub fn stall_ratio(&self) -> f64 {
+        if self.fetches == 0 {
+            0.0
+        } else {
+            self.stalls as f64 / self.fetches as f64
+        }
+    }
+
+    /// Bytes fetched from memory.
+    pub fn bytes_fetched(&self) -> u64 {
+        self.bytes_fetched
+    }
+
+    /// Traffic ratio against a cacheless system moving `word_size` bytes
+    /// per fetch.
+    pub fn traffic_ratio(&self, word_size: u64) -> f64 {
+        if self.fetches == 0 {
+            0.0
+        } else {
+            self.bytes_fetched as f64 / (self.fetches * word_size) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(buffer: &mut InstructionBuffer, addrs: impl IntoIterator<Item = u64>) {
+        for a in addrs {
+            buffer.fetch(Address::new(a));
+        }
+    }
+
+    #[test]
+    fn sequential_stream_never_stalls_after_first() {
+        let mut b = InstructionBuffer::vax780();
+        run(&mut b, (0..100).map(|i| i * 2));
+        assert_eq!(b.stalls, 1, "only the initial fill stalls");
+    }
+
+    #[test]
+    fn sequential_stream_still_moves_every_byte() {
+        // §2.2: buffers without target recognition do not cut traffic.
+        let mut b = InstructionBuffer::vax780();
+        run(&mut b, (0..400).map(|i| i * 2));
+        // 400 2-byte fetches = 100 8-byte blocks.
+        assert_eq!(b.bytes_fetched(), 100 * 8);
+        assert!((b.traffic_ratio(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vax_buffer_refetches_loops() {
+        let mut b = InstructionBuffer::vax780();
+        // An 8-instruction loop spanning two blocks, 50 laps: the
+        // backward branch leaves the one-block window every lap.
+        for _ in 0..50 {
+            run(&mut b, (0..8).map(|i| i * 2));
+        }
+        // Every lap stalls at the loop head and re-fetches both blocks.
+        assert!(b.stall_ratio() > 0.1, "{}", b.stall_ratio());
+        assert!(b.traffic_ratio(2) > 0.2, "{}", b.traffic_ratio(2));
+    }
+
+    #[test]
+    fn cray_buffer_captures_loops() {
+        let mut b = InstructionBuffer::cray_style(16, 8);
+        // A loop spanning 4 blocks, 50 laps.
+        for _ in 0..50 {
+            run(&mut b, (0..16).map(|i| i * 2));
+        }
+        assert!(b.stall_ratio() < 0.01, "{}", b.stall_ratio());
+        // Only the first lap moved bytes.
+        assert_eq!(b.bytes_fetched(), 4 * 8);
+    }
+
+    #[test]
+    fn cray_holds_multiple_streams() {
+        let mut b = InstructionBuffer::cray_style(8, 8);
+        // Alternate between two distant loops; four buffers hold both.
+        for _ in 0..20 {
+            run(&mut b, (0..8).map(|i| 0x1000 + i * 2));
+            run(&mut b, (0..8).map(|i| 0x8000 + i * 2));
+        }
+        assert!(b.stall_ratio() < 0.05, "{}", b.stall_ratio());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_window() {
+        let mut b = InstructionBuffer::new(2, 4, 8, true);
+        run(&mut b, [0x1000u64]);
+        run(&mut b, [0x2000u64]);
+        run(&mut b, [0x3000u64]); // evicts the 0x1000 window
+        assert!(b.window_containing(0x2000 / 8).is_some());
+        assert!(b.window_containing(0x1000 / 8).is_none());
+    }
+
+    #[test]
+    fn sliding_window_caps_at_capacity() {
+        let mut b = InstructionBuffer::new(1, 4, 8, true);
+        run(&mut b, (0..100).map(|i| i * 8)); // one fetch per block
+                                              // Window slid: only the last 4 blocks are held.
+        assert!(b.window_containing(99).is_some());
+        assert!(b.window_containing(94).is_none());
+    }
+
+    #[test]
+    fn empty_buffer_reports_zeroes() {
+        let b = InstructionBuffer::vax780();
+        assert_eq!(b.stall_ratio(), 0.0);
+        assert_eq!(b.traffic_ratio(2), 0.0);
+        assert_eq!(b.fetches(), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! A cache set: `associativity` frames plus replacement bookkeeping.
+
+use rand::Rng;
+
+use crate::config::ReplacementPolicy;
+use crate::frame::Frame;
+
+/// One set of a set-associative cache.
+///
+/// The `order` list serves both stack-managed policies: for LRU it is the
+/// recency stack (most recent first, victim at the back); for FIFO it is the
+/// fill-order queue (newest first, victim at the back) which hits do not
+/// disturb. Random ignores it.
+#[derive(Debug, Clone)]
+pub(crate) struct CacheSet {
+    frames: Vec<Frame>,
+    order: Vec<u16>,
+}
+
+impl CacheSet {
+    pub(crate) fn new(associativity: usize) -> Self {
+        debug_assert!(associativity >= 1 && associativity <= u16::MAX as usize);
+        CacheSet {
+            frames: vec![Frame::EMPTY; associativity],
+            order: (0..associativity as u16).collect(),
+        }
+    }
+
+    /// Finds the frame holding block `tag`, if resident.
+    pub(crate) fn find(&self, tag: u64) -> Option<usize> {
+        self.frames.iter().position(|f| f.present && f.tag == tag)
+    }
+
+    pub(crate) fn frame(&self, idx: usize) -> &Frame {
+        &self.frames[idx]
+    }
+
+    pub(crate) fn frame_mut(&mut self, idx: usize) -> &mut Frame {
+        &mut self.frames[idx]
+    }
+
+    /// All frames in the set (used by whole-cache statistics).
+    #[allow(dead_code)]
+    pub(crate) fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Records a processor reference to `idx` (policy-dependent promotion).
+    pub(crate) fn touch(&mut self, idx: usize, policy: ReplacementPolicy) {
+        if policy == ReplacementPolicy::Lru {
+            self.promote(idx);
+        }
+        // FIFO and Random orderings are unaffected by hits.
+    }
+
+    /// Picks a frame for a newly allocated block: an empty frame if one
+    /// exists, otherwise the policy's victim. Promotes the chosen frame to
+    /// the front of the order list (meaningful for LRU and FIFO).
+    pub(crate) fn choose_victim<R: Rng + ?Sized>(
+        &mut self,
+        policy: ReplacementPolicy,
+        rng: &mut R,
+    ) -> usize {
+        let idx = if let Some(empty) = self.frames.iter().position(|f| !f.present) {
+            empty
+        } else {
+            match policy {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                    *self.order.last().expect("sets are never empty") as usize
+                }
+                ReplacementPolicy::Random => rng.gen_range(0..self.frames.len()),
+            }
+        };
+        self.promote(idx);
+        idx
+    }
+
+    fn promote(&mut self, idx: usize) {
+        let pos = self
+            .order
+            .iter()
+            .position(|&i| i as usize == idx)
+            .expect("every frame index is in the order list");
+        let entry = self.order.remove(pos);
+        self.order.insert(0, entry);
+    }
+
+    /// Current eviction candidate order, most-protected first (test hook).
+    #[cfg(test)]
+    pub(crate) fn order(&self) -> &[u16] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fill(set: &mut CacheSet, tags: &[u64], policy: ReplacementPolicy, rng: &mut StdRng) {
+        for &t in tags {
+            let v = set.choose_victim(policy, rng);
+            set.frame_mut(v).install(t);
+        }
+    }
+
+    #[test]
+    fn empty_frames_fill_first() {
+        let mut set = CacheSet::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut used = Vec::new();
+        for t in 0..4 {
+            let v = set.choose_victim(ReplacementPolicy::Lru, &mut rng);
+            set.frame_mut(v).install(t);
+            used.push(v);
+        }
+        used.sort_unstable();
+        assert_eq!(used, vec![0, 1, 2, 3], "each block got its own frame");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut set = CacheSet::new(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        fill(&mut set, &[10, 20], ReplacementPolicy::Lru, &mut rng);
+        // Touch 10 so 20 becomes LRU.
+        let idx10 = set.find(10).unwrap();
+        set.touch(idx10, ReplacementPolicy::Lru);
+        let victim = set.choose_victim(ReplacementPolicy::Lru, &mut rng);
+        assert_eq!(set.frame(victim).tag, 20);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut set = CacheSet::new(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        fill(&mut set, &[10, 20], ReplacementPolicy::Fifo, &mut rng);
+        // Touch 10 (the older block); FIFO must still evict it first.
+        let idx10 = set.find(10).unwrap();
+        set.touch(idx10, ReplacementPolicy::Fifo);
+        let victim = set.choose_victim(ReplacementPolicy::Fifo, &mut rng);
+        assert_eq!(set.frame(victim).tag, 10);
+    }
+
+    #[test]
+    fn random_victims_cover_all_frames() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let mut set = CacheSet::new(4);
+            fill(&mut set, &[1, 2, 3, 4], ReplacementPolicy::Random, &mut rng);
+            let v = set.choose_victim(ReplacementPolicy::Random, &mut rng);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "victims {seen:?}");
+    }
+
+    #[test]
+    fn find_misses_absent_tags() {
+        let mut set = CacheSet::new(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        fill(&mut set, &[5], ReplacementPolicy::Lru, &mut rng);
+        assert!(set.find(5).is_some());
+        assert!(set.find(6).is_none());
+    }
+
+    #[test]
+    fn order_tracks_mru_front() {
+        let mut set = CacheSet::new(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        fill(&mut set, &[1, 2, 3], ReplacementPolicy::Lru, &mut rng);
+        let idx1 = set.find(1).unwrap() as u16;
+        set.touch(idx1 as usize, ReplacementPolicy::Lru);
+        assert_eq!(set.order()[0], idx1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Split instruction/data caches — one of the "further studies" the paper
+//! calls out in §3.1 ("Further studies should look at partitioning
+//! instruction and data caches").
+//!
+//! A [`SplitCache`] routes instruction fetches to one sub-block cache and
+//! data accesses to another, and aggregates their metrics so split designs
+//! can be compared against unified ones at equal total net size.
+
+use occache_trace::{AccessKind, Address};
+
+use crate::cache::{AccessOutcome, SubBlockCache};
+use crate::config::CacheConfig;
+
+/// A pair of caches partitioned by access kind.
+///
+/// ```
+/// use occache_core::{CacheConfig, SplitCache};
+/// use occache_trace::{AccessKind, Address};
+///
+/// let half = CacheConfig::builder()
+///     .net_size(512)
+///     .block_size(16)
+///     .sub_block_size(8)
+///     .word_size(2)
+///     .build()?;
+/// let mut split = SplitCache::new(half, half);
+/// split.access(Address::new(0x100), AccessKind::InstrFetch);
+/// split.access(Address::new(0x8000), AccessKind::DataRead);
+/// assert_eq!(split.icache().metrics().accesses(), 1);
+/// assert_eq!(split.dcache().metrics().accesses(), 1);
+/// assert_eq!(split.accesses(), 2);
+/// # Ok::<(), occache_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitCache {
+    icache: SubBlockCache,
+    dcache: SubBlockCache,
+}
+
+impl SplitCache {
+    /// Creates a split cache from the two halves' configurations.
+    pub fn new(instr: CacheConfig, data: CacheConfig) -> Self {
+        SplitCache {
+            icache: SubBlockCache::new(instr),
+            dcache: SubBlockCache::new(data),
+        }
+    }
+
+    /// The instruction cache.
+    pub fn icache(&self) -> &SubBlockCache {
+        &self.icache
+    }
+
+    /// The data cache.
+    pub fn dcache(&self) -> &SubBlockCache {
+        &self.dcache
+    }
+
+    /// Routes one reference to the appropriate half.
+    pub fn access(&mut self, addr: Address, kind: AccessKind) -> AccessOutcome {
+        if kind.is_data() {
+            self.dcache.access(addr, kind)
+        } else {
+            self.icache.access(addr, kind)
+        }
+    }
+
+    /// Runs an entire reference sequence.
+    pub fn run<I>(&mut self, refs: I)
+    where
+        I: IntoIterator<Item = occache_trace::MemRef>,
+    {
+        for r in refs {
+            self.access(r.address(), r.kind());
+        }
+    }
+
+    /// Combined counted accesses.
+    pub fn accesses(&self) -> u64 {
+        self.icache.metrics().accesses() + self.dcache.metrics().accesses()
+    }
+
+    /// Combined counted misses.
+    pub fn misses(&self) -> u64 {
+        self.icache.metrics().misses() + self.dcache.metrics().misses()
+    }
+
+    /// Combined miss ratio.
+    pub fn miss_ratio(&self) -> f64 {
+        let accesses = self.accesses();
+        if accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / accesses as f64
+        }
+    }
+
+    /// Combined traffic ratio. Both halves must share a word size, which
+    /// holds for any same-architecture pairing.
+    pub fn traffic_ratio(&self) -> f64 {
+        let word = self.icache.config().word_size();
+        debug_assert_eq!(word, self.dcache.config().word_size());
+        let bytes = self.icache.metrics().fetch_bytes() + self.dcache.metrics().fetch_bytes();
+        let denom = self.accesses() * word;
+        if denom == 0 {
+            0.0
+        } else {
+            bytes as f64 / denom as f64
+        }
+    }
+
+    /// Zeroes both halves' metrics, keeping contents (warm-start).
+    pub fn reset_metrics(&mut self) {
+        self.icache.reset_metrics();
+        self.dcache.reset_metrics();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occache_trace::MemRef;
+
+    fn half() -> CacheConfig {
+        CacheConfig::builder()
+            .net_size(128)
+            .block_size(8)
+            .sub_block_size(4)
+            .word_size(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn routes_by_kind() {
+        let mut s = SplitCache::new(half(), half());
+        s.access(Address::new(0), AccessKind::InstrFetch);
+        s.access(Address::new(0), AccessKind::DataRead);
+        s.access(Address::new(0), AccessKind::DataWrite);
+        assert_eq!(s.icache().metrics().accesses(), 1);
+        assert_eq!(s.dcache().metrics().accesses(), 1);
+        assert_eq!(s.dcache().metrics().write_accesses(), 1);
+    }
+
+    #[test]
+    fn no_cross_interference() {
+        let mut s = SplitCache::new(half(), half());
+        // Instruction at address A does not warm the D-cache for address A.
+        s.access(Address::new(0x40), AccessKind::InstrFetch);
+        let outcome = s.access(Address::new(0x40), AccessKind::DataRead);
+        assert!(outcome.is_miss());
+    }
+
+    #[test]
+    fn combined_metrics_sum_halves() {
+        let mut s = SplitCache::new(half(), half());
+        s.run(vec![
+            MemRef::ifetch(0),
+            MemRef::ifetch(0),
+            MemRef::read(0x100),
+            MemRef::read(0x200),
+        ]);
+        assert_eq!(s.accesses(), 4);
+        assert_eq!(s.misses(), 3);
+        assert!((s.miss_ratio() - 0.75).abs() < 1e-12);
+        // Three misses × 4-byte sub-blocks over 4 × 2-byte words.
+        assert!((s.traffic_ratio() - 12.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_metrics_keeps_contents() {
+        let mut s = SplitCache::new(half(), half());
+        s.access(Address::new(0), AccessKind::InstrFetch);
+        s.reset_metrics();
+        assert_eq!(s.accesses(), 0);
+        let outcome = s.access(Address::new(0), AccessKind::InstrFetch);
+        assert_eq!(outcome, AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn empty_split_cache_has_zero_ratios() {
+        let s = SplitCache::new(half(), half());
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.traffic_ratio(), 0.0);
+    }
+}

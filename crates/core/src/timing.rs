@@ -1,0 +1,133 @@
+//! Effective memory access time (§3.2).
+//!
+//! The paper models effective access time as
+//! `t_eff = t_cache · (1 - m) + t_mem · m` and notes that the relative
+//! importance of the miss ratio falls as the cache/memory speed ratio
+//! shrinks. This module provides that model plus the derived quantities a
+//! designer actually compares: speedup over a cacheless system and the
+//! break-even miss ratio.
+
+/// Technology timing parameters for the §3.2 model.
+///
+/// Times are in arbitrary consistent units (the paper reasons in ns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessTiming {
+    /// Cache hit access time (`t_cache`).
+    pub cache: f64,
+    /// Main-memory access time as seen on a miss (`t_mem`), including the
+    /// transfer of one sub-block.
+    pub memory: f64,
+}
+
+impl AccessTiming {
+    /// Creates a timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < cache <= memory`.
+    pub fn new(cache: f64, memory: f64) -> Self {
+        assert!(cache > 0.0 && memory >= cache, "need 0 < cache <= memory");
+        AccessTiming { cache, memory }
+    }
+
+    /// Effective access time at miss ratio `m`:
+    /// `t_cache · (1 - m) + t_mem · m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is outside `[0, 1]`.
+    pub fn effective(&self, miss_ratio: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&miss_ratio),
+            "miss ratio out of range: {miss_ratio}"
+        );
+        self.cache * (1.0 - miss_ratio) + self.memory * miss_ratio
+    }
+
+    /// Speedup over a cacheless system (every access at `t_mem`).
+    pub fn speedup(&self, miss_ratio: f64) -> f64 {
+        self.memory / self.effective(miss_ratio)
+    }
+
+    /// The miss ratio at which the cache stops helping relative to a
+    /// hypothetical slower cache-less path of `budget` per access —
+    /// i.e. solve `effective(m) = budget`. Returns `None` when no miss
+    /// ratio in `[0, 1]` satisfies it.
+    pub fn break_even_miss_ratio(&self, budget: f64) -> Option<f64> {
+        // effective is affine in m: cache + (memory - cache) * m.
+        if self.memory == self.cache {
+            return (budget == self.cache).then_some(0.0);
+        }
+        let m = (budget - self.cache) / (self.memory - self.cache);
+        (0.0..=1.0).contains(&m).then_some(m)
+    }
+
+    /// Ratio of main-memory to cache access time — the paper's knob for
+    /// "the smaller the ratio, the less important are reductions in the
+    /// miss ratio".
+    pub fn speed_ratio(&self) -> f64 {
+        self.memory / self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_interpolates_endpoints() {
+        let t = AccessTiming::new(100.0, 500.0);
+        assert_eq!(t.effective(0.0), 100.0);
+        assert_eq!(t.effective(1.0), 500.0);
+        assert_eq!(t.effective(0.5), 300.0);
+    }
+
+    #[test]
+    fn speedup_at_paper_like_ratios() {
+        // A 1984-ish on-chip cache: 100 ns hit, 500 ns memory. At the
+        // paper's PDP-11 1024-byte (8,8) miss ratio of 0.039 the cache is
+        // worth ~4.3x.
+        let t = AccessTiming::new(100.0, 500.0);
+        let speedup = t.speedup(0.039);
+        assert!((4.0..4.5).contains(&speedup), "{speedup}");
+    }
+
+    #[test]
+    fn miss_ratio_matters_less_at_small_speed_ratios() {
+        // §3.2: halving the miss ratio helps more when memory is much
+        // slower than the cache.
+        let fast_mem = AccessTiming::new(100.0, 200.0);
+        let slow_mem = AccessTiming::new(100.0, 1000.0);
+        let gain = |t: &AccessTiming| t.effective(0.2) / t.effective(0.1);
+        assert!(gain(&slow_mem) > gain(&fast_mem));
+    }
+
+    #[test]
+    fn break_even_solves_the_affine_model() {
+        let t = AccessTiming::new(100.0, 500.0);
+        let m = t.break_even_miss_ratio(300.0).unwrap();
+        assert!((m - 0.5).abs() < 1e-12);
+        assert_eq!(t.break_even_miss_ratio(50.0), None, "below cache time");
+        assert_eq!(t.break_even_miss_ratio(600.0), None, "above memory time");
+    }
+
+    #[test]
+    fn equal_speeds_degenerate_case() {
+        let t = AccessTiming::new(100.0, 100.0);
+        assert_eq!(t.break_even_miss_ratio(100.0), Some(0.0));
+        assert_eq!(t.break_even_miss_ratio(101.0), None);
+        assert_eq!(t.speed_ratio(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "miss ratio out of range")]
+    fn rejects_bad_miss_ratio() {
+        AccessTiming::new(1.0, 2.0).effective(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < cache <= memory")]
+    fn rejects_inverted_timings() {
+        AccessTiming::new(500.0, 100.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates every table and figure in one run, sharing materialised
+//! traces across artifacts. Writes all CSVs under `results/`.
+
+use occache_experiments::buffers::run_buffers;
+use occache_experiments::characterize::{run_bus_contention, run_workload_stats};
+use occache_experiments::extensions::{run_risc2_chip, run_split, run_writes};
+use occache_experiments::runs::{
+    run_ablations, run_fig9, run_figure, run_headline, run_risc2, run_table6, run_table7,
+    run_table8, Workbench,
+};
+
+fn main() {
+    let mut bench = Workbench::from_env();
+    eprintln!("regenerating all artifacts at {} refs/trace", bench.len());
+    run_headline(&mut bench).emit();
+    run_table6(&mut bench).emit();
+    run_table7(&mut bench).emit();
+    run_table8(&mut bench).emit();
+    for figure in 1..=8 {
+        run_figure(&mut bench, figure).emit();
+    }
+    run_fig9(&mut bench).emit();
+    run_risc2(&mut bench).emit();
+    run_risc2_chip(&mut bench).emit();
+    run_ablations(&mut bench).emit();
+    run_writes(&mut bench).emit();
+    run_split(&mut bench).emit();
+    run_workload_stats(&mut bench).emit();
+    run_bus_contention(&mut bench).emit();
+    run_buffers(&mut bench).emit();
+}

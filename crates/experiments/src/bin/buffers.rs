@@ -1,0 +1,8 @@
+//! §2.2 study; see `occache_experiments::buffers::run_buffers`.
+
+use occache_experiments::buffers::run_buffers;
+use occache_experiments::runs::Workbench;
+
+fn main() {
+    run_buffers(&mut Workbench::from_env()).emit();
+}

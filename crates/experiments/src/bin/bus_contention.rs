@@ -1,0 +1,8 @@
+//! Characterisation study; see `occache_experiments::characterize::run_bus_contention`.
+
+use occache_experiments::characterize::run_bus_contention;
+use occache_experiments::runs::Workbench;
+
+fn main() {
+    run_bus_contention(&mut Workbench::from_env()).emit();
+}

@@ -1,0 +1,74 @@
+//! Calibration harness: prints measured vs paper miss ratios at the anchor
+//! configurations for all four architectures, plus the relative error, so
+//! profile parameters can be tuned. Not one of the paper's artifacts.
+//!
+//! Usage: `OCCACHE_REFS=300000 cargo run --release -p occache-experiments --bin calibrate`
+
+use occache_experiments::paper::table7_row;
+use occache_experiments::report::relative_error;
+use occache_experiments::sweep::{evaluate_points, materialize, standard_config, trace_len};
+use occache_workloads::{Architecture, WorkloadSpec};
+
+fn main() {
+    let len = trace_len();
+    println!("calibration with {len} refs/trace\n");
+    // Anchor geometries: (net, block, sub) sampled across the design space.
+    let anchors: &[(u64, u64, u64)] = &[
+        (64, 8, 8),
+        (64, 4, 4),
+        (64, 16, 8),
+        (256, 8, 8),
+        (256, 16, 16),
+        (256, 32, 32),
+        (1024, 4, 4),
+        (1024, 8, 8),
+        (1024, 16, 16),
+        (1024, 16, 8),
+        (1024, 32, 32),
+        (1024, 64, 8),
+    ];
+    for arch in Architecture::ALL {
+        let word = arch.word_size();
+        let specs = WorkloadSpec::set_for(arch);
+        let traces = materialize(&specs, len);
+        let configs: Vec<_> = anchors
+            .iter()
+            .filter(|&&(_, _, sub)| sub >= word)
+            .map(|&(net, block, sub)| standard_config(arch, net, block, sub))
+            .collect();
+        let warmup = if arch == Architecture::Z8000 {
+            len / 20
+        } else {
+            0
+        };
+        let points = evaluate_points(&configs, &traces, warmup);
+        println!("{arch}  ({} traces)", traces.len());
+        println!(
+            "{:>5} {:>7} | {:>8} {:>8} {:>7}",
+            "net", "blk,sub", "miss", "paper", "relerr"
+        );
+        for p in points {
+            let c = p.config;
+            let reference = table7_row(arch, c.net_size(), c.block_size(), c.sub_block_size());
+            match reference {
+                Some(r) => println!(
+                    "{:>5} {:>7} | {:>8.4} {:>8.4} {:>6.0}%",
+                    c.net_size(),
+                    format!("{},{}", c.block_size(), c.sub_block_size()),
+                    p.miss_ratio,
+                    r.miss,
+                    relative_error(p.miss_ratio, r.miss) * 100.0,
+                ),
+                None => println!(
+                    "{:>5} {:>7} | {:>8.4} {:>8} {:>7}",
+                    c.net_size(),
+                    format!("{},{}", c.block_size(), c.sub_block_size()),
+                    p.miss_ratio,
+                    "-",
+                    "-",
+                ),
+            }
+        }
+        println!();
+    }
+}

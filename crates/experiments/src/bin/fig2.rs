@@ -1,0 +1,7 @@
+//! Regenerates Figure 2 of the paper. See `occache_experiments::runs`.
+
+use occache_experiments::runs::{run_figure, Workbench};
+
+fn main() {
+    run_figure(&mut Workbench::from_env(), 2).emit();
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 9 (load-forward) of the paper.
+
+use occache_experiments::runs::{run_fig9, Workbench};
+
+fn main() {
+    run_fig9(&mut Workbench::from_env()).emit();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the abstract's headline miss/traffic ratios.
+
+use occache_experiments::runs::{run_headline, Workbench};
+
+fn main() {
+    run_headline(&mut Workbench::from_env()).emit();
+}

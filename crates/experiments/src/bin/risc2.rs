@@ -1,0 +1,7 @@
+//! Regenerates the §2.3 RISC II instruction-cache size curve.
+
+use occache_experiments::runs::{run_risc2, Workbench};
+
+fn main() {
+    run_risc2(&mut Workbench::from_env()).emit();
+}

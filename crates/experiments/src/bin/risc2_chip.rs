@@ -1,0 +1,8 @@
+//! Extension study; see `occache_experiments::extensions::run_risc2_chip`.
+
+use occache_experiments::extensions::run_risc2_chip;
+use occache_experiments::runs::Workbench;
+
+fn main() {
+    run_risc2_chip(&mut Workbench::from_env()).emit();
+}

@@ -1,0 +1,8 @@
+//! Extension study; see `occache_experiments::extensions::run_split`.
+
+use occache_experiments::extensions::run_split;
+use occache_experiments::runs::Workbench;
+
+fn main() {
+    run_split(&mut Workbench::from_env()).emit();
+}

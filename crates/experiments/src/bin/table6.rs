@@ -1,0 +1,7 @@
+//! Regenerates Table 6: the 360/85 sector cache comparison.
+
+use occache_experiments::runs::{run_table6, Workbench};
+
+fn main() {
+    run_table6(&mut Workbench::from_env()).emit();
+}

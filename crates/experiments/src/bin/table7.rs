@@ -1,0 +1,7 @@
+//! Regenerates Table 7: the full design-space grid, all architectures.
+
+use occache_experiments::runs::{run_table7, Workbench};
+
+fn main() {
+    run_table7(&mut Workbench::from_env()).emit();
+}

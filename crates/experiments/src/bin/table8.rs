@@ -1,0 +1,7 @@
+//! Regenerates Table 8: load-forward on the Z8000 compiler traces.
+
+use occache_experiments::runs::{run_table8, Workbench};
+
+fn main() {
+    run_table8(&mut Workbench::from_env()).emit();
+}

@@ -1,0 +1,8 @@
+//! Characterisation study; see `occache_experiments::characterize::run_workload_stats`.
+
+use occache_experiments::characterize::run_workload_stats;
+use occache_experiments::runs::Workbench;
+
+fn main() {
+    run_workload_stats(&mut Workbench::from_env()).emit();
+}

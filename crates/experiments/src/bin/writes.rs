@@ -1,0 +1,8 @@
+//! Extension study; see `occache_experiments::extensions::run_writes`.
+
+use occache_experiments::extensions::run_writes;
+use occache_experiments::runs::Workbench;
+
+fn main() {
+    run_writes(&mut Workbench::from_env()).emit();
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # occache-experiments — regenerating the paper's tables and figures
+//!
+//! Harness code shared by the experiment binaries (one per table/figure of
+//! Hill & Smith, ISCA 1984 — see `DESIGN.md` §5 for the index):
+//!
+//! * [`sweep`] — trace materialisation, design-point evaluation, the
+//!   Table 1 parameter grid, multi-threaded sweeps,
+//! * [`paper`] — the paper's published numbers (Tables 6–8, prose anchors)
+//!   for paper-vs-measured comparison,
+//! * [`report`] — paper-style text tables and CSV output.
+//!
+//! Run `cargo run --release -p occache-experiments --bin all` to regenerate
+//! everything into `results/`. Individual binaries (`table7`, `fig1`, …)
+//! regenerate one artifact each. `OCCACHE_REFS` shortens traces for quick
+//! runs (default: the paper's 1 million references).
+
+pub mod buffers;
+pub mod characterize;
+pub mod extensions;
+pub mod paper;
+pub mod plot;
+pub mod report;
+pub mod runs;
+pub mod sweep;
+
+pub use sweep::{
+    evaluate_point, evaluate_points, load_forward_config, materialize, standard_config,
+    table1_pairs, DesignPoint, Trace,
+};

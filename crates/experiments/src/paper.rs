@@ -1,0 +1,366 @@
+//! The paper's published numbers, embedded for paper-vs-measured reports.
+//!
+//! Sources: Table 6 (360/85 comparison), Table 7 (the full design-space
+//! grid), Table 8 (load-forward), and prose anchors (§2.3 RISC II curve,
+//! §1.1 Strecker's PDP-11/70 curve, abstract headline ratios). A few
+//! Table 7 cells are illegible in the surviving scan; those rows are
+//! omitted rather than guessed.
+
+use occache_workloads::Architecture;
+
+/// One Table 7 row for one architecture: miss, traffic and nibble-scaled
+/// traffic ratios at a given geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table7Row {
+    /// Net cache size in bytes.
+    pub net: u64,
+    /// Block size in bytes.
+    pub block: u64,
+    /// Sub-block size in bytes.
+    pub sub: u64,
+    /// Published miss ratio.
+    pub miss: f64,
+    /// Published traffic ratio.
+    pub traffic: f64,
+    /// Published nibble-mode scaled traffic ratio.
+    pub nibble: f64,
+}
+
+const fn row(net: u64, block: u64, sub: u64, miss: f64, traffic: f64, nibble: f64) -> Table7Row {
+    Table7Row {
+        net,
+        block,
+        sub,
+        miss,
+        traffic,
+        nibble,
+    }
+}
+
+/// PDP-11 column of Table 7 (legible rows).
+pub const TABLE7_PDP11: &[Table7Row] = &[
+    row(64, 16, 8, 0.399, 1.596, 0.798),
+    row(64, 16, 4, 0.557, 1.114, 0.743),
+    row(64, 8, 8, 0.339, 1.356, 0.678),
+    row(64, 8, 4, 0.479, 0.958, 0.639),
+    row(64, 8, 2, 0.739, 0.739, 0.739),
+    row(64, 4, 4, 0.425, 0.850, 0.567),
+    row(64, 4, 2, 0.666, 0.666, 0.666),
+    row(64, 2, 2, 0.620, 0.620, 0.620),
+    row(256, 32, 32, 0.146, 2.336, 0.876),
+    row(256, 32, 16, 0.191, 1.528, 0.637),
+    row(256, 32, 8, 0.291, 1.164, 0.582),
+    row(256, 32, 4, 0.418, 0.836, 0.557),
+    row(256, 32, 2, 0.599, 0.599, 0.599),
+    row(256, 16, 16, 0.144, 1.152, 0.480),
+    row(256, 16, 8, 0.204, 0.816, 0.408),
+    row(256, 16, 4, 0.302, 0.604, 0.403),
+    row(256, 16, 2, 0.478, 0.478, 0.478),
+    row(256, 8, 8, 0.168, 0.672, 0.336),
+    row(256, 8, 4, 0.254, 0.508, 0.339),
+    row(256, 8, 2, 0.407, 0.407, 0.407),
+    row(256, 4, 4, 0.218, 0.436, 0.291),
+    row(256, 4, 2, 0.351, 0.351, 0.351),
+    row(256, 2, 2, 0.297, 0.297, 0.297),
+    row(1024, 64, 16, 0.081, 0.646, 0.269),
+    row(1024, 64, 8, 0.118, 0.472, 0.236),
+    row(1024, 64, 4, 0.178, 0.356, 0.237),
+    row(1024, 64, 2, 0.190, 0.190, 0.190),
+    row(1024, 32, 32, 0.033, 0.533, 0.200),
+    row(1024, 32, 8, 0.075, 0.298, 0.149),
+    row(1024, 16, 16, 0.033, 0.265, 0.110),
+    row(1024, 16, 8, 0.052, 0.206, 0.103),
+    row(1024, 16, 4, 0.081, 0.162, 0.108),
+    row(1024, 8, 8, 0.039, 0.156, 0.078),
+    row(1024, 8, 4, 0.061, 0.122, 0.081),
+    row(1024, 4, 4, 0.048, 0.096, 0.064),
+    row(1024, 4, 2, 0.081, 0.081, 0.081),
+    row(1024, 2, 2, 0.072, 0.072, 0.072),
+];
+
+/// Z8000 column of Table 7 (legible rows; warm-start ratios).
+pub const TABLE7_Z8000: &[Table7Row] = &[
+    row(64, 16, 8, 0.330, 1.320, 0.660),
+    row(64, 16, 4, 0.508, 1.016, 0.677),
+    row(64, 16, 2, 0.857, 0.857, 0.857),
+    row(64, 8, 8, 0.298, 1.192, 0.596),
+    row(64, 8, 4, 0.461, 0.922, 0.615),
+    row(64, 8, 2, 0.762, 0.762, 0.762),
+    row(64, 4, 4, 0.432, 0.864, 0.576),
+    row(64, 4, 2, 0.671, 0.671, 0.671),
+    row(64, 2, 2, 0.583, 0.583, 0.583),
+    row(256, 32, 32, 0.079, 1.264, 0.474),
+    row(256, 32, 16, 0.107, 0.856, 0.357),
+    row(256, 32, 8, 0.156, 0.624, 0.312),
+    row(256, 32, 4, 0.245, 0.490, 0.327),
+    row(256, 32, 2, 0.421, 0.421, 0.421),
+    row(256, 16, 16, 0.082, 0.656, 0.273),
+    row(256, 16, 8, 0.124, 0.496, 0.248),
+    row(256, 16, 4, 0.203, 0.406, 0.271),
+    row(256, 16, 2, 0.355, 0.355, 0.355),
+    row(256, 8, 8, 0.108, 0.432, 0.216),
+    row(256, 8, 4, 0.175, 0.350, 0.233),
+    row(256, 8, 2, 0.312, 0.312, 0.312),
+    row(256, 4, 4, 0.157, 0.314, 0.209),
+    row(256, 4, 2, 0.287, 0.287, 0.287),
+    row(256, 2, 2, 0.273, 0.273, 0.273),
+    row(1024, 64, 16, 0.041, 0.328, 0.137),
+    row(1024, 64, 8, 0.063, 0.252, 0.126),
+    row(1024, 64, 4, 0.104, 0.208, 0.139),
+    row(1024, 32, 32, 0.013, 0.208, 0.078),
+    row(1024, 32, 8, 0.039, 0.156, 0.078),
+    row(1024, 32, 4, 0.065, 0.130, 0.087),
+    row(1024, 32, 2, 0.097, 0.097, 0.097),
+    // Scan shows 0.017 for the miss ratio, but the traffic (0.104) and
+    // nibble (0.043) cells both imply 0.013; 0.017 is an OCR error.
+    row(1024, 16, 16, 0.013, 0.104, 0.043),
+    row(1024, 16, 8, 0.023, 0.092, 0.046),
+    row(1024, 16, 4, 0.039, 0.078, 0.052),
+    row(1024, 16, 2, 0.072, 0.072, 0.072),
+    row(1024, 8, 8, 0.015, 0.060, 0.030),
+    row(1024, 8, 4, 0.030, 0.060, 0.040),
+    row(1024, 8, 2, 0.055, 0.055, 0.055),
+    row(1024, 4, 4, 0.022, 0.045, 0.029),
+    row(1024, 2, 2, 0.037, 0.037, 0.037),
+];
+
+/// VAX-11 column of Table 7 (legible rows).
+pub const TABLE7_VAX11: &[Table7Row] = &[
+    row(64, 16, 8, 0.4249, 0.8498, 0.5665),
+    row(64, 16, 4, 0.6483, 0.6483, 0.6483),
+    row(64, 8, 8, 0.3892, 0.7784, 0.5189),
+    row(64, 8, 4, 0.6072, 0.6072, 0.6072),
+    row(64, 4, 4, 0.5652, 0.5652, 0.5652),
+    row(256, 32, 32, 0.1528, 1.2224, 0.5093),
+    row(256, 32, 16, 0.2061, 0.8244, 0.4122),
+    row(256, 32, 8, 0.3003, 0.6006, 0.4004),
+    row(256, 32, 4, 0.4759, 0.4759, 0.4759),
+    row(256, 16, 16, 0.1739, 0.6956, 0.3478),
+    row(256, 16, 8, 0.2614, 0.5228, 0.3485),
+    row(256, 16, 4, 0.4207, 0.4207, 0.4207),
+    row(256, 8, 8, 0.2367, 0.4734, 0.3156),
+    row(256, 8, 4, 0.3596, 0.3596, 0.3596),
+    row(256, 4, 4, 0.3553, 0.3553, 0.3553),
+    row(1024, 64, 16, 0.1088, 0.4352, 0.2176),
+    row(1024, 64, 8, 0.1704, 0.3408, 0.2272),
+    row(1024, 64, 4, 0.2825, 0.2825, 0.2825),
+    row(1024, 32, 32, 0.0588, 0.4704, 0.1960),
+    row(1024, 32, 16, 0.0863, 0.3452, 0.1726),
+    row(1024, 32, 8, 0.1360, 0.2720, 0.1813),
+    row(1024, 32, 4, 0.2267, 0.2267, 0.2267),
+    row(1024, 16, 16, 0.0675, 0.2700, 0.1350),
+    row(1024, 16, 8, 0.1058, 0.2116, 0.1411),
+    row(1024, 16, 4, 0.1748, 0.1748, 0.1748),
+    row(1024, 8, 8, 0.0804, 0.1608, 0.1072),
+    row(1024, 8, 4, 0.1332, 0.1332, 0.1332),
+    row(1024, 4, 4, 0.1044, 0.1044, 0.1044),
+];
+
+/// IBM System/370 column of Table 7 (legible rows).
+pub const TABLE7_S370: &[Table7Row] = &[
+    row(64, 16, 8, 0.5794, 1.1588, 0.7725),
+    row(64, 16, 4, 0.8726, 0.8726, 0.8726),
+    row(64, 8, 8, 0.5475, 1.0950, 0.7300),
+    row(64, 8, 4, 0.8375, 0.8375, 0.8375),
+    row(64, 4, 4, 0.8180, 0.8180, 0.8180),
+    row(256, 32, 32, 0.2377, 1.9016, 0.7923),
+    row(256, 32, 16, 0.3234, 1.2936, 0.6468),
+    row(256, 32, 8, 0.4691, 0.9382, 0.6255),
+    row(256, 32, 4, 0.7331, 0.7331, 0.7331),
+    row(256, 16, 16, 0.2722, 1.0888, 0.5444),
+    row(256, 16, 8, 0.4006, 0.8012, 0.5341),
+    row(256, 16, 4, 0.6300, 0.6300, 0.6300),
+    row(256, 8, 8, 0.3645, 0.7290, 0.4860),
+    row(256, 8, 4, 0.5794, 0.5794, 0.5794),
+    row(256, 4, 4, 0.5438, 0.5438, 0.5438),
+    row(1024, 64, 16, 0.2042, 0.8168, 0.4084),
+    row(1024, 64, 8, 0.3092, 0.6184, 0.4123),
+    row(1024, 64, 4, 0.4970, 0.4970, 0.4970),
+    row(1024, 32, 32, 0.1266, 1.0128, 0.4220),
+    row(1024, 32, 16, 0.1859, 0.7436, 0.3718),
+    row(1024, 32, 8, 0.2855, 0.5710, 0.3807),
+    row(1024, 32, 4, 0.4645, 0.4645, 0.4645),
+    row(1024, 16, 16, 0.1700, 0.6800, 0.3400),
+    row(1024, 16, 8, 0.2632, 0.5264, 0.3509),
+    row(1024, 16, 4, 0.4308, 0.4308, 0.4308),
+    row(1024, 8, 8, 0.2443, 0.4886, 0.3257),
+    row(1024, 8, 4, 0.4017, 0.4017, 0.4017),
+    row(1024, 4, 4, 0.3742, 0.3742, 0.3742),
+];
+
+/// The Table 7 column for an architecture.
+pub fn table7(arch: Architecture) -> &'static [Table7Row] {
+    match arch {
+        Architecture::Pdp11 => TABLE7_PDP11,
+        Architecture::Z8000 => TABLE7_Z8000,
+        Architecture::Vax11 => TABLE7_VAX11,
+        Architecture::S370 => TABLE7_S370,
+    }
+}
+
+/// Looks up a Table 7 cell.
+pub fn table7_row(arch: Architecture, net: u64, block: u64, sub: u64) -> Option<Table7Row> {
+    table7(arch)
+        .iter()
+        .copied()
+        .find(|r| r.net == net && r.block == block && r.sub == sub)
+}
+
+/// Table 6: miss ratios at 16 KB with 64-byte transfers on the
+/// System/360-class six-program mix.
+pub mod table6 {
+    /// 360/85 sector organisation (16 × 1024-byte sectors, fully
+    /// associative, 64-byte sub-blocks).
+    pub const SECTOR_360_85: f64 = 0.0258;
+    /// 4-way set-associative, 64-byte blocks, LRU.
+    pub const SET_ASSOC_4WAY: f64 = 0.0088;
+    /// 8-way set-associative (0.314 × the 360/85 ratio).
+    pub const SET_ASSOC_8WAY: f64 = 0.0081;
+    /// 16-way set-associative.
+    pub const SET_ASSOC_16WAY: f64 = 0.0076;
+    /// §4.1: fraction of sub-blocks never referenced while their sector is
+    /// resident (11.52 of 16).
+    pub const UNREFERENCED_SUB_FRACTION: f64 = 0.72;
+}
+
+/// One Table 8 (load-forward) row: Z8000 traces CPP, C1, C2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table8Row {
+    /// Net cache size in bytes.
+    pub net: u64,
+    /// Block size in bytes.
+    pub block: u64,
+    /// Sub-block size in bytes.
+    pub sub: u64,
+    /// Whether load-forward is enabled.
+    pub load_forward: bool,
+    /// Published miss ratio.
+    pub miss: f64,
+    /// Published traffic ratio.
+    pub traffic: f64,
+}
+
+const fn lf_row(net: u64, block: u64, sub: u64, lf: bool, miss: f64, traffic: f64) -> Table8Row {
+    Table8Row {
+        net,
+        block,
+        sub,
+        load_forward: lf,
+        miss,
+        traffic,
+    }
+}
+
+/// Table 8: load-forward results on Z8000 traces CPP, C1 and C2.
+pub const TABLE8: &[Table8Row] = &[
+    lf_row(64, 8, 8, false, 0.257, 1.028),
+    lf_row(64, 8, 2, true, 0.263, 0.865),
+    lf_row(64, 8, 2, false, 0.678, 0.678),
+    lf_row(64, 2, 2, false, 0.612, 0.612),
+    lf_row(256, 16, 16, false, 0.120, 0.960),
+    lf_row(256, 16, 2, true, 0.128, 0.772),
+    lf_row(256, 16, 2, false, 0.489, 0.489),
+    lf_row(256, 8, 8, false, 0.164, 0.656),
+    lf_row(256, 8, 2, true, 0.169, 0.567),
+    lf_row(256, 8, 2, false, 0.454, 0.454),
+    lf_row(256, 2, 2, false, 0.402, 0.402),
+];
+
+/// §2.3: RISC II instruction-cache miss ratios (direct-mapped, 8-byte
+/// blocks) by net size.
+pub const RISCII_CURVE: &[(u64, f64)] =
+    &[(512, 0.148), (1024, 0.125), (2048, 0.098), (4096, 0.078)];
+
+/// §1.1: Strecker's PDP-11 curve — direct-mapped, 4-byte blocks, miss
+/// ratio by net size.
+pub const STRECKER_CURVE: &[(u64, f64)] = &[(256, 0.15), (512, 0.10), (1024, 0.05), (2048, 0.02)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_rows_satisfy_traffic_identity() {
+        // For every architecture, traffic = miss × sub/word within the
+        // published rounding (the identity we also prove for the simulator).
+        for arch in Architecture::ALL {
+            let word = arch.word_size() as f64;
+            for r in table7(arch) {
+                let expected = r.miss * r.sub as f64 / word;
+                let tolerance = 0.006 + 0.01 * expected;
+                assert!(
+                    (r.traffic - expected).abs() < tolerance,
+                    "{arch} {}/{},{}: traffic {} vs {expected}",
+                    r.net,
+                    r.block,
+                    r.sub,
+                    r.traffic,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nibble_rows_match_scale_factor() {
+        use occache_core::BusModel;
+        let bus = BusModel::paper_nibble();
+        for arch in Architecture::ALL {
+            let word = arch.word_size();
+            for r in table7(arch) {
+                let w = r.sub / word;
+                let expected = r.traffic * bus.scale_factor(w);
+                assert!(
+                    (r.nibble - expected).abs() < 0.012 + 0.02 * expected,
+                    "{arch} {}/{},{}: nibble {} vs {expected}",
+                    r.net,
+                    r.block,
+                    r.sub,
+                    r.nibble,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn architecture_miss_ordering_holds_at_1024_8_8() {
+        let z = table7_row(Architecture::Z8000, 1024, 8, 8).unwrap().miss;
+        let p = table7_row(Architecture::Pdp11, 1024, 8, 8).unwrap().miss;
+        let v = table7_row(Architecture::Vax11, 1024, 8, 8).unwrap().miss;
+        let s = table7_row(Architecture::S370, 1024, 8, 8).unwrap().miss;
+        assert!(z < p && p < v && v < s);
+    }
+
+    #[test]
+    fn table6_relative_ratios() {
+        assert!((table6::SET_ASSOC_4WAY / table6::SECTOR_360_85 - 0.341).abs() < 0.01);
+        assert!((table6::SET_ASSOC_16WAY / table6::SECTOR_360_85 - 0.294).abs() < 0.01);
+    }
+
+    #[test]
+    fn table8_load_forward_tradeoff() {
+        // LF vs same sub-block without LF: much lower miss, higher traffic;
+        // LF vs full-block fetch: slightly higher miss, lower traffic.
+        let full = TABLE8
+            .iter()
+            .find(|r| r.net == 256 && r.block == 16 && !r.load_forward && r.sub == 16)
+            .unwrap();
+        let lf = TABLE8
+            .iter()
+            .find(|r| r.net == 256 && r.block == 16 && r.load_forward)
+            .unwrap();
+        let plain = TABLE8
+            .iter()
+            .find(|r| r.net == 256 && r.block == 16 && !r.load_forward && r.sub == 2)
+            .unwrap();
+        assert!(lf.miss < plain.miss / 2.0);
+        assert!(lf.traffic > plain.traffic);
+        assert!(lf.miss > full.miss);
+        assert!(lf.traffic < full.traffic);
+    }
+
+    #[test]
+    fn lookup_finds_rows() {
+        assert!(table7_row(Architecture::Pdp11, 1024, 16, 8).is_some());
+        assert!(table7_row(Architecture::Pdp11, 1024, 128, 8).is_none());
+    }
+}

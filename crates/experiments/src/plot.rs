@@ -1,0 +1,237 @@
+//! Terminal scatter/line plots, used to render Figures 1–9 the way the
+//! paper draws them: miss ratio on one axis, traffic ratio on the other,
+//! lines connecting caches of constant block size.
+
+use std::fmt::Write as _;
+
+/// One plotted series: a marker character and points in data space,
+/// optionally connected with line segments.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Marker drawn at each point (and, lowercased fallback `·` for line
+    /// segments between them).
+    pub marker: char,
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` data points.
+    pub points: Vec<(f64, f64)>,
+    /// Whether to connect consecutive points.
+    pub connect: bool,
+}
+
+/// A character-grid scatter plot with linear axes.
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    width: usize,
+    height: usize,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl ScatterPlot {
+    /// Creates a plot surface of `width`×`height` character cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 8 cells.
+    pub fn new(width: usize, height: usize, x_label: &str, y_label: &str) -> Self {
+        assert!(width >= 8 && height >= 8, "plot too small to be legible");
+        ScatterPlot {
+            width,
+            height,
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn add_series(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    fn data_bounds(&self) -> ((f64, f64), (f64, f64)) {
+        let mut x = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut y = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for &(px, py) in &s.points {
+                x.0 = x.0.min(px);
+                x.1 = x.1.max(px);
+                y.0 = y.0.min(py);
+                y.1 = y.1.max(py);
+            }
+        }
+        if !x.0.is_finite() {
+            return ((0.0, 1.0), (0.0, 1.0));
+        }
+        // Give degenerate ranges some width and pad to the origin-ish.
+        let pad = |lo: f64, hi: f64| {
+            let lo = lo.min(0.0);
+            if hi - lo < 1e-9 {
+                (lo, lo + 1.0)
+            } else {
+                (lo, hi)
+            }
+        };
+        (pad(x.0, x.1), pad(y.0, y.1))
+    }
+
+    /// Renders the plot to text.
+    pub fn render(&self) -> String {
+        let ((x_lo, x_hi), (y_lo, y_hi)) = self.data_bounds();
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        let to_cell = |x: f64, y: f64| {
+            let cx = ((x - x_lo) / (x_hi - x_lo) * (self.width - 1) as f64).round() as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (self.height - 1) as f64).round() as usize;
+            // Row 0 is the top of the rendered plot.
+            (
+                cx.min(self.width - 1),
+                self.height - 1 - cy.min(self.height - 1),
+            )
+        };
+
+        for s in &self.series {
+            if s.connect {
+                for pair in s.points.windows(2) {
+                    let (x0, y0) = to_cell(pair[0].0, pair[0].1);
+                    let (x1, y1) = to_cell(pair[1].0, pair[1].1);
+                    for (cx, cy) in line_cells(x0, y0, x1, y1) {
+                        if grid[cy][cx] == ' ' {
+                            grid[cy][cx] = '.';
+                        }
+                    }
+                }
+            }
+            for &(px, py) in &s.points {
+                let (cx, cy) = to_cell(px, py);
+                grid[cy][cx] = s.marker;
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>8.3} +{}", y_hi, "-".repeat(self.width));
+        for (row_index, row) in grid.iter().enumerate() {
+            let label = if row_index == self.height / 2 {
+                format!("{:>8}", self.y_label)
+            } else {
+                " ".repeat(8)
+            };
+            let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{:>8.3} +{}", y_lo, "-".repeat(self.width));
+        let _ = writeln!(
+            out,
+            "{:>9}{:<w$}{:.3}  ({})",
+            format!("{x_lo:.3} "),
+            "",
+            x_hi,
+            self.x_label,
+            w = self.width.saturating_sub(12)
+        );
+        for s in &self.series {
+            let _ = writeln!(out, "{:>10} {}", s.marker, s.label);
+        }
+        out
+    }
+}
+
+/// Integer cells along a straight segment (Bresenham).
+fn line_cells(x0: usize, y0: usize, x1: usize, y1: usize) -> Vec<(usize, usize)> {
+    let (mut x, mut y) = (x0 as i64, y0 as i64);
+    let (x1, y1) = (x1 as i64, y1 as i64);
+    let dx = (x1 - x).abs();
+    let dy = -(y1 - y).abs();
+    let sx = if x < x1 { 1 } else { -1 };
+    let sy = if y < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let mut cells = Vec::new();
+    loop {
+        cells.push((x as usize, y as usize));
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y += sy;
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_series(points: Vec<(f64, f64)>, connect: bool) -> ScatterPlot {
+        let mut plot = ScatterPlot::new(20, 10, "x", "y");
+        plot.add_series(Series {
+            marker: 'o',
+            label: "test".into(),
+            points,
+            connect,
+        });
+        plot
+    }
+
+    #[test]
+    fn corners_land_on_corners() {
+        let plot = one_series(vec![(0.0, 0.0), (1.0, 1.0)], false);
+        let text = plot.render();
+        let rows: Vec<&str> = text.lines().collect();
+        // First grid row (index 1 after the top border) holds the max-y point
+        // at the right edge; the last grid row holds the min at the left.
+        assert!(rows[1].ends_with('o'), "{text}");
+        assert_eq!(rows[10].chars().nth(10), Some('o'), "{text}");
+    }
+
+    #[test]
+    fn connected_series_draw_segments() {
+        let connected = one_series(vec![(0.0, 0.0), (1.0, 1.0)], true).render();
+        let loose = one_series(vec![(0.0, 0.0), (1.0, 1.0)], false).render();
+        let dots = |s: &str| s.matches('.').count();
+        assert!(dots(&connected) > dots(&loose), "{connected}");
+    }
+
+    #[test]
+    fn legend_and_labels_present() {
+        let text = one_series(vec![(0.2, 0.4)], false).render();
+        assert!(text.contains("test"));
+        assert!(text.contains("(x)"));
+        assert!(text.contains('y'));
+    }
+
+    #[test]
+    fn empty_plot_renders_without_panic() {
+        let plot = ScatterPlot::new(20, 10, "x", "y");
+        let text = plot.render();
+        assert!(text.contains('+'));
+    }
+
+    #[test]
+    fn degenerate_range_is_widened() {
+        // All points identical: must not divide by zero.
+        let text = one_series(vec![(0.5, 0.5), (0.5, 0.5)], true).render();
+        assert!(text.contains('o'));
+    }
+
+    #[test]
+    fn line_cells_cover_endpoints() {
+        let cells = line_cells(0, 0, 5, 3);
+        assert_eq!(cells.first(), Some(&(0, 0)));
+        assert_eq!(cells.last(), Some(&(5, 3)));
+        assert!(cells.len() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_tiny_surfaces() {
+        let _ = ScatterPlot::new(4, 4, "x", "y");
+    }
+}

@@ -1,0 +1,892 @@
+//! One entry point per paper artifact (table or figure).
+//!
+//! Each `run_*` function produces an [`Artifact`]: a human-readable report
+//! (with the paper's published values alongside, where available) plus CSV
+//! files for downstream plotting. The experiment binaries are thin wrappers
+//! that print the report and write the CSVs under `results/`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use occache_core::{simulate, BusModel, CacheConfig, FetchPolicy, Metrics, ReplacementPolicy};
+use occache_workloads::{m85_mix, riscii_instruction_workload, Architecture, WorkloadSpec};
+
+use crate::paper;
+use crate::plot::{ScatterPlot, Series};
+use crate::report::{points_to_csv, relative_error, table7_block};
+use crate::sweep::{
+    evaluate_points, materialize, standard_config, table1_pairs, trace_len, DesignPoint, Trace,
+};
+
+/// A regenerated artifact: report text plus named CSV payloads.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Artifact name (e.g. `"table7"`).
+    pub name: &'static str,
+    /// Human-readable report, including paper-vs-measured columns.
+    pub report: String,
+    /// `(file_name, contents)` pairs for `results/`.
+    pub csv: Vec<(String, String)>,
+}
+
+impl Artifact {
+    /// Prints the report to stdout and writes the CSVs under `results/`,
+    /// logging each path written. Exits the process on I/O failure — this
+    /// is the shared tail of every experiment binary.
+    pub fn emit(&self) {
+        println!("{}", self.report);
+        for (file_name, contents) in &self.csv {
+            match crate::report::write_result(file_name, contents) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write {file_name}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
+/// Materialised trace sets, built lazily and shared across artifacts.
+#[derive(Debug, Default)]
+pub struct Workbench {
+    sets: HashMap<Architecture, Vec<Trace>>,
+    load_forward: Option<Vec<Trace>>,
+    m85: Option<Vec<Trace>>,
+    riscii: Option<Vec<Trace>>,
+    len: usize,
+}
+
+impl Workbench {
+    /// Creates a workbench generating `len` references per trace.
+    pub fn new(len: usize) -> Self {
+        Workbench {
+            len,
+            ..Workbench::default()
+        }
+    }
+
+    /// Creates a workbench with the length from `OCCACHE_REFS` (default:
+    /// the paper's 1 million).
+    pub fn from_env() -> Self {
+        Workbench::new(trace_len())
+    }
+
+    /// References per trace.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the workbench would generate empty traces.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Warm-up prefix for an architecture: the paper quotes warm-start
+    /// ratios for the Z8000 runs (§4.2.2) and cold-start elsewhere.
+    pub fn warmup_for(&self, arch: Architecture) -> usize {
+        if arch == Architecture::Z8000 {
+            self.len / 20
+        } else {
+            0
+        }
+    }
+
+    /// The main trace set for an architecture (Tables 2–5).
+    pub fn arch_traces(&mut self, arch: Architecture) -> &[Trace] {
+        let len = self.len;
+        self.sets
+            .entry(arch)
+            .or_insert_with(|| materialize(&WorkloadSpec::set_for(arch), len))
+    }
+
+    /// The Z8000 compiler phases (CPP, C1, C2) used by the load-forward
+    /// study.
+    pub fn load_forward_traces(&mut self) -> &[Trace] {
+        let len = self.len;
+        self.load_forward
+            .get_or_insert_with(|| materialize(&WorkloadSpec::z8000_load_forward_set(), len))
+    }
+
+    /// The six-program System/360-class mix of Table 6.
+    pub fn m85_traces(&mut self) -> &[Trace] {
+        let len = self.len;
+        self.m85.get_or_insert_with(|| materialize(&m85_mix(), len))
+    }
+
+    /// The RISC II instruction-only workload of §2.3.
+    pub fn riscii_traces(&mut self) -> &[Trace] {
+        let len = self.len;
+        self.riscii
+            .get_or_insert_with(|| materialize(&[riscii_instruction_workload()], len))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Figures 1-8: the miss-ratio vs traffic-ratio design spaces
+// ----------------------------------------------------------------------
+
+/// Which bus model a figure's traffic axis uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TrafficAxis {
+    Linear,
+    Nibble,
+}
+
+/// Descriptions of Figures 1–8 (figure number, architecture, net sizes,
+/// traffic axis).
+const FIGURES: &[(u8, Architecture, [u64; 3], TrafficAxis)] = &[
+    (1, Architecture::Pdp11, [32, 128, 512], TrafficAxis::Linear),
+    (2, Architecture::Pdp11, [64, 256, 1024], TrafficAxis::Linear),
+    (3, Architecture::Z8000, [32, 128, 512], TrafficAxis::Linear),
+    (4, Architecture::Z8000, [64, 256, 1024], TrafficAxis::Linear),
+    (5, Architecture::Vax11, [64, 256, 1024], TrafficAxis::Linear),
+    (6, Architecture::S370, [64, 256, 1024], TrafficAxis::Linear),
+    (7, Architecture::Pdp11, [32, 128, 512], TrafficAxis::Nibble),
+    (8, Architecture::Pdp11, [64, 256, 1024], TrafficAxis::Nibble),
+];
+
+/// Regenerates one of Figures 1–8.
+///
+/// # Panics
+///
+/// Panics if `figure` is not in `1..=8` (Figure 9 is the load-forward
+/// figure; see [`run_fig9`]).
+pub fn run_figure(bench: &mut Workbench, figure: u8) -> Artifact {
+    let &(_, arch, nets, axis) = FIGURES
+        .iter()
+        .find(|&&(n, ..)| n == figure)
+        .unwrap_or_else(|| panic!("figure {figure} is not one of Figures 1-8"));
+    let warmup = bench.warmup_for(arch);
+    let len = bench.len();
+    let traces = bench.arch_traces(arch);
+
+    let mut report = String::new();
+    let axis_name = match axis {
+        TrafficAxis::Linear => "traffic ratio",
+        TrafficAxis::Nibble => "scaled traffic ratio (nibble-mode, cost 1 + (w-1)/3)",
+    };
+    let _ = writeln!(
+        report,
+        "Figure {figure}: {arch} miss ratio vs {axis_name}\n\
+         nets {nets:?}, 4-way LRU demand, {len} refs/trace\n\
+         (solid lines connect constant block size; dashed connect constant sub-block size)\n",
+    );
+    let mut csv = String::from("net,block,sub,gross,miss_ratio,traffic_axis_value\n");
+    let mut plot = ScatterPlot::new(64, 24, "miss ratio", "traffic");
+    for net in nets {
+        let configs: Vec<CacheConfig> = table1_pairs(net, arch.word_size())
+            .into_iter()
+            .map(|(b, s)| standard_config(arch, net, b, s))
+            .collect();
+        let points = evaluate_points(&configs, traces, warmup);
+        let _ = writeln!(report, "net {net} bytes:");
+        let mut last_block = 0;
+        for p in &points {
+            let c = p.config;
+            let traffic = match axis {
+                TrafficAxis::Linear => p.traffic_ratio,
+                TrafficAxis::Nibble => p.nibble_traffic_ratio,
+            };
+            if c.block_size() != last_block {
+                let _ = writeln!(report, "  b{}:", c.block_size());
+                last_block = c.block_size();
+            }
+            let _ = writeln!(
+                report,
+                "    s{:<3} miss {:.4}  traffic {:.4}  (gross {} B)",
+                c.sub_block_size(),
+                p.miss_ratio,
+                traffic,
+                p.gross_size,
+            );
+            let _ = writeln!(
+                csv,
+                "{net},{},{},{},{:.6},{:.6}",
+                c.block_size(),
+                c.sub_block_size(),
+                p.gross_size,
+                p.miss_ratio,
+                traffic,
+            );
+        }
+        let _ = writeln!(report);
+
+        // One constant-block line per block size, as the figures draw them.
+        let mut by_block: Vec<(u64, Vec<(f64, f64)>)> = Vec::new();
+        for p in &points {
+            let block = p.config.block_size();
+            let traffic = match axis {
+                TrafficAxis::Linear => p.traffic_ratio,
+                TrafficAxis::Nibble => p.nibble_traffic_ratio,
+            };
+            match by_block.iter_mut().find(|(b, _)| *b == block) {
+                Some((_, line)) => line.push((p.miss_ratio, traffic)),
+                None => by_block.push((block, vec![(p.miss_ratio, traffic)])),
+            }
+        }
+        for (block, line) in by_block {
+            plot.add_series(Series {
+                marker: block_marker(block),
+                label: format!("net {net}, block {block}"),
+                points: line,
+                connect: true,
+            });
+        }
+    }
+    let _ = writeln!(report, "{}", plot.render());
+    let name: &'static str = match figure {
+        1 => "fig1",
+        2 => "fig2",
+        3 => "fig3",
+        4 => "fig4",
+        5 => "fig5",
+        6 => "fig6",
+        7 => "fig7",
+        _ => "fig8",
+    };
+    Artifact {
+        name,
+        report,
+        csv: vec![(format!("{name}.csv"), csv)],
+    }
+}
+
+// ----------------------------------------------------------------------
+// Table 6: the 360/85 sector cache vs set-associative mapping
+// ----------------------------------------------------------------------
+
+/// Marker character for a constant-block-size line in the figures.
+fn block_marker(block: u64) -> char {
+    match block {
+        2 => '2',
+        4 => '4',
+        8 => '8',
+        16 => 'x',
+        32 => 'o',
+        _ => '*',
+    }
+}
+
+/// Regenerates Table 6: the 16 KB IBM 360/85 sector organisation against
+/// 4/8/16-way set-associative caches with 64-byte blocks, on the
+/// six-program System/360-class mix; also the §4.1 unreferenced-sub-block
+/// measurement.
+pub fn run_table6(bench: &mut Workbench) -> Artifact {
+    let len = bench.len();
+    let traces = bench.m85_traces();
+    const NET: u64 = 16 * 1024;
+
+    let sector = CacheConfig::builder()
+        .net_size(NET)
+        .block_size(1024)
+        .sub_block_size(64)
+        .associativity(16)
+        .word_size(4)
+        .build()
+        .expect("360/85 geometry is valid");
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Table 6: IBM System/360 Model 85 sector cache vs set-associative, \
+         16 KB net, 64-byte transfers, {len} refs/trace\n"
+    );
+    let _ = writeln!(
+        report,
+        "{:<28} {:>9} {:>9} {:>9} {:>9}",
+        "organisation", "miss", "rel.85", "p.miss", "p.rel"
+    );
+
+    let mut csv = String::from("organisation,miss_ratio,relative_to_sector,paper_miss\n");
+    let mut sector_miss = 0.0;
+    let mut unref = 0.0;
+    for trace in traces {
+        let m: Metrics = simulate(sector, trace.refs.iter().copied(), 0);
+        sector_miss += m.miss_ratio();
+        unref += m.unreferenced_sub_block_fraction();
+    }
+    sector_miss /= traces.len() as f64;
+    unref /= traces.len() as f64;
+    let _ = writeln!(
+        report,
+        "{:<28} {:>9.4} {:>9.3} {:>9.4} {:>9.3}",
+        "360/85 sector (16x1024,64)",
+        sector_miss,
+        1.0,
+        paper::table6::SECTOR_360_85,
+        1.0
+    );
+    let _ = writeln!(
+        csv,
+        "360/85,{sector_miss:.6},1.0,{}",
+        paper::table6::SECTOR_360_85
+    );
+
+    for (ways, paper_miss) in [
+        (4u64, paper::table6::SET_ASSOC_4WAY),
+        (8, paper::table6::SET_ASSOC_8WAY),
+        (16, paper::table6::SET_ASSOC_16WAY),
+    ] {
+        let config = CacheConfig::builder()
+            .net_size(NET)
+            .block_size(64)
+            .sub_block_size(64)
+            .associativity(ways)
+            .word_size(4)
+            .build()
+            .expect("set-associative geometry is valid");
+        let mut miss = 0.0;
+        for trace in traces {
+            miss += simulate(config, trace.refs.iter().copied(), 0).miss_ratio();
+        }
+        miss /= traces.len() as f64;
+        let _ = writeln!(
+            report,
+            "{:<28} {:>9.4} {:>9.3} {:>9.4} {:>9.3}",
+            format!("{ways}-way set-assoc (64,64)"),
+            miss,
+            miss / sector_miss,
+            paper_miss,
+            paper_miss / paper::table6::SECTOR_360_85,
+        );
+        let _ = writeln!(
+            csv,
+            "{ways}-way,{miss:.6},{:.6},{paper_miss}",
+            miss / sector_miss
+        );
+    }
+
+    let _ = writeln!(
+        report,
+        "\nSub-blocks never referenced while their sector was resident: \
+         measured {:.1}% (paper: {:.0}%)",
+        unref * 100.0,
+        paper::table6::UNREFERENCED_SUB_FRACTION * 100.0,
+    );
+    Artifact {
+        name: "table6",
+        report,
+        csv: vec![("table6.csv".into(), csv)],
+    }
+}
+
+// ----------------------------------------------------------------------
+// Table 7: the full design-space grid
+// ----------------------------------------------------------------------
+
+/// Regenerates Table 7: miss / traffic / nibble-scaled traffic and gross
+/// size for nets {64, 256, 1024} across the Table 1 grid, for all four
+/// architectures, with the paper's legible cells alongside.
+pub fn run_table7(bench: &mut Workbench) -> Artifact {
+    let mut report = String::new();
+    let len = bench.len();
+    let _ = writeln!(
+        report,
+        "Table 7: nets 64/256/1024, 4-way LRU demand, {len} refs/trace\n"
+    );
+    let mut csv_all = Vec::new();
+    for arch in Architecture::ALL {
+        let warmup = bench.warmup_for(arch);
+        let traces = bench.arch_traces(arch);
+        let mut points: Vec<DesignPoint> = Vec::new();
+        for net in [64u64, 256, 1024] {
+            let configs: Vec<CacheConfig> = table1_pairs(net, arch.word_size())
+                .into_iter()
+                .map(|(b, s)| standard_config(arch, net, b, s))
+                .collect();
+            points.extend(evaluate_points(&configs, traces, warmup));
+        }
+        report.push_str(&table7_block(arch.name(), &points, paper::table7(arch)));
+        report.push('\n');
+        csv_all.push((
+            format!(
+                "table7_{}.csv",
+                arch.name().to_lowercase().replace([' ', '/'], "_")
+            ),
+            points_to_csv(arch.name(), &points),
+        ));
+    }
+    Artifact {
+        name: "table7",
+        report,
+        csv: csv_all,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Table 8 / Figure 9: load-forward
+// ----------------------------------------------------------------------
+
+/// Regenerates Table 8 (and the data of Figure 9): load-forward on the
+/// Z8000 compiler traces at 64- and 256-byte caches.
+pub fn run_table8(bench: &mut Workbench) -> Artifact {
+    let len = bench.len();
+    let warmup = bench.warmup_for(Architecture::Z8000);
+    let traces = bench.load_forward_traces();
+    let nibble = BusModel::paper_nibble();
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Table 8: load-forward on Z8000 traces CPP, C1, C2 ({len} refs/trace)\n"
+    );
+    let _ = writeln!(
+        report,
+        "{:>5} {:>9} | {:>8} {:>8} {:>8} {:>7} | {:>8} {:>8}",
+        "net", "blk,sub", "miss", "traffic", "nibble", "redund", "p.miss", "p.traf"
+    );
+    let mut csv = String::from(
+        "net,block,sub,load_forward,gross,miss_ratio,traffic_ratio,nibble_traffic,redundant_fraction\n",
+    );
+
+    for &row in paper::TABLE8 {
+        let mut builder = CacheConfig::builder();
+        builder
+            .net_size(row.net)
+            .block_size(row.block)
+            .sub_block_size(row.sub)
+            .word_size(2);
+        if row.load_forward {
+            builder.fetch(FetchPolicy::LOAD_FORWARD);
+        }
+        let config = builder.build().expect("Table 8 geometry is valid");
+        let mut miss = 0.0;
+        let mut traffic = 0.0;
+        let mut scaled = 0.0;
+        let mut redundant = 0.0;
+        for trace in traces {
+            let m = simulate(config, trace.refs.iter().copied(), warmup);
+            miss += m.miss_ratio();
+            traffic += m.traffic_ratio();
+            scaled += m.scaled_traffic_ratio(nibble);
+            if m.sub_loads() > 0 {
+                redundant += m.redundant_sub_loads() as f64 / m.sub_loads() as f64;
+            }
+        }
+        let n = traces.len() as f64;
+        miss /= n;
+        traffic /= n;
+        scaled /= n;
+        redundant /= n;
+        let label = if row.load_forward {
+            format!("{},{},LF", row.block, row.sub)
+        } else {
+            format!("{},{}", row.block, row.sub)
+        };
+        let _ = writeln!(
+            report,
+            "{:>5} {:>9} | {:>8.4} {:>8.4} {:>8.4} {:>6.1}% | {:>8.3} {:>8.3}",
+            row.net,
+            label,
+            miss,
+            traffic,
+            scaled,
+            redundant * 100.0,
+            row.miss,
+            row.traffic
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{miss:.6},{traffic:.6},{scaled:.6},{redundant:.6}",
+            row.net,
+            row.block,
+            row.sub,
+            row.load_forward,
+            config.gross_size(),
+        );
+    }
+    let _ = writeln!(
+        report,
+        "\n(LF rows use the paper's redundant-load scheme; 'redund' is the\n\
+         fraction of sub-block loads that re-fetched resident data — the\n\
+         paper found it small enough to not justify the optimized scheme.)"
+    );
+    Artifact {
+        name: "table8",
+        report,
+        csv: vec![("table8.csv".into(), csv)],
+    }
+}
+
+/// Regenerates Figure 9 (identical data to Table 8, organised as the
+/// miss-vs-traffic figure).
+pub fn run_fig9(bench: &mut Workbench) -> Artifact {
+    let mut artifact = run_table8(bench);
+    artifact.name = "fig9";
+    artifact.report = artifact
+        .report
+        .replace("Table 8:", "Figure 9 (same data as Table 8):");
+    if let Some((name, _)) = artifact.csv.first_mut() {
+        *name = "fig9.csv".into();
+    }
+    artifact
+}
+
+// ----------------------------------------------------------------------
+// §2.3: the RISC II instruction-cache size curve
+// ----------------------------------------------------------------------
+
+/// Regenerates the §2.3 RISC II instruction-cache curve: direct-mapped,
+/// 8-byte blocks, instruction fetches only, 512–4096 bytes.
+pub fn run_risc2(bench: &mut Workbench) -> Artifact {
+    let len = bench.len();
+    let traces = bench.riscii_traces();
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "RISC II instruction cache (§2.3): direct-mapped, 8-byte blocks, \
+         instruction-only workload ({len} refs)\n"
+    );
+    let _ = writeln!(
+        report,
+        "{:>6} {:>9} {:>9} {:>7}",
+        "net", "miss", "p.miss", "relerr"
+    );
+    let mut csv = String::from("net,miss_ratio,paper_miss\n");
+    for &(net, paper_miss) in paper::RISCII_CURVE {
+        let config = CacheConfig::builder()
+            .net_size(net)
+            .block_size(8)
+            .sub_block_size(8)
+            .associativity(1)
+            .word_size(4)
+            .build()
+            .expect("RISC II geometry is valid");
+        let mut miss = 0.0;
+        for trace in traces {
+            miss += simulate(config, trace.refs.iter().copied(), 0).miss_ratio();
+        }
+        miss /= traces.len() as f64;
+        let _ = writeln!(
+            report,
+            "{:>6} {:>9.4} {:>9.4} {:>6.0}%",
+            net,
+            miss,
+            paper_miss,
+            relative_error(miss, paper_miss) * 100.0
+        );
+        let _ = writeln!(csv, "{net},{miss:.6},{paper_miss}");
+    }
+    let _ = writeln!(
+        report,
+        "\n(Paper: doubling the cache size reduced the miss ratio by ~20%.)"
+    );
+    Artifact {
+        name: "risc2",
+        report,
+        csv: vec![("risc2.csv".into(), csv)],
+    }
+}
+
+// ----------------------------------------------------------------------
+// Ablations: the design choices the paper holds fixed
+// ----------------------------------------------------------------------
+
+/// Ablation experiments over the parameters the paper fixed, checking the
+/// claims it cites for fixing them: associativity (4-way ≈ fully
+/// associative, little gain past 4), replacement (LRU ≈ FIFO ≈ RANDOM),
+/// Strecker's PDP-11 direct-mapped size curve, the optimized vs redundant
+/// load-forward variant, and warm vs cold start.
+pub fn run_ablations(bench: &mut Workbench) -> Artifact {
+    let mut report = String::new();
+    let len = bench.len();
+    let _ = writeln!(report, "Ablations ({len} refs/trace)\n");
+    let mut csv = String::from("experiment,arch,variant,miss_ratio,traffic_ratio\n");
+
+    // --- Associativity (paper §3.1, citing Smith [15] and Strecker [4]).
+    let _ = writeln!(report, "Associativity (1024-byte cache, 16,8):");
+    for arch in [Architecture::Pdp11, Architecture::Vax11] {
+        let warmup = bench.warmup_for(arch);
+        let traces = bench.arch_traces(arch);
+        let mut row = format!("  {:<16}", arch.name());
+        for ways in [1u64, 2, 4, 8] {
+            let config = CacheConfig::builder()
+                .net_size(1024)
+                .block_size(16)
+                .sub_block_size(8)
+                .associativity(ways)
+                .word_size(arch.word_size())
+                .build()
+                .expect("valid geometry");
+            let mut miss = 0.0;
+            for t in traces {
+                miss += simulate(config, t.refs.iter().copied(), warmup).miss_ratio();
+            }
+            miss /= traces.len() as f64;
+            let _ = write!(row, " {ways}-way {miss:.4} ");
+            let _ = writeln!(csv, "associativity,{},{ways}-way,{miss:.6},", arch.name());
+        }
+        let _ = writeln!(report, "{row}");
+    }
+    let _ = writeln!(
+        report,
+        "  (expected: 1 -> 2 -> 4 improves, little change beyond 4-way)\n"
+    );
+
+    // --- Replacement policy (Strecker: LRU ≈ FIFO ≈ RANDOM).
+    let _ = writeln!(report, "Replacement policy (1024-byte cache, 16,8, 4-way):");
+    for arch in [Architecture::Pdp11, Architecture::S370] {
+        let warmup = bench.warmup_for(arch);
+        let traces = bench.arch_traces(arch);
+        let mut row = format!("  {:<16}", arch.name());
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            let config = CacheConfig::builder()
+                .net_size(1024)
+                .block_size(16)
+                .sub_block_size(8)
+                .replacement(policy)
+                .word_size(arch.word_size())
+                .build()
+                .expect("valid geometry");
+            let mut miss = 0.0;
+            for t in traces {
+                miss += simulate(config, t.refs.iter().copied(), warmup).miss_ratio();
+            }
+            miss /= traces.len() as f64;
+            let _ = write!(row, " {policy} {miss:.4} ");
+            let _ = writeln!(csv, "replacement,{},{policy},{miss:.6},", arch.name());
+        }
+        let _ = writeln!(report, "{row}");
+    }
+    let _ = writeln!(report, "  (expected: all three comparable)\n");
+
+    // --- Strecker's PDP-11 curve (§1.1): direct-mapped, 4-byte blocks.
+    let _ = writeln!(
+        report,
+        "Strecker PDP-11 curve (direct-mapped, 4-byte blocks):"
+    );
+    let _ = writeln!(report, "  {:>6} {:>9} {:>9}", "net", "miss", "Strecker");
+    {
+        let traces = bench.arch_traces(Architecture::Pdp11);
+        for &(net, paper_miss) in paper::STRECKER_CURVE {
+            let config = CacheConfig::builder()
+                .net_size(net)
+                .block_size(4)
+                .sub_block_size(4)
+                .associativity(1)
+                .word_size(2)
+                .build()
+                .expect("valid geometry");
+            let mut miss = 0.0;
+            for t in traces {
+                miss += simulate(config, t.refs.iter().copied(), 0).miss_ratio();
+            }
+            miss /= traces.len() as f64;
+            let _ = writeln!(report, "  {:>6} {:>9.4} {:>9.2}", net, miss, paper_miss);
+            let _ = writeln!(csv, "strecker,PDP-11,{net},{miss:.6},");
+        }
+    }
+    let _ = writeln!(report);
+
+    // --- Load-forward: redundant vs optimized (remember-valid) variant.
+    let _ = writeln!(
+        report,
+        "Load-forward variants (Z8000 CPP/C1/C2, 256-byte cache, 16,2):"
+    );
+    {
+        let warmup = bench.warmup_for(Architecture::Z8000);
+        let traces = bench.load_forward_traces();
+        for (label, fetch) in [
+            ("redundant (paper)", FetchPolicy::LOAD_FORWARD),
+            (
+                "optimized",
+                FetchPolicy::LoadForward {
+                    remember_valid: true,
+                },
+            ),
+        ] {
+            let config = CacheConfig::builder()
+                .net_size(256)
+                .block_size(16)
+                .sub_block_size(2)
+                .word_size(2)
+                .fetch(fetch)
+                .build()
+                .expect("valid geometry");
+            let mut miss = 0.0;
+            let mut traffic = 0.0;
+            for t in traces {
+                let m = simulate(config, t.refs.iter().copied(), warmup);
+                miss += m.miss_ratio();
+                traffic += m.traffic_ratio();
+            }
+            let n = traces.len() as f64;
+            let _ = writeln!(
+                report,
+                "  {:<20} miss {:.4}  traffic {:.4}",
+                label,
+                miss / n,
+                traffic / n
+            );
+            let _ = writeln!(
+                csv,
+                "load_forward_variant,Z8000,{label},{:.6},{:.6}",
+                miss / n,
+                traffic / n
+            );
+        }
+        let _ = writeln!(
+            report,
+            "  (identical miss ratios; the optimized variant only trims traffic)\n"
+        );
+    }
+
+    // --- Warm vs cold start (§4.2.2).
+    let _ = writeln!(
+        report,
+        "Warm vs cold start (Z8000 set, 1024-byte cache, 16,8):"
+    );
+    {
+        let len = bench.len();
+        let traces = bench.arch_traces(Architecture::Z8000);
+        let config = CacheConfig::builder()
+            .net_size(1024)
+            .block_size(16)
+            .sub_block_size(8)
+            .word_size(2)
+            .build()
+            .expect("valid geometry");
+        for (label, warmup) in [("cold", 0usize), ("warm (5%)", len / 20)] {
+            let mut miss = 0.0;
+            for t in traces {
+                miss += simulate(config, t.refs.iter().copied(), warmup).miss_ratio();
+            }
+            miss /= traces.len() as f64;
+            let _ = writeln!(report, "  {label:<12} miss {miss:.4}");
+            let _ = writeln!(csv, "warm_start,Z8000,{label},{miss:.6},");
+        }
+        let _ = writeln!(
+            report,
+            "  (warm-start ratios are slightly optimistic, as the paper notes)"
+        );
+    }
+
+    Artifact {
+        name: "ablations",
+        report,
+        csv: vec![("ablations.csv".into(), csv)],
+    }
+}
+
+// ----------------------------------------------------------------------
+// Headline summary (abstract anchors)
+// ----------------------------------------------------------------------
+
+/// Regenerates the abstract's headline numbers: miss/traffic ratios of the
+/// 1024-byte 4-way 8-byte-block cache for all four architectures.
+pub fn run_headline(bench: &mut Workbench) -> Artifact {
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Abstract headline: 1024-byte net, 4-way, 8-byte blocks (8,8)\n"
+    );
+    let _ = writeln!(
+        report,
+        "{:<16} {:>8} {:>8} | {:>8} {:>8}",
+        "architecture", "miss", "traffic", "p.miss", "p.traf"
+    );
+    let mut csv = String::from("arch,miss_ratio,traffic_ratio,paper_miss,paper_traffic\n");
+    for arch in Architecture::ALL {
+        let warmup = bench.warmup_for(arch);
+        let traces = bench.arch_traces(arch);
+        let config = standard_config(arch, 1024, 8, 8);
+        let mut miss = 0.0;
+        let mut traffic = 0.0;
+        for t in traces {
+            let m = simulate(config, t.refs.iter().copied(), warmup);
+            miss += m.miss_ratio();
+            traffic += m.traffic_ratio();
+        }
+        let n = traces.len() as f64;
+        miss /= n;
+        traffic /= n;
+        let reference = paper::table7_row(arch, 1024, 8, 8).expect("anchor row present");
+        let _ = writeln!(
+            report,
+            "{:<16} {:>8.4} {:>8.4} | {:>8.4} {:>8.4}",
+            arch.name(),
+            miss,
+            traffic,
+            reference.miss,
+            reference.traffic
+        );
+        let _ = writeln!(
+            csv,
+            "{},{miss:.6},{traffic:.6},{},{}",
+            arch.name(),
+            reference.miss,
+            reference.traffic
+        );
+    }
+    Artifact {
+        name: "headline",
+        report,
+        csv: vec![("headline.csv".into(), csv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_bench() -> Workbench {
+        Workbench::new(20_000)
+    }
+
+    #[test]
+    fn workbench_caches_trace_sets() {
+        let mut b = small_bench();
+        let first = b.arch_traces(Architecture::Pdp11).len();
+        let second = b.arch_traces(Architecture::Pdp11).len();
+        assert_eq!(first, second);
+        assert_eq!(first, 6);
+    }
+
+    #[test]
+    fn warmup_only_for_z8000() {
+        let b = small_bench();
+        assert_eq!(b.warmup_for(Architecture::Pdp11), 0);
+        assert!(b.warmup_for(Architecture::Z8000) > 0);
+    }
+
+    #[test]
+    fn figure_artifact_is_well_formed() {
+        let mut b = small_bench();
+        let a = run_figure(&mut b, 1);
+        assert_eq!(a.name, "fig1");
+        assert!(a.report.contains("Figure 1"));
+        assert!(a.report.contains("net 32 bytes"));
+        let csv = &a.csv[0].1;
+        assert!(csv.lines().count() > 10, "{csv}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not one of Figures 1-8")]
+    fn figure_9_is_separate() {
+        let mut b = small_bench();
+        let _ = run_figure(&mut b, 9);
+    }
+
+    #[test]
+    fn table8_rows_cover_paper() {
+        let mut b = small_bench();
+        let a = run_table8(&mut b);
+        // One CSV data line per Table 8 row.
+        assert_eq!(a.csv[0].1.lines().count(), paper::TABLE8.len() + 1);
+        assert!(a.report.contains("16,2,LF"));
+    }
+
+    #[test]
+    fn headline_covers_all_architectures() {
+        let mut b = small_bench();
+        let a = run_headline(&mut b);
+        for arch in Architecture::ALL {
+            assert!(a.report.contains(arch.name()), "{}", arch.name());
+        }
+    }
+}

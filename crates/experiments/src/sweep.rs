@@ -1,0 +1,259 @@
+//! Design-space sweeps: materialise traces once, evaluate many cache
+//! configurations against them, average ratios across traces as the paper
+//! does ("Multiple-trace miss and traffic ratios are the unweighted average
+//! of the miss and traffic ratios of individual runs", §3.3).
+
+use std::thread;
+
+use occache_core::{simulate, BusModel, CacheConfig, FetchPolicy, Metrics};
+use occache_trace::MemRef;
+use occache_workloads::{Architecture, WorkloadSpec};
+
+/// A fully materialised trace, reusable across configurations.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Trace name (as in the paper's workload tables).
+    pub name: String,
+    /// The reference stream.
+    pub refs: Vec<MemRef>,
+}
+
+/// Generates `len` references for each spec (seed 0, the canonical trace).
+pub fn materialize(specs: &[WorkloadSpec], len: usize) -> Vec<Trace> {
+    specs
+        .iter()
+        .map(|spec| Trace {
+            name: spec.name().to_string(),
+            refs: spec.generator(0).take(len).collect(),
+        })
+        .collect()
+}
+
+/// Averaged results for one cache design point over a trace set.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignPoint {
+    /// The configuration evaluated.
+    pub config: CacheConfig,
+    /// Unweighted mean miss ratio across traces.
+    pub miss_ratio: f64,
+    /// Unweighted mean traffic ratio across traces.
+    pub traffic_ratio: f64,
+    /// Unweighted mean nibble-mode scaled traffic ratio (§4.3).
+    pub nibble_traffic_ratio: f64,
+    /// Mean fraction of redundant sub-block loads (load-forward only).
+    pub redundant_load_fraction: f64,
+    /// Gross cache size in bytes.
+    pub gross_size: u64,
+}
+
+/// Evaluates one configuration against every trace, averaging the ratios.
+///
+/// `warmup` references at the head of each trace prime the cache without
+/// being counted (the paper's warm-start discipline; pass 0 for cold).
+pub fn evaluate_point(config: CacheConfig, traces: &[Trace], warmup: usize) -> DesignPoint {
+    let nibble = BusModel::paper_nibble();
+    let mut miss = 0.0;
+    let mut traffic = 0.0;
+    let mut scaled = 0.0;
+    let mut redundant = 0.0;
+    for trace in traces {
+        let metrics: Metrics = simulate(config, trace.refs.iter().copied(), warmup);
+        miss += metrics.miss_ratio();
+        traffic += metrics.traffic_ratio();
+        scaled += metrics.scaled_traffic_ratio(nibble);
+        if metrics.sub_loads() > 0 {
+            redundant += metrics.redundant_sub_loads() as f64 / metrics.sub_loads() as f64;
+        }
+    }
+    let n = traces.len().max(1) as f64;
+    DesignPoint {
+        config,
+        miss_ratio: miss / n,
+        traffic_ratio: traffic / n,
+        nibble_traffic_ratio: scaled / n,
+        redundant_load_fraction: redundant / n,
+        gross_size: config.gross_size(),
+    }
+}
+
+/// Evaluates many configurations, spreading work across threads.
+pub fn evaluate_points(
+    configs: &[CacheConfig],
+    traces: &[Trace],
+    warmup: usize,
+) -> Vec<DesignPoint> {
+    let workers = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(configs.len().max(1));
+    let chunk = configs.len().div_ceil(workers.max(1));
+    let mut out: Vec<Option<DesignPoint>> = vec![None; configs.len()];
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, block) in configs.chunks(chunk.max(1)).enumerate() {
+            handles.push((
+                i * chunk.max(1),
+                scope.spawn(move || {
+                    block
+                        .iter()
+                        .map(|&c| evaluate_point(c, traces, warmup))
+                        .collect::<Vec<_>>()
+                }),
+            ));
+        }
+        for (start, h) in handles {
+            for (j, point) in h
+                .join()
+                .expect("sweep worker panicked")
+                .into_iter()
+                .enumerate()
+            {
+                out[start + j] = Some(point);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|p| p.expect("all points filled"))
+        .collect()
+}
+
+/// The `(block, sub-block)` pairs of the paper's Table 1 grid applicable to
+/// a given net size and word size: blocks 2–64 bytes capped at `net/4`
+/// (at least four blocks, matching Table 7's printed rows), sub-blocks
+/// 2–32 bytes with `word <= sub <= block`.
+pub fn table1_pairs(net: u64, word: u64) -> Vec<(u64, u64)> {
+    let mut pairs = Vec::new();
+    let max_block = (net / 4).min(64);
+    let mut block = max_block;
+    while block >= 2.max(word) {
+        let mut sub = block.min(32);
+        while sub >= word.max(2) {
+            pairs.push((block, sub));
+            sub /= 2;
+        }
+        block /= 2;
+    }
+    pairs
+}
+
+/// Builds the paper's standard configuration (4-way, LRU, demand) for an
+/// architecture and geometry.
+///
+/// # Panics
+///
+/// Panics if the geometry is invalid for the Table 1 grid (callers pass
+/// pairs from [`table1_pairs`], which are always valid).
+pub fn standard_config(arch: Architecture, net: u64, block: u64, sub: u64) -> CacheConfig {
+    CacheConfig::builder()
+        .net_size(net)
+        .block_size(block)
+        .sub_block_size(sub)
+        .word_size(arch.word_size())
+        .build()
+        .expect("Table 1 geometry is valid")
+}
+
+/// Like [`standard_config`] but with the load-forward fetch policy.
+pub fn load_forward_config(arch: Architecture, net: u64, block: u64, sub: u64) -> CacheConfig {
+    CacheConfig::builder()
+        .net_size(net)
+        .block_size(block)
+        .sub_block_size(sub)
+        .word_size(arch.word_size())
+        .fetch(FetchPolicy::LOAD_FORWARD)
+        .build()
+        .expect("Table 1 geometry is valid")
+}
+
+/// Number of references per trace: `OCCACHE_REFS` env var, defaulting to
+/// the paper's 1 million.
+pub fn trace_len() -> usize {
+    std::env::var("OCCACHE_REFS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(occache_workloads::PAPER_TRACE_LEN)
+}
+
+/// Warm-up references per run: `OCCACHE_WARMUP` env var, defaulting to 0.
+pub fn warmup_len() -> usize {
+    std::env::var("OCCACHE_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_pairs_match_table7_row_sets() {
+        // Net 64, 16-bit word: the nine printed Table 7 rows plus (16,16),
+        // which is in Table 1's legal space though the paper omits the row.
+        let pairs = table1_pairs(64, 2);
+        assert_eq!(
+            pairs,
+            vec![
+                (16, 16),
+                (16, 8),
+                (16, 4),
+                (16, 2),
+                (8, 8),
+                (8, 4),
+                (8, 2),
+                (4, 4),
+                (4, 2),
+                (2, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn table1_pairs_include_block_equal_sub() {
+        let pairs = table1_pairs(256, 2);
+        assert!(pairs.contains(&(32, 32)));
+        assert!(pairs.contains(&(64, 32)), "block 64 is legal at 256 bytes");
+        assert!(pairs.contains(&(2, 2)));
+        assert_eq!(pairs.len(), 20, "{pairs:?}");
+    }
+
+    #[test]
+    fn table1_pairs_respect_word_size() {
+        let pairs = table1_pairs(1024, 4);
+        assert!(pairs.iter().all(|&(_, s)| s >= 4));
+        assert!(!pairs.contains(&(4, 2)));
+        assert!(pairs.contains(&(4, 4)));
+    }
+
+    #[test]
+    fn table1_pairs_cap_sub_at_32() {
+        let pairs = table1_pairs(1024, 2);
+        assert!(pairs.contains(&(64, 32)));
+        assert!(!pairs.contains(&(64, 64)));
+    }
+
+    #[test]
+    fn evaluate_point_averages_traces() {
+        let specs = vec![WorkloadSpec::pdp11_ed(), WorkloadSpec::pdp11_opsys()];
+        let traces = materialize(&specs, 5_000);
+        let config = standard_config(Architecture::Pdp11, 256, 8, 4);
+        let point = evaluate_point(config, &traces, 0);
+        assert!(point.miss_ratio > 0.0 && point.miss_ratio < 1.0);
+        // Demand identity: averaged traffic = averaged miss × sub/word.
+        assert!((point.traffic_ratio - point.miss_ratio * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let traces = materialize(&[WorkloadSpec::pdp11_ed()], 3_000);
+        let configs: Vec<_> = table1_pairs(64, 2)
+            .into_iter()
+            .map(|(b, s)| standard_config(Architecture::Pdp11, 64, b, s))
+            .collect();
+        let parallel = evaluate_points(&configs, &traces, 0);
+        for (cfg, p) in configs.iter().zip(&parallel) {
+            let serial = evaluate_point(*cfg, &traces, 0);
+            assert_eq!(serial.miss_ratio, p.miss_ratio);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The classic `din` trace format of the dinero simulator family.
+//!
+//! One record per line: `<label> <hex-address>`, with numeric labels
+//! 0 = data read, 1 = data write, 2 = instruction fetch. This is the
+//! interchange format the trace-driven-simulation community settled on
+//! shortly after the paper; supporting it lets occache consume traces
+//! produced for dinero and vice versa.
+//!
+//! ```
+//! use occache_trace::din::{parse_din, write_din};
+//! use occache_trace::MemRef;
+//!
+//! let refs = vec![MemRef::ifetch(0x400), MemRef::write(0x8000)];
+//! let mut text = Vec::new();
+//! write_din(&mut text, refs.iter().copied())?;
+//! assert_eq!(String::from_utf8_lossy(&text), "2 400\n1 8000\n");
+//! assert_eq!(parse_din(&text[..])?, refs);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::io::ParseTraceError;
+use crate::record::{AccessKind, Address, MemRef};
+
+/// The `din` numeric label for an access kind.
+pub const fn din_label(kind: AccessKind) -> u8 {
+    match kind {
+        AccessKind::DataRead => 0,
+        AccessKind::DataWrite => 1,
+        AccessKind::InstrFetch => 2,
+    }
+}
+
+/// The access kind for a `din` numeric label (0, 1 or 2).
+pub const fn kind_from_label(label: u8) -> Option<AccessKind> {
+    match label {
+        0 => Some(AccessKind::DataRead),
+        1 => Some(AccessKind::DataWrite),
+        2 => Some(AccessKind::InstrFetch),
+        _ => None,
+    }
+}
+
+/// Parses a single `din` record.
+pub fn parse_din_record(text: &str) -> Option<MemRef> {
+    let mut parts = text.split_whitespace();
+    let label: u8 = parts.next()?.parse().ok()?;
+    let kind = kind_from_label(label)?;
+    let addr_token = parts.next()?;
+    // dinero tolerates trailing fields (some tracers append sizes); we
+    // accept and ignore them.
+    let value = u64::from_str_radix(addr_token, 16).ok()?;
+    Some(MemRef::new(Address::new(value), kind))
+}
+
+/// Parses an entire `din` trace.
+///
+/// Blank lines and `#` comments are ignored (not part of the original
+/// format, but harmless and useful for provenance headers).
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError::Io`] if reading fails and
+/// [`ParseTraceError::Malformed`] on the first invalid line.
+pub fn parse_din<R: Read>(reader: R) -> Result<Vec<MemRef>, ParseTraceError> {
+    let buf = BufReader::new(reader);
+    let mut out = Vec::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(
+            parse_din_record(trimmed).ok_or_else(|| ParseTraceError::Malformed {
+                line: idx + 1,
+                text: line.clone(),
+            })?,
+        );
+    }
+    Ok(out)
+}
+
+/// Writes references in `din` format, one per line.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_din<W, I>(mut writer: W, refs: I) -> io::Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = MemRef>,
+{
+    for r in refs {
+        writeln!(writer, "{} {:x}", din_label(r.kind()), r.address())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in [
+            AccessKind::DataRead,
+            AccessKind::DataWrite,
+            AccessKind::InstrFetch,
+        ] {
+            assert_eq!(kind_from_label(din_label(kind)), Some(kind));
+        }
+        assert_eq!(kind_from_label(3), None);
+    }
+
+    #[test]
+    fn trace_round_trips() {
+        let refs = vec![
+            MemRef::read(0x10),
+            MemRef::write(0x20),
+            MemRef::ifetch(0x1000),
+        ];
+        let mut text = Vec::new();
+        write_din(&mut text, refs.iter().copied()).unwrap();
+        assert_eq!(parse_din(&text[..]).unwrap(), refs);
+    }
+
+    #[test]
+    fn format_matches_dinero_convention() {
+        let mut text = Vec::new();
+        write_din(&mut text, [MemRef::read(0xff), MemRef::ifetch(0x400)]).unwrap();
+        assert_eq!(String::from_utf8(text).unwrap(), "0 ff\n2 400\n");
+    }
+
+    #[test]
+    fn trailing_fields_are_tolerated() {
+        assert_eq!(parse_din_record("2 400 4"), Some(MemRef::ifetch(0x400)));
+    }
+
+    #[test]
+    fn bad_labels_and_addresses_rejected() {
+        assert_eq!(parse_din_record("7 400"), None);
+        assert_eq!(parse_din_record("0 zz"), None);
+        assert_eq!(parse_din_record(""), None);
+    }
+
+    #[test]
+    fn malformed_line_is_located() {
+        let text = "2 400\n9 9\n";
+        match parse_din(text.as_bytes()) {
+            Err(ParseTraceError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let refs = parse_din("# header\n\n0 10\n".as_bytes()).unwrap();
+        assert_eq!(refs, vec![MemRef::read(0x10)]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Text trace format, in the style of the `dinero` trace format the cache
+//! simulation community standardised on shortly after the paper.
+//!
+//! Each line is `<kind> <hex-address>`, where kind is `i` (instruction
+//! fetch), `r` (data read) or `w` (data write). Blank lines and lines
+//! beginning with `#` are ignored, so traces can carry provenance comments.
+//!
+//! ```
+//! use occache_trace::io::{parse_trace, write_trace};
+//! use occache_trace::MemRef;
+//!
+//! let refs = vec![MemRef::ifetch(0x400), MemRef::read(0x8000)];
+//! let mut text = Vec::new();
+//! write_trace(&mut text, refs.iter().copied())?;
+//! let back = parse_trace(&text[..])?;
+//! assert_eq!(back, refs);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::record::{AccessKind, Address, MemRef};
+
+/// Error parsing a text trace.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// A line did not match `<kind> <hex-address>`.
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending line's contents.
+        text: String,
+    },
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "trace read failed: {e}"),
+            ParseTraceError::Malformed { line, text } => {
+                write!(f, "malformed trace record at line {line}: {text:?}")
+            }
+        }
+    }
+}
+
+impl Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            ParseTraceError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseTraceError {
+    fn from(e: io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+/// Parses an entire text trace from a reader.
+///
+/// A `&mut` reference may be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError::Io`] if reading fails and
+/// [`ParseTraceError::Malformed`] on the first syntactically invalid line.
+pub fn parse_trace<R: Read>(reader: R) -> Result<Vec<MemRef>, ParseTraceError> {
+    let buf = BufReader::new(reader);
+    let mut out = Vec::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(
+            parse_record(trimmed).ok_or_else(|| ParseTraceError::Malformed {
+                line: idx + 1,
+                text: line.clone(),
+            })?,
+        );
+    }
+    Ok(out)
+}
+
+/// Parses a single `<kind> <hex-address>` record.
+pub fn parse_record(text: &str) -> Option<MemRef> {
+    let mut parts = text.split_whitespace();
+    let kind_token = parts.next()?;
+    let addr_token = parts.next()?;
+    if parts.next().is_some() || kind_token.chars().count() != 1 {
+        return None;
+    }
+    let kind = AccessKind::from_mnemonic(kind_token.chars().next()?)?;
+    let addr_token = addr_token
+        .strip_prefix("0x")
+        .or_else(|| addr_token.strip_prefix("0X"))
+        .unwrap_or(addr_token);
+    let value = u64::from_str_radix(addr_token, 16).ok()?;
+    Some(MemRef::new(Address::new(value), kind))
+}
+
+/// Parses a trace in either supported format, auto-detected from the
+/// first record: a `0|1|2` label selects the dinero [`din`](crate::din)
+/// format, an `i|r|w` mnemonic selects the text format.
+///
+/// A `&mut` reference may be passed as the reader.
+///
+/// # Errors
+///
+/// As [`parse_trace`]; an empty input yields an empty trace.
+pub fn parse_trace_auto<R: Read>(reader: R) -> Result<Vec<MemRef>, ParseTraceError> {
+    let buf = BufReader::new(reader);
+    let mut lines = Vec::new();
+    for line in buf.lines() {
+        lines.push(line?);
+    }
+    let is_din = lines
+        .iter()
+        .map(|l| l.trim())
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .is_some_and(|record| matches!(record.as_bytes().first(), Some(b'0'..=b'9')));
+    let joined = lines.join("\n");
+    if is_din {
+        crate::din::parse_din(joined.as_bytes())
+    } else {
+        parse_trace(joined.as_bytes())
+    }
+}
+
+/// Writes references to a writer in the text format, one per line.
+///
+/// A `&mut` reference may be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_trace<W, I>(mut writer: W, refs: I) -> io::Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = MemRef>,
+{
+    for r in refs {
+        writeln!(writer, "{} {:x}", r.kind().mnemonic(), r.address())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let refs = vec![
+            MemRef::ifetch(0x1000),
+            MemRef::read(0x2002),
+            MemRef::write(0xfffe),
+        ];
+        let mut text = Vec::new();
+        write_trace(&mut text, refs.iter().copied()).unwrap();
+        assert_eq!(parse_trace(&text[..]).unwrap(), refs);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\ni 400\n  \nr 80\n";
+        let refs = parse_trace(text.as_bytes()).unwrap();
+        assert_eq!(refs, vec![MemRef::ifetch(0x400), MemRef::read(0x80)]);
+    }
+
+    #[test]
+    fn accepts_0x_prefix_and_case() {
+        assert_eq!(parse_record("i 0x4FF"), Some(MemRef::ifetch(0x4ff)));
+        assert_eq!(parse_record("w 0XFF"), Some(MemRef::write(0xff)));
+    }
+
+    #[test]
+    fn rejects_bad_kind() {
+        assert_eq!(parse_record("z 400"), None);
+    }
+
+    #[test]
+    fn rejects_bad_address() {
+        assert_eq!(parse_record("i zz"), None);
+    }
+
+    #[test]
+    fn rejects_extra_tokens() {
+        assert_eq!(parse_record("i 400 extra"), None);
+    }
+
+    #[test]
+    fn auto_detects_both_formats() {
+        let refs = vec![MemRef::ifetch(0x10), MemRef::write(0x20)];
+        let mut text = Vec::new();
+        write_trace(&mut text, refs.iter().copied()).unwrap();
+        assert_eq!(parse_trace_auto(&text[..]).unwrap(), refs);
+
+        let mut din = Vec::new();
+        crate::din::write_din(&mut din, refs.iter().copied()).unwrap();
+        assert_eq!(parse_trace_auto(&din[..]).unwrap(), refs);
+    }
+
+    #[test]
+    fn auto_detect_skips_comment_headers() {
+        let text = "# occache-gen ...\n2 400\n";
+        assert_eq!(
+            parse_trace_auto(text.as_bytes()).unwrap(),
+            vec![MemRef::ifetch(0x400)]
+        );
+    }
+
+    #[test]
+    fn auto_detect_of_empty_input() {
+        assert_eq!(parse_trace_auto("".as_bytes()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "i 400\nbogus line\n";
+        match parse_trace(text.as_bytes()) {
+            Err(ParseTraceError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Trace record types: addresses, access kinds, and memory references.
+
+use std::fmt;
+
+/// A byte address in a (up to) 32-bit address space.
+///
+/// The paper computes gross cache sizes assuming 32-bit addresses even for the
+/// 16-bit architectures, so a `u64` backing store is comfortably sufficient;
+/// addresses are validated against the architecture's address width by the
+/// workload generators, not here.
+///
+/// ```
+/// use occache_trace::Address;
+/// let a = Address::new(0x1234);
+/// assert_eq!(a.value(), 0x1234);
+/// assert_eq!(a.block_number(8), 0x246);
+/// assert_eq!(a.offset_in_block(8), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(u64);
+
+impl Address {
+    /// Creates an address from a raw byte address.
+    pub const fn new(value: u64) -> Self {
+        Address(value)
+    }
+
+    /// The raw byte address.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The block number this address falls in, for power-of-two `block_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `block_size` is not a power of two.
+    pub const fn block_number(self, block_size: u64) -> u64 {
+        debug_assert!(block_size.is_power_of_two());
+        self.0 / block_size
+    }
+
+    /// The byte offset of this address within its block.
+    pub const fn offset_in_block(self, block_size: u64) -> u64 {
+        debug_assert!(block_size.is_power_of_two());
+        self.0 % block_size
+    }
+
+    /// This address rounded down to a multiple of `alignment` (power of two).
+    pub const fn align_down(self, alignment: u64) -> Address {
+        debug_assert!(alignment.is_power_of_two());
+        Address(self.0 & !(alignment - 1))
+    }
+
+    /// Returns the address `bytes` higher.
+    pub const fn offset(self, bytes: u64) -> Address {
+        Address(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(value: u64) -> Self {
+        Address(value)
+    }
+}
+
+impl From<Address> for u64 {
+    fn from(addr: Address) -> Self {
+        addr.0
+    }
+}
+
+/// The kind of memory reference.
+///
+/// The paper's metrics count only instruction fetches and data reads; data
+/// writes update cache state but are filtered out of the miss/traffic ratios
+/// (paper §3.1: "Write-back issues were filtered out of our results by
+/// calculating performance metrics for only data reads and instruction
+/// fetches").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// An instruction fetch.
+    InstrFetch,
+    /// A data read (load).
+    DataRead,
+    /// A data write (store).
+    DataWrite,
+}
+
+impl AccessKind {
+    /// Whether this access contributes to the paper's miss/traffic metrics.
+    pub const fn is_counted(self) -> bool {
+        matches!(self, AccessKind::InstrFetch | AccessKind::DataRead)
+    }
+
+    /// Whether this is a data access (read or write).
+    pub const fn is_data(self) -> bool {
+        !matches!(self, AccessKind::InstrFetch)
+    }
+
+    /// One-letter mnemonic used by the text trace format (`i`, `r`, `w`).
+    pub const fn mnemonic(self) -> char {
+        match self {
+            AccessKind::InstrFetch => 'i',
+            AccessKind::DataRead => 'r',
+            AccessKind::DataWrite => 'w',
+        }
+    }
+
+    /// Parses the one-letter mnemonic; inverse of [`AccessKind::mnemonic`].
+    pub fn from_mnemonic(c: char) -> Option<AccessKind> {
+        match c {
+            'i' => Some(AccessKind::InstrFetch),
+            'r' => Some(AccessKind::DataRead),
+            'w' => Some(AccessKind::DataWrite),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AccessKind::InstrFetch => "ifetch",
+            AccessKind::DataRead => "read",
+            AccessKind::DataWrite => "write",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One memory reference: an address plus the kind of access.
+///
+/// References are word-aligned by construction in the workload generators
+/// (2-byte words for PDP-11/Z8000 traces, 4-byte for VAX-11/System/370,
+/// matching the data-path widths the paper assumed when creating its traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    address: Address,
+    kind: AccessKind,
+}
+
+impl MemRef {
+    /// Creates a memory reference.
+    pub const fn new(address: Address, kind: AccessKind) -> Self {
+        MemRef { address, kind }
+    }
+
+    /// Convenience constructor for an instruction fetch.
+    pub const fn ifetch(address: u64) -> Self {
+        MemRef::new(Address::new(address), AccessKind::InstrFetch)
+    }
+
+    /// Convenience constructor for a data read.
+    pub const fn read(address: u64) -> Self {
+        MemRef::new(Address::new(address), AccessKind::DataRead)
+    }
+
+    /// Convenience constructor for a data write.
+    pub const fn write(address: u64) -> Self {
+        MemRef::new(Address::new(address), AccessKind::DataWrite)
+    }
+
+    /// The referenced address.
+    pub const fn address(self) -> Address {
+        self.address
+    }
+
+    /// The access kind.
+    pub const fn kind(self) -> AccessKind {
+        self.kind
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:x}", self.kind.mnemonic(), self.address)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_block_arithmetic() {
+        let a = Address::new(0x1237);
+        assert_eq!(a.block_number(16), 0x123);
+        assert_eq!(a.offset_in_block(16), 7);
+        assert_eq!(a.align_down(16).value(), 0x1230);
+        assert_eq!(a.offset(9).value(), 0x1240);
+    }
+
+    #[test]
+    fn address_display_is_hex() {
+        assert_eq!(Address::new(0xbeef).to_string(), "0xbeef");
+        assert_eq!(format!("{:x}", Address::new(0xbeef)), "beef");
+    }
+
+    #[test]
+    fn kind_counted_excludes_writes() {
+        assert!(AccessKind::InstrFetch.is_counted());
+        assert!(AccessKind::DataRead.is_counted());
+        assert!(!AccessKind::DataWrite.is_counted());
+    }
+
+    #[test]
+    fn kind_data_classification() {
+        assert!(!AccessKind::InstrFetch.is_data());
+        assert!(AccessKind::DataRead.is_data());
+        assert!(AccessKind::DataWrite.is_data());
+    }
+
+    #[test]
+    fn mnemonic_round_trips() {
+        for kind in [
+            AccessKind::InstrFetch,
+            AccessKind::DataRead,
+            AccessKind::DataWrite,
+        ] {
+            assert_eq!(AccessKind::from_mnemonic(kind.mnemonic()), Some(kind));
+        }
+        assert_eq!(AccessKind::from_mnemonic('x'), None);
+    }
+
+    #[test]
+    fn memref_constructors() {
+        assert_eq!(MemRef::ifetch(4).kind(), AccessKind::InstrFetch);
+        assert_eq!(MemRef::read(4).kind(), AccessKind::DataRead);
+        assert_eq!(MemRef::write(4).kind(), AccessKind::DataWrite);
+        assert_eq!(MemRef::read(4).address().value(), 4);
+    }
+
+    #[test]
+    fn memref_display_matches_trace_format() {
+        assert_eq!(MemRef::ifetch(0x100).to_string(), "i 100");
+        assert_eq!(MemRef::write(0xff).to_string(), "w ff");
+    }
+}

@@ -1,0 +1,202 @@
+//! Deterministic sampling utilities used by the synthetic workload models.
+//!
+//! The workload generators (crate `occache-workloads`) need a few standard
+//! distributions with *reproducible* draws: a Zipf sampler for hot-set
+//! selection (functions, global variables), and a bounded geometric sampler
+//! for run lengths (basic blocks, array bursts). Both are small, exact and
+//! seedable so that every named trace in the study is a pure function of its
+//! seed.
+
+use rand::Rng;
+
+/// Zipf-distributed sampler over ranks `0..n` with exponent `s`.
+///
+/// Rank 0 is the most popular item. Sampling is by binary search over the
+/// precomputed CDF — O(log n) per draw, exact, and allocation-free after
+/// construction.
+///
+/// ```
+/// use occache_trace::sample::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let first = zipf.sample(&mut rng);
+/// assert!(first < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s` (`s >= 0`).
+    ///
+    /// `s = 0` is the uniform distribution; larger `s` concentrates mass on
+    /// low ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks in the domain.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never true; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of entries < u, i.e. the first
+        // rank whose CDF value reaches u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Draws a run length from a geometric distribution with mean `mean`,
+/// clamped to `1..=max`.
+///
+/// Used for basic-block lengths and sequential data bursts; the clamp keeps
+/// generated runs inside their region.
+///
+/// # Panics
+///
+/// Panics if `mean < 1.0` or `max == 0`.
+pub fn geometric_run<R: Rng + ?Sized>(rng: &mut R, mean: f64, max: usize) -> usize {
+    assert!(mean >= 1.0, "geometric mean run length must be >= 1");
+    assert!(max > 0, "max run length must be positive");
+    if mean == 1.0 {
+        return 1;
+    }
+    // Run length L >= 1 with P(L = k) = (1-p)^(k-1) p has mean 1/p.
+    let p = 1.0 / mean;
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let len = 1 + (u.ln() / (1.0 - p).ln()).floor() as usize;
+    len.clamp(1, max)
+}
+
+/// Returns `true` with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn chance<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    if p <= 0.0 {
+        false
+    } else if p >= 1.0 {
+        true
+    } else {
+        rng.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let zipf = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[49] * 5);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let zipf = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zipf_rejects_empty_domain() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn geometric_run_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let len = geometric_run(&mut rng, 6.0, 20);
+            assert!((1..=20).contains(&len));
+        }
+    }
+
+    #[test]
+    fn geometric_run_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let total: usize = (0..n).map(|_| geometric_run(&mut rng, 5.0, 1000)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "observed mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_one_is_constant() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            assert_eq!(geometric_run(&mut rng, 1.0, 10), 1);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(!chance(&mut rng, 0.0));
+        assert!(chance(&mut rng, 1.0));
+    }
+
+    #[test]
+    fn chance_is_calibrated() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let hits = (0..50_000).filter(|_| chance(&mut rng, 0.25)).count();
+        let frac = hits as f64 / 50_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "observed {frac}");
+    }
+}

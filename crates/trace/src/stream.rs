@@ -1,0 +1,173 @@
+//! The [`TraceSource`] abstraction and stream combinators.
+//!
+//! A trace source is anything that produces [`MemRef`]s in program order.
+//! The blanket impl makes every `Iterator<Item = MemRef>` a source, so plain
+//! vectors, generators and file readers all compose with the same adapters.
+
+use crate::record::{AccessKind, MemRef};
+
+/// A producer of memory references in program order.
+///
+/// Implemented for every `Iterator<Item = MemRef>`; cache simulators and
+/// statistics collectors consume sources generically.
+///
+/// ```
+/// use occache_trace::{MemRef, TraceSource};
+///
+/// let mut source = vec![MemRef::ifetch(0), MemRef::read(16)].into_iter();
+/// assert!(source.next_ref().is_some());
+/// assert!(source.next_ref().is_some());
+/// assert!(source.next_ref().is_none());
+/// ```
+pub trait TraceSource {
+    /// Produces the next reference, or `None` at end of trace.
+    fn next_ref(&mut self) -> Option<MemRef>;
+
+    /// Adapter: only references of kinds accepted by `predicate`.
+    fn filter_kind<F>(self, predicate: F) -> FilterKind<Self, F>
+    where
+        Self: Sized,
+        F: FnMut(AccessKind) -> bool,
+    {
+        FilterKind {
+            inner: self,
+            predicate,
+        }
+    }
+
+    /// Adapter: at most `n` references.
+    fn take_refs(self, n: usize) -> TakeRefs<Self>
+    where
+        Self: Sized,
+    {
+        TakeRefs {
+            inner: self,
+            remaining: n,
+        }
+    }
+
+    /// Collects up to `n` references into a vector.
+    fn collect_refs(&mut self, n: usize) -> Vec<MemRef> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self.next_ref() {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+impl<I: Iterator<Item = MemRef>> TraceSource for I {
+    fn next_ref(&mut self) -> Option<MemRef> {
+        self.next()
+    }
+}
+
+/// Source adapter produced by [`TraceSource::filter_kind`].
+#[derive(Debug, Clone)]
+pub struct FilterKind<S, F> {
+    inner: S,
+    predicate: F,
+}
+
+impl<S, F> TraceSource for FilterKind<S, F>
+where
+    S: TraceSource,
+    F: FnMut(AccessKind) -> bool,
+{
+    fn next_ref(&mut self) -> Option<MemRef> {
+        loop {
+            let r = self.inner.next_ref()?;
+            if (self.predicate)(r.kind()) {
+                return Some(r);
+            }
+        }
+    }
+}
+
+/// Source adapter produced by [`TraceSource::take_refs`].
+#[derive(Debug, Clone)]
+pub struct TakeRefs<S> {
+    inner: S,
+    remaining: usize,
+}
+
+impl<S: TraceSource> TraceSource for TakeRefs<S> {
+    fn next_ref(&mut self) -> Option<MemRef> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.inner.next_ref()
+    }
+}
+
+/// Bridges a [`TraceSource`] back into a standard [`Iterator`].
+///
+/// Needed when a type implements `TraceSource` directly (e.g. an adapter)
+/// and you want `Iterator` conveniences such as `collect`.
+#[derive(Debug, Clone)]
+pub struct IntoIter<S>(pub S);
+
+impl<S: TraceSource> Iterator for IntoIter<S> {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        self.0.next_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::AccessKind;
+
+    fn sample() -> Vec<MemRef> {
+        vec![
+            MemRef::ifetch(0),
+            MemRef::read(100),
+            MemRef::write(200),
+            MemRef::ifetch(2),
+            MemRef::read(104),
+        ]
+    }
+
+    #[test]
+    fn vec_iterator_is_a_source() {
+        let mut s = sample().into_iter();
+        assert_eq!(s.next_ref(), Some(MemRef::ifetch(0)));
+    }
+
+    #[test]
+    fn filter_kind_drops_unmatched() {
+        let s = sample()
+            .into_iter()
+            .filter_kind(|k| k == AccessKind::InstrFetch);
+        let out: Vec<_> = IntoIter(s).collect();
+        assert_eq!(out, vec![MemRef::ifetch(0), MemRef::ifetch(2)]);
+    }
+
+    #[test]
+    fn take_refs_truncates() {
+        let s = sample().into_iter().take_refs(2);
+        let out: Vec<_> = IntoIter(s).collect();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn take_refs_beyond_end_is_fine() {
+        let s = sample().into_iter().take_refs(99);
+        assert_eq!(IntoIter(s).count(), 5);
+    }
+
+    #[test]
+    fn collect_refs_gathers_up_to_n() {
+        let mut s = sample().into_iter();
+        let first = s.collect_refs(3);
+        assert_eq!(first.len(), 3);
+        let rest = s.collect_refs(99);
+        assert_eq!(rest.len(), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! The four traced architectures of the study.
+
+use std::fmt;
+
+/// An architecture whose programs were traced in the paper.
+///
+/// Fixes the data-path (bus word) width the paper assumed when creating
+/// traces — 2 bytes for the 16-bit machines, 4 bytes for the 32-bit ones —
+/// and the native address-space width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Architecture {
+    /// DEC PDP-11 (16-bit); Table 2 workload.
+    Pdp11,
+    /// Zilog Z8000 (16-bit); Table 3 workload.
+    Z8000,
+    /// DEC VAX-11 (32-bit); Table 4 workload.
+    Vax11,
+    /// IBM System/370 (32-bit); Table 5 workload.
+    S370,
+}
+
+impl Architecture {
+    /// All four architectures, in the paper's presentation order.
+    pub const ALL: [Architecture; 4] = [
+        Architecture::Pdp11,
+        Architecture::Z8000,
+        Architecture::Vax11,
+        Architecture::S370,
+    ];
+
+    /// Bus word (data-path) width in bytes.
+    pub const fn word_size(self) -> u64 {
+        match self {
+            Architecture::Pdp11 | Architecture::Z8000 => 2,
+            Architecture::Vax11 | Architecture::S370 => 4,
+        }
+    }
+
+    /// Native address-space width in bits.
+    pub const fn address_bits(self) -> u32 {
+        match self {
+            Architecture::Pdp11 | Architecture::Z8000 => 16,
+            Architecture::Vax11 | Architecture::S370 => 32,
+        }
+    }
+
+    /// Size of the native address space in bytes.
+    pub const fn address_space(self) -> u64 {
+        1u64 << self.address_bits()
+    }
+
+    /// Human-readable name as the paper prints it.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Architecture::Pdp11 => "PDP-11",
+            Architecture::Z8000 => "Z8000",
+            Architecture::Vax11 => "VAX-11",
+            Architecture::S370 => "IBM System/370",
+        }
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_sizes_match_paper_trace_creation() {
+        // §3.3: "Traces were created for the Z8000 and PDP-11 by assuming 2
+        // byte data paths and for the System/370 and VAX-11 assuming 4 byte
+        // data paths to memory."
+        assert_eq!(Architecture::Pdp11.word_size(), 2);
+        assert_eq!(Architecture::Z8000.word_size(), 2);
+        assert_eq!(Architecture::Vax11.word_size(), 4);
+        assert_eq!(Architecture::S370.word_size(), 4);
+    }
+
+    #[test]
+    fn address_spaces() {
+        assert_eq!(Architecture::Pdp11.address_space(), 65_536);
+        assert_eq!(Architecture::Vax11.address_space(), 1 << 32);
+    }
+
+    #[test]
+    fn names_and_order() {
+        let names: Vec<_> = Architecture::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names, ["PDP-11", "Z8000", "VAX-11", "IBM System/370"]);
+    }
+}

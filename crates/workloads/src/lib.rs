@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # occache-workloads — synthetic architecture workload models
+//!
+//! The paper's evaluation rests on trace tapes of real 1983-era programs
+//! (Tables 2–5) that no longer exist. This crate substitutes parameterised
+//! synthetic program models whose locality structure — code footprint and
+//! popularity skew, basic-block runs, loops and calls, stack/global/array/
+//! heap data streams — is calibrated so that full-grid cache simulations
+//! reproduce the *shape* of the paper's results (see `EXPERIMENTS.md` at
+//! the workspace root for the paper-vs-measured record).
+//!
+//! * [`Architecture`] — the four traced machines and their data-path widths,
+//! * [`Profile`] — the tunable locality parameters,
+//! * [`ProgramGenerator`] — a deterministic, endless reference stream,
+//! * [`WorkloadSpec`] — the named traces of Tables 2–5 plus the special
+//!   sets: the 360/85 six-program mix (Table 6) and the RISC II
+//!   instruction-only workload (§2.3).
+//!
+//! ```
+//! use occache_trace::{TraceSource, TraceStats};
+//! use occache_workloads::{Architecture, WorkloadSpec};
+//!
+//! let mut stats = TraceStats::new(Architecture::Z8000.word_size());
+//! let mut gen = WorkloadSpec::z8000_grep().generator(0);
+//! for r in gen.collect_refs(10_000) {
+//!     stats.observe(r);
+//! }
+//! assert!(stats.ifetch_fraction() > 0.5, "instruction fetches dominate");
+//! ```
+
+mod arch;
+mod generator;
+mod multiprogram;
+mod profile;
+mod spec;
+mod special;
+
+pub use arch::Architecture;
+pub use generator::ProgramGenerator;
+pub use multiprogram::Multiprogram;
+pub use profile::{DataMix, Profile};
+pub use spec::WorkloadSpec;
+pub use special::{m85_mix, riscii_instruction_workload};
+
+/// The paper's standard trace length: "Traces were run for 1 million
+/// addresses without context switches" (§3.3).
+pub const PAPER_TRACE_LEN: usize = 1_000_000;

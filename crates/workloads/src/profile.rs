@@ -1,0 +1,374 @@
+//! Locality profiles: the tunable parameters of the synthetic program model.
+//!
+//! A profile is a passive bag of parameters describing *how a program
+//! behaves* — code footprint and popularity skew, basic-block run lengths,
+//! loop/call/branch behaviour, and the mix and footprints of its data
+//! streams. The [`ProgramGenerator`](crate::ProgramGenerator) turns a
+//! profile plus a seed into a deterministic reference stream.
+//!
+//! Calibration note: the paper's Table 7 decomposes (empirically) into
+//! three behavioural components per architecture, and the profile exposes a
+//! knob for each:
+//!
+//! * a **working-set** component (code + stack + globals) captured as the
+//!   cache grows — controlled by `code_functions`, `function_words` and the
+//!   loop parameters;
+//! * a **sequential-sweep** component (large arrays walked once) whose miss
+//!   ratio scales as `word/block` — controlled by `data_mix.sweep`;
+//! * a **scattered-heap** component insensitive to block size — controlled
+//!   by `data_mix.heap` and `heap_words`.
+
+use crate::arch::Architecture;
+
+/// Relative weights of the four data-reference streams.
+///
+/// Weights need not sum to 1; they are normalised by the generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataMix {
+    /// Stack-frame accesses near the stack pointer (strong temporal reuse).
+    pub stack: f64,
+    /// Zipf-distributed references to a small set of hot global words.
+    pub globals: f64,
+    /// A long sequential sweep over a region much larger than any on-chip
+    /// cache (perfect spatial locality, no temporal reuse).
+    pub sweep: f64,
+    /// Uniform-random references into a heap region (no spatial locality).
+    pub heap: f64,
+}
+
+impl DataMix {
+    pub(crate) fn normalised(&self) -> [f64; 4] {
+        let total = self.stack + self.globals + self.sweep + self.heap;
+        assert!(total > 0.0, "data mix must have positive total weight");
+        [
+            self.stack / total,
+            self.globals / total,
+            self.sweep / total,
+            self.heap / total,
+        ]
+    }
+}
+
+/// The full parameter set of the synthetic program model.
+///
+/// This is a passive data structure in the C spirit: every field is public
+/// and independently tweakable, because calibration experiments need to
+/// perturb them one at a time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Architecture this program runs on (fixes word size, address space).
+    pub arch: Architecture,
+    /// Number of distinct functions in the program's hot code.
+    pub code_functions: usize,
+    /// Mean function length in words (individual functions vary ±50%).
+    pub function_words: usize,
+    /// Zipf exponent of function popularity (larger = tighter hot set).
+    pub function_zipf: f64,
+    /// Mean sequential instructions executed between branch decisions.
+    pub mean_run: f64,
+    /// At a branch decision: probability of entering a backward loop.
+    pub loop_prob: f64,
+    /// Mean loop-body length in words.
+    pub loop_body: f64,
+    /// Mean number of iterations each loop executes.
+    pub loop_iters: f64,
+    /// At a branch decision: probability of calling another function.
+    pub call_prob: f64,
+    /// At a branch decision: probability of returning to the caller.
+    pub return_prob: f64,
+    /// Per instruction, probability of one accompanying data reference.
+    pub mem_ref_prob: f64,
+    /// Fraction of data references that are writes.
+    pub write_frac: f64,
+    /// Relative weights of the data streams.
+    pub data_mix: DataMix,
+    /// Number of distinct hot global records.
+    pub global_records: usize,
+    /// Zipf exponent over global records.
+    pub global_zipf: f64,
+    /// Spacing between consecutive global records, in words. A stride of 1
+    /// packs the records into a contiguous array; larger strides scatter
+    /// them across the address space (records cluster at the word scale
+    /// but not at the sector scale — the behaviour that defeats the
+    /// 360/85's 1024-byte sectors in Table 6).
+    pub global_stride_words: u64,
+    /// Mean within-record offset of a global access, in words.
+    pub global_record_spread: f64,
+    /// Mean cold-code gap between consecutive functions, in words (0 packs
+    /// functions back to back; a gap comparable to the function size
+    /// scatters hot code across the binary as linkers do).
+    pub code_gap_words: usize,
+    /// Code density: bytes of layout per instruction, as a fraction of the
+    /// word size. `1.0` is the normal one-instruction-per-word layout;
+    /// `0.8` models the RISC II half-word code compaction (§2.3), where a
+    /// 40% half-word fraction packs the same instructions into 80% of the
+    /// bytes (two half-word instructions share a word address).
+    pub code_density: f64,
+    /// Sequential-sweep region size in words (should dwarf any cache).
+    pub sweep_words: u64,
+    /// Heap region size in words.
+    pub heap_words: u64,
+    /// Stack region size in words.
+    pub stack_words: u64,
+    /// Words a call frame shifts the stack pointer by.
+    pub frame_words: u64,
+    /// Mean offset (in words) of a stack access above the stack pointer.
+    pub stack_spread: f64,
+}
+
+impl Profile {
+    /// Baseline profile for an architecture; the named workload
+    /// constructors in [`WorkloadSpec`](crate::WorkloadSpec) perturb these.
+    ///
+    /// The numbers are calibrated so that full-grid simulations reproduce
+    /// the *shape* of the paper's Table 7 (see EXPERIMENTS.md for the
+    /// paper-vs-measured record).
+    pub fn baseline(arch: Architecture) -> Profile {
+        match arch {
+            Architecture::Pdp11 => Profile {
+                arch,
+                code_functions: 28,
+                function_words: 128,
+                function_zipf: 2.3,
+                mean_run: 7.0,
+                loop_prob: 0.32,
+                loop_body: 14.0,
+                loop_iters: 20.0,
+                call_prob: 0.10,
+                return_prob: 0.10,
+                mem_ref_prob: 0.65,
+                write_frac: 0.30,
+                data_mix: DataMix {
+                    stack: 0.40,
+                    globals: 0.37,
+                    sweep: 0.16,
+                    heap: 0.04,
+                },
+                global_records: 256,
+                global_zipf: 0.7,
+                global_stride_words: 1,
+                global_record_spread: 1.0,
+                code_gap_words: 0,
+                code_density: 1.0,
+                sweep_words: 18_000,
+                heap_words: 2_048,
+                stack_words: 512,
+                frame_words: 24,
+                stack_spread: 8.0,
+            },
+            Architecture::Z8000 => Profile {
+                arch,
+                code_functions: 8,
+                function_words: 96,
+                function_zipf: 2.5,
+                mean_run: 8.0,
+                loop_prob: 0.36,
+                loop_body: 12.0,
+                loop_iters: 26.0,
+                call_prob: 0.09,
+                return_prob: 0.09,
+                mem_ref_prob: 0.60,
+                write_frac: 0.30,
+                data_mix: DataMix {
+                    stack: 0.50,
+                    globals: 0.33,
+                    sweep: 0.12,
+                    heap: 0.02,
+                },
+                global_records: 160,
+                global_zipf: 0.7,
+                global_stride_words: 1,
+                global_record_spread: 1.0,
+                code_gap_words: 0,
+                code_density: 1.0,
+                sweep_words: 16_000,
+                heap_words: 1_024,
+                stack_words: 384,
+                frame_words: 10,
+                stack_spread: 6.0,
+            },
+            Architecture::Vax11 => Profile {
+                arch,
+                code_functions: 32,
+                function_words: 192,
+                function_zipf: 2.2,
+                mean_run: 6.0,
+                loop_prob: 0.34,
+                loop_body: 8.0,
+                loop_iters: 30.0,
+                call_prob: 0.11,
+                return_prob: 0.11,
+                mem_ref_prob: 0.65,
+                write_frac: 0.30,
+                data_mix: DataMix {
+                    stack: 0.40,
+                    globals: 0.34,
+                    sweep: 0.14,
+                    heap: 0.04,
+                },
+                global_records: 320,
+                global_zipf: 0.7,
+                global_stride_words: 1,
+                global_record_spread: 1.0,
+                code_gap_words: 0,
+                code_density: 1.0,
+                sweep_words: 48_000,
+                heap_words: 16_384,
+                stack_words: 768,
+                frame_words: 12,
+                stack_spread: 2.0,
+            },
+            Architecture::S370 => Profile {
+                arch,
+                code_functions: 144,
+                function_words: 256,
+                function_zipf: 0.8,
+                mean_run: 5.0,
+                loop_prob: 0.28,
+                loop_body: 12.0,
+                loop_iters: 10.0,
+                call_prob: 0.13,
+                return_prob: 0.13,
+                mem_ref_prob: 0.90,
+                write_frac: 0.30,
+                data_mix: DataMix {
+                    stack: 0.18,
+                    globals: 0.13,
+                    sweep: 0.50,
+                    heap: 0.19,
+                },
+                global_records: 512,
+                global_zipf: 0.8,
+                global_stride_words: 1,
+                global_record_spread: 1.0,
+                code_gap_words: 0,
+                code_density: 1.0,
+                sweep_words: 96_000,
+                heap_words: 65_536,
+                stack_words: 2_048,
+                frame_words: 16,
+                stack_spread: 6.0,
+            },
+        }
+    }
+
+    /// Code footprint in bytes (mean; individual layouts vary slightly).
+    pub fn code_footprint(&self) -> u64 {
+        self.code_functions as u64 * self.function_words as u64 * self.arch.word_size()
+    }
+
+    /// Sanity-checks the profile, panicking with a description on misuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities are out of range, region sizes are zero, or
+    /// the regions cannot fit in the architecture's address space.
+    pub fn validate(&self) {
+        assert!(self.code_functions > 0, "need at least one function");
+        assert!(self.function_words >= 4, "functions must hold a few words");
+        assert!(self.mean_run >= 1.0, "mean run must be at least 1");
+        assert!(self.loop_body >= 1.0 && self.loop_iters >= 0.0);
+        for (what, p) in [
+            ("loop_prob", self.loop_prob),
+            ("call_prob", self.call_prob),
+            ("return_prob", self.return_prob),
+            ("mem_ref_prob", self.mem_ref_prob),
+            ("write_frac", self.write_frac),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{what} out of [0,1]: {p}");
+        }
+        assert!(
+            self.loop_prob + self.call_prob + self.return_prob <= 1.0,
+            "branch-kind probabilities exceed 1"
+        );
+        assert!(self.sweep_words > 0 && self.heap_words > 0 && self.stack_words > 0);
+        let word = self.arch.word_size();
+        assert!(self.global_stride_words >= 1, "global stride must be >= 1");
+        assert!(
+            self.code_density > 0.0 && self.code_density <= 1.0,
+            "code density must be in (0, 1]"
+        );
+        assert!(self.global_record_spread >= 1.0);
+        let code_bytes =
+            self.code_functions as u64 * (self.function_words + self.code_gap_words) as u64 * word;
+        let globals_bytes = self.global_records as u64 * self.global_stride_words * word;
+        let total_bytes = code_bytes
+            + globals_bytes
+            + (self.sweep_words + self.heap_words + self.stack_words) * word;
+        assert!(
+            total_bytes <= self.arch.address_space(),
+            "regions ({total_bytes} bytes) exceed the {} address space",
+            self.arch
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_validate() {
+        for arch in Architecture::ALL {
+            Profile::baseline(arch).validate();
+        }
+    }
+
+    #[test]
+    fn footprints_grow_with_architecture_class() {
+        // §4.2.5: Z8000 utilities are small and compact; System/370 jobs use
+        // hundreds of kilobytes. The model must preserve that ordering.
+        let z = Profile::baseline(Architecture::Z8000).code_footprint();
+        let p = Profile::baseline(Architecture::Pdp11).code_footprint();
+        let v = Profile::baseline(Architecture::Vax11).code_footprint();
+        let s = Profile::baseline(Architecture::S370).code_footprint();
+        assert!(z < p && p < v && v < s, "{z} {p} {v} {s}");
+    }
+
+    #[test]
+    fn sixteen_bit_profiles_fit_their_address_space() {
+        for arch in [Architecture::Pdp11, Architecture::Z8000] {
+            let p = Profile::baseline(arch);
+            let total = p.code_footprint()
+                + (p.global_records as u64 * p.global_stride_words
+                    + p.sweep_words
+                    + p.heap_words
+                    + p.stack_words)
+                    * arch.word_size();
+            assert!(total <= 65_536, "{arch}: {total}");
+        }
+    }
+
+    #[test]
+    fn data_mix_normalises() {
+        let mix = DataMix {
+            stack: 2.0,
+            globals: 1.0,
+            sweep: 1.0,
+            heap: 0.0,
+        };
+        let n = mix.normalised();
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((n[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn empty_mix_panics() {
+        DataMix {
+            stack: 0.0,
+            globals: 0.0,
+            sweep: 0.0,
+            heap: 0.0,
+        }
+        .normalised();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn oversized_regions_fail_validation() {
+        let mut p = Profile::baseline(Architecture::Pdp11);
+        p.sweep_words = 1 << 20;
+        p.validate();
+    }
+}

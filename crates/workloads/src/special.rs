@@ -1,0 +1,155 @@
+//! Special-purpose workloads: the 360/85 comparison mix (Table 6) and the
+//! RISC II instruction-only workload (§2.3).
+
+use crate::arch::Architecture;
+use crate::profile::{DataMix, Profile};
+use crate::spec::WorkloadSpec;
+
+/// The six-program System/360-class mix behind Table 6: "1 Fortran Go Step,
+/// 1 Fortran Compile, 2 Cobol programs, and 2 PL/I Go Steps".
+///
+/// These are *not* the Table 5 System/370 jobs: the 1968-era mix behind
+/// Liptay's measurements is far friendlier to a 16 KB cache (the paper
+/// measures a 0.0258 miss ratio for the 360/85 and 0.0088 for 4-way
+/// set-associative mapping). What defeats the sector organisation is that
+/// the working set — small enough to fit 16 KB at 64-byte granularity — is
+/// *scattered across many more 1024-byte regions than the cache has
+/// sectors*. The profiles here model that structure directly: hot global
+/// records strided 1 KB apart, hot functions separated by cold code, and a
+/// compact stack.
+pub fn m85_mix() -> Vec<WorkloadSpec> {
+    vec![
+        m85_program("M85-FGO", "Fortran Go step (360 mix)", 0x36_01, 1.15, 0.9),
+        m85_program("M85-FCOMP", "Fortran compile (360 mix)", 0x36_02, 0.9, 1.2),
+        m85_program(
+            "M85-COBOL1",
+            "Cobol: record processing (360 mix)",
+            0x36_03,
+            1.0,
+            1.0,
+        ),
+        m85_program(
+            "M85-COBOL2",
+            "Cobol: record processing (360 mix)",
+            0x36_04,
+            1.1,
+            1.05,
+        ),
+        m85_program("M85-PGO1", "PL/I Go step (360 mix)", 0x36_05, 0.95, 1.1),
+        m85_program("M85-PGO2", "PL/I Go step (360 mix)", 0x36_06, 1.05, 0.95),
+    ]
+}
+
+/// One program of the 360 mix; `data_scale` scales the scattered-record
+/// weight and `code_scale` the code footprint, for variety across the six.
+fn m85_program(
+    name: &'static str,
+    description: &'static str,
+    seed: u64,
+    data_scale: f64,
+    code_scale: f64,
+) -> WorkloadSpec {
+    let profile = Profile {
+        arch: Architecture::S370,
+        code_functions: (40.0 * code_scale) as usize,
+        function_words: 192,
+        function_zipf: 1.2,
+        mean_run: 5.0,
+        loop_prob: 0.30,
+        loop_body: 12.0,
+        loop_iters: 14.0,
+        call_prob: 0.12,
+        return_prob: 0.12,
+        mem_ref_prob: 0.80,
+        write_frac: 0.30,
+        data_mix: DataMix {
+            stack: 0.80,
+            globals: 0.06 * data_scale,
+            sweep: 0.08,
+            heap: 0.005,
+        },
+        global_records: 128,
+        global_zipf: 0.45,
+        global_stride_words: 256,
+        global_record_spread: 3.0,
+        code_gap_words: 320,
+        code_density: 1.0,
+        sweep_words: 64_000,
+        heap_words: 8_192,
+        stack_words: 512,
+        frame_words: 12,
+        stack_spread: 4.0,
+    };
+    WorkloadSpec::with_profile(name, description, seed, profile)
+}
+
+/// The RISC II instruction-cache workload of §2.3: instruction fetches
+/// only (the RISC II cache chip held no data), 32-bit instructions,
+/// RISC-style short basic blocks with frequent calls.
+///
+/// Used to reproduce the size curve 0.148 / 0.125 / 0.098 / 0.078 for
+/// 512 → 4096-byte direct-mapped caches with 8-byte blocks.
+pub fn riscii_instruction_workload() -> WorkloadSpec {
+    let mut p = Profile::baseline(Architecture::Vax11);
+    // Instruction-only: no data references at all.
+    p.mem_ref_prob = 0.0;
+    // RISC code is less dense: ~30% more instructions for the same work,
+    // and register windows encourage frequent small procedures.
+    p.code_functions = 40;
+    p.function_words = 128;
+    p.function_zipf = 0.75;
+    p.mean_run = 4.5;
+    p.loop_prob = 0.24;
+    p.loop_body = 10.0;
+    p.loop_iters = 5.0;
+    p.call_prob = 0.18;
+    p.return_prob = 0.18;
+    WorkloadSpec::with_profile(
+        "RISCII",
+        "RISC II instruction-fetch stream (benchmarks of [12])",
+        0x52_01,
+        p,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occache_trace::{AccessKind, TraceSource};
+
+    #[test]
+    fn m85_mix_has_six_programs() {
+        let mix = m85_mix();
+        assert_eq!(mix.len(), 6);
+        for spec in &mix {
+            assert_eq!(spec.arch(), Architecture::S370, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn m85_mix_names_are_unique() {
+        let mut names: Vec<_> = m85_mix().iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn m85_globals_scatter_across_kilobyte_regions() {
+        // The property that defeats the sector cache: far more distinct
+        // 1 KB regions than the 360/85 has sectors.
+        use std::collections::HashSet;
+        let spec = &m85_mix()[0];
+        let refs = spec.generator(0).collect_refs(200_000);
+        let regions: HashSet<u64> = refs.iter().map(|r| r.address().value() / 1024).collect();
+        assert!(regions.len() > 64, "only {} regions", regions.len());
+    }
+
+    #[test]
+    fn riscii_emits_only_instruction_fetches() {
+        let refs = riscii_instruction_workload()
+            .generator(0)
+            .collect_refs(20_000);
+        assert!(refs.iter().all(|r| r.kind() == AccessKind::InstrFetch));
+    }
+}

@@ -1,0 +1,81 @@
+//! Load-forward (§4.4): the Zilog Z80,000 on-chip cache design.
+//!
+//! The Z80,000 used a 256-byte cache with 16-byte blocks, one-word
+//! (2-byte) sub-blocks, and *load-forward*: on a miss, fetch the target
+//! sub-block and everything after it in the block. This combines the low
+//! miss ratio of big blocks with most of the traffic savings of small
+//! sub-blocks, because code and data reference patterns are
+//! forward-biased.
+//!
+//! This example compares the three candidate designs on the compiler
+//! traces the paper used (CPP, C1, C2) and reports the redundant-load
+//! overhead of the simple scheme.
+//!
+//! Run with: `cargo run --release --example load_forward`
+
+use occache::core::{simulate, CacheConfig, FetchPolicy};
+use occache::workloads::WorkloadSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let traces: Vec<Vec<_>> = WorkloadSpec::z8000_load_forward_set()
+        .iter()
+        .map(|spec| spec.generator(0).take(400_000).collect())
+        .collect();
+
+    let designs: [(&str, u64, FetchPolicy); 4] = [
+        ("full-block fetch   (16,16)", 16, FetchPolicy::Demand),
+        ("word sub-blocks    (16,2)", 2, FetchPolicy::Demand),
+        (
+            "Z80,000 load-forward (16,2,LF)",
+            2,
+            FetchPolicy::LOAD_FORWARD,
+        ),
+        (
+            "optimized load-forward",
+            2,
+            FetchPolicy::LoadForward {
+                remember_valid: true,
+            },
+        ),
+    ];
+
+    println!("256-byte cache, 16-byte blocks, Z8000 compiler traces\n");
+    println!(
+        "{:<32} {:>8} {:>9} {:>10}",
+        "design", "miss", "traffic", "redundant"
+    );
+    for (name, sub, fetch) in designs {
+        let config = CacheConfig::builder()
+            .net_size(256)
+            .block_size(16)
+            .sub_block_size(sub)
+            .word_size(2)
+            .fetch(fetch)
+            .build()?;
+        let mut miss = 0.0;
+        let mut traffic = 0.0;
+        let mut redundant = 0.0;
+        for trace in &traces {
+            let m = simulate(config, trace.iter().copied(), 20_000);
+            miss += m.miss_ratio();
+            traffic += m.traffic_ratio();
+            if m.sub_loads() > 0 {
+                redundant += m.redundant_sub_loads() as f64 / m.sub_loads() as f64;
+            }
+        }
+        let n = traces.len() as f64;
+        println!(
+            "{name:<32} {:>8.4} {:>9.4} {:>9.1}%",
+            miss / n,
+            traffic / n,
+            redundant / n * 100.0
+        );
+    }
+    println!(
+        "\nLoad-forward sits between the extremes: nearly the miss ratio of\n\
+         full-block fetch at a fraction of its traffic. The redundant-load\n\
+         overhead of the simple scheme is small — which is why the Z80,000\n\
+         (and the paper) did not bother with the optimized variant."
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! The "minimum cache" of §2.2: the smallest cache worth building.
+//!
+//! The paper proposes a ~190-byte-of-RAM design — 32 data words in 16
+//! two-word blocks, loading only the requested word on a miss — and finds
+//! that a 64-byte (net) cache with 2-word blocks and 1-word sub-blocks
+//! cuts both memory references and bus traffic by about one third on the
+//! 16-bit workloads (§5). This example verifies the RAM budget arithmetic
+//! and measures that one-third claim per architecture.
+//!
+//! Run with: `cargo run --release --example minimum_cache`
+
+use occache::core::{simulate, CacheConfig};
+use occache::workloads::{Architecture, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // §2.2's area estimate: 16 blocks × [29 tag + 2 valid + 64 data bits].
+    let proposal = CacheConfig::builder()
+        .net_size(128) // 32 words × 4 bytes
+        .block_size(8)
+        .sub_block_size(4)
+        .associativity(2)
+        .word_size(4)
+        .build()?;
+    println!(
+        "§2.2 minimum cache: {} data bytes -> {} bytes of RAM (paper: ~190)\n",
+        proposal.net_size(),
+        proposal.gross_size()
+    );
+
+    println!("64-byte minimum cache (block = 2 words, sub-block = 1 word):");
+    println!(
+        "{:<16} {:>8} {:>9} {:>8} {:>10}",
+        "architecture", "miss", "traffic", "gross", "refs cut"
+    );
+    for arch in Architecture::ALL {
+        let word = arch.word_size();
+        let config = CacheConfig::builder()
+            .net_size(64)
+            .block_size(2 * word)
+            .sub_block_size(word)
+            .word_size(word)
+            .build()?;
+        let traces: Vec<Vec<_>> = WorkloadSpec::set_for(arch)
+            .iter()
+            .map(|spec| spec.generator(0).take(300_000).collect())
+            .collect();
+        let mut miss = 0.0;
+        let mut traffic = 0.0;
+        for trace in &traces {
+            let m = simulate(config, trace.iter().copied(), 0);
+            miss += m.miss_ratio();
+            traffic += m.traffic_ratio();
+        }
+        let n = traces.len() as f64;
+        miss /= n;
+        traffic /= n;
+        println!(
+            "{:<16} {:>8.4} {:>9.4} {:>8} {:>9.0}%",
+            arch.name(),
+            miss,
+            traffic,
+            config.gross_size(),
+            (1.0 - miss) * 100.0
+        );
+    }
+    println!(
+        "\n(§5: the minimum cache cuts references and traffic by about a third\n\
+         on PDP-11, Z8000 and VAX-11 — but only ~16% of System/370 misses,\n\
+         which is why the paper calls minimum caches unfit for that workload.)"
+    );
+    Ok(())
+}

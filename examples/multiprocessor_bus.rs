@@ -1,0 +1,72 @@
+//! Bus-limited shared-memory systems (§4.3): when several microprocessors
+//! share one memory bus, the figure of merit is not raw bytes moved but
+//! *bus occupancy* under the bus's cost model `a + b·w`.
+//!
+//! With nibble-mode DRAMs (first word 160 ns, subsequent 55 ns) a burst of
+//! w sequential words costs roughly `1 + (w-1)/3` single-word times, so
+//! larger sub-blocks amortise the transaction overhead — the paper found
+//! the optimal sub-block size roughly *doubles* relative to a conventional
+//! bus. This example measures that shift.
+//!
+//! Run with: `cargo run --release --example multiprocessor_bus`
+
+use occache::core::{simulate, BusModel, CacheConfig};
+use occache::workloads::{Architecture, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = Architecture::Pdp11;
+    let traces: Vec<Vec<_>> = WorkloadSpec::set_for(arch)
+        .iter()
+        .map(|spec| spec.generator(0).take(400_000).collect())
+        .collect();
+
+    let conventional = BusModel::Linear;
+    let nibble = BusModel::from_timings(160.0, 55.0);
+
+    println!("512-byte cache, 16-byte blocks, PDP-11 workload");
+    println!(
+        "{:>5} {:>9} {:>14} {:>14}",
+        "sub", "miss", "linear bus", "nibble bus"
+    );
+    let mut best_linear = (0u64, f64::INFINITY);
+    let mut best_nibble = (0u64, f64::INFINITY);
+    for sub in [2u64, 4, 8, 16] {
+        let config = CacheConfig::builder()
+            .net_size(512)
+            .block_size(16)
+            .sub_block_size(sub)
+            .word_size(arch.word_size())
+            .build()?;
+        let mut miss = 0.0;
+        let mut linear = 0.0;
+        let mut scaled = 0.0;
+        for trace in &traces {
+            let m = simulate(config, trace.iter().copied(), 0);
+            miss += m.miss_ratio();
+            linear += m.scaled_traffic_ratio(conventional);
+            scaled += m.scaled_traffic_ratio(nibble);
+        }
+        let n = traces.len() as f64;
+        miss /= n;
+        linear /= n;
+        scaled /= n;
+        println!("{sub:>5} {miss:>9.4} {linear:>14.4} {scaled:>14.4}");
+        if linear < best_linear.1 {
+            best_linear = (sub, linear);
+        }
+        if scaled < best_nibble.1 {
+            best_nibble = (sub, scaled);
+        }
+    }
+
+    println!(
+        "\nbus-occupancy-optimal sub-block: {} bytes on a conventional bus,\n\
+         {} bytes with nibble-mode memories",
+        best_linear.0, best_nibble.0
+    );
+    println!(
+        "(§4.3/§5: \"the optimum sub-block size roughly doubled relative to\n\
+         the optimum size found in other results\")"
+    );
+    Ok(())
+}

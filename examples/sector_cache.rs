@@ -1,0 +1,70 @@
+//! The original sector cache (§4.1): why the IBM 360/85's organisation
+//! lost to set-associative mapping.
+//!
+//! The 360/85 tied each address tag to a 1024-byte *sector* and
+//! transferred 64-byte sub-blocks, because associative search hardware was
+//! expensive in 1968 and 16 tags were all one could afford. Fifteen years
+//! later the paper shows the same chip area is far better spent on
+//! set-associative mapping of 64-byte blocks: data can live in only 16
+//! places, and most of each giant sector is never used.
+//!
+//! Run with: `cargo run --release --example sector_cache`
+
+use occache::core::{simulate, CacheConfig};
+use occache::workloads::m85_mix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let traces: Vec<Vec<_>> = m85_mix()
+        .iter()
+        .map(|spec| spec.generator(0).take(400_000).collect())
+        .collect();
+
+    let sector = CacheConfig::builder()
+        .net_size(16 * 1024)
+        .block_size(1024)
+        .sub_block_size(64)
+        .associativity(16) // 16 sectors, fully associative
+        .word_size(4)
+        .build()?;
+    let set_assoc = CacheConfig::builder()
+        .net_size(16 * 1024)
+        .block_size(64)
+        .sub_block_size(64)
+        .associativity(4)
+        .word_size(4)
+        .build()?;
+
+    println!("16 KB caches on a System/360-class six-program mix\n");
+    let mut sector_miss = 0.0;
+    let mut unreferenced = 0.0;
+    let mut set_miss = 0.0;
+    for trace in &traces {
+        let m = simulate(sector, trace.iter().copied(), 0);
+        sector_miss += m.miss_ratio();
+        unreferenced += m.unreferenced_sub_block_fraction();
+        set_miss += simulate(set_assoc, trace.iter().copied(), 0).miss_ratio();
+    }
+    let n = traces.len() as f64;
+    sector_miss /= n;
+    unreferenced /= n;
+    set_miss /= n;
+
+    println!("360/85 sector cache (16 x 1024 B sectors): miss {sector_miss:.4}");
+    println!("4-way set-associative (64 B blocks):       miss {set_miss:.4}");
+    println!(
+        "set-associative advantage: {:.1}x fewer misses (paper: ~3x)",
+        sector_miss / set_miss
+    );
+    println!(
+        "sector sub-blocks never referenced while resident: {:.0}% (paper: 72%)",
+        unreferenced * 100.0
+    );
+    println!(
+        "\nNote the tag budgets: the sector cache needs {} tag+valid bytes,\n\
+         the set-associative one {} — the sector design saved tag RAM at a\n\
+         3x cost in misses, a bargain in 1968 and a bad trade by 1984.",
+        sector.gross_size() - sector.net_size(),
+        set_assoc.gross_size() - set_assoc.net_size(),
+    );
+    Ok(())
+}

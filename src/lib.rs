@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # occache — on-chip microprocessor cache evaluation
+//!
+//! A from-scratch Rust reproduction of Hill & Smith, *"Experimental
+//! Evaluation of On-Chip Microprocessor Cache Memories"* (ISCA 1984).
+//!
+//! This facade crate re-exports the workspace libraries:
+//!
+//! * [`trace`] — address-trace substrate (records, streams, I/O, statistics),
+//! * [`core`] — the sub-block (sector) cache simulator and its metrics,
+//! * [`workloads`] — synthetic PDP-11 / Z8000 / VAX-11 / System/370 workload
+//!   models standing in for the paper's 1984 trace tapes,
+//! * [`riscii`] — the RISC II instruction-cache chip of §2.3 (remote
+//!   program counter, code compaction),
+//! * [`experiments`] — the harness that regenerates every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use occache::core::{CacheConfig, SubBlockCache};
+//! use occache::trace::TraceSource;
+//! use occache::workloads::{Architecture, WorkloadSpec};
+//!
+//! // A 1024-byte cache with 16-byte blocks and 8-byte sub-blocks — the
+//! // paper's headline "16,8 1024-byte" configuration.
+//! let config = CacheConfig::builder()
+//!     .net_size(1024)
+//!     .block_size(16)
+//!     .sub_block_size(8)
+//!     .word_size(2)
+//!     .build()?;
+//! let mut cache = SubBlockCache::new(config);
+//!
+//! let mut trace = WorkloadSpec::pdp11_ed().generator(42);
+//! for _ in 0..10_000 {
+//!     let r = trace.next_ref().expect("generators are endless");
+//!     cache.access(r.address(), r.kind());
+//! }
+//! let metrics = cache.metrics();
+//! assert!(metrics.miss_ratio() > 0.0 && metrics.miss_ratio() < 1.0);
+//! # Ok::<(), occache::core::ConfigError>(())
+//! ```
+
+pub use occache_core as core;
+pub use occache_experiments as experiments;
+pub use occache_riscii as riscii;
+pub use occache_trace as trace;
+pub use occache_workloads as workloads;

@@ -1,0 +1,155 @@
+//! Integration tests for the extension substrates: prefetching, the
+//! RISC II chip, multiprogramming and shared-bus sizing — each exercised
+//! against the synthetic workloads rather than hand-built streams.
+
+use occache::core::{simulate, CacheConfig, FetchPolicy, SharedBus};
+use occache::riscii::RiscIiCache;
+use occache::trace::TraceSource;
+use occache::workloads::{riscii_instruction_workload, Multiprogram, WorkloadSpec};
+
+const LEN: usize = 80_000;
+
+fn prefetch_config(fetch: FetchPolicy) -> CacheConfig {
+    CacheConfig::builder()
+        .net_size(1024)
+        .block_size(16)
+        .sub_block_size(4)
+        .word_size(2)
+        .fetch(fetch)
+        .build()
+        .unwrap()
+}
+
+/// §2.2's cost/benefit structure: each prefetch policy trades misses for
+/// traffic, ordered demand > prefetch-on-miss > tagged on misses and the
+/// reverse on traffic; load-forward moves the most data of all.
+#[test]
+fn prefetch_policies_order_as_expected() {
+    let trace = WorkloadSpec::pdp11_ed().generator(0).collect_refs(LEN);
+    let demand = simulate(
+        prefetch_config(FetchPolicy::Demand),
+        trace.iter().copied(),
+        0,
+    );
+    let on_miss = simulate(
+        prefetch_config(FetchPolicy::PrefetchNext { tagged: false }),
+        trace.iter().copied(),
+        0,
+    );
+    let tagged = simulate(
+        prefetch_config(FetchPolicy::PrefetchNext { tagged: true }),
+        trace.iter().copied(),
+        0,
+    );
+    let forward = simulate(
+        prefetch_config(FetchPolicy::LOAD_FORWARD),
+        trace.iter().copied(),
+        0,
+    );
+    assert!(on_miss.miss_ratio() < demand.miss_ratio());
+    assert!(tagged.miss_ratio() < on_miss.miss_ratio());
+    assert!(on_miss.traffic_ratio() > demand.traffic_ratio());
+    assert!(forward.traffic_ratio() > tagged.traffic_ratio());
+    // Pollution is real but bounded on a loop-heavy workload.
+    assert!(on_miss.prefetch_pollution() > 0.0);
+    assert!(on_miss.prefetch_pollution() < 0.8);
+    // Tagged prefetch re-triggers on use, so its pollution is no worse.
+    assert!(tagged.prefetch_pollution() <= on_miss.prefetch_pollution());
+}
+
+/// Prefetch bookkeeping never counts more uses than issues.
+#[test]
+fn prefetch_uses_bounded_by_issues() {
+    for tagged in [false, true] {
+        let trace = WorkloadSpec::z8000_grep().generator(1).collect_refs(LEN);
+        let m = simulate(
+            prefetch_config(FetchPolicy::PrefetchNext { tagged }),
+            trace.iter().copied(),
+            0,
+        );
+        assert!(m.prefetch_uses() <= m.prefetched_subs(), "tagged={tagged}");
+        assert!((0.0..=1.0).contains(&m.prefetch_pollution()));
+    }
+}
+
+/// The RISC II chip is deterministic and its headline quantities live in
+/// the bands the paper reports.
+#[test]
+fn riscii_chip_reproduces_headline_bands() {
+    let trace = riscii_instruction_workload()
+        .generator(0)
+        .collect_refs(200_000);
+    let mut a = RiscIiCache::paper_chip().unwrap();
+    let mut b = RiscIiCache::paper_chip().unwrap();
+    for r in &trace {
+        a.fetch(r.address());
+        b.fetch(r.address());
+    }
+    assert_eq!(a.miss_ratio(), b.miss_ratio(), "deterministic");
+    assert!((0.10..0.20).contains(&a.miss_ratio()), "{}", a.miss_ratio());
+    assert!(
+        (0.75..0.95).contains(&a.prediction_accuracy()),
+        "{}",
+        a.prediction_accuracy()
+    );
+    assert!(
+        (0.30..0.50).contains(&a.hit_time_reduction()),
+        "{}",
+        a.hit_time_reduction()
+    );
+}
+
+/// Multiprogramming inflates the miss ratio, and more at larger caches —
+/// the §3.3 claim the task_switch experiment quantifies.
+#[test]
+fn task_switching_inflates_large_caches_more() {
+    let specs = [WorkloadSpec::pdp11_ed(), WorkloadSpec::pdp11_plot()];
+    let solo: Vec<_> = specs[0].generator(0).collect_refs(LEN);
+    let mut mp = Multiprogram::from_specs(&specs, 2_000);
+    let interleaved = mp.collect_refs(LEN);
+
+    let mut inflations = Vec::new();
+    for net in [64u64, 1024, 8192] {
+        let config = CacheConfig::builder()
+            .net_size(net)
+            .block_size(16)
+            .sub_block_size(8)
+            .word_size(2)
+            .build()
+            .unwrap();
+        let solo_miss = simulate(config, solo.iter().copied(), 0).miss_ratio();
+        let mp_miss = simulate(config, interleaved.iter().copied(), 0).miss_ratio();
+        inflations.push(mp_miss / solo_miss);
+    }
+    assert!(
+        inflations[2] > inflations[0],
+        "switching hurts the big cache more: {inflations:?}"
+    );
+    assert!(
+        inflations[0] < 1.4,
+        "tiny caches barely notice: {inflations:?}"
+    );
+}
+
+/// Traffic ratios and the shared-bus model compose: a better cache
+/// supports at least as many processors.
+#[test]
+fn better_caches_support_more_processors() {
+    let trace = WorkloadSpec::pdp11_simp().generator(0).collect_refs(LEN);
+    let bus = SharedBus::new(0.4);
+    let mut last = 0;
+    for (net, block, sub) in [(64u64, 4u64, 2u64), (256, 16, 8), (1024, 16, 16)] {
+        let config = CacheConfig::builder()
+            .net_size(net)
+            .block_size(block)
+            .sub_block_size(sub)
+            .word_size(2)
+            .build()
+            .unwrap();
+        let traffic = simulate(config, trace.iter().copied(), 0).traffic_ratio();
+        let processors = bus.max_processors(traffic, 0.7);
+        assert!(processors >= last, "{net} bytes: {processors} < {last}");
+        last = processors;
+    }
+    assert!(last >= 4, "a 1 KB cache carries several processors: {last}");
+}

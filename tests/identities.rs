@@ -1,0 +1,154 @@
+//! Cross-crate metric identities: relations that must hold *exactly*, for
+//! any trace, by construction of the metrics.
+
+use occache::core::{simulate, BusModel, CacheConfig, FetchPolicy};
+use occache::trace::TraceSource;
+use occache::workloads::{Architecture, WorkloadSpec};
+
+fn trace_for(arch: Architecture, n: usize) -> Vec<occache::trace::MemRef> {
+    WorkloadSpec::set_for(arch)[0].generator(7).collect_refs(n)
+}
+
+/// For demand fetch, every counted miss moves exactly one sub-block, so
+/// traffic ratio == miss ratio × (sub-block / word). The paper's Table 7
+/// demand rows satisfy this; our simulator must satisfy it exactly.
+#[test]
+fn traffic_is_miss_times_sub_over_word_for_demand() {
+    for arch in Architecture::ALL {
+        let trace = trace_for(arch, 50_000);
+        let word = arch.word_size();
+        for (net, block, sub) in [(64, 8, word), (256, 16, 8), (1024, 32, 4.max(word))] {
+            let config = CacheConfig::builder()
+                .net_size(net)
+                .block_size(block)
+                .sub_block_size(sub)
+                .word_size(word)
+                .build()
+                .unwrap();
+            let m = simulate(config, trace.iter().copied(), 0);
+            let expected = m.miss_ratio() * sub as f64 / word as f64;
+            assert!(
+                (m.traffic_ratio() - expected).abs() < 1e-12,
+                "{arch} {net}/{block},{sub}"
+            );
+        }
+    }
+}
+
+/// The linear bus model's scaled traffic ratio IS the traffic ratio.
+#[test]
+fn linear_bus_reproduces_traffic_ratio() {
+    let trace = trace_for(Architecture::Pdp11, 30_000);
+    let config = CacheConfig::builder()
+        .net_size(512)
+        .block_size(16)
+        .sub_block_size(4)
+        .word_size(2)
+        .build()
+        .unwrap();
+    let m = simulate(config, trace.iter().copied(), 0);
+    assert!((m.scaled_traffic_ratio(BusModel::Linear) - m.traffic_ratio()).abs() < 1e-12);
+}
+
+/// For demand fetch (fixed transfer size), the nibble-scaled ratio equals
+/// the plain ratio times the scale factor for that transfer size — the
+/// transformation the paper applies to produce its nibble columns.
+#[test]
+fn nibble_scaling_matches_fixed_transfer_factor() {
+    let trace = trace_for(Architecture::Pdp11, 30_000);
+    let bus = BusModel::paper_nibble();
+    for sub in [2u64, 4, 8, 16] {
+        let config = CacheConfig::builder()
+            .net_size(1024)
+            .block_size(16)
+            .sub_block_size(sub)
+            .word_size(2)
+            .build()
+            .unwrap();
+        let m = simulate(config, trace.iter().copied(), 0);
+        let words = sub / 2;
+        let expected = m.traffic_ratio() * bus.scale_factor(words);
+        assert!(
+            (m.scaled_traffic_ratio(bus) - expected).abs() < 1e-12,
+            "sub {sub}"
+        );
+    }
+}
+
+/// A sub-block size equal to the block size is a conventional cache: the
+/// miss ratio must be identical to a cache that has no sub-block valid
+/// machinery at all (we model that as the same config — the identity
+/// checked here is that a (b, b) cache never takes a sub-block miss).
+#[test]
+fn sub_equals_block_never_sub_misses() {
+    use occache::core::{AccessOutcome, SubBlockCache};
+    let trace = trace_for(Architecture::Vax11, 50_000);
+    let config = CacheConfig::builder()
+        .net_size(512)
+        .block_size(16)
+        .sub_block_size(16)
+        .word_size(4)
+        .build()
+        .unwrap();
+    let mut cache = SubBlockCache::new(config);
+    for r in &trace {
+        let outcome = cache.access(r.address(), r.kind());
+        assert_ne!(outcome, AccessOutcome::SubBlockMiss);
+    }
+}
+
+/// Load-forward with `remember_valid` differs from the redundant scheme
+/// only in traffic, never in misses or cache contents.
+#[test]
+fn load_forward_variants_agree_on_misses() {
+    let trace = trace_for(Architecture::Z8000, 50_000);
+    let mut metrics = Vec::new();
+    for remember_valid in [false, true] {
+        let config = CacheConfig::builder()
+            .net_size(256)
+            .block_size(16)
+            .sub_block_size(2)
+            .word_size(2)
+            .fetch(FetchPolicy::LoadForward { remember_valid })
+            .build()
+            .unwrap();
+        metrics.push(simulate(config, trace.iter().copied(), 0));
+    }
+    assert_eq!(metrics[0].misses(), metrics[1].misses());
+    assert!(metrics[0].fetch_bytes() >= metrics[1].fetch_bytes());
+    assert_eq!(metrics[1].redundant_sub_loads(), 0);
+    assert_eq!(
+        metrics[0].fetch_bytes() - metrics[1].fetch_bytes(),
+        metrics[0].redundant_sub_loads() * 2,
+        "traffic difference is exactly the redundant loads"
+    );
+}
+
+/// Warm-start metrics over the tail of a trace equal running the prefix,
+/// resetting metrics, and running the tail — the §4.2.2 discipline.
+#[test]
+fn warmup_is_reset_after_prefix() {
+    use occache::core::SubBlockCache;
+    let trace = trace_for(Architecture::Z8000, 40_000);
+    let config = CacheConfig::builder()
+        .net_size(1024)
+        .block_size(16)
+        .sub_block_size(8)
+        .word_size(2)
+        .build()
+        .unwrap();
+
+    let helper = simulate(config, trace.iter().copied(), 10_000);
+
+    let mut manual = SubBlockCache::new(config);
+    for r in &trace[..10_000] {
+        manual.access(r.address(), r.kind());
+    }
+    manual.reset_metrics();
+    for r in &trace[10_000..] {
+        manual.access(r.address(), r.kind());
+    }
+    assert_eq!(helper.misses(), manual.metrics().misses());
+    assert_eq!(helper.accesses(), manual.metrics().accesses());
+    assert_eq!(helper.fetch_bytes(), manual.metrics().fetch_bytes());
+}

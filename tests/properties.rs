@@ -1,0 +1,209 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: arbitrary geometries, arbitrary reference streams.
+
+use proptest::prelude::*;
+
+use occache::core::{
+    simulate, AccessOutcome, CacheConfig, FetchPolicy, LruStackAnalyzer, ReplacementPolicy,
+    SubBlockCache,
+};
+use occache::trace::{AccessKind, Address, MemRef};
+
+/// An arbitrary valid cache geometry drawn from the Table 1-ish space.
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (0u32..=5, 0u32..=5, 0u32..=4, 0u32..=3, 0usize..3, 0usize..3).prop_filter_map(
+        "geometry must satisfy word <= sub <= block <= net",
+        |(net_exp, block_exp, sub_exp, ways_exp, policy_idx, fetch_idx)| {
+            let net = 32u64 << net_exp; // 32..1024
+            let block = 2u64 << block_exp; // 2..64
+            let sub = 2u64 << sub_exp; // 2..32
+            let ways = 1u64 << ways_exp; // 1..8
+            let policy = [
+                ReplacementPolicy::Lru,
+                ReplacementPolicy::Fifo,
+                ReplacementPolicy::Random,
+            ][policy_idx];
+            let fetch = [
+                FetchPolicy::Demand,
+                FetchPolicy::LOAD_FORWARD,
+                FetchPolicy::LoadForward {
+                    remember_valid: true,
+                },
+            ][fetch_idx];
+            CacheConfig::builder()
+                .net_size(net)
+                .block_size(block)
+                .sub_block_size(sub)
+                .associativity(ways)
+                .replacement(policy)
+                .fetch(fetch)
+                .word_size(2)
+                .build()
+                .ok()
+        },
+    )
+}
+
+/// An arbitrary word-aligned reference stream over a 64 KB space.
+fn arb_trace(len: usize) -> impl Strategy<Value = Vec<MemRef>> {
+    proptest::collection::vec((0u64..32_768, 0usize..3), len).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(word, kind)| {
+                let kind = [
+                    AccessKind::InstrFetch,
+                    AccessKind::DataRead,
+                    AccessKind::DataWrite,
+                ][kind];
+                MemRef::new(Address::new(word * 2), kind)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ratios stay in sane ranges for any geometry and stream; misses
+    /// never exceed accesses.
+    #[test]
+    fn metrics_are_sane(config in arb_config(), trace in arb_trace(500)) {
+        let m = simulate(config, trace.iter().copied(), 0);
+        prop_assert!(m.misses() <= m.accesses());
+        prop_assert!((0.0..=1.0).contains(&m.miss_ratio()));
+        prop_assert!(m.traffic_ratio() >= 0.0);
+        // A fill never moves more than one whole block per miss.
+        prop_assert!(m.fetch_bytes() <= m.misses() * config.block_size());
+    }
+
+    /// Immediately re-reading any just-accessed address is a hit.
+    #[test]
+    fn read_after_access_hits(config in arb_config(), trace in arb_trace(300)) {
+        let mut cache = SubBlockCache::new(config);
+        for r in trace {
+            cache.access(r.address(), r.kind());
+            prop_assert!(cache.contains(r.address()), "{r} not resident after access");
+            let outcome = cache.access(r.address(), AccessKind::DataRead);
+            prop_assert_eq!(outcome, AccessOutcome::Hit);
+        }
+    }
+
+    /// Demand-fetch traffic identity holds for arbitrary streams (counted
+    /// accesses only).
+    #[test]
+    fn demand_traffic_identity(trace in arb_trace(500)) {
+        let config = CacheConfig::builder()
+            .net_size(256)
+            .block_size(16)
+            .sub_block_size(4)
+            .word_size(2)
+            .build()
+            .unwrap();
+        let m = simulate(config, trace.iter().copied(), 0);
+        prop_assert_eq!(m.fetch_bytes(), m.misses() * 4);
+    }
+
+    /// Determinism: simulating the same trace twice gives identical
+    /// metrics, for every policy including Random replacement.
+    #[test]
+    fn simulation_is_deterministic(config in arb_config(), trace in arb_trace(400)) {
+        let a = simulate(config, trace.iter().copied(), 0);
+        let b = simulate(config, trace.iter().copied(), 0);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The stack-distance analyzer's curve is monotone non-increasing and
+    /// bottoms out at the cold-miss count.
+    #[test]
+    fn stack_distance_curve_monotone(trace in arb_trace(400)) {
+        let mut an = LruStackAnalyzer::new(8);
+        for r in &trace {
+            an.access(r.address());
+        }
+        let mut previous = u64::MAX;
+        for capacity in 1..64 {
+            let misses = an.misses_at_capacity(capacity);
+            prop_assert!(misses <= previous);
+            prop_assert!(misses >= an.cold_misses());
+            previous = misses;
+        }
+        prop_assert_eq!(an.misses_at_capacity(100_000), an.cold_misses());
+    }
+
+    /// Fully-associative LRU simulation equals the analyzer on arbitrary
+    /// streams (not just generator output).
+    #[test]
+    fn analyzer_equals_simulator_on_random_streams(trace in arb_trace(400)) {
+        let mut an = LruStackAnalyzer::new(8);
+        for r in &trace {
+            an.access(r.address());
+        }
+        for capacity in [1u64, 2, 4, 8, 16] {
+            let config = CacheConfig::builder()
+                .net_size(capacity * 8)
+                .block_size(8)
+                .sub_block_size(8)
+                .associativity(capacity)
+                .word_size(2)
+                .build()
+                .unwrap();
+            let m = simulate(config, trace.iter().copied(), 0);
+            prop_assert_eq!(
+                an.misses_at_capacity(capacity as usize),
+                m.misses() + m.write_misses()
+            );
+        }
+    }
+
+    /// Load-forward's redundant scheme never fetches less than the
+    /// optimized scheme, and their miss counts are identical.
+    #[test]
+    fn load_forward_redundancy_only_adds_traffic(trace in arb_trace(400)) {
+        let base = |remember_valid| {
+            CacheConfig::builder()
+                .net_size(128)
+                .block_size(16)
+                .sub_block_size(2)
+                .word_size(2)
+                .fetch(FetchPolicy::LoadForward { remember_valid })
+                .build()
+                .unwrap()
+        };
+        let redundant = simulate(base(false), trace.iter().copied(), 0);
+        let optimized = simulate(base(true), trace.iter().copied(), 0);
+        prop_assert_eq!(redundant.misses(), optimized.misses());
+        prop_assert!(redundant.fetch_bytes() >= optimized.fetch_bytes());
+    }
+
+    /// Gross size arithmetic: gross > net, and within the bound
+    /// net + blocks × (tag bytes + valid bytes) + rounding.
+    #[test]
+    fn gross_size_bounds(config in arb_config()) {
+        let gross = config.gross_size();
+        prop_assert!(gross > config.net_size());
+        let per_block_bits = config.tag_bits() as u64 + config.sub_blocks_per_block();
+        let upper = config.net_size() + config.num_blocks() * per_block_bits.div_ceil(8) + 1;
+        prop_assert!(gross <= upper, "gross {gross} > bound {upper}");
+    }
+
+    /// Flushing restores a truly empty cache: every first re-access
+    /// misses again.
+    #[test]
+    fn flush_empties_everything(trace in arb_trace(200)) {
+        let config = CacheConfig::builder()
+            .net_size(128)
+            .block_size(8)
+            .sub_block_size(4)
+            .word_size(2)
+            .build()
+            .unwrap();
+        let mut cache = SubBlockCache::new(config);
+        for r in &trace {
+            cache.access(r.address(), r.kind());
+        }
+        cache.flush();
+        if let Some(r) = trace.first() {
+            prop_assert!(!cache.contains(r.address()));
+        }
+        prop_assert_eq!(cache.metrics().accesses(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Cross-validation of the two simulation engines: the direct sub-block
+//! simulator configured as a fully-associative conventional LRU cache must
+//! agree *exactly* with the Mattson stack-distance analyzer, for every
+//! capacity, on the same trace. This is the strongest internal-consistency
+//! check in the workspace — the two implementations share no code.
+
+use occache::core::{simulate, CacheConfig, LruStackAnalyzer};
+use occache::trace::TraceSource;
+use occache::workloads::{Architecture, WorkloadSpec};
+
+fn check(arch: Architecture, block: u64, capacities: &[u64], trace_len: usize) {
+    let trace = WorkloadSpec::set_for(arch)[1]
+        .generator(3)
+        .collect_refs(trace_len);
+
+    let mut analyzer = LruStackAnalyzer::new(block);
+    for r in &trace {
+        analyzer.access(r.address());
+    }
+
+    for &capacity_blocks in capacities {
+        let config = CacheConfig::builder()
+            .net_size(capacity_blocks * block)
+            .block_size(block)
+            .sub_block_size(block)
+            .associativity(capacity_blocks) // one set: fully associative
+            .word_size(arch.word_size())
+            .build()
+            .unwrap();
+        assert_eq!(config.num_sets(), 1, "must be fully associative");
+        let metrics = simulate(config, trace.iter().copied(), 0);
+        // The analyzer counts every reference; the simulator's ratios
+        // exclude writes, so compare raw miss *counts* via a write-free
+        // re-check below — here all references are counted by running the
+        // analyzer on the same stream and comparing totals.
+        assert_eq!(
+            analyzer.misses_at_capacity(capacity_blocks as usize),
+            metrics.misses() + metrics.write_misses(),
+            "{arch}, block {block}, capacity {capacity_blocks} blocks"
+        );
+    }
+}
+
+#[test]
+fn analyzer_matches_simulator_pdp11_8_byte_blocks() {
+    check(Architecture::Pdp11, 8, &[1, 2, 4, 8, 16, 32], 20_000);
+}
+
+#[test]
+fn analyzer_matches_simulator_pdp11_32_byte_blocks() {
+    check(Architecture::Pdp11, 32, &[2, 4, 8, 16], 20_000);
+}
+
+#[test]
+fn analyzer_matches_simulator_vax_16_byte_blocks() {
+    check(Architecture::Vax11, 16, &[1, 4, 16, 64], 20_000);
+}
+
+#[test]
+fn analyzer_matches_simulator_s370() {
+    check(Architecture::S370, 64, &[4, 16, 64], 20_000);
+}
+
+/// The stack-distance inclusion property: a larger LRU cache never misses
+/// where a smaller one hits (on the same fully-associative stream).
+#[test]
+fn lru_inclusion_property() {
+    let trace = WorkloadSpec::pdp11_simp().generator(9).collect_refs(30_000);
+    let mut analyzer = LruStackAnalyzer::new(16);
+    for r in &trace {
+        analyzer.access(r.address());
+    }
+    let mut previous = u64::MAX;
+    for capacity in 1..=128 {
+        let misses = analyzer.misses_at_capacity(capacity);
+        assert!(misses <= previous, "capacity {capacity}");
+        previous = misses;
+    }
+}

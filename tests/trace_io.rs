@@ -1,0 +1,44 @@
+//! Cross-crate trace I/O: a generated workload survives a round trip
+//! through the text trace format with metrics intact, so traces can be
+//! exported, archived and re-simulated like the 1984 tapes were.
+
+use occache::core::{simulate, CacheConfig};
+use occache::trace::io::{parse_trace, write_trace};
+use occache::trace::TraceSource;
+use occache::workloads::WorkloadSpec;
+
+#[test]
+fn round_trip_preserves_simulation_results() {
+    let trace = WorkloadSpec::z8000_grep().generator(0).collect_refs(30_000);
+
+    let mut text = Vec::new();
+    write_trace(&mut text, trace.iter().copied()).expect("in-memory write cannot fail");
+    let reparsed = parse_trace(&text[..]).expect("own output must parse");
+    assert_eq!(reparsed, trace);
+
+    let config = CacheConfig::builder()
+        .net_size(512)
+        .block_size(16)
+        .sub_block_size(4)
+        .word_size(2)
+        .build()
+        .unwrap();
+    let original = simulate(config, trace.iter().copied(), 0);
+    let replayed = simulate(config, reparsed.iter().copied(), 0);
+    assert_eq!(original, replayed);
+}
+
+#[test]
+fn text_format_is_line_per_reference() {
+    let trace = WorkloadSpec::pdp11_ed().generator(0).collect_refs(1_000);
+    let mut text = Vec::new();
+    write_trace(&mut text, trace.iter().copied()).unwrap();
+    let text = String::from_utf8(text).expect("format is ASCII");
+    assert_eq!(text.lines().count(), 1_000);
+    for line in text.lines().take(10) {
+        assert!(
+            line.starts_with("i ") || line.starts_with("r ") || line.starts_with("w "),
+            "{line}"
+        );
+    }
+}
