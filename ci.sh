@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate for the occache workspace.
+#
+#   ./ci.sh          run everything (lint, tier-1, full workspace tests)
+#
+# Tier-1 (the must-stay-green bar from ROADMAP.md) is the release build
+# plus the root-package test suite; the clippy gate enforces, among the
+# default lints, the `unwrap_used` deny in occache-cli/occache-experiments
+# (non-test code must return structured errors, not panic).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --workspace -- -D warnings
+
+echo "== tier-1: release build + root-package tests =="
+cargo build --release
+cargo test -q
+
+echo "== full workspace tests =="
+cargo test --workspace -q
+
+echo "ci.sh: all gates passed"

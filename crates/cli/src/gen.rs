@@ -92,7 +92,9 @@ pub fn run<S: AsRef<str>>(argv: &[S]) -> Result<String, CliError> {
         None => {
             let mut out = Vec::new();
             emit(&mut out, &mut stream)?;
-            Ok(String::from_utf8(out).expect("trace formats are ASCII"))
+            // Both trace formats emit pure ASCII, so lossy conversion is
+            // exact; using it keeps this path panic-free regardless.
+            Ok(String::from_utf8_lossy(&out).into_owned())
         }
     }
 }

@@ -2,8 +2,10 @@
 
 use std::fmt::Write as _;
 
-use occache_experiments::report::points_to_csv;
-use occache_experiments::sweep::{evaluate_points, materialize, standard_config, table1_pairs};
+use occache_experiments::report::{points_to_csv, write_result_in};
+use occache_experiments::sweep::{
+    evaluate_points_isolated, failure_note, materialize, standard_config, table1_pairs,
+};
 use occache_workloads::{Architecture, WorkloadSpec};
 
 use crate::args::parse;
@@ -79,12 +81,15 @@ pub fn run<S: AsRef<str>>(argv: &[S]) -> Result<String, CliError> {
 
     let traces = materialize(&WorkloadSpec::set_for(arch), refs);
     let mut points = Vec::new();
+    let mut failures = Vec::new();
     for &net in &nets {
         let configs: Vec<_> = table1_pairs(net, arch.word_size())
             .into_iter()
             .map(|(block, sub)| standard_config(arch, net, block, sub))
             .collect();
-        points.extend(evaluate_points(&configs, &traces, warmup));
+        let outcome = evaluate_points_isolated(&configs, &traces, warmup);
+        points.extend(outcome.points);
+        failures.extend(outcome.failures);
     }
 
     let mut out = String::new();
@@ -110,8 +115,22 @@ pub fn run<S: AsRef<str>>(argv: &[S]) -> Result<String, CliError> {
             p.nibble_traffic_ratio
         );
     }
+    if let Some(note) = failure_note(&failures) {
+        let _ = writeln!(out, "\n{note}");
+    }
     if let Some(path) = parsed.value("csv") {
-        std::fs::write(path, points_to_csv(arch.name(), &points))?;
+        // Atomic write (temp + fsync + rename): an interrupted sweep never
+        // leaves a truncated CSV that looks complete.
+        let target = std::path::Path::new(path);
+        let file_name = target
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| CliError::Usage(format!("--csv: {path:?} has no file name")))?;
+        let dir = match target.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d,
+            _ => std::path::Path::new("."),
+        };
+        write_result_in(dir, file_name, &points_to_csv(arch.name(), &points))?;
         let _ = writeln!(out, "\ncsv written to {path}");
     }
     Ok(out)

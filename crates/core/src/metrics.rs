@@ -201,6 +201,11 @@ impl Metrics {
     /// traffic ratio, §4.3). [`BusModel::Linear`] reproduces
     /// [`Metrics::traffic_ratio`].
     pub fn scaled_traffic_ratio(&self, bus: BusModel) -> f64 {
+        // `word_size` is 0 only for `Metrics::default()`, which has no
+        // recorded traffic either; guard rather than divide by zero.
+        if self.word_size == 0 {
+            return 0.0;
+        }
         let words_fetched = self.fetch_bytes / self.word_size;
         let with_cache = bus.total_cost(self.fetch_transactions, words_fetched);
         let without_cache = self.accesses as f64 * bus.transfer_cost(1);
@@ -244,6 +249,18 @@ mod tests {
         assert_eq!(m.traffic_ratio(), 0.0);
         assert_eq!(m.scaled_traffic_ratio(BusModel::paper_nibble()), 0.0);
         assert_eq!(m.unreferenced_sub_block_fraction(), 0.0);
+    }
+
+    #[test]
+    fn default_metrics_do_not_divide_by_zero() {
+        // `Metrics::default()` has word_size 0; every ratio must still be
+        // finite (0), never a panic or NaN.
+        let m = Metrics::default();
+        assert_eq!(m.miss_ratio(), 0.0);
+        assert_eq!(m.traffic_ratio(), 0.0);
+        assert_eq!(m.scaled_traffic_ratio(BusModel::paper_nibble()), 0.0);
+        assert_eq!(m.unreferenced_sub_block_fraction(), 0.0);
+        assert_eq!(m.prefetch_pollution(), 0.0);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Ablations over the parameters the paper held fixed (associativity,
 //! replacement, Strecker's curve, load-forward variants, warm start).
 
-use occache_experiments::runs::{run_ablations, Workbench};
+use occache_experiments::runs::{emit_main, run_ablations};
 
-fn main() {
-    run_ablations(&mut Workbench::from_env()).emit();
+fn main() -> std::process::ExitCode {
+    emit_main(run_ablations)
 }

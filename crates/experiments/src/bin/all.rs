@@ -1,5 +1,11 @@
 //! Regenerates every table and figure in one run, sharing materialised
 //! traces across artifacts. Writes all CSVs under `results/`.
+//!
+//! Grid sweeps (Table 7, Figures 1–8) checkpoint completed design points
+//! under `results/.checkpoint/`; an interrupted run resumes where it left
+//! off. Pass `--fresh` to recompute everything.
+
+use std::process::ExitCode;
 
 use occache_experiments::buffers::run_buffers;
 use occache_experiments::characterize::{run_bus_contention, run_workload_stats};
@@ -9,23 +15,39 @@ use occache_experiments::runs::{
     run_table8, Workbench,
 };
 
-fn main() {
-    let mut bench = Workbench::from_env();
-    eprintln!("regenerating all artifacts at {} refs/trace", bench.len());
-    run_headline(&mut bench).emit();
-    run_table6(&mut bench).emit();
-    run_table7(&mut bench).emit();
-    run_table8(&mut bench).emit();
+fn run_all(bench: &mut Workbench) -> std::io::Result<()> {
+    run_headline(bench).emit()?;
+    run_table6(bench).emit()?;
+    run_table7(bench).emit()?;
+    run_table8(bench).emit()?;
     for figure in 1..=8 {
-        run_figure(&mut bench, figure).emit();
+        run_figure(bench, figure).emit()?;
     }
-    run_fig9(&mut bench).emit();
-    run_risc2(&mut bench).emit();
-    run_risc2_chip(&mut bench).emit();
-    run_ablations(&mut bench).emit();
-    run_writes(&mut bench).emit();
-    run_split(&mut bench).emit();
-    run_workload_stats(&mut bench).emit();
-    run_bus_contention(&mut bench).emit();
-    run_buffers(&mut bench).emit();
+    run_fig9(bench).emit()?;
+    run_risc2(bench).emit()?;
+    run_risc2_chip(bench).emit()?;
+    run_ablations(bench).emit()?;
+    run_writes(bench).emit()?;
+    run_split(bench).emit()?;
+    run_workload_stats(bench).emit()?;
+    run_bus_contention(bench).emit()?;
+    run_buffers(bench).emit()
+}
+
+fn main() -> ExitCode {
+    let mut bench = match Workbench::try_from_env() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("regenerating all artifacts at {} refs/trace", bench.len());
+    match run_all(&mut bench) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

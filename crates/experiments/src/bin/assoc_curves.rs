@@ -11,8 +11,14 @@ use occache_experiments::report::write_result;
 use occache_experiments::runs::Workbench;
 use occache_workloads::Architecture;
 
-fn main() {
-    let mut bench = Workbench::from_env();
+fn main() -> std::process::ExitCode {
+    let mut bench = match Workbench::try_from_env() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
     let len = bench.len();
     println!("Associativity at fixed 1024-byte capacity (single-pass Mattson, {len} refs/trace)\n");
     let mut csv = String::from("arch,ways,sets,miss_ratio\n");
@@ -70,10 +76,13 @@ fn main() {
     }
     println!("\n(each point costs one pass; the direct simulator agrees exactly)");
     match write_result("assoc_curves.csv", &csv) {
-        Ok(path) => eprintln!("wrote {}", path.display()),
+        Ok(path) => {
+            eprintln!("wrote {}", path.display());
+            std::process::ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("failed to write assoc_curves.csv: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

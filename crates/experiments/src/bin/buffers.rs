@@ -1,8 +1,8 @@
 //! §2.2 study; see `occache_experiments::buffers::run_buffers`.
 
 use occache_experiments::buffers::run_buffers;
-use occache_experiments::runs::Workbench;
+use occache_experiments::runs::emit_main;
 
-fn main() {
-    run_buffers(&mut Workbench::from_env()).emit();
+fn main() -> std::process::ExitCode {
+    emit_main(run_buffers)
 }

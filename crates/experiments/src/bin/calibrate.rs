@@ -6,11 +6,17 @@
 
 use occache_experiments::paper::table7_row;
 use occache_experiments::report::relative_error;
-use occache_experiments::sweep::{evaluate_points, materialize, standard_config, trace_len};
+use occache_experiments::sweep::{evaluate_points, materialize, standard_config, try_trace_len};
 use occache_workloads::{Architecture, WorkloadSpec};
 
-fn main() {
-    let len = trace_len();
+fn main() -> std::process::ExitCode {
+    let len = match try_trace_len() {
+        Ok(len) => len,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
     println!("calibration with {len} refs/trace\n");
     // Anchor geometries: (net, block, sub) sampled across the design space.
     let anchors: &[(u64, u64, u64)] = &[
@@ -71,4 +77,5 @@ fn main() {
         }
         println!();
     }
+    std::process::ExitCode::SUCCESS
 }

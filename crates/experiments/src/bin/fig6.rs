@@ -1,7 +1,7 @@
 //! Regenerates Figure 6 of the paper. See `occache_experiments::runs`.
 
-use occache_experiments::runs::{run_figure, Workbench};
+use occache_experiments::runs::{emit_main, run_figure};
 
-fn main() {
-    run_figure(&mut Workbench::from_env(), 6).emit();
+fn main() -> std::process::ExitCode {
+    emit_main(|bench| run_figure(bench, 6))
 }

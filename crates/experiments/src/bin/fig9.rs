@@ -1,7 +1,7 @@
 //! Regenerates Figure 9 (load-forward) of the paper.
 
-use occache_experiments::runs::{run_fig9, Workbench};
+use occache_experiments::runs::{emit_main, run_fig9};
 
-fn main() {
-    run_fig9(&mut Workbench::from_env()).emit();
+fn main() -> std::process::ExitCode {
+    emit_main(run_fig9)
 }

@@ -1,7 +1,7 @@
 //! Regenerates the abstract's headline miss/traffic ratios.
 
-use occache_experiments::runs::{run_headline, Workbench};
+use occache_experiments::runs::{emit_main, run_headline};
 
-fn main() {
-    run_headline(&mut Workbench::from_env()).emit();
+fn main() -> std::process::ExitCode {
+    emit_main(run_headline)
 }

@@ -11,12 +11,17 @@
 use occache_core::{simulate, FetchPolicy};
 use occache_experiments::report::write_result;
 use occache_experiments::runs::Workbench;
-use occache_experiments::sweep::trace_len;
 use occache_workloads::Architecture;
 
-fn main() {
-    let mut bench = Workbench::from_env();
-    let len = trace_len();
+fn main() -> std::process::ExitCode {
+    let mut bench = match Workbench::try_from_env() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let len = bench.len();
     println!(
         "Prefetch policies (extension; §2.2 smart cache): 1024-byte cache,\n\
          16-byte blocks, 4-byte sub-blocks, {len} refs/trace\n"
@@ -87,10 +92,13 @@ fn main() {
          prefetched sub-blocks evicted unused — Smith's risk, measured)"
     );
     match write_result("prefetch.csv", &csv) {
-        Ok(path) => eprintln!("wrote {}", path.display()),
+        Ok(path) => {
+            eprintln!("wrote {}", path.display());
+            std::process::ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("failed to write prefetch.csv: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

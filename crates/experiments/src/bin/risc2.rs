@@ -1,7 +1,7 @@
 //! Regenerates the §2.3 RISC II instruction-cache size curve.
 
-use occache_experiments::runs::{run_risc2, Workbench};
+use occache_experiments::runs::{emit_main, run_risc2};
 
-fn main() {
-    run_risc2(&mut Workbench::from_env()).emit();
+fn main() -> std::process::ExitCode {
+    emit_main(run_risc2)
 }

@@ -1,8 +1,8 @@
 //! Extension study; see `occache_experiments::extensions::run_split`.
 
 use occache_experiments::extensions::run_split;
-use occache_experiments::runs::Workbench;
+use occache_experiments::runs::emit_main;
 
-fn main() {
-    run_split(&mut Workbench::from_env()).emit();
+fn main() -> std::process::ExitCode {
+    emit_main(run_split)
 }

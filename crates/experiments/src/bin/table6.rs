@@ -1,7 +1,7 @@
 //! Regenerates Table 6: the 360/85 sector cache comparison.
 
-use occache_experiments::runs::{run_table6, Workbench};
+use occache_experiments::runs::{emit_main, run_table6};
 
-fn main() {
-    run_table6(&mut Workbench::from_env()).emit();
+fn main() -> std::process::ExitCode {
+    emit_main(run_table6)
 }

@@ -1,7 +1,7 @@
 //! Regenerates Table 7: the full design-space grid, all architectures.
 
-use occache_experiments::runs::{run_table7, Workbench};
+use occache_experiments::runs::{emit_main, run_table7};
 
-fn main() {
-    run_table7(&mut Workbench::from_env()).emit();
+fn main() -> std::process::ExitCode {
+    emit_main(run_table7)
 }

@@ -1,7 +1,7 @@
 //! Regenerates Table 8: load-forward on the Z8000 compiler traces.
 
-use occache_experiments::runs::{run_table8, Workbench};
+use occache_experiments::runs::{emit_main, run_table8};
 
-fn main() {
-    run_table8(&mut Workbench::from_env()).emit();
+fn main() -> std::process::ExitCode {
+    emit_main(run_table8)
 }

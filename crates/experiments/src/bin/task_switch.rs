@@ -9,12 +9,18 @@
 
 use occache_core::{simulate, CacheConfig};
 use occache_experiments::report::write_result;
-use occache_experiments::sweep::trace_len;
+use occache_experiments::sweep::try_trace_len;
 use occache_trace::{MemRef, TraceSource};
 use occache_workloads::{Multiprogram, WorkloadSpec};
 
-fn main() {
-    let len = trace_len();
+fn main() -> std::process::ExitCode {
+    let len = match try_trace_len() {
+        Ok(len) => len,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
     println!(
         "Task switching (the §3.3 omission, quantified): four PDP-11 programs,\n\
          round-robin, 16,8 geometry where it fits, {len} total refs per run\n"
@@ -76,10 +82,13 @@ fn main() {
          mainframe sizes — 16 KB — frequent switching costs real misses)"
     );
     match write_result("task_switch.csv", &csv) {
-        Ok(path) => eprintln!("wrote {}", path.display()),
+        Ok(path) => {
+            eprintln!("wrote {}", path.display());
+            std::process::ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("failed to write task_switch.csv: {e}");
-            std::process::exit(1);
+            std::process::ExitCode::FAILURE
         }
     }
 }

@@ -1,8 +1,8 @@
 //! Characterisation study; see `occache_experiments::characterize::run_workload_stats`.
 
 use occache_experiments::characterize::run_workload_stats;
-use occache_experiments::runs::Workbench;
+use occache_experiments::runs::emit_main;
 
-fn main() {
-    run_workload_stats(&mut Workbench::from_env()).emit();
+fn main() -> std::process::ExitCode {
+    emit_main(run_workload_stats)
 }

@@ -1,0 +1,447 @@
+//! Resumable sweeps: an append-only journal of completed design points.
+//!
+//! Paper-scale sweeps (1 M references × dozens of configs × four
+//! architectures) take long enough that a crash or interrupt should not
+//! restart them from zero. Each completed design point is appended to
+//! `results/.checkpoint/<artifact>.jsonl` as one JSON line keyed by a hash
+//! of the cache configuration, the trace-set fingerprint and the warm-up
+//! length. On restart, points whose key is already journalled are restored
+//! instead of re-simulated; anything else (changed trace set, changed
+//! `OCCACHE_REFS`, new configs) misses the key and is evaluated normally.
+//!
+//! Pass `--fresh` (or set `OCCACHE_FRESH=1`) to discard the journal and
+//! recompute everything. Journal corruption is tolerated: unreadable lines
+//! are skipped, so a line half-written at the moment of a crash costs one
+//! design point, not the run.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+
+use occache_core::CacheConfig;
+
+use crate::report::results_dir;
+use crate::sweep::{evaluate_point, evaluate_results_with, DesignPoint, SweepOutcome, Trace};
+
+/// A journalled measurement: the averaged ratios of one design point.
+/// The config itself is not stored — the key identifies it, and the
+/// caller's config list supplies the full value on restore.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    miss: f64,
+    traffic: f64,
+    nibble: f64,
+    redundant: f64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher (no std `Hasher` indirection so the stream
+/// fed in is explicit and stable across Rust versions).
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// A stable fingerprint of a trace set: names, lengths and every
+/// reference. Two sweeps resume from each other's journals only when they
+/// saw byte-identical traces.
+pub fn trace_fingerprint(traces: &[Trace]) -> u64 {
+    let mut h = Fnv::new();
+    for trace in traces {
+        h.write(trace.name.as_bytes());
+        h.write(&[0xff]);
+        h.write(&(trace.refs.len() as u64).to_le_bytes());
+        for r in &trace.refs {
+            h.write(&[occache_trace::din::din_label(r.kind())]);
+            h.write(&r.address().value().to_le_bytes());
+        }
+    }
+    h.finish()
+}
+
+/// The journal key of one design point: config (its full `Debug`
+/// rendering, which covers every field) + trace fingerprint + warm-up.
+pub fn point_key(config: &CacheConfig, fingerprint: u64, warmup: usize) -> u64 {
+    let mut h = Fnv::new();
+    h.write(format!("{config:?}").as_bytes());
+    h.write(&fingerprint.to_le_bytes());
+    h.write(&(warmup as u64).to_le_bytes());
+    h.finish()
+}
+
+/// Whether the user asked to ignore existing checkpoints: `--fresh` on the
+/// command line or `OCCACHE_FRESH` set to anything but `0`/empty.
+pub fn fresh_requested() -> bool {
+    if std::env::args().any(|a| a == "--fresh") {
+        return true;
+    }
+    match std::env::var("OCCACHE_FRESH") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// The journal path for an artifact under `dir`.
+fn journal_path(dir: &Path, artifact: &str) -> PathBuf {
+    dir.join(".checkpoint").join(format!("{artifact}.jsonl"))
+}
+
+fn entry_line(key: u64, e: &Entry) -> String {
+    // {:?} on f64 prints the shortest string that round-trips exactly, so
+    // a restored point is bit-identical to the computed one.
+    format!(
+        "{{\"key\":\"{key:016x}\",\"miss\":{:?},\"traffic\":{:?},\"nibble\":{:?},\"redundant\":{:?}}}",
+        e.miss, e.traffic, e.nibble, e.redundant
+    )
+}
+
+/// Parses one journal line; `None` for anything unreadable (corrupt tail
+/// after a crash, foreign garbage).
+fn parse_entry_line(line: &str) -> Option<(u64, Entry)> {
+    let inner = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut key = None;
+    let mut miss = None;
+    let mut traffic = None;
+    let mut nibble = None;
+    let mut redundant = None;
+    // Values are a hex string and plain floats, neither of which can
+    // contain a comma, so splitting on ',' is unambiguous.
+    for field in inner.split(',') {
+        let (name, value) = field.split_once(':')?;
+        let name = name.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let value = value.trim();
+        match name {
+            "key" => {
+                let hex = value.strip_prefix('"')?.strip_suffix('"')?;
+                key = Some(u64::from_str_radix(hex, 16).ok()?);
+            }
+            "miss" => miss = Some(value.parse().ok()?),
+            "traffic" => traffic = Some(value.parse().ok()?),
+            "nibble" => nibble = Some(value.parse().ok()?),
+            "redundant" => redundant = Some(value.parse().ok()?),
+            _ => return None,
+        }
+    }
+    Some((
+        key?,
+        Entry {
+            miss: miss?,
+            traffic: traffic?,
+            nibble: nibble?,
+            redundant: redundant?,
+        },
+    ))
+}
+
+/// Loads a journal, skipping unreadable lines. A missing file is an empty
+/// journal.
+fn load_journal(path: &Path) -> io::Result<HashMap<u64, Entry>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(HashMap::new()),
+        Err(e) => return Err(e),
+    };
+    let mut entries = HashMap::new();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if let Some((key, entry)) = parse_entry_line(&line) {
+            entries.insert(key, entry);
+        }
+    }
+    Ok(entries)
+}
+
+fn restore_point(config: CacheConfig, e: &Entry) -> DesignPoint {
+    DesignPoint {
+        config,
+        miss_ratio: e.miss,
+        traffic_ratio: e.traffic,
+        nibble_traffic_ratio: e.nibble,
+        redundant_load_fraction: e.redundant,
+        gross_size: config.gross_size(),
+    }
+}
+
+/// Checkpointed, fault-isolated sweep with an explicit journal directory,
+/// fresh flag and evaluation function — the fully injectable form used by
+/// tests; production callers use [`evaluate_checkpointed`].
+///
+/// Journalled points are restored without re-simulation
+/// ([`SweepOutcome::resumed`] counts them); the rest run through the
+/// fault-isolated sweep, and each success is appended to the journal
+/// before returning. Failed points are never journalled, so a later run
+/// retries them.
+///
+/// # Errors
+///
+/// Propagates journal I/O failures (unreadable/unwritable checkpoint
+/// directory). Simulation faults are *not* errors — they come back in
+/// [`SweepOutcome::failures`].
+pub fn evaluate_checkpointed_in<F>(
+    dir: &Path,
+    artifact: &str,
+    configs: &[CacheConfig],
+    traces: &[Trace],
+    warmup: usize,
+    fresh: bool,
+    eval: F,
+) -> io::Result<SweepOutcome>
+where
+    F: Fn(CacheConfig, &[Trace], usize) -> DesignPoint + Sync,
+{
+    let path = journal_path(dir, artifact);
+    if fresh {
+        match fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let journal = if fresh { HashMap::new() } else { load_journal(&path)? };
+    let fingerprint = trace_fingerprint(traces);
+    let keys: Vec<u64> = configs
+        .iter()
+        .map(|c| point_key(c, fingerprint, warmup))
+        .collect();
+
+    // Partition into restored and pending, remembering original indices.
+    let mut slots: Vec<Option<Result<DesignPoint, crate::sweep::PointError>>> =
+        vec![None; configs.len()];
+    let mut pending_idx = Vec::new();
+    let mut pending_cfg = Vec::new();
+    let mut resumed = 0;
+    for (i, (&config, &key)) in configs.iter().zip(&keys).enumerate() {
+        if let Some(entry) = journal.get(&key) {
+            slots[i] = Some(Ok(restore_point(config, entry)));
+            resumed += 1;
+        } else {
+            pending_idx.push(i);
+            pending_cfg.push(config);
+        }
+    }
+
+    if !pending_cfg.is_empty() {
+        let results = evaluate_results_with(&pending_cfg, traces, warmup, eval);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut out = OpenOptions::new().create(true).append(true).open(&path)?;
+        for (&i, result) in pending_idx.iter().zip(results) {
+            if let Ok(p) = &result {
+                let entry = Entry {
+                    miss: p.miss_ratio,
+                    traffic: p.traffic_ratio,
+                    nibble: p.nibble_traffic_ratio,
+                    redundant: p.redundant_load_fraction,
+                };
+                writeln!(out, "{}", entry_line(keys[i], &entry))?;
+            }
+            slots[i] = Some(result);
+        }
+        out.sync_all()?;
+    }
+
+    let mut outcome = SweepOutcome {
+        resumed,
+        ..SweepOutcome::default()
+    };
+    for slot in slots {
+        match slot.expect("every config restored or evaluated") {
+            Ok(p) => outcome.points.push(p),
+            Err(e) => outcome.failures.push(e),
+        }
+    }
+    Ok(outcome)
+}
+
+/// Checkpointed sweep for an artifact under the standard results
+/// directory, honouring `--fresh` / `OCCACHE_FRESH`.
+///
+/// Journal I/O trouble degrades gracefully: the sweep still runs (without
+/// resumability) and the problem is reported on stderr, because losing
+/// checkpointing must never lose the science.
+pub fn evaluate_checkpointed(
+    artifact: &str,
+    configs: &[CacheConfig],
+    traces: &[Trace],
+    warmup: usize,
+) -> SweepOutcome {
+    match evaluate_checkpointed_in(
+        &results_dir(),
+        artifact,
+        configs,
+        traces,
+        warmup,
+        fresh_requested(),
+        evaluate_point,
+    ) {
+        Ok(outcome) => {
+            if outcome.resumed > 0 {
+                eprintln!(
+                    "{artifact}: resumed {} of {} design point(s) from checkpoint",
+                    outcome.resumed,
+                    configs.len()
+                );
+            }
+            outcome
+        }
+        Err(e) => {
+            eprintln!("{artifact}: checkpoint journal unavailable ({e}); running without resume");
+            crate::sweep::evaluate_points_isolated(configs, traces, warmup)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{materialize, standard_config, table1_pairs};
+    use occache_workloads::{Architecture, WorkloadSpec};
+
+    fn test_grid() -> (Vec<CacheConfig>, Vec<Trace>) {
+        let traces = materialize(&[WorkloadSpec::pdp11_ed()], 1_000);
+        let configs = table1_pairs(64, 2)
+            .into_iter()
+            .map(|(b, s)| standard_config(Architecture::Pdp11, 64, b, s))
+            .collect();
+        (configs, traces)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "occache-ckpt-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn entry_lines_round_trip_exactly() {
+        let e = Entry {
+            miss: 0.052_123_456_789,
+            traffic: 1.0 / 3.0,
+            nibble: f64::MIN_POSITIVE,
+            redundant: 0.0,
+        };
+        let line = entry_line(0xdead_beef, &e);
+        let (key, back) = parse_entry_line(&line).unwrap();
+        assert_eq!(key, 0xdead_beef);
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped() {
+        assert_eq!(parse_entry_line(""), None);
+        assert_eq!(parse_entry_line("{\"key\":\"zz\"}"), None);
+        assert_eq!(parse_entry_line("{\"key\":\"1\",\"miss\":0.1"), None);
+        assert_eq!(parse_entry_line("not json at all"), None);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_traces_and_warmup_keys() {
+        let a = materialize(&[WorkloadSpec::pdp11_ed()], 500);
+        let b = materialize(&[WorkloadSpec::pdp11_ed()], 501);
+        let c = materialize(&[WorkloadSpec::pdp11_opsys()], 500);
+        let fa = trace_fingerprint(&a);
+        assert_eq!(fa, trace_fingerprint(&a), "deterministic");
+        assert_ne!(fa, trace_fingerprint(&b), "length changes the set");
+        assert_ne!(fa, trace_fingerprint(&c), "workload changes the set");
+        let config = standard_config(Architecture::Pdp11, 64, 8, 4);
+        assert_ne!(
+            point_key(&config, fa, 0),
+            point_key(&config, fa, 100),
+            "warm-up is part of the key"
+        );
+    }
+
+    #[test]
+    fn second_run_resumes_everything() {
+        let dir = temp_dir("resume");
+        let (configs, traces) = test_grid();
+        let first =
+            evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, evaluate_point)
+                .unwrap();
+        assert_eq!(first.resumed, 0);
+        assert!(first.is_complete());
+        // Second run: everything comes from the journal; an eval fn that
+        // panics proves nothing is re-simulated.
+        let second = evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, |_, _, _| {
+            panic!("should not re-simulate")
+        })
+        .unwrap();
+        assert_eq!(second.resumed, configs.len());
+        for (a, b) in first.points.iter().zip(&second.points) {
+            assert_eq!(a.miss_ratio, b.miss_ratio);
+            assert_eq!(a.traffic_ratio, b.traffic_ratio);
+            assert_eq!(a.nibble_traffic_ratio, b.nibble_traffic_ratio);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_discards_the_journal() {
+        let dir = temp_dir("fresh");
+        let (configs, traces) = test_grid();
+        evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, evaluate_point).unwrap();
+        let again =
+            evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, true, evaluate_point)
+                .unwrap();
+        assert_eq!(again.resumed, 0, "--fresh must re-simulate");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_points_are_retried_on_resume() {
+        let dir = temp_dir("retry");
+        let (configs, traces) = test_grid();
+        let bad = configs[3];
+        let first = evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, |c, t, w| {
+            if c == bad {
+                panic!("injected fault");
+            }
+            evaluate_point(c, t, w)
+        })
+        .unwrap();
+        assert_eq!(first.failures.len(), 1);
+        // Restart with a healthy eval: only the failed point re-runs.
+        let second =
+            evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, evaluate_point)
+                .unwrap();
+        assert_eq!(second.resumed, configs.len() - 1);
+        assert!(second.is_complete());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn changed_traces_invalidate_the_journal() {
+        let dir = temp_dir("invalidate");
+        let (configs, traces) = test_grid();
+        evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, evaluate_point).unwrap();
+        let longer = materialize(&[WorkloadSpec::pdp11_ed()], 2_000);
+        let outcome =
+            evaluate_checkpointed_in(&dir, "t", &configs, &longer, 0, false, evaluate_point)
+                .unwrap();
+        assert_eq!(outcome.resumed, 0, "different traces must not resume");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

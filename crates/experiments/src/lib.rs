@@ -6,10 +6,12 @@
 //! Hill & Smith, ISCA 1984 — see `DESIGN.md` §5 for the index):
 //!
 //! * [`sweep`] — trace materialisation, design-point evaluation, the
-//!   Table 1 parameter grid, multi-threaded sweeps,
+//!   Table 1 parameter grid, fault-isolated multi-threaded sweeps,
+//! * [`checkpoint`] — the append-only journal that makes sweeps resumable
+//!   (`--fresh` / `OCCACHE_FRESH=1` discards it),
 //! * [`paper`] — the paper's published numbers (Tables 6–8, prose anchors)
 //!   for paper-vs-measured comparison,
-//! * [`report`] — paper-style text tables and CSV output.
+//! * [`report`] — paper-style text tables, CSV output, atomic writes.
 //!
 //! Run `cargo run --release -p occache-experiments --bin all` to regenerate
 //! everything into `results/`. Individual binaries (`table7`, `fig1`, …)
@@ -18,6 +20,7 @@
 
 pub mod buffers;
 pub mod characterize;
+pub mod checkpoint;
 pub mod extensions;
 pub mod paper;
 pub mod plot;
@@ -26,6 +29,6 @@ pub mod runs;
 pub mod sweep;
 
 pub use sweep::{
-    evaluate_point, evaluate_points, load_forward_config, materialize, standard_config,
-    table1_pairs, DesignPoint, Trace,
+    evaluate_point, evaluate_points, evaluate_points_isolated, load_forward_config, materialize,
+    standard_config, table1_pairs, DesignPoint, PointError, SweepOutcome, Trace,
 };

@@ -14,9 +14,7 @@ use occache_workloads::{m85_mix, riscii_instruction_workload, Architecture, Work
 use crate::paper;
 use crate::plot::{ScatterPlot, Series};
 use crate::report::{points_to_csv, relative_error, table7_block};
-use crate::sweep::{
-    evaluate_points, materialize, standard_config, table1_pairs, trace_len, DesignPoint, Trace,
-};
+use crate::sweep::{materialize, standard_config, table1_pairs, trace_len, DesignPoint, Trace};
 
 /// A regenerated artifact: report text plus named CSV payloads.
 #[derive(Debug, Clone)]
@@ -30,19 +28,46 @@ pub struct Artifact {
 }
 
 impl Artifact {
-    /// Prints the report to stdout and writes the CSVs under `results/`,
-    /// logging each path written. Exits the process on I/O failure — this
-    /// is the shared tail of every experiment binary.
-    pub fn emit(&self) {
+    /// Prints the report to stdout and writes the CSVs (atomically) under
+    /// `results/`, logging each path written — the shared tail of every
+    /// experiment binary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write failure, naming the file, so binaries can
+    /// exit nonzero without tearing down mid-artifact.
+    pub fn emit(&self) -> std::io::Result<()> {
         println!("{}", self.report);
         for (file_name, contents) in &self.csv {
-            match crate::report::write_result(file_name, contents) {
-                Ok(path) => eprintln!("wrote {}", path.display()),
-                Err(e) => {
-                    eprintln!("failed to write {file_name}: {e}");
-                    std::process::exit(1);
-                }
-            }
+            let path = crate::report::write_result(file_name, contents).map_err(|e| {
+                std::io::Error::new(e.kind(), format!("failed to write {file_name}: {e}"))
+            })?;
+            eprintln!("wrote {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+/// The shared `main` of the experiment binaries: builds a workbench from
+/// the environment, runs `build`, emits the artifact, and maps failures
+/// (malformed env vars, unwritable results) to a nonzero exit code with a
+/// message instead of a panic.
+pub fn emit_main<F>(build: F) -> std::process::ExitCode
+where
+    F: FnOnce(&mut Workbench) -> Artifact,
+{
+    let mut bench = match Workbench::try_from_env() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    match build(&mut bench).emit() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
         }
     }
 }
@@ -67,9 +92,21 @@ impl Workbench {
     }
 
     /// Creates a workbench with the length from `OCCACHE_REFS` (default:
-    /// the paper's 1 million).
+    /// the paper's 1 million), tolerating a malformed value. Prefer
+    /// [`Workbench::try_from_env`] in binaries.
     pub fn from_env() -> Self {
         Workbench::new(trace_len())
+    }
+
+    /// Creates a workbench from the environment, rejecting malformed
+    /// `OCCACHE_REFS` values instead of silently running the default
+    /// paper-size sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending variable.
+    pub fn try_from_env() -> Result<Self, String> {
+        crate::sweep::try_trace_len().map(Workbench::new)
     }
 
     /// References per trace.
@@ -174,12 +211,20 @@ pub fn run_figure(bench: &mut Workbench, figure: u8) -> Artifact {
     );
     let mut csv = String::from("net,block,sub,gross,miss_ratio,traffic_axis_value\n");
     let mut plot = ScatterPlot::new(64, 24, "miss ratio", "traffic");
+    let mut failures = Vec::new();
     for net in nets {
         let configs: Vec<CacheConfig> = table1_pairs(net, arch.word_size())
             .into_iter()
             .map(|(b, s)| standard_config(arch, net, b, s))
             .collect();
-        let points = evaluate_points(&configs, traces, warmup);
+        let outcome = crate::checkpoint::evaluate_checkpointed(
+            &format!("fig{figure}"),
+            &configs,
+            traces,
+            warmup,
+        );
+        let points = outcome.points;
+        failures.extend(outcome.failures);
         let _ = writeln!(report, "net {net} bytes:");
         let mut last_block = 0;
         for p in &points {
@@ -235,6 +280,9 @@ pub fn run_figure(bench: &mut Workbench, figure: u8) -> Artifact {
         }
     }
     let _ = writeln!(report, "{}", plot.render());
+    if let Some(note) = crate::sweep::failure_note(&failures) {
+        let _ = writeln!(report, "{note}");
+    }
     let name: &'static str = match figure {
         1 => "fig1",
         2 => "fig2",
@@ -390,14 +438,21 @@ pub fn run_table7(bench: &mut Workbench) -> Artifact {
         let warmup = bench.warmup_for(arch);
         let traces = bench.arch_traces(arch);
         let mut points: Vec<DesignPoint> = Vec::new();
+        let mut failures = Vec::new();
         for net in [64u64, 256, 1024] {
             let configs: Vec<CacheConfig> = table1_pairs(net, arch.word_size())
                 .into_iter()
                 .map(|(b, s)| standard_config(arch, net, b, s))
                 .collect();
-            points.extend(evaluate_points(&configs, traces, warmup));
+            let outcome =
+                crate::checkpoint::evaluate_checkpointed("table7", &configs, traces, warmup);
+            points.extend(outcome.points);
+            failures.extend(outcome.failures);
         }
         report.push_str(&table7_block(arch.name(), &points, paper::table7(arch)));
+        if let Some(note) = crate::sweep::failure_note(&failures) {
+            report.push_str(&note);
+        }
         report.push('\n');
         csv_all.push((
             format!(

@@ -3,6 +3,7 @@
 //! does ("Multiple-trace miss and traffic ratios are the unweighted average
 //! of the miss and traffic ratios of individual runs", §3.3).
 
+use std::panic::{self, AssertUnwindSafe};
 use std::thread;
 
 use occache_core::{simulate, BusModel, CacheConfig, FetchPolicy, Metrics};
@@ -76,45 +77,216 @@ pub fn evaluate_point(config: CacheConfig, traces: &[Trace], warmup: usize) -> D
     }
 }
 
+/// A design point whose evaluation failed (panic inside the simulator or
+/// eval function). The sweep records the failure and carries on with the
+/// remaining points.
+#[derive(Debug, Clone)]
+pub struct PointError {
+    /// The configuration that failed.
+    pub config: CacheConfig,
+    /// The panic payload (or join-error description), rendered.
+    pub message: String,
+}
+
+impl std::fmt::Display for PointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.config, self.message)
+    }
+}
+
+/// The outcome of a fault-isolated (and possibly resumed) sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOutcome {
+    /// Successfully evaluated points, in the order of the input configs.
+    pub points: Vec<DesignPoint>,
+    /// Points whose evaluation panicked, with the failing config named.
+    pub failures: Vec<PointError>,
+    /// How many points were restored from a checkpoint journal rather than
+    /// re-simulated (always 0 for non-resumable sweeps).
+    pub resumed: usize,
+}
+
+impl SweepOutcome {
+    /// True when every input config produced a point.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// A short report block naming each failed cell, or `None` when the
+    /// sweep is complete. Artifact reports append this so partial results
+    /// are never mistaken for full grids.
+    pub fn failure_note(&self) -> Option<String> {
+        failure_note(&self.failures)
+    }
+}
+
+/// Renders a failed-cells block for a report, or `None` when `failures`
+/// is empty. See [`SweepOutcome::failure_note`].
+pub fn failure_note(failures: &[PointError]) -> Option<String> {
+    if failures.is_empty() {
+        return None;
+    }
+    let mut note = format!(
+        "WARNING: {} design point(s) FAILED and are missing above:\n",
+        failures.len()
+    );
+    for f in failures {
+        use std::fmt::Write as _;
+        let _ = writeln!(note, "  FAILED {f}");
+    }
+    Some(note)
+}
+
+/// Renders a panic payload as text (panics carry `&str` or `String`
+/// payloads in practice; anything else is reported opaquely).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// Evaluates one configuration with panic containment: a panic inside
+/// `eval` becomes an `Err(PointError)` instead of unwinding the sweep.
+fn evaluate_contained<F>(
+    config: CacheConfig,
+    traces: &[Trace],
+    warmup: usize,
+    eval: &F,
+) -> Result<DesignPoint, PointError>
+where
+    F: Fn(CacheConfig, &[Trace], usize) -> DesignPoint,
+{
+    panic::catch_unwind(AssertUnwindSafe(|| eval(config, traces, warmup))).map_err(|payload| {
+        PointError {
+            config,
+            message: panic_message(payload),
+        }
+    })
+}
+
+/// Fault-isolated parallel sweep returning one result per config, in
+/// input order. The building block under [`evaluate_points_isolated_with`]
+/// and the checkpointed sweeps, which need the per-index mapping.
+pub fn evaluate_results_with<F>(
+    configs: &[CacheConfig],
+    traces: &[Trace],
+    warmup: usize,
+    eval: F,
+) -> Vec<Result<DesignPoint, PointError>>
+where
+    F: Fn(CacheConfig, &[Trace], usize) -> DesignPoint + Sync,
+{
+    let workers = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(configs.len().max(1));
+    let chunk = configs.len().div_ceil(workers.max(1)).max(1);
+    let mut slots: Vec<Option<Result<DesignPoint, PointError>>> = vec![None; configs.len()];
+    let eval = &eval;
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, block) in configs.chunks(chunk).enumerate() {
+            handles.push((
+                i * chunk,
+                block,
+                scope.spawn(move || {
+                    block
+                        .iter()
+                        .map(|&c| evaluate_contained(c, traces, warmup, eval))
+                        .collect::<Vec<_>>()
+                }),
+            ));
+        }
+        for (start, block, h) in handles {
+            match h.join() {
+                Ok(results) => {
+                    for (j, r) in results.into_iter().enumerate() {
+                        slots[start + j] = Some(r);
+                    }
+                }
+                // With per-point containment a worker should never die, but
+                // if one does, name every config it was carrying rather
+                // than poisoning the whole sweep.
+                Err(payload) => {
+                    let message = format!(
+                        "sweep worker thread died outside point isolation: {}",
+                        panic_message(payload)
+                    );
+                    for (j, &c) in block.iter().enumerate() {
+                        slots[start + j] = Some(Err(PointError {
+                            config: c,
+                            message: message.clone(),
+                        }));
+                    }
+                }
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every chunk filled its slots"))
+        .collect()
+}
+
+/// Fault-isolated parallel sweep with a custom evaluation function.
+///
+/// Each point runs under `catch_unwind`: a panicking point is reported in
+/// [`SweepOutcome::failures`] (named by its config) and the rest of the
+/// grid still completes. `eval` is a parameter so tests can inject faults;
+/// production callers use [`evaluate_points_isolated`].
+pub fn evaluate_points_isolated_with<F>(
+    configs: &[CacheConfig],
+    traces: &[Trace],
+    warmup: usize,
+    eval: F,
+) -> SweepOutcome
+where
+    F: Fn(CacheConfig, &[Trace], usize) -> DesignPoint + Sync,
+{
+    let mut outcome = SweepOutcome::default();
+    for result in evaluate_results_with(configs, traces, warmup, eval) {
+        match result {
+            Ok(p) => outcome.points.push(p),
+            Err(e) => outcome.failures.push(e),
+        }
+    }
+    outcome
+}
+
+/// Fault-isolated parallel sweep using the standard [`evaluate_point`].
+pub fn evaluate_points_isolated(
+    configs: &[CacheConfig],
+    traces: &[Trace],
+    warmup: usize,
+) -> SweepOutcome {
+    evaluate_points_isolated_with(configs, traces, warmup, evaluate_point)
+}
+
 /// Evaluates many configurations, spreading work across threads.
+///
+/// # Panics
+///
+/// Panics if any point's evaluation panics, naming the failing
+/// configuration. Use [`evaluate_points_isolated`] to get partial results
+/// instead.
 pub fn evaluate_points(
     configs: &[CacheConfig],
     traces: &[Trace],
     warmup: usize,
 ) -> Vec<DesignPoint> {
-    let workers = thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(configs.len().max(1));
-    let chunk = configs.len().div_ceil(workers.max(1));
-    let mut out: Vec<Option<DesignPoint>> = vec![None; configs.len()];
-    thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, block) in configs.chunks(chunk.max(1)).enumerate() {
-            handles.push((
-                i * chunk.max(1),
-                scope.spawn(move || {
-                    block
-                        .iter()
-                        .map(|&c| evaluate_point(c, traces, warmup))
-                        .collect::<Vec<_>>()
-                }),
-            ));
-        }
-        for (start, h) in handles {
-            for (j, point) in h
-                .join()
-                .expect("sweep worker panicked")
-                .into_iter()
-                .enumerate()
-            {
-                out[start + j] = Some(point);
-            }
-        }
-    });
-    out.into_iter()
-        .map(|p| p.expect("all points filled"))
-        .collect()
+    let outcome = evaluate_points_isolated(configs, traces, warmup);
+    if let Some(first) = outcome.failures.first() {
+        panic!(
+            "sweep failed at {} of {} design point(s); first failure: {first}",
+            outcome.failures.len(),
+            configs.len()
+        );
+    }
+    outcome.points
 }
 
 /// The `(block, sub-block)` pairs of the paper's Table 1 grid applicable to
@@ -165,21 +337,50 @@ pub fn load_forward_config(arch: Architecture, net: u64, block: u64, sub: u64) -
         .expect("Table 1 geometry is valid")
 }
 
+/// Parses a non-negative-integer env var strictly: absent → `default`,
+/// present but unparsable → an error naming the variable (a typo in
+/// `OCCACHE_REFS` must not silently run the paper-size sweep).
+fn env_usize(var: &str, default: usize) -> Result<usize, String> {
+    match std::env::var(var) {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .map_err(|_| format!("{var}={v:?} is not a non-negative integer")),
+        Err(std::env::VarError::NotPresent) => Ok(default),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!("{var} is not valid UTF-8")),
+    }
+}
+
 /// Number of references per trace: `OCCACHE_REFS` env var, defaulting to
 /// the paper's 1 million.
+///
+/// # Errors
+///
+/// Returns a message naming the variable when it is set but malformed.
+pub fn try_trace_len() -> Result<usize, String> {
+    env_usize("OCCACHE_REFS", occache_workloads::PAPER_TRACE_LEN)
+}
+
+/// Number of references per trace, tolerating a malformed `OCCACHE_REFS`
+/// (falls back to the paper's 1 million). Prefer [`try_trace_len`] in
+/// binaries so typos fail fast.
 pub fn trace_len() -> usize {
-    std::env::var("OCCACHE_REFS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(occache_workloads::PAPER_TRACE_LEN)
+    try_trace_len().unwrap_or(occache_workloads::PAPER_TRACE_LEN)
 }
 
 /// Warm-up references per run: `OCCACHE_WARMUP` env var, defaulting to 0.
+///
+/// # Errors
+///
+/// Returns a message naming the variable when it is set but malformed.
+pub fn try_warmup_len() -> Result<usize, String> {
+    env_usize("OCCACHE_WARMUP", 0)
+}
+
+/// Warm-up references per run, tolerating a malformed `OCCACHE_WARMUP`
+/// (falls back to 0). Prefer [`try_warmup_len`] in binaries.
 pub fn warmup_len() -> usize {
-    std::env::var("OCCACHE_WARMUP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
+    try_warmup_len().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -241,6 +442,71 @@ mod tests {
         assert!(point.miss_ratio > 0.0 && point.miss_ratio < 1.0);
         // Demand identity: averaged traffic = averaged miss × sub/word.
         assert!((point.traffic_ratio - point.miss_ratio * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_sweep_survives_a_panicking_point() {
+        let traces = materialize(&[WorkloadSpec::pdp11_ed()], 1_000);
+        let configs: Vec<_> = table1_pairs(64, 2)
+            .into_iter()
+            .map(|(b, s)| standard_config(Architecture::Pdp11, 64, b, s))
+            .collect();
+        // Inject a panic for exactly one cell of the grid.
+        let outcome = evaluate_points_isolated_with(&configs, &traces, 0, |c, t, w| {
+            if c.block_size() == 8 && c.sub_block_size() == 4 {
+                panic!("injected fault for testing");
+            }
+            evaluate_point(c, t, w)
+        });
+        assert_eq!(outcome.points.len(), configs.len() - 1);
+        assert_eq!(outcome.failures.len(), 1);
+        assert!(!outcome.is_complete());
+        let failure = &outcome.failures[0];
+        assert_eq!(failure.config.block_size(), 8);
+        assert!(failure.message.contains("injected fault"), "{failure}");
+        // The failure note names the cell for the artifact report.
+        let note = outcome.failure_note().unwrap();
+        assert!(note.contains("FAILED"), "{note}");
+        assert!(note.contains("(8,4)"), "note should name the config: {note}");
+    }
+
+    #[test]
+    fn isolated_sweep_preserves_config_order() {
+        let traces = materialize(&[WorkloadSpec::pdp11_ed()], 1_000);
+        let configs: Vec<_> = table1_pairs(64, 2)
+            .into_iter()
+            .map(|(b, s)| standard_config(Architecture::Pdp11, 64, b, s))
+            .collect();
+        let outcome = evaluate_points_isolated(&configs, &traces, 0);
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.resumed, 0);
+        for (cfg, p) in configs.iter().zip(&outcome.points) {
+            assert_eq!(*cfg, p.config);
+        }
+    }
+
+    #[test]
+    fn point_error_display_names_the_config() {
+        let config = standard_config(Architecture::Pdp11, 64, 8, 4);
+        let e = PointError {
+            config,
+            message: "injected".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("(8,4)"), "{text}");
+        assert!(text.contains("injected"), "{text}");
+    }
+
+    #[test]
+    fn env_parsing_is_strict_on_malformed_values() {
+        // Uses the pure helper directly on a variable we control to avoid
+        // races with other tests reading OCCACHE_REFS.
+        std::env::set_var("OCCACHE_TEST_ENV_USIZE", "12abc");
+        assert!(env_usize("OCCACHE_TEST_ENV_USIZE", 5).is_err());
+        std::env::set_var("OCCACHE_TEST_ENV_USIZE", " 42 ");
+        assert_eq!(env_usize("OCCACHE_TEST_ENV_USIZE", 5), Ok(42));
+        std::env::remove_var("OCCACHE_TEST_ENV_USIZE");
+        assert_eq!(env_usize("OCCACHE_TEST_ENV_USIZE", 5), Ok(5));
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! End-to-end failure-model tests: kill-and-resume from the checkpoint
+//! journal, and a sweep surviving an injected panicking design point plus
+//! an injected faulty trace reader, with surviving results written
+//! atomically.
+
+use std::fs;
+use std::io::Read as _;
+use std::path::PathBuf;
+
+use occache_core::CacheConfig;
+use occache_experiments::checkpoint::evaluate_checkpointed_in;
+use occache_experiments::report::{points_to_csv, write_result_in};
+use occache_experiments::sweep::{evaluate_point, materialize, standard_config, table1_pairs};
+use occache_experiments::Trace;
+use occache_trace::fault::{FaultMode, FaultyReader};
+use occache_trace::io::{parse_trace, write_trace, ParseTraceError};
+use occache_workloads::{Architecture, WorkloadSpec};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("occache-recovery-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn grid() -> (Vec<CacheConfig>, Vec<Trace>) {
+    let traces = materialize(&[WorkloadSpec::pdp11_ed(), WorkloadSpec::pdp11_opsys()], 2_000);
+    let configs = table1_pairs(256, 2)
+        .into_iter()
+        .map(|(b, s)| standard_config(Architecture::Pdp11, 256, b, s))
+        .collect();
+    (configs, traces)
+}
+
+/// Run a sweep, "kill" it after K points (by only giving it the first K
+/// configs), restart over the full grid, and check the merged result is
+/// identical to a clean never-interrupted run.
+#[test]
+fn kill_and_resume_matches_clean_run() {
+    let dir = temp_dir("kill-resume");
+    let (configs, traces) = grid();
+    let k = configs.len() / 2;
+    assert!(k >= 3, "grid too small to be a meaningful test");
+
+    // Phase 1: the "killed" run completes only the first K points. Dropping
+    // all in-memory state afterwards is exactly what a process death does;
+    // the journal on disk is the only survivor.
+    let partial =
+        evaluate_checkpointed_in(&dir, "grid", &configs[..k], &traces, 0, false, evaluate_point)
+            .unwrap();
+    assert_eq!(partial.points.len(), k);
+    drop(partial);
+
+    // Phase 2: restart over the full grid. The first K points must come
+    // from the journal (the panicking eval proves no re-simulation), the
+    // rest are computed.
+    let mut fresh_evals = 0usize;
+    let fresh_counter = std::sync::atomic::AtomicUsize::new(0);
+    let resumed = evaluate_checkpointed_in(&dir, "grid", &configs, &traces, 0, false, |c, t, w| {
+        fresh_counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        evaluate_point(c, t, w)
+    })
+    .unwrap();
+    fresh_evals += fresh_counter.load(std::sync::atomic::Ordering::SeqCst);
+    assert_eq!(resumed.resumed, k);
+    assert_eq!(fresh_evals, configs.len() - k);
+    assert!(resumed.is_complete());
+
+    // The merged grid equals a clean run, point for point, bit for bit.
+    let clean_dir = temp_dir("kill-resume-clean");
+    let clean =
+        evaluate_checkpointed_in(&clean_dir, "grid", &configs, &traces, 0, false, evaluate_point)
+            .unwrap();
+    assert_eq!(resumed.points.len(), clean.points.len());
+    for (r, c) in resumed.points.iter().zip(&clean.points) {
+        assert_eq!(r.config, c.config);
+        assert_eq!(r.miss_ratio, c.miss_ratio);
+        assert_eq!(r.traffic_ratio, c.traffic_ratio);
+        assert_eq!(r.nibble_traffic_ratio, c.nibble_traffic_ratio);
+        assert_eq!(r.redundant_load_fraction, c.redundant_load_fraction);
+    }
+    fs::remove_dir_all(&dir).unwrap();
+    fs::remove_dir_all(&clean_dir).unwrap();
+}
+
+/// The acceptance scenario: one design point panics and one trace file
+/// dies mid-read. The sweep still completes, names the failed cell, the
+/// surviving results land atomically, and a second invocation resumes
+/// from the journal without re-simulating anything.
+#[test]
+fn faulty_sweep_completes_reports_and_resumes() {
+    let dir = temp_dir("faulty");
+    let (configs, traces) = grid();
+
+    // --- Injected faulty trace: serialise one trace, then read it back
+    // through a reader that fails after 64 bytes. The structured error is
+    // the signal to drop that trace (with a note) rather than crash.
+    let mut encoded = Vec::new();
+    write_trace(&mut encoded, traces[0].refs.iter().copied()).unwrap();
+    let faulty = FaultyReader::new(&encoded[..], FaultMode::ErrorAfter(64));
+    let mut survivors = Vec::new();
+    let mut trace_notes = Vec::new();
+    match parse_trace(faulty) {
+        Ok(refs) => survivors.push(Trace {
+            name: traces[0].name.clone(),
+            refs,
+        }),
+        Err(e @ ParseTraceError::Io(_)) => {
+            trace_notes.push(format!("dropped trace {}: {e}", traces[0].name));
+        }
+        Err(e) => panic!("expected an io error from the faulty reader, got {e:?}"),
+    }
+    survivors.push(traces[1].clone());
+    assert_eq!(survivors.len(), 1, "the faulty trace must be dropped");
+    assert_eq!(trace_notes.len(), 1);
+    assert!(trace_notes[0].contains("injected fault"), "{trace_notes:?}");
+
+    // --- Injected panicking design point, over the surviving trace set.
+    let bad = configs[2];
+    let outcome =
+        evaluate_checkpointed_in(&dir, "faulty", &configs, &survivors, 0, false, |c, t, w| {
+            if c == bad {
+                panic!("injected point fault");
+            }
+            evaluate_point(c, t, w)
+        })
+        .unwrap();
+    assert_eq!(outcome.points.len(), configs.len() - 1);
+    assert_eq!(outcome.failures.len(), 1);
+
+    // The failed cell is reported by name.
+    let note = outcome.failure_note().unwrap();
+    assert!(note.contains("FAILED"), "{note}");
+    assert!(note.contains("injected point fault"), "{note}");
+    assert!(
+        note.contains(&format!(
+            "({},{})",
+            bad.block_size(),
+            bad.sub_block_size()
+        )),
+        "failed cell not named: {note}"
+    );
+
+    // Surviving CSV written atomically (no temp debris, full content).
+    let csv = points_to_csv("PDP-11", &outcome.points);
+    let path = write_result_in(&dir, "faulty.csv", &csv).unwrap();
+    let mut written = String::new();
+    fs::File::open(&path)
+        .unwrap()
+        .read_to_string(&mut written)
+        .unwrap();
+    assert_eq!(written, csv);
+    assert_eq!(written.lines().count(), outcome.points.len() + 1);
+    let debris: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name())
+        .filter(|n| n.to_string_lossy().contains(".tmp"))
+        .collect();
+    assert!(debris.is_empty(), "{debris:?}");
+
+    // Second invocation: every surviving point resumes from the journal
+    // (the always-panicking eval proves nothing is re-simulated), and the
+    // previously failed cell is retried — this time successfully.
+    let second =
+        evaluate_checkpointed_in(&dir, "faulty", &configs, &survivors, 0, false, |c, t, w| {
+            assert_eq!(c, bad, "only the failed cell may re-run");
+            evaluate_point(c, t, w)
+        })
+        .unwrap();
+    assert_eq!(second.resumed, configs.len() - 1);
+    assert!(second.is_complete());
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -20,7 +20,7 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 
-use crate::io::ParseTraceError;
+use crate::io::{MalformedKind, ParseTraceError};
 use crate::record::{AccessKind, Address, MemRef};
 
 /// The `din` numeric label for an access kind.
@@ -42,16 +42,34 @@ pub const fn kind_from_label(label: u8) -> Option<AccessKind> {
     }
 }
 
-/// Parses a single `din` record.
-pub fn parse_din_record(text: &str) -> Option<MemRef> {
+/// Parses a single `din` record, reporting *why* a bad record was
+/// rejected.
+///
+/// # Errors
+///
+/// Returns the specific [`MalformedKind`]: truncated records (a label with
+/// no address), labels outside `0..=2`, non-hex or oversized addresses.
+pub fn classify_din_record(text: &str) -> Result<MemRef, MalformedKind> {
     let mut parts = text.split_whitespace();
-    let label: u8 = parts.next()?.parse().ok()?;
-    let kind = kind_from_label(label)?;
-    let addr_token = parts.next()?;
+    let label_token = parts.next().ok_or(MalformedKind::MissingAddress)?;
+    let kind = label_token
+        .parse::<u8>()
+        .ok()
+        .and_then(kind_from_label)
+        .ok_or(MalformedKind::BadKind)?;
+    let addr_token = parts.next().ok_or(MalformedKind::MissingAddress)?;
     // dinero tolerates trailing fields (some tracers append sizes); we
     // accept and ignore them.
-    let value = u64::from_str_radix(addr_token, 16).ok()?;
-    Some(MemRef::new(Address::new(value), kind))
+    let value = crate::io::parse_hex_address(addr_token)?;
+    Ok(MemRef::new(Address::new(value), kind))
+}
+
+/// Parses a single `din` record.
+///
+/// `None` collapses all rejection reasons; use [`classify_din_record`]
+/// when the reason matters.
+pub fn parse_din_record(text: &str) -> Option<MemRef> {
+    classify_din_record(text).ok()
 }
 
 /// Parses an entire `din` trace.
@@ -68,15 +86,15 @@ pub fn parse_din<R: Read>(reader: R) -> Result<Vec<MemRef>, ParseTraceError> {
     let mut out = Vec::new();
     for (idx, line) in buf.lines().enumerate() {
         let line = line?;
+        if let Some(kind) = crate::io::pre_screen(&line) {
+            return Err(crate::io::malformed(idx + 1, &line, kind));
+        }
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
         out.push(
-            parse_din_record(trimmed).ok_or_else(|| ParseTraceError::Malformed {
-                line: idx + 1,
-                text: line.clone(),
-            })?,
+            classify_din_record(trimmed).map_err(|kind| crate::io::malformed(idx + 1, &line, kind))?,
         );
     }
     Ok(out)

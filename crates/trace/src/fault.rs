@@ -1,0 +1,153 @@
+//! Fault-injection reader for hardening tests.
+//!
+//! Trace files arrive over flaky pipes, get truncated by full disks and
+//! corrupted by partial writes. [`FaultyReader`] wraps any [`Read`] and
+//! reproduces those failure modes deterministically so parser and harness
+//! error paths can be exercised without real I/O failures:
+//!
+//! ```
+//! use std::io::Read;
+//! use occache_trace::fault::{FaultMode, FaultyReader};
+//! use occache_trace::io::parse_trace;
+//!
+//! // A trace whose backing file vanishes after 8 bytes.
+//! let good = "i 400\nr 8000\nw 42\n";
+//! let mut failing = FaultyReader::new(good.as_bytes(), FaultMode::ErrorAfter(8));
+//! assert!(parse_trace(&mut failing).is_err());
+//! ```
+
+use std::io::{self, Read};
+
+/// What kind of fault to inject, and after how many delivered bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Deliver the first `n` bytes, then report clean end-of-file — a
+    /// truncated file (possibly mid-record).
+    TruncateAfter(usize),
+    /// Deliver the first `n` bytes, then fail every read with an I/O
+    /// error — a dying pipe or remote filesystem.
+    ErrorAfter(usize),
+    /// Deliver all bytes, but flip every bit from byte `n` onward — a
+    /// corrupted tail (bad sector, partial overwrite).
+    CorruptAfter(usize),
+}
+
+/// A [`Read`] adaptor that injects the configured [`FaultMode`].
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    mode: FaultMode,
+    delivered: usize,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner`, injecting `mode`.
+    pub fn new(inner: R, mode: FaultMode) -> Self {
+        FaultyReader {
+            inner,
+            mode,
+            delivered: 0,
+        }
+    }
+
+    /// Bytes delivered to the consumer so far.
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.mode {
+            FaultMode::TruncateAfter(limit) => {
+                let budget = limit.saturating_sub(self.delivered);
+                if budget == 0 {
+                    return Ok(0);
+                }
+                let take = budget.min(buf.len());
+                let n = self.inner.read(&mut buf[..take])?;
+                self.delivered += n;
+                Ok(n)
+            }
+            FaultMode::ErrorAfter(limit) => {
+                let budget = limit.saturating_sub(self.delivered);
+                if budget == 0 {
+                    return Err(io::Error::other(format!(
+                        "injected fault after {limit} bytes"
+                    )));
+                }
+                let take = budget.min(buf.len());
+                let n = self.inner.read(&mut buf[..take])?;
+                self.delivered += n;
+                Ok(n)
+            }
+            FaultMode::CorruptAfter(limit) => {
+                let n = self.inner.read(buf)?;
+                for (i, byte) in buf[..n].iter_mut().enumerate() {
+                    if self.delivered + i >= limit {
+                        *byte = !*byte;
+                    }
+                }
+                self.delivered += n;
+                Ok(n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{parse_trace, MalformedKind, ParseTraceError};
+
+    const TRACE: &str = "i 400\nr 8000\nw 42\n";
+
+    #[test]
+    fn truncation_cuts_mid_record() {
+        let mut r = FaultyReader::new(TRACE.as_bytes(), FaultMode::TruncateAfter(8));
+        let mut out = String::new();
+        r.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "i 400\nr ");
+        assert_eq!(r.delivered(), 8);
+    }
+
+    #[test]
+    fn truncated_trace_is_a_structured_error() {
+        let r = FaultyReader::new(TRACE.as_bytes(), FaultMode::TruncateAfter(8));
+        match parse_trace(r) {
+            Err(ParseTraceError::Malformed { line, kind, .. }) => {
+                assert_eq!(line, 2);
+                assert_eq!(kind, MalformedKind::MissingAddress);
+            }
+            other => panic!("expected mid-record truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_mode_surfaces_as_io_error() {
+        let r = FaultyReader::new(TRACE.as_bytes(), FaultMode::ErrorAfter(6));
+        match parse_trace(r) {
+            Err(ParseTraceError::Io(e)) => {
+                assert!(e.to_string().contains("injected fault"), "{e}")
+            }
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_flips_tail_bytes() {
+        let mut r = FaultyReader::new(TRACE.as_bytes(), FaultMode::CorruptAfter(6));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(&out[..6], b"i 400\n");
+        assert_ne!(&out[6..], &TRACE.as_bytes()[6..]);
+    }
+
+    #[test]
+    fn zero_limit_faults_immediately() {
+        let r = FaultyReader::new(TRACE.as_bytes(), FaultMode::TruncateAfter(0));
+        assert_eq!(parse_trace(r).unwrap(), vec![]);
+        let r = FaultyReader::new(TRACE.as_bytes(), FaultMode::ErrorAfter(0));
+        assert!(matches!(parse_trace(r), Err(ParseTraceError::Io(_))));
+    }
+}

@@ -23,6 +23,52 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 
 use crate::record::{AccessKind, Address, MemRef};
 
+/// Longest accepted trace line, in bytes. Real records are a dozen bytes;
+/// anything longer is corrupt or binary input, rejected before it can blow
+/// up memory or produce a megabyte-long error message.
+pub const MAX_LINE_BYTES: usize = 4096;
+
+/// Widest accepted hex address: 16 digits fills `u64` exactly; more would
+/// silently overflow or describe an address no simulated machine has.
+pub const MAX_ADDRESS_DIGITS: usize = 16;
+
+/// Why a single trace record was rejected (carried inside
+/// [`ParseTraceError::Malformed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MalformedKind {
+    /// The record ended before its address field (truncated line or
+    /// mid-record EOF).
+    MissingAddress,
+    /// The kind/label field was not one of the legal values.
+    BadKind,
+    /// The address field contained non-hex characters.
+    BadAddress,
+    /// The address had more than [`MAX_ADDRESS_DIGITS`] hex digits and
+    /// would overflow the 64-bit address space.
+    AddressTooWide,
+    /// The line contained an embedded NUL byte (binary/corrupt input).
+    EmbeddedNul,
+    /// The line exceeded [`MAX_LINE_BYTES`] (binary/corrupt input).
+    LineTooLong,
+    /// The record carried unexpected extra fields.
+    TrailingGarbage,
+}
+
+impl fmt::Display for MalformedKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let reason = match self {
+            MalformedKind::MissingAddress => "record truncated before its address",
+            MalformedKind::BadKind => "unrecognised access kind",
+            MalformedKind::BadAddress => "address is not hexadecimal",
+            MalformedKind::AddressTooWide => "address wider than 64 bits",
+            MalformedKind::EmbeddedNul => "embedded NUL byte",
+            MalformedKind::LineTooLong => "line implausibly long",
+            MalformedKind::TrailingGarbage => "unexpected trailing fields",
+        };
+        f.write_str(reason)
+    }
+}
+
 /// Error parsing a text trace.
 #[derive(Debug)]
 pub enum ParseTraceError {
@@ -32,8 +78,10 @@ pub enum ParseTraceError {
     Malformed {
         /// 1-based line number of the offending line.
         line: usize,
-        /// The offending line's contents.
+        /// The offending line's contents (truncated for display safety).
         text: String,
+        /// What specifically was wrong with the record.
+        kind: MalformedKind,
     },
 }
 
@@ -41,8 +89,8 @@ impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseTraceError::Io(e) => write!(f, "trace read failed: {e}"),
-            ParseTraceError::Malformed { line, text } => {
-                write!(f, "malformed trace record at line {line}: {text:?}")
+            ParseTraceError::Malformed { line, text, kind } => {
+                write!(f, "malformed trace record at line {line} ({kind}): {text:?}")
             }
         }
     }
@@ -76,35 +124,89 @@ pub fn parse_trace<R: Read>(reader: R) -> Result<Vec<MemRef>, ParseTraceError> {
     let mut out = Vec::new();
     for (idx, line) in buf.lines().enumerate() {
         let line = line?;
+        if let Some(kind) = pre_screen(&line) {
+            return Err(malformed(idx + 1, &line, kind));
+        }
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        out.push(
-            parse_record(trimmed).ok_or_else(|| ParseTraceError::Malformed {
-                line: idx + 1,
-                text: line.clone(),
-            })?,
-        );
+        out.push(classify_record(trimmed).map_err(|kind| malformed(idx + 1, &line, kind))?);
     }
     Ok(out)
 }
 
-/// Parses a single `<kind> <hex-address>` record.
-pub fn parse_record(text: &str) -> Option<MemRef> {
-    let mut parts = text.split_whitespace();
-    let kind_token = parts.next()?;
-    let addr_token = parts.next()?;
-    if parts.next().is_some() || kind_token.chars().count() != 1 {
-        return None;
+/// Line-level sanity checks shared by both formats: embedded NUL bytes and
+/// implausible line lengths mark binary or corrupt input regardless of
+/// record syntax.
+pub(crate) fn pre_screen(line: &str) -> Option<MalformedKind> {
+    if line.len() > MAX_LINE_BYTES {
+        Some(MalformedKind::LineTooLong)
+    } else if line.contains('\0') {
+        Some(MalformedKind::EmbeddedNul)
+    } else {
+        None
     }
-    let kind = AccessKind::from_mnemonic(kind_token.chars().next()?)?;
-    let addr_token = addr_token
+}
+
+/// Builds a [`ParseTraceError::Malformed`], clamping the echoed text so a
+/// corrupt multi-kilobyte line cannot flood the caller's error path.
+pub(crate) fn malformed(line: usize, text: &str, kind: MalformedKind) -> ParseTraceError {
+    let text: String = text.chars().take(80).collect();
+    ParseTraceError::Malformed { line, text, kind }
+}
+
+/// Parses a single `<kind> <hex-address>` record, reporting *why* a bad
+/// record was rejected.
+///
+/// # Errors
+///
+/// Returns the specific [`MalformedKind`] for truncated records, unknown
+/// kinds, non-hex or oversized addresses, and trailing garbage.
+pub fn classify_record(text: &str) -> Result<MemRef, MalformedKind> {
+    let mut parts = text.split_whitespace();
+    let kind_token = parts.next().ok_or(MalformedKind::MissingAddress)?;
+    if kind_token.chars().count() != 1 {
+        return Err(MalformedKind::BadKind);
+    }
+    let kind = kind_token
+        .chars()
+        .next()
+        .and_then(AccessKind::from_mnemonic)
+        .ok_or(MalformedKind::BadKind)?;
+    let addr_token = parts.next().ok_or(MalformedKind::MissingAddress)?;
+    if parts.next().is_some() {
+        return Err(MalformedKind::TrailingGarbage);
+    }
+    let value = parse_hex_address(addr_token)?;
+    Ok(MemRef::new(Address::new(value), kind))
+}
+
+/// Parses a hex address token (optional `0x`/`0X` prefix), distinguishing
+/// overflow from syntax errors.
+pub(crate) fn parse_hex_address(token: &str) -> Result<u64, MalformedKind> {
+    let digits = token
         .strip_prefix("0x")
-        .or_else(|| addr_token.strip_prefix("0X"))
-        .unwrap_or(addr_token);
-    let value = u64::from_str_radix(addr_token, 16).ok()?;
-    Some(MemRef::new(Address::new(value), kind))
+        .or_else(|| token.strip_prefix("0X"))
+        .unwrap_or(token);
+    if digits.is_empty() {
+        return Err(MalformedKind::BadAddress);
+    }
+    if !digits.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(MalformedKind::BadAddress);
+    }
+    if digits.trim_start_matches('0').len() > MAX_ADDRESS_DIGITS {
+        return Err(MalformedKind::AddressTooWide);
+    }
+    u64::from_str_radix(digits, 16).map_err(|_| MalformedKind::AddressTooWide)
+}
+
+/// Parses a single `<kind> <hex-address>` record.
+///
+/// `None` collapses all rejection reasons; use [`classify_record`] when the
+/// reason matters.
+pub fn parse_record(text: &str) -> Option<MemRef> {
+    classify_record(text).ok()
 }
 
 /// Parses a trace in either supported format, auto-detected from the
@@ -230,5 +332,70 @@ mod tests {
             Err(ParseTraceError::Malformed { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected malformed error, got {other:?}"),
         }
+    }
+
+    /// Expects `parse_trace` of `text` to fail at `line` with `kind`.
+    fn expect_malformed(text: &str, line: usize, kind: MalformedKind) {
+        match parse_trace(text.as_bytes()) {
+            Err(ParseTraceError::Malformed {
+                line: l, kind: k, ..
+            }) => {
+                assert_eq!((l, k), (line, kind), "for input {text:?}");
+            }
+            other => panic!("expected {kind:?} at line {line} for {text:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_kinds_are_distinguished() {
+        // Truncated record (mid-record EOF).
+        expect_malformed("i 400\nr", 2, MalformedKind::MissingAddress);
+        // Unknown access kind.
+        expect_malformed("z 400\n", 1, MalformedKind::BadKind);
+        // Multi-character kind token.
+        expect_malformed("iw 400\n", 1, MalformedKind::BadKind);
+        // Non-hex address.
+        expect_malformed("i zz\n", 1, MalformedKind::BadAddress);
+        // Extra fields.
+        expect_malformed("i 400 4\n", 1, MalformedKind::TrailingGarbage);
+    }
+
+    #[test]
+    fn oversized_addresses_are_rejected_not_wrapped() {
+        // 17 significant hex digits cannot fit a u64.
+        expect_malformed("i 10000000000000000\n", 1, MalformedKind::AddressTooWide);
+        // Leading zeros are not significant: still a valid 64-bit address.
+        let refs = parse_trace("i 000000000000000000ff\n".as_bytes()).unwrap();
+        assert_eq!(refs, vec![MemRef::ifetch(0xff)]);
+        // The full 64-bit space itself is legal.
+        let refs = parse_trace("i ffffffffffffffff\n".as_bytes()).unwrap();
+        assert_eq!(refs[0].address().value(), u64::MAX);
+    }
+
+    #[test]
+    fn embedded_nul_is_rejected() {
+        expect_malformed("i 4\0400\n", 1, MalformedKind::EmbeddedNul);
+        // Even inside a would-be comment: NUL marks binary input.
+        expect_malformed("# hea\0der\ni 400\n", 1, MalformedKind::EmbeddedNul);
+    }
+
+    #[test]
+    fn absurdly_long_lines_are_rejected() {
+        let long = format!("i {}\n", "f".repeat(MAX_LINE_BYTES + 1));
+        expect_malformed(&long, 1, MalformedKind::LineTooLong);
+    }
+
+    #[test]
+    fn error_text_is_clamped_for_display() {
+        let long = format!("z {}\n", "f".repeat(2000));
+        match parse_trace(long.as_bytes()) {
+            Err(ParseTraceError::Malformed { text, .. }) => assert!(text.len() <= 80),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_reports_empty_address_token() {
+        assert_eq!(classify_record("i 0x"), Err(MalformedKind::BadAddress));
     }
 }

@@ -9,6 +9,7 @@
 //! * [`MemRef`], [`Address`] and [`AccessKind`] — the trace record types,
 //! * the [`TraceSource`] abstraction plus combinators ([`stream`]),
 //! * a `dinero`-style text format for persisting traces ([`io`]),
+//! * a fault-injecting reader for hardening tests ([`fault`]),
 //! * locality statistics used to characterise traces ([`stats`]),
 //! * deterministic sampling utilities (Zipf, geometric) used by the synthetic
 //!   workload generators ([`sample`]).
@@ -28,6 +29,7 @@
 //! ```
 
 pub mod din;
+pub mod fault;
 pub mod io;
 pub mod record;
 pub mod sample;

@@ -1,0 +1,347 @@
+//! Vendored, offline subset of the `proptest` crate API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of proptest 1.x the workspace tests use: the [`Strategy`]
+//! trait with `prop_map` / `prop_filter_map` / `prop_filter`, range and
+//! tuple strategies, [`collection::vec`], the [`proptest!`] macro and the
+//! `prop_assert*` macros. Cases are generated from a deterministic
+//! per-test seed; there is **no shrinking** — a failing case panics with
+//! the generated inputs' `Debug` rendering instead.
+
+use rand::rngs::StdRng;
+
+/// How many consecutive rejections (`prop_filter_map` returning `None`)
+/// abort a test as over-constrained.
+const MAX_REJECTS: u32 = 65_536;
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value; `None` is a rejection (filtered out).
+    fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Maps through `f`, rejecting values for which `f` returns `None`.
+    /// `whence` names the constraint in diagnostics.
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Keeps only values satisfying `pred`.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f: pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// A strategy always yielding clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                use rand::Rng as _;
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                use rand::Rng as _;
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// A strategy for `Vec`s of `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            (0..self.len)
+                .map(|_| self.element.generate(rng))
+                .collect()
+        }
+    }
+}
+
+/// Drives one proptest-style test function: builds a deterministic RNG
+/// from the test name, draws `config.cases` accepted cases, and panics
+/// with the rendered inputs on the first failure.
+pub fn run_cases<S, F>(name: &str, config: &ProptestConfig, strategy: &S, mut check: F)
+where
+    S: Strategy,
+    S::Value: core::fmt::Debug,
+    F: FnMut(S::Value),
+{
+    use rand::SeedableRng as _;
+    // FNV-1a over the test name: stable per test, independent of ordering.
+    let seed = name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accepted = 0u32;
+    let mut rejects = 0u32;
+    while accepted < config.cases {
+        match strategy.generate(&mut rng) {
+            None => {
+                rejects += 1;
+                assert!(
+                    rejects < MAX_REJECTS,
+                    "{name}: strategy rejected {rejects} draws; over-constrained"
+                );
+            }
+            Some(value) => {
+                accepted += 1;
+                let rendered = format!("{value:?}");
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    check(value)
+                }));
+                if let Err(panic) = result {
+                    eprintln!("proptest {name}: case {accepted} failed with input {rendered}");
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
+/// Declares property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config: $crate::ProptestConfig = $cfg;
+            let __pt_strategy = ($($strat,)+);
+            $crate::run_cases(
+                stringify!($name),
+                &__pt_config,
+                &__pt_strategy,
+                |($($arg,)+)| $body,
+            );
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 0u32..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_has_requested_len(v in collection::vec((0u64..8, 0usize..3), 17)) {
+            prop_assert_eq!(v.len(), 17);
+        }
+
+        #[test]
+        fn filter_map_applies(x in (0u64..100).prop_filter_map("even", |v| (v % 2 == 0).then_some(v))) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn map_applies(x in (0u64..10).prop_map(|v| v * 3)) {
+            prop_assert_eq!(x % 3, 0);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics() {
+        let result = std::panic::catch_unwind(|| {
+            super::run_cases(
+                "always_fails",
+                &ProptestConfig::with_cases(4),
+                &(0u64..10,),
+                |(_x,)| panic!("boom"),
+            );
+        });
+        assert!(result.is_err());
+    }
+}
