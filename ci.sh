@@ -20,4 +20,10 @@ cargo test -q
 echo "== full workspace tests =="
 cargo test --workspace -q
 
+echo "== perf smoke: one-pass sweep vs direct simulation =="
+# Regenerates a Table-7-style grid both ways, asserts bit-identical
+# ratios, and records wall-clock + speedup in BENCH_sweep.json.
+cargo build --release -q -p occache-bench --bin perf_smoke
+./target/release/perf_smoke
+
 echo "ci.sh: all gates passed"

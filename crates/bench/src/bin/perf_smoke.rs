@@ -1,0 +1,87 @@
+//! CI perf smoke: regenerate a Table-7-style grid twice — direct
+//! simulation vs the sliced one-pass sweep — and record wall-clock and
+//! throughput in `BENCH_sweep.json`.
+//!
+//! The two paths simulate identical work and are checked here to produce
+//! bit-identical ratios before the timing is trusted; the speedup figure
+//! is therefore a like-for-like measurement, not a benchmark of two
+//! different computations.
+
+use std::time::Instant;
+
+use occache_core::CacheConfig;
+use occache_experiments::sweep::{
+    evaluate_point, evaluate_results_sliced, evaluate_results_with, materialize, standard_config,
+    table1_pairs, DesignPoint, PointError,
+};
+use occache_workloads::{Architecture, WorkloadSpec};
+
+/// Default references per trace; `OCCACHE_REFS` overrides (the paper's
+/// 1 M is ~10× this smoke size).
+const REFS_PER_TRACE: usize = 100_000;
+
+fn refs_per_trace() -> usize {
+    std::env::var("OCCACHE_REFS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(REFS_PER_TRACE)
+}
+
+fn points(results: Vec<Result<DesignPoint, PointError>>) -> Vec<DesignPoint> {
+    results
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .expect("perf smoke grid must evaluate cleanly")
+}
+
+fn main() {
+    let arch = Architecture::Pdp11;
+    let refs_per_trace = refs_per_trace();
+    let traces = materialize(&WorkloadSpec::set_for(arch), refs_per_trace);
+    let configs: Vec<CacheConfig> = [64u64, 256, 1024]
+        .into_iter()
+        .flat_map(|net| {
+            table1_pairs(net, arch.word_size())
+                .into_iter()
+                .map(move |(b, s)| standard_config(arch, net, b, s))
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let direct = points(evaluate_results_with(&configs, &traces, 0, evaluate_point));
+    let direct_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let sliced = points(evaluate_results_sliced(&configs, &traces, 0));
+    let sliced_s = t1.elapsed().as_secs_f64();
+
+    for (d, s) in direct.iter().zip(&sliced) {
+        assert_eq!(d.config, s.config);
+        assert!(
+            d.miss_ratio == s.miss_ratio && d.traffic_ratio == s.traffic_ratio,
+            "sliced sweep diverged from direct at {}: timing would be meaningless",
+            d.config
+        );
+    }
+
+    let total_refs = (configs.len() * traces.len() * refs_per_trace) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"grid\": \"pdp11 Table 7 nets 64/256/1024\",\n  \
+         \"points\": {},\n  \"traces\": {},\n  \"refs_per_trace\": {},\n  \
+         \"direct_wall_s\": {:.3},\n  \"sliced_wall_s\": {:.3},\n  \"speedup\": {:.2},\n  \
+         \"effective_refs_per_sec\": {:.0}\n}}\n",
+        configs.len(),
+        traces.len(),
+        refs_per_trace,
+        direct_s,
+        sliced_s,
+        direct_s / sliced_s,
+        total_refs / sliced_s,
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    print!("{json}");
+    eprintln!(
+        "perf smoke: direct {direct_s:.3}s, sliced {sliced_s:.3}s ({:.2}x)",
+        direct_s / sliced_s
+    );
+}

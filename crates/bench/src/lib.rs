@@ -10,7 +10,15 @@
 //! * `generator` — synthetic trace generation throughput per architecture,
 //! * `artifacts` — end-to-end regeneration cost of every paper artifact
 //!   (Tables 6–8, Figures 1–9, the RISC II curve) at a reduced trace
-//!   length.
+//!   length,
+//! * `multisim` — the one-pass all-sizes LRU engine against N
+//!   independent direct simulations of the same slice (the speedup that
+//!   motivates the sweep planner).
+//!
+//! Besides the benches, the `perf_smoke` binary regenerates a
+//! Table-7-style grid through both sweep paths, asserts the results are
+//! bit-identical, and writes the wall-clock comparison to
+//! `BENCH_sweep.json`; `ci.sh` runs it as its final gate.
 //!
 //! The library itself only provides small shared helpers.
 

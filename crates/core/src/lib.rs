@@ -21,6 +21,9 @@
 //! * [`BusModel`] — the §4.3 `a + b·w` bus-cost models and scaled traffic
 //!   ratios (nibble-mode memories, transactional busses),
 //! * [`LruStackAnalyzer`] — single-pass Mattson stack-distance analysis,
+//! * [`AllSizesLruEngine`] / [`simulate_many`] — a one-pass engine that
+//!   produces bit-identical metrics for every cache size of an LRU,
+//!   demand-fetch design slice ([`multisim`]),
 //! * [`SplitCache`] — the split I/D extension flagged as further work.
 //!
 //! # Example: the paper's miss/traffic trade-off
@@ -58,6 +61,7 @@ mod contention;
 mod frame;
 mod ibuffer;
 mod metrics;
+pub mod multisim;
 mod set;
 mod split;
 mod stackdist;
@@ -71,6 +75,9 @@ pub use config::{
 pub use contention::SharedBus;
 pub use ibuffer::InstructionBuffer;
 pub use metrics::Metrics;
+pub use multisim::{
+    engine_supports, simulate_many, AllSizesLruEngine, MultiSimError, MAX_MULTISIM_CONFIGS,
+};
 pub use split::SplitCache;
 pub use stackdist::{LruStackAnalyzer, SetAssocLruAnalyzer};
 pub use timing::AccessTiming;

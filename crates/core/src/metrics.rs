@@ -7,6 +7,11 @@
 //! warm-start discipline (§4.2.2) is supported by
 //! [`Metrics::reset`][Metrics::reset] — run a warm-up prefix, reset, then
 //! measure.
+//!
+//! Both the direct simulator and the one-pass engine
+//! ([`multisim`](crate::multisim)) accumulate through the same recording
+//! methods in the same per-access order, which is what makes their outputs
+//! comparable with `==` rather than within a tolerance.
 
 use crate::bus::BusModel;
 

@@ -1,0 +1,836 @@
+//! One-pass multi-configuration LRU simulation.
+//!
+//! The paper chose LRU partly because "LRU permits more efficient
+//! simulation": with LRU replacement and bit-selection set mapping, a
+//! set holds exactly the `A` most-recently-referenced distinct blocks of
+//! its congruence class, so a *single* pass over a trace can decide
+//! hits and misses for many cache sizes at once (Mattson's stack
+//! algorithms; [`LruStackAnalyzer`](crate::LruStackAnalyzer) is the
+//! miss-count-only sketch of the idea).
+//!
+//! [`AllSizesLruEngine`] is the full-fidelity version: for a compatible
+//! *slice* of configurations — same block size, LRU replacement, demand
+//! fetch, write-through accounting; sub-block size, word size and
+//! associativity may differ per configuration — it maintains per-set
+//! recency stacks keyed on the **coarsest** set count in the slice and
+//! derives every configuration's behaviour from recency ranks:
+//!
+//! * a block is resident in configuration *i* iff fewer than `A_i` more
+//!   recently referenced blocks share its (size-*i*) congruence class
+//!   (the standard inclusion argument, specialised to nested
+//!   power-of-two set counts: every size-*i* class is a union of the
+//!   engine's stacks, so one scan of the merged recency order answers
+//!   all sizes at once);
+//! * the victim of a full-set miss in configuration *i* is the class
+//!   member with exactly `A_i - 1` more recent classmates — found during
+//!   the same scan;
+//! * sub-block valid/referenced bitmasks are kept **per configuration**
+//!   for each block, because evictions (which clear them) happen at
+//!   different times for different cache sizes.
+//!
+//! Three layout decisions keep the per-reference cost near a single
+//! direct simulation, which is what makes one pass worth N of them:
+//!
+//! * stacks store most-recent **last**, as 16-byte `(block, handle)`
+//!   entries whose sub-block masks live in a side slab — a first-touch
+//!   insert is an O(1) push and a promote rotates only the entries above
+//!   the touched block, never the mask state;
+//! * configurations with equal set count and associativity share one
+//!   *residency class*: the scan counts classmates once per class, so a
+//!   slice of eight sub-block variants over three net sizes pays for
+//!   three counters, not eight;
+//! * stacks are **pruned**: an entry with at least `A_i` more recent
+//!   classmates in *every* class is resident nowhere, can never be hit
+//!   or chosen as a victim again, and its eviction statistics were
+//!   recorded when it fell out — so when a stack outgrows twice the
+//!   slice's total resident capacity, the dead entries are dropped and
+//!   their slab rows recycled. Without this, a stack holds every block
+//!   ever referenced and a miss on a long-dormant block pays a rotate
+//!   over all of them — quadratic on small caches with large blocks
+//!   (one coarse set) under million-reference traces.
+//!
+//! Metrics are accumulated through the same [`Metrics`] recording calls,
+//! in the same per-access pattern, as [`SubBlockCache`]'s access path,
+//! so [`simulate_many`] is bit-identical to running [`simulate`] once
+//! per configuration — including warm-start resets, write accounting and
+//! the eviction statistics. The equivalence is enforced by property
+//! tests in `tests/multisim_equiv.rs`.
+//!
+//! What the engine deliberately does **not** express (callers fall back
+//! to [`simulate`]): FIFO and Random replacement (not stack algorithms —
+//! no inclusion property), the prefetch and load-forward fetch policies
+//! (fill width depends on per-size valid bits in ways that break the
+//! shared-scan structure), copy-back write accounting (write-back bytes
+//! depend on per-size dirty state at eviction), and geometries whose set
+//! count is not a power of two (bit-selection needs one).
+//!
+//! [`simulate`]: crate::simulate
+//! [`SubBlockCache`]: crate::SubBlockCache
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use occache_trace::{AccessKind, Address, MemRef};
+
+use crate::config::{CacheConfig, FetchPolicy, ReplacementPolicy, WritePolicy};
+use crate::metrics::Metrics;
+
+/// Maximum configurations one engine instance simulates per pass.
+///
+/// Deduplicated residency classes make the scan cost per pass depend on
+/// the distinct (set count, associativity) pairs, not the slice width,
+/// so wide slices amortise the scan across more configurations almost
+/// for free. The width is still bounded because per-block sub-block
+/// bitmasks are fixed-size arrays carried by every once-referenced
+/// block; planners chunk larger groups into runs of at most this many.
+pub const MAX_MULTISIM_CONFIGS: usize = 16;
+
+/// Why a configuration (or a slice of them) cannot run on the one-pass
+/// engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiSimError {
+    /// No configurations were given.
+    NoConfigs,
+    /// More than [`MAX_MULTISIM_CONFIGS`] configurations in one slice.
+    TooManyConfigs {
+        /// How many were given.
+        given: usize,
+    },
+    /// A configuration uses a policy or geometry the engine cannot
+    /// express; use the direct simulator for it.
+    Unsupported {
+        /// The offending configuration.
+        config: CacheConfig,
+        /// What exactly is unsupported.
+        why: &'static str,
+    },
+    /// Configurations in one slice must share a block size.
+    MismatchedGeometry {
+        /// The slice's first configuration (defines the geometry).
+        first: CacheConfig,
+        /// The configuration that disagrees with it.
+        other: CacheConfig,
+    },
+}
+
+impl fmt::Display for MultiSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiSimError::NoConfigs => f.write_str("no configurations to simulate"),
+            MultiSimError::TooManyConfigs { given } => write!(
+                f,
+                "at most {MAX_MULTISIM_CONFIGS} configurations per one-pass slice, got {given}"
+            ),
+            MultiSimError::Unsupported { config, why } => {
+                write!(f, "{config}: {why}")
+            }
+            MultiSimError::MismatchedGeometry { first, other } => write!(
+                f,
+                "slice geometry mismatch: {first} vs {other} (block sizes must match)"
+            ),
+        }
+    }
+}
+
+impl Error for MultiSimError {}
+
+/// Whether a single configuration is expressible on the one-pass engine
+/// (LRU + demand fetch + write-through + power-of-two set count).
+///
+/// Configurations failing this must run on the direct simulator; see the
+/// module docs for why each exclusion exists.
+pub fn engine_supports(config: &CacheConfig) -> bool {
+    supports_or_reason(config).is_none()
+}
+
+fn supports_or_reason(config: &CacheConfig) -> Option<&'static str> {
+    if config.replacement() != ReplacementPolicy::Lru {
+        return Some("one-pass simulation requires LRU (FIFO/Random have no inclusion property)");
+    }
+    if config.fetch() != FetchPolicy::Demand {
+        return Some("one-pass simulation requires demand fetch");
+    }
+    if config.write_policy() != WritePolicy::WriteThrough {
+        return Some("one-pass simulation requires write-through accounting");
+    }
+    let sets = config.num_sets();
+    if !sets.is_power_of_two() || sets * config.effective_associativity() != config.num_blocks() {
+        return Some("one-pass simulation requires a power-of-two set count");
+    }
+    None
+}
+
+/// A multiply-then-shift hasher for block numbers: the presence set is
+/// probed once per reference on the hot path, where SipHash would cost
+/// as much as the rest of the access.
+#[derive(Debug, Default, Clone, Copy)]
+struct BlockHasher(u64);
+
+impl Hasher for BlockHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 31)
+    }
+}
+
+type BlockSet = HashSet<u64, BuildHasherDefault<BlockHasher>>;
+
+/// Per-configuration sub-block state of one resident (or once-resident)
+/// block. Indexed by the configuration's position in the slice.
+#[derive(Debug, Clone, Copy, Default)]
+struct SubMasks {
+    valid: [u64; MAX_MULTISIM_CONFIGS],
+    refd: [u64; MAX_MULTISIM_CONFIGS],
+}
+
+/// One recency-stack entry: a block number plus the handle of its
+/// [`SubMasks`] in the engine's slab. Keeping the entry at 16 bytes —
+/// and the mask state out of line — is what makes promotes cheap: a
+/// rotate moves entries, never masks.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    block: u64,
+    mask: u32,
+}
+
+/// One recency stack (the blocks of one coarse congruence class, minus
+/// pruned dead entries), **least**-recently-used first: the most recent
+/// entry is at the end, so promotion rotates only the entries more
+/// recent than the touched block and a first-touch insert is an O(1)
+/// push.
+#[derive(Debug, Clone, Default)]
+struct Stack {
+    entries: Vec<Entry>,
+}
+
+/// A deduplicated residency class. Configurations with equal set count
+/// and associativity make identical residency and victim decisions, so
+/// the scan maintains one classmate counter per *class*, not per
+/// configuration — a slice mixing sub-block sizes over a few net sizes
+/// scans at the cost of the net sizes alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ResidencyClass {
+    /// `num_sets - 1`: two blocks share a set iff their block numbers
+    /// agree under this mask.
+    class_mask: u64,
+    /// Effective associativity.
+    assoc: usize,
+}
+
+#[derive(Debug, Clone)]
+struct SizeState {
+    /// Index of this configuration's [`ResidencyClass`] in the engine.
+    class: usize,
+    /// log2 of the configuration's sub-block size.
+    sub_shift: u32,
+    sub_size: u64,
+    /// Sub-block slots per block, as recorded in eviction statistics.
+    slots: u64,
+    /// Bus word size (write-through accounting).
+    word_size: u64,
+    metrics: Metrics,
+}
+
+/// The one-pass all-sizes LRU engine. See the module docs for the
+/// algorithm; construct with [`AllSizesLruEngine::new`] and drive with
+/// [`access`](AllSizesLruEngine::access), or use [`simulate_many`].
+///
+/// ```
+/// use occache_core::{simulate, simulate_many, CacheConfig};
+/// use occache_trace::MemRef;
+///
+/// let configs: Vec<CacheConfig> = [64u64, 256]
+///     .iter()
+///     .map(|&net| {
+///         CacheConfig::builder()
+///             .net_size(net)
+///             .block_size(16)
+///             .sub_block_size(8)
+///             .word_size(2)
+///             .build()
+///             .expect("valid geometry")
+///     })
+///     .collect();
+/// let trace: Vec<MemRef> = (0..500u64).map(|i| MemRef::read((i * 13) % 640 * 2)).collect();
+/// let all = simulate_many(&configs, trace.iter().copied(), 0)?;
+/// for (config, metrics) in configs.iter().zip(&all) {
+///     assert_eq!(*metrics, simulate(*config, trace.iter().copied(), 0));
+/// }
+/// # Ok::<(), occache_core::MultiSimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AllSizesLruEngine {
+    block_shift: u32,
+    block_mask: u64,
+    /// `coarsest_set_count - 1`: which stack a block lands in.
+    coarse_mask: u64,
+    /// Deduplicated (set count, associativity) classes; `SizeState::class`
+    /// indexes into this.
+    classes: Vec<ResidencyClass>,
+    sizes: Vec<SizeState>,
+    stacks: Vec<Stack>,
+    /// Per-block sub-block masks, indexed by [`Entry::mask`]. Stack
+    /// rotations move 16-byte entries, never this state; rows of pruned
+    /// entries are recycled through `free`.
+    masks: Vec<SubMasks>,
+    /// Slab rows released by pruning, ready for reuse.
+    free: Vec<u32>,
+    /// Blocks currently in some stack; probed so a miss on an absent
+    /// block does not scan its whole stack to learn nothing. Pruned
+    /// blocks leave this set along with their stack.
+    seen: BlockSet,
+    /// Stack length that triggers a prune: twice the slice's total
+    /// resident capacity per coarse set (with a floor so shallow stacks
+    /// never bother). A prune drops a stack to at most half of this, so
+    /// the O(len) sweep amortises to O(1) per first-touch insert.
+    prune_threshold: usize,
+}
+
+impl AllSizesLruEngine {
+    /// Builds an engine for a compatible slice of configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MultiSimError`] when the slice is empty or too wide,
+    /// a configuration needs an unsupported policy/geometry, or the
+    /// configurations disagree on block size.
+    pub fn new(configs: &[CacheConfig]) -> Result<Self, MultiSimError> {
+        let first = *configs.first().ok_or(MultiSimError::NoConfigs)?;
+        if configs.len() > MAX_MULTISIM_CONFIGS {
+            return Err(MultiSimError::TooManyConfigs {
+                given: configs.len(),
+            });
+        }
+        for &config in configs {
+            if let Some(why) = supports_or_reason(&config) {
+                return Err(MultiSimError::Unsupported { config, why });
+            }
+            if config.block_size() != first.block_size() {
+                return Err(MultiSimError::MismatchedGeometry {
+                    first,
+                    other: config,
+                });
+            }
+        }
+        let coarse_sets = configs
+            .iter()
+            .map(|c| c.num_sets())
+            .min()
+            .unwrap_or(1);
+        let mut classes: Vec<ResidencyClass> = Vec::new();
+        let sizes = configs
+            .iter()
+            .map(|c| {
+                let rc = ResidencyClass {
+                    class_mask: c.num_sets() - 1,
+                    assoc: c.effective_associativity() as usize,
+                };
+                let class = classes.iter().position(|x| *x == rc).unwrap_or_else(|| {
+                    classes.push(rc);
+                    classes.len() - 1
+                });
+                SizeState {
+                    class,
+                    sub_shift: c.sub_block_size().trailing_zeros(),
+                    sub_size: c.sub_block_size(),
+                    slots: c.sub_blocks_per_block(),
+                    word_size: c.word_size(),
+                    metrics: Metrics::new(c.word_size()),
+                }
+            })
+            .collect();
+        // Resident capacity of one coarse set across the slice: each
+        // class contributes its blocks-per-coarse-set (its finer sets are
+        // nested inside the coarse one, so the ratio is exact).
+        let live_bound: u64 = classes
+            .iter()
+            .map(|c| (c.class_mask + 1) / coarse_sets * c.assoc as u64)
+            .sum();
+        Ok(AllSizesLruEngine {
+            block_shift: first.block_size().trailing_zeros(),
+            block_mask: first.block_size() - 1,
+            coarse_mask: coarse_sets - 1,
+            classes,
+            sizes,
+            stacks: vec![Stack::default(); coarse_sets as usize],
+            masks: Vec::new(),
+            free: Vec::new(),
+            seen: BlockSet::default(),
+            prune_threshold: (2 * live_bound).max(64) as usize,
+        })
+    }
+
+    /// Presents one reference to every simulated configuration.
+    pub fn access(&mut self, addr: Address, kind: AccessKind) {
+        let a = addr.value();
+        let block = a >> self.block_shift;
+        let offset = a & self.block_mask;
+        let counted = kind.is_counted();
+        let kc = self.classes.len();
+        let entries = &mut self.stacks[(block & self.coarse_mask) as usize].entries;
+        let slab = &mut self.masks;
+
+        // Hot copies of the class parameters: the scan reads them once
+        // per entry and the borrow checker would otherwise pin `self`.
+        let mut cmask = [0u64; MAX_MULTISIM_CONFIGS];
+        let mut cassoc = [0usize; MAX_MULTISIM_CONFIGS];
+        for (i, class) in self.classes.iter().enumerate() {
+            cmask[i] = class.class_mask;
+            cassoc[i] = class.assoc;
+        }
+
+        // One scan down the merged recency order, starting at the most
+        // recent entry (the end). For each residency class we count
+        // classmates more recent than `block`, capped at the
+        // associativity; the entry that brings a count to `A_i` is the
+        // class's eviction victim if this access misses there.
+        let mut counts = [0usize; MAX_MULTISIM_CONFIGS];
+        let mut victim = [usize::MAX; MAX_MULTISIM_CONFIGS];
+        let mut unsaturated = kc;
+        let mut pos = entries.len();
+        let mut found = None;
+        while pos > 0 && unsaturated > 0 {
+            pos -= 1;
+            let diff = entries[pos].block ^ block;
+            if diff == 0 {
+                found = Some(pos);
+                break;
+            }
+            for i in 0..kc {
+                if counts[i] < cassoc[i] && diff & cmask[i] == 0 {
+                    counts[i] += 1;
+                    if counts[i] == cassoc[i] {
+                        victim[i] = pos;
+                        unsaturated -= 1;
+                    }
+                }
+            }
+        }
+        // Every count is saturated (a miss everywhere) but the block may
+        // still sit below the scanned region and must be re-promoted.
+        // The presence set makes misses on absent blocks skip this tail
+        // scan; a present block is guaranteed to be found (blocks leave
+        // `seen` exactly when pruning drops them from their stack).
+        if found.is_none() && pos > 0 && self.seen.contains(&block) {
+            let mut q = pos - 1;
+            while entries[q].block != block {
+                q -= 1;
+            }
+            found = Some(q);
+        }
+
+        match found {
+            Some(p) if unsaturated == kc => {
+                // No class saturated before the block turned up: resident
+                // — a tag hit — at every size. This is the common case,
+                // kept tight: one slab row borrow, no victim logic.
+                let m = &mut slab[entries[p].mask as usize];
+                for (si, size) in self.sizes.iter_mut().enumerate() {
+                    let sub_bit = 1u64 << (offset >> size.sub_shift);
+                    m.refd[si] |= sub_bit;
+                    if m.valid[si] & sub_bit != 0 {
+                        size.metrics.record_access(counted, true);
+                    } else {
+                        m.valid[si] |= sub_bit;
+                        size.metrics.record_access(counted, false);
+                        size.metrics.record_fetch(counted, size.sub_size, 1, 0);
+                    }
+                }
+                entries[p..].rotate_left(1);
+            }
+            Some(p) => {
+                let mi = entries[p].mask as usize;
+                for (si, size) in self.sizes.iter_mut().enumerate() {
+                    let c = size.class;
+                    let sub_bit = 1u64 << (offset >> size.sub_shift);
+                    if counts[c] < cassoc[c] {
+                        // Block resident at this size: tag hit.
+                        let m = &mut slab[mi];
+                        m.refd[si] |= sub_bit;
+                        if m.valid[si] & sub_bit != 0 {
+                            size.metrics.record_access(counted, true);
+                        } else {
+                            m.valid[si] |= sub_bit;
+                            size.metrics.record_access(counted, false);
+                            size.metrics.record_fetch(counted, size.sub_size, 1, 0);
+                        }
+                    } else {
+                        // Not resident: the set is full (>= A_i more
+                        // recent classmates exist), so evict and refill.
+                        let vm = &mut slab[entries[victim[c]].mask as usize];
+                        let referenced = u64::from(vm.refd[si].count_ones());
+                        size.metrics.record_eviction(size.slots, size.slots - referenced);
+                        vm.valid[si] = 0;
+                        vm.refd[si] = 0;
+                        let m = &mut slab[mi];
+                        m.valid[si] = sub_bit;
+                        m.refd[si] = sub_bit;
+                        size.metrics.record_access(counted, false);
+                        size.metrics.record_fetch(counted, size.sub_size, 1, 0);
+                    }
+                }
+                // Promote to most-recently-used (the end).
+                entries[p..].rotate_left(1);
+            }
+            None => {
+                // First reference to this block since it last left every
+                // configuration (or ever): a miss everywhere, identical
+                // in metric calls to finding it below all saturation
+                // points — which is what lets pruning drop such entries.
+                let mut m = SubMasks::default();
+                for (si, size) in self.sizes.iter_mut().enumerate() {
+                    let c = size.class;
+                    let sub_bit = 1u64 << (offset >> size.sub_shift);
+                    if counts[c] == cassoc[c] {
+                        let vm = &mut slab[entries[victim[c]].mask as usize];
+                        let referenced = u64::from(vm.refd[si].count_ones());
+                        size.metrics.record_eviction(size.slots, size.slots - referenced);
+                        vm.valid[si] = 0;
+                        vm.refd[si] = 0;
+                    }
+                    // Else an empty frame absorbs the fill: no eviction.
+                    m.valid[si] = sub_bit;
+                    m.refd[si] = sub_bit;
+                    size.metrics.record_access(counted, false);
+                    size.metrics.record_fetch(counted, size.sub_size, 1, 0);
+                }
+                let handle = match self.free.pop() {
+                    Some(h) => {
+                        slab[h as usize] = m;
+                        h
+                    }
+                    None => {
+                        slab.push(m);
+                        (slab.len() - 1) as u32
+                    }
+                };
+                entries.push(Entry {
+                    block,
+                    mask: handle,
+                });
+                self.seen.insert(block);
+                if entries.len() > self.prune_threshold {
+                    prune_stack(
+                        entries,
+                        &cmask[..kc],
+                        &cassoc[..kc],
+                        &mut self.free,
+                        &mut self.seen,
+                    );
+                }
+            }
+        }
+
+        if kind == AccessKind::DataWrite {
+            for size in &mut self.sizes {
+                size.metrics.record_write_through(size.word_size);
+            }
+        }
+    }
+
+    /// Entries currently held across all stacks (test hook: pruning must
+    /// keep this bounded by resident capacity, not trace length).
+    #[cfg(test)]
+    fn stack_entries(&self) -> usize {
+        self.stacks.iter().map(|s| s.entries.len()).sum()
+    }
+
+    /// Zeroes every configuration's metrics while keeping cache state —
+    /// the warm-start discipline, mirroring
+    /// [`SubBlockCache::reset_metrics`](crate::SubBlockCache::reset_metrics).
+    pub fn reset_metrics(&mut self) {
+        for size in &mut self.sizes {
+            size.metrics.reset();
+        }
+    }
+
+    /// Metrics accumulated so far, in the order of the configurations
+    /// given to [`AllSizesLruEngine::new`].
+    pub fn metrics(&self) -> Vec<Metrics> {
+        self.sizes.iter().map(|s| s.metrics).collect()
+    }
+}
+
+/// Drops every stack entry that is resident in no configuration,
+/// recycling its slab row and presence bit.
+///
+/// Walking from the most recent end, an entry's per-class rank (number
+/// of more recent classmates) decides liveness: resident somewhere iff
+/// the rank is below some class's associativity — the same test the
+/// access scan applies to the probed block. Dead entries never influence
+/// future scans: within a class group the `A_i` most recent members are
+/// exactly the residents, and the scan's per-class cap stops counting
+/// (and victim selection) there, so everything below is unreachable
+/// except by the tail search — whose misses the presence set now
+/// absorbs. Survivors keep their relative order; metrics are untouched.
+fn prune_stack(
+    entries: &mut Vec<Entry>,
+    cmask: &[u64],
+    cassoc: &[usize],
+    free: &mut Vec<u32>,
+    seen: &mut BlockSet,
+) {
+    let mut ranks: Vec<HashMap<u64, usize, BuildHasherDefault<BlockHasher>>> =
+        cmask.iter().map(|_| HashMap::default()).collect();
+    let mut keep: Vec<Entry> = Vec::with_capacity(entries.len());
+    for e in entries.iter().rev() {
+        let mut live = false;
+        for (i, rank) in ranks.iter_mut().enumerate() {
+            let r = rank.entry(e.block & cmask[i]).or_insert(0);
+            if *r < cassoc[i] {
+                live = true;
+            }
+            *r += 1;
+        }
+        if live {
+            keep.push(*e);
+        } else {
+            free.push(e.mask);
+            seen.remove(&e.block);
+        }
+    }
+    keep.reverse();
+    *entries = keep;
+}
+
+/// Simulates a whole trace against a compatible slice of configurations
+/// in one pass, returning per-configuration metrics in input order.
+///
+/// The one-pass counterpart of [`simulate`](crate::simulate): `warmup`
+/// references prime the caches and are excluded from the metrics, and
+/// every returned [`Metrics`] is bit-identical to what
+/// `simulate(configs[i], refs, warmup)` would produce.
+///
+/// # Errors
+///
+/// Returns a [`MultiSimError`] when the slice cannot run on the engine;
+/// see [`engine_supports`] for the per-configuration conditions.
+pub fn simulate_many<I>(
+    configs: &[CacheConfig],
+    refs: I,
+    warmup: usize,
+) -> Result<Vec<Metrics>, MultiSimError>
+where
+    I: IntoIterator<Item = MemRef>,
+{
+    let mut engine = AllSizesLruEngine::new(configs)?;
+    let mut iter = refs.into_iter();
+    for r in iter.by_ref().take(warmup) {
+        engine.access(r.address(), r.kind());
+    }
+    engine.reset_metrics();
+    for r in iter {
+        engine.access(r.address(), r.kind());
+    }
+    Ok(engine.metrics())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+
+    fn cfg(net: u64, block: u64, sub: u64) -> CacheConfig {
+        CacheConfig::builder()
+            .net_size(net)
+            .block_size(block)
+            .sub_block_size(sub)
+            .word_size(2)
+            .build()
+            .unwrap()
+    }
+
+    /// A deterministic trace with loops, strides and writes — enough
+    /// structure to exercise hits, conflict misses and evictions.
+    fn mixed_trace(len: u64, span: u64) -> Vec<MemRef> {
+        (0..len)
+            .map(|i| {
+                let addr = (i * 7 + (i / 13) * 31) % span * 2;
+                match i % 5 {
+                    0 | 1 => MemRef::ifetch(addr),
+                    2 | 3 => MemRef::read(addr),
+                    _ => MemRef::write(addr),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_simulation_across_sizes() {
+        let configs = [cfg(64, 16, 8), cfg(256, 16, 8), cfg(1024, 16, 8)];
+        let trace = mixed_trace(20_000, 4096);
+        let all = simulate_many(&configs, trace.iter().copied(), 0).unwrap();
+        for (config, metrics) in configs.iter().zip(&all) {
+            let direct = simulate(*config, trace.iter().copied(), 0);
+            assert_eq!(*metrics, direct, "{config}");
+        }
+    }
+
+    #[test]
+    fn matches_direct_simulation_with_warmup() {
+        let configs = [cfg(64, 8, 2), cfg(256, 8, 2), cfg(1024, 8, 2)];
+        let trace = mixed_trace(10_000, 2048);
+        let all = simulate_many(&configs, trace.iter().copied(), 1_000).unwrap();
+        for (config, metrics) in configs.iter().zip(&all) {
+            let direct = simulate(*config, trace.iter().copied(), 1_000);
+            assert_eq!(*metrics, direct, "{config}");
+        }
+    }
+
+    #[test]
+    fn single_config_slice_matches_direct() {
+        let configs = [cfg(128, 8, 8)];
+        let trace = mixed_trace(5_000, 1024);
+        let all = simulate_many(&configs, trace.iter().copied(), 0).unwrap();
+        assert_eq!(all[0], simulate(configs[0], trace.iter().copied(), 0));
+    }
+
+    #[test]
+    fn tiny_caches_with_capped_associativity_match() {
+        // net 32, block 16 -> 2 blocks, effective associativity 2, 1 set.
+        let configs = [cfg(32, 16, 8), cfg(64, 16, 8)];
+        let trace = mixed_trace(5_000, 512);
+        let all = simulate_many(&configs, trace.iter().copied(), 0).unwrap();
+        for (config, metrics) in configs.iter().zip(&all) {
+            assert_eq!(*metrics, simulate(*config, trace.iter().copied(), 0), "{config}");
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_policies() {
+        let lru = cfg(64, 8, 4);
+        let fifo = CacheConfig::builder()
+            .net_size(64)
+            .block_size(8)
+            .sub_block_size(4)
+            .word_size(2)
+            .replacement(ReplacementPolicy::Fifo)
+            .build()
+            .unwrap();
+        assert!(engine_supports(&lru));
+        assert!(!engine_supports(&fifo));
+        assert!(matches!(
+            AllSizesLruEngine::new(&[fifo]),
+            Err(MultiSimError::Unsupported { .. })
+        ));
+        let prefetch = CacheConfig::builder()
+            .net_size(64)
+            .block_size(8)
+            .sub_block_size(4)
+            .word_size(2)
+            .fetch(FetchPolicy::PrefetchNext { tagged: false })
+            .build()
+            .unwrap();
+        assert!(!engine_supports(&prefetch));
+        let copy_back = CacheConfig::builder()
+            .net_size(64)
+            .block_size(8)
+            .sub_block_size(4)
+            .word_size(2)
+            .write_policy(WritePolicy::CopyBack)
+            .build()
+            .unwrap();
+        assert!(!engine_supports(&copy_back));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_set_counts() {
+        // 8 blocks at 3-way: 8/3 truncates, so bit selection cannot map it.
+        let odd = CacheConfig::builder()
+            .net_size(64)
+            .block_size(8)
+            .sub_block_size(8)
+            .associativity(3)
+            .word_size(2)
+            .build()
+            .unwrap();
+        assert!(!engine_supports(&odd));
+    }
+
+    #[test]
+    fn rejects_mismatched_slices() {
+        let err = AllSizesLruEngine::new(&[cfg(64, 16, 8), cfg(64, 8, 8)]).unwrap_err();
+        assert!(matches!(err, MultiSimError::MismatchedGeometry { .. }));
+        assert!(AllSizesLruEngine::new(&[]).is_err());
+        let seventeen = [cfg(64, 8, 4); 17];
+        assert!(matches!(
+            AllSizesLruEngine::new(&seventeen),
+            Err(MultiSimError::TooManyConfigs { given: 17 })
+        ));
+    }
+
+    #[test]
+    fn mixed_sub_block_sizes_share_one_pass() {
+        // Same block size, three sub-block variants at two nets: six
+        // configurations, two residency classes. The slice exercises the
+        // class-deduplication path and per-size sub-block accounting.
+        let configs = [
+            cfg(64, 16, 16),
+            cfg(64, 16, 8),
+            cfg(64, 16, 4),
+            cfg(256, 16, 16),
+            cfg(256, 16, 8),
+            cfg(256, 16, 4),
+        ];
+        let trace = mixed_trace(20_000, 4096);
+        let all = simulate_many(&configs, trace.iter().copied(), 0).unwrap();
+        for (config, metrics) in configs.iter().zip(&all) {
+            let direct = simulate(*config, trace.iter().copied(), 0);
+            assert_eq!(*metrics, direct, "{config}");
+        }
+    }
+
+    #[test]
+    fn pruning_bounds_stacks_and_preserves_metrics() {
+        // Small caches with large blocks collapse to one coarse set, the
+        // shape where unpruned stacks grow with the trace (every block
+        // ever referenced) and a dormant-block miss rotates all of them.
+        // A wide-span trace forces thousands of distinct blocks through
+        // a slice whose total resident capacity is a couple dozen.
+        let configs = [cfg(64, 32, 8), cfg(256, 32, 8), cfg(1024, 32, 8)];
+        let trace = mixed_trace(60_000, 1 << 17);
+        let mut engine = AllSizesLruEngine::new(&configs).unwrap();
+        for r in &trace {
+            engine.access(r.address(), r.kind());
+        }
+        assert!(
+            engine.stack_entries() <= engine.prune_threshold,
+            "stacks grew past the prune threshold: {} > {}",
+            engine.stack_entries(),
+            engine.prune_threshold
+        );
+        for (config, metrics) in configs.iter().zip(engine.metrics()) {
+            assert_eq!(metrics, simulate(*config, trace.iter().copied(), 0), "{config}");
+        }
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errs = [
+            MultiSimError::NoConfigs,
+            MultiSimError::TooManyConfigs { given: 9 },
+            MultiSimError::Unsupported {
+                config: cfg(64, 8, 4),
+                why: "test",
+            },
+            MultiSimError::MismatchedGeometry {
+                first: cfg(64, 8, 4),
+                other: cfg(64, 16, 8),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -15,6 +15,11 @@ use crate::frame::Frame;
 pub(crate) struct CacheSet {
     frames: Vec<Frame>,
     order: Vec<u16>,
+    /// How many frames are present. Present frames always form a prefix of
+    /// `frames`: [`choose_victim`](CacheSet::choose_victim) fills the first
+    /// empty frame and frames are never un-installed, so [`find`] can scan
+    /// `frames[..filled]` and skip the tag compare on empty frames.
+    filled: usize,
 }
 
 impl CacheSet {
@@ -23,12 +28,15 @@ impl CacheSet {
         CacheSet {
             frames: vec![Frame::EMPTY; associativity],
             order: (0..associativity as u16).collect(),
+            filled: 0,
         }
     }
 
     /// Finds the frame holding block `tag`, if resident.
     pub(crate) fn find(&self, tag: u64) -> Option<usize> {
-        self.frames.iter().position(|f| f.present && f.tag == tag)
+        debug_assert!(self.frames[..self.filled].iter().all(|f| f.present));
+        debug_assert!(self.frames[self.filled..].iter().all(|f| !f.present));
+        self.frames[..self.filled].iter().position(|f| f.tag == tag)
     }
 
     pub(crate) fn frame(&self, idx: usize) -> &Frame {
@@ -37,12 +45,6 @@ impl CacheSet {
 
     pub(crate) fn frame_mut(&mut self, idx: usize) -> &mut Frame {
         &mut self.frames[idx]
-    }
-
-    /// All frames in the set (used by whole-cache statistics).
-    #[allow(dead_code)]
-    pub(crate) fn frames(&self) -> &[Frame] {
-        &self.frames
     }
 
     /// Records a processor reference to `idx` (policy-dependent promotion).
@@ -61,8 +63,11 @@ impl CacheSet {
         policy: ReplacementPolicy,
         rng: &mut R,
     ) -> usize {
-        let idx = if let Some(empty) = self.frames.iter().position(|f| !f.present) {
-            empty
+        let idx = if self.filled < self.frames.len() {
+            // Present frames are a prefix, so the first empty frame is at
+            // `filled`; the caller installs into it, extending the prefix.
+            self.filled += 1;
+            self.filled - 1
         } else {
             match policy {
                 ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
@@ -81,8 +86,7 @@ impl CacheSet {
             .iter()
             .position(|&i| i as usize == idx)
             .expect("every frame index is in the order list");
-        let entry = self.order.remove(pos);
-        self.order.insert(0, entry);
+        self.order[..=pos].rotate_right(1);
     }
 
     /// Current eviction candidate order, most-protected first (test hook).

@@ -5,6 +5,11 @@
 //! of *every* fully-associative LRU capacity at once, via the stack-distance
 //! histogram. We use it to cross-validate the direct simulator and to sweep
 //! cache sizes cheaply.
+//!
+//! The miss-count sketch here generalizes to a full-fidelity engine in
+//! [`multisim`](crate::multisim): set-aware, sub-block-aware, and
+//! bit-identical to the direct simulator, which is what the experiment
+//! sweeps actually run on.
 
 use std::collections::HashMap;
 

@@ -22,7 +22,9 @@ use std::path::{Path, PathBuf};
 use occache_core::CacheConfig;
 
 use crate::report::results_dir;
-use crate::sweep::{evaluate_point, evaluate_results_with, DesignPoint, SweepOutcome, Trace};
+use crate::sweep::{
+    evaluate_results_sliced, DesignPoint, PointError, SweepOutcome, Trace,
+};
 
 /// A journalled measurement: the averaged ratios of one design point.
 /// The config itself is not stored — the key identifies it, and the
@@ -69,7 +71,7 @@ pub fn trace_fingerprint(traces: &[Trace]) -> u64 {
         h.write(trace.name.as_bytes());
         h.write(&[0xff]);
         h.write(&(trace.refs.len() as u64).to_le_bytes());
-        for r in &trace.refs {
+        for r in trace.refs.iter() {
             h.write(&[occache_trace::din::din_label(r.kind())]);
             h.write(&r.address().value().to_le_bytes());
         }
@@ -184,6 +186,13 @@ fn restore_point(config: CacheConfig, e: &Entry) -> DesignPoint {
 /// fresh flag and evaluation function — the fully injectable form used by
 /// tests; production callers use [`evaluate_checkpointed`].
 ///
+/// `eval` takes the whole pending batch at once (so the production path
+/// can share trace passes across configs — see
+/// [`evaluate_results_sliced`]) and must return exactly one result per
+/// pending config, in order. Per-point evaluation functions adapt via
+/// [`crate::sweep::batch_of`]. Journal keys stay per-point either way,
+/// so resume semantics do not depend on how points were batched.
+///
 /// Journalled points are restored without re-simulation
 /// ([`SweepOutcome::resumed`] counts them); the rest run through the
 /// fault-isolated sweep, and each success is appended to the journal
@@ -205,7 +214,7 @@ pub fn evaluate_checkpointed_in<F>(
     eval: F,
 ) -> io::Result<SweepOutcome>
 where
-    F: Fn(CacheConfig, &[Trace], usize) -> DesignPoint + Sync,
+    F: Fn(&[CacheConfig], &[Trace], usize) -> Vec<Result<DesignPoint, PointError>> + Sync,
 {
     let path = journal_path(dir, artifact);
     if fresh {
@@ -239,7 +248,12 @@ where
     }
 
     if !pending_cfg.is_empty() {
-        let results = evaluate_results_with(&pending_cfg, traces, warmup, eval);
+        let results = eval(&pending_cfg, traces, warmup);
+        assert_eq!(
+            results.len(),
+            pending_cfg.len(),
+            "batch eval must return one result per pending config"
+        );
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
         }
@@ -291,7 +305,7 @@ pub fn evaluate_checkpointed(
         traces,
         warmup,
         fresh_requested(),
-        evaluate_point,
+        evaluate_results_sliced,
     ) {
         Ok(outcome) => {
             if outcome.resumed > 0 {
@@ -313,7 +327,7 @@ pub fn evaluate_checkpointed(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sweep::{materialize, standard_config, table1_pairs};
+    use crate::sweep::{batch_of, evaluate_point, materialize, standard_config, table1_pairs};
     use occache_workloads::{Architecture, WorkloadSpec};
 
     fn test_grid() -> (Vec<CacheConfig>, Vec<Trace>) {
@@ -378,16 +392,29 @@ mod tests {
     fn second_run_resumes_everything() {
         let dir = temp_dir("resume");
         let (configs, traces) = test_grid();
-        let first =
-            evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, evaluate_point)
-                .unwrap();
+        let first = evaluate_checkpointed_in(
+            &dir,
+            "t",
+            &configs,
+            &traces,
+            0,
+            false,
+            batch_of(evaluate_point),
+        )
+        .unwrap();
         assert_eq!(first.resumed, 0);
         assert!(first.is_complete());
         // Second run: everything comes from the journal; an eval fn that
         // panics proves nothing is re-simulated.
-        let second = evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, |_, _, _| {
-            panic!("should not re-simulate")
-        })
+        let second = evaluate_checkpointed_in(
+            &dir,
+            "t",
+            &configs,
+            &traces,
+            0,
+            false,
+            batch_of(|_, _, _| -> DesignPoint { panic!("should not re-simulate") }),
+        )
         .unwrap();
         assert_eq!(second.resumed, configs.len());
         for (a, b) in first.points.iter().zip(&second.points) {
@@ -402,10 +429,18 @@ mod tests {
     fn fresh_discards_the_journal() {
         let dir = temp_dir("fresh");
         let (configs, traces) = test_grid();
-        evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, evaluate_point).unwrap();
-        let again =
-            evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, true, evaluate_point)
-                .unwrap();
+        evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, batch_of(evaluate_point))
+            .unwrap();
+        let again = evaluate_checkpointed_in(
+            &dir,
+            "t",
+            &configs,
+            &traces,
+            0,
+            true,
+            batch_of(evaluate_point),
+        )
+        .unwrap();
         assert_eq!(again.resumed, 0, "--fresh must re-simulate");
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -415,18 +450,26 @@ mod tests {
         let dir = temp_dir("retry");
         let (configs, traces) = test_grid();
         let bad = configs[3];
-        let first = evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, |c, t, w| {
+        let faulty = batch_of(|c: CacheConfig, t: &[Trace], w: usize| {
             if c == bad {
                 panic!("injected fault");
             }
             evaluate_point(c, t, w)
-        })
-        .unwrap();
+        });
+        let first =
+            evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, faulty).unwrap();
         assert_eq!(first.failures.len(), 1);
         // Restart with a healthy eval: only the failed point re-runs.
-        let second =
-            evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, evaluate_point)
-                .unwrap();
+        let second = evaluate_checkpointed_in(
+            &dir,
+            "t",
+            &configs,
+            &traces,
+            0,
+            false,
+            batch_of(evaluate_point),
+        )
+        .unwrap();
         assert_eq!(second.resumed, configs.len() - 1);
         assert!(second.is_complete());
         fs::remove_dir_all(&dir).unwrap();
@@ -436,11 +479,19 @@ mod tests {
     fn changed_traces_invalidate_the_journal() {
         let dir = temp_dir("invalidate");
         let (configs, traces) = test_grid();
-        evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, evaluate_point).unwrap();
+        evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, batch_of(evaluate_point))
+            .unwrap();
         let longer = materialize(&[WorkloadSpec::pdp11_ed()], 2_000);
-        let outcome =
-            evaluate_checkpointed_in(&dir, "t", &configs, &longer, 0, false, evaluate_point)
-                .unwrap();
+        let outcome = evaluate_checkpointed_in(
+            &dir,
+            "t",
+            &configs,
+            &longer,
+            0,
+            false,
+            batch_of(evaluate_point),
+        )
+        .unwrap();
         assert_eq!(outcome.resumed, 0, "different traces must not resume");
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -14,7 +14,7 @@ use occache_workloads::{m85_mix, riscii_instruction_workload, Architecture, Work
 use crate::paper;
 use crate::plot::{ScatterPlot, Series};
 use crate::report::{points_to_csv, relative_error, table7_block};
-use crate::sweep::{materialize, standard_config, table1_pairs, trace_len, DesignPoint, Trace};
+use crate::sweep::{standard_config, table1_pairs, trace_len, DesignPoint, Trace};
 
 /// A regenerated artifact: report text plus named CSV payloads.
 #[derive(Debug, Clone)]
@@ -73,8 +73,15 @@ where
 }
 
 /// Materialised trace sets, built lazily and shared across artifacts.
+///
+/// Generation is memoized per workload spec (by its name, which is unique
+/// across all sets; the seed is always 0 and the length fixed per
+/// workbench), so `--bin all` and any artifacts whose trace sets overlap
+/// generate each trace exactly once. A recalled [`Trace`] is an `Arc`
+/// clone, not a copy of the stream.
 #[derive(Debug, Default)]
 pub struct Workbench {
+    store: HashMap<&'static str, Trace>,
     sets: HashMap<Architecture, Vec<Trace>>,
     load_forward: Option<Vec<Trace>>,
     m85: Option<Vec<Trace>>,
@@ -129,33 +136,53 @@ impl Workbench {
         }
     }
 
+    /// Generates (or recalls) the canonical seed-0 trace of each spec,
+    /// one generation per spec name for the workbench's lifetime.
+    fn traces_from(&mut self, specs: &[WorkloadSpec]) -> Vec<Trace> {
+        let len = self.len;
+        specs
+            .iter()
+            .map(|spec| {
+                self.store
+                    .entry(spec.name())
+                    .or_insert_with(|| Trace::new(spec.name(), spec.generator(0).take(len)))
+                    .clone()
+            })
+            .collect()
+    }
+
     /// The main trace set for an architecture (Tables 2–5).
     pub fn arch_traces(&mut self, arch: Architecture) -> &[Trace] {
-        let len = self.len;
-        self.sets
-            .entry(arch)
-            .or_insert_with(|| materialize(&WorkloadSpec::set_for(arch), len))
+        if !self.sets.contains_key(&arch) {
+            let set = self.traces_from(&WorkloadSpec::set_for(arch));
+            self.sets.insert(arch, set);
+        }
+        &self.sets[&arch]
     }
 
     /// The Z8000 compiler phases (CPP, C1, C2) used by the load-forward
     /// study.
     pub fn load_forward_traces(&mut self) -> &[Trace] {
-        let len = self.len;
-        self.load_forward
-            .get_or_insert_with(|| materialize(&WorkloadSpec::z8000_load_forward_set(), len))
+        if self.load_forward.is_none() {
+            self.load_forward = Some(self.traces_from(&WorkloadSpec::z8000_load_forward_set()));
+        }
+        self.load_forward.as_deref().expect("just populated")
     }
 
     /// The six-program System/360-class mix of Table 6.
     pub fn m85_traces(&mut self) -> &[Trace] {
-        let len = self.len;
-        self.m85.get_or_insert_with(|| materialize(&m85_mix(), len))
+        if self.m85.is_none() {
+            self.m85 = Some(self.traces_from(&m85_mix()));
+        }
+        self.m85.as_deref().expect("just populated")
     }
 
     /// The RISC II instruction-only workload of §2.3.
     pub fn riscii_traces(&mut self) -> &[Trace] {
-        let len = self.len;
-        self.riscii
-            .get_or_insert_with(|| materialize(&[riscii_instruction_workload()], len))
+        if self.riscii.is_none() {
+            self.riscii = Some(self.traces_from(&[riscii_instruction_workload()]));
+        }
+        self.riscii.as_deref().expect("just populated")
     }
 }
 
@@ -211,20 +238,31 @@ pub fn run_figure(bench: &mut Workbench, figure: u8) -> Artifact {
     );
     let mut csv = String::from("net,block,sub,gross,miss_ratio,traffic_axis_value\n");
     let mut plot = ScatterPlot::new(64, 24, "miss ratio", "traffic");
-    let mut failures = Vec::new();
+    // One checkpointed sweep spanning all three nets: the sweep planner
+    // shares trace passes across nets (each (block, sub) geometry recurs
+    // at every net), and journal keys are per-point, so journals written
+    // by older per-net sweeps still resume.
+    let all_configs: Vec<CacheConfig> = nets
+        .iter()
+        .flat_map(|&net| {
+            table1_pairs(net, arch.word_size())
+                .into_iter()
+                .map(move |(b, s)| standard_config(arch, net, b, s))
+        })
+        .collect();
+    let outcome = crate::checkpoint::evaluate_checkpointed(
+        &format!("fig{figure}"),
+        &all_configs,
+        traces,
+        warmup,
+    );
+    let failures = outcome.failures;
     for net in nets {
-        let configs: Vec<CacheConfig> = table1_pairs(net, arch.word_size())
-            .into_iter()
-            .map(|(b, s)| standard_config(arch, net, b, s))
+        let points: Vec<&DesignPoint> = outcome
+            .points
+            .iter()
+            .filter(|p| p.config.net_size() == net)
             .collect();
-        let outcome = crate::checkpoint::evaluate_checkpointed(
-            &format!("fig{figure}"),
-            &configs,
-            traces,
-            warmup,
-        );
-        let points = outcome.points;
-        failures.extend(outcome.failures);
         let _ = writeln!(report, "net {net} bytes:");
         let mut last_block = 0;
         for p in &points {
@@ -350,7 +388,7 @@ pub fn run_table6(bench: &mut Workbench) -> Artifact {
     let mut sector_miss = 0.0;
     let mut unref = 0.0;
     for trace in traces {
-        let m: Metrics = simulate(sector, trace.refs.iter().copied(), 0);
+        let m: Metrics = simulate(sector, trace.refs.iter(), 0);
         sector_miss += m.miss_ratio();
         unref += m.unreferenced_sub_block_fraction();
     }
@@ -386,7 +424,7 @@ pub fn run_table6(bench: &mut Workbench) -> Artifact {
             .expect("set-associative geometry is valid");
         let mut miss = 0.0;
         for trace in traces {
-            miss += simulate(config, trace.refs.iter().copied(), 0).miss_ratio();
+            miss += simulate(config, trace.refs.iter(), 0).miss_ratio();
         }
         miss /= traces.len() as f64;
         let _ = writeln!(
@@ -437,18 +475,21 @@ pub fn run_table7(bench: &mut Workbench) -> Artifact {
     for arch in Architecture::ALL {
         let warmup = bench.warmup_for(arch);
         let traces = bench.arch_traces(arch);
-        let mut points: Vec<DesignPoint> = Vec::new();
-        let mut failures = Vec::new();
-        for net in [64u64, 256, 1024] {
-            let configs: Vec<CacheConfig> = table1_pairs(net, arch.word_size())
-                .into_iter()
-                .map(|(b, s)| standard_config(arch, net, b, s))
-                .collect();
-            let outcome =
-                crate::checkpoint::evaluate_checkpointed("table7", &configs, traces, warmup);
-            points.extend(outcome.points);
-            failures.extend(outcome.failures);
-        }
+        // All three nets in one checkpointed sweep, so the planner can
+        // share trace passes across nets; journal keys stay per-point and
+        // the concatenation preserves the per-net point order the render
+        // expects.
+        let configs: Vec<CacheConfig> = [64u64, 256, 1024]
+            .into_iter()
+            .flat_map(|net| {
+                table1_pairs(net, arch.word_size())
+                    .into_iter()
+                    .map(move |(b, s)| standard_config(arch, net, b, s))
+            })
+            .collect();
+        let outcome = crate::checkpoint::evaluate_checkpointed("table7", &configs, traces, warmup);
+        let points = outcome.points;
+        let failures = outcome.failures;
         report.push_str(&table7_block(arch.name(), &points, paper::table7(arch)));
         if let Some(note) = crate::sweep::failure_note(&failures) {
             report.push_str(&note);
@@ -511,7 +552,7 @@ pub fn run_table8(bench: &mut Workbench) -> Artifact {
         let mut scaled = 0.0;
         let mut redundant = 0.0;
         for trace in traces {
-            let m = simulate(config, trace.refs.iter().copied(), warmup);
+            let m = simulate(config, trace.refs.iter(), warmup);
             miss += m.miss_ratio();
             traffic += m.traffic_ratio();
             scaled += m.scaled_traffic_ratio(nibble);
@@ -610,7 +651,7 @@ pub fn run_risc2(bench: &mut Workbench) -> Artifact {
             .expect("RISC II geometry is valid");
         let mut miss = 0.0;
         for trace in traces {
-            miss += simulate(config, trace.refs.iter().copied(), 0).miss_ratio();
+            miss += simulate(config, trace.refs.iter(), 0).miss_ratio();
         }
         miss /= traces.len() as f64;
         let _ = writeln!(
@@ -666,7 +707,7 @@ pub fn run_ablations(bench: &mut Workbench) -> Artifact {
                 .expect("valid geometry");
             let mut miss = 0.0;
             for t in traces {
-                miss += simulate(config, t.refs.iter().copied(), warmup).miss_ratio();
+                miss += simulate(config, t.refs.iter(), warmup).miss_ratio();
             }
             miss /= traces.len() as f64;
             let _ = write!(row, " {ways}-way {miss:.4} ");
@@ -700,7 +741,7 @@ pub fn run_ablations(bench: &mut Workbench) -> Artifact {
                 .expect("valid geometry");
             let mut miss = 0.0;
             for t in traces {
-                miss += simulate(config, t.refs.iter().copied(), warmup).miss_ratio();
+                miss += simulate(config, t.refs.iter(), warmup).miss_ratio();
             }
             miss /= traces.len() as f64;
             let _ = write!(row, " {policy} {miss:.4} ");
@@ -729,7 +770,7 @@ pub fn run_ablations(bench: &mut Workbench) -> Artifact {
                 .expect("valid geometry");
             let mut miss = 0.0;
             for t in traces {
-                miss += simulate(config, t.refs.iter().copied(), 0).miss_ratio();
+                miss += simulate(config, t.refs.iter(), 0).miss_ratio();
             }
             miss /= traces.len() as f64;
             let _ = writeln!(report, "  {:>6} {:>9.4} {:>9.2}", net, miss, paper_miss);
@@ -766,7 +807,7 @@ pub fn run_ablations(bench: &mut Workbench) -> Artifact {
             let mut miss = 0.0;
             let mut traffic = 0.0;
             for t in traces {
-                let m = simulate(config, t.refs.iter().copied(), warmup);
+                let m = simulate(config, t.refs.iter(), warmup);
                 miss += m.miss_ratio();
                 traffic += m.traffic_ratio();
             }
@@ -809,7 +850,7 @@ pub fn run_ablations(bench: &mut Workbench) -> Artifact {
         for (label, warmup) in [("cold", 0usize), ("warm (5%)", len / 20)] {
             let mut miss = 0.0;
             for t in traces {
-                miss += simulate(config, t.refs.iter().copied(), warmup).miss_ratio();
+                miss += simulate(config, t.refs.iter(), warmup).miss_ratio();
             }
             miss /= traces.len() as f64;
             let _ = writeln!(report, "  {label:<12} miss {miss:.4}");
@@ -853,7 +894,7 @@ pub fn run_headline(bench: &mut Workbench) -> Artifact {
         let mut miss = 0.0;
         let mut traffic = 0.0;
         for t in traces {
-            let m = simulate(config, t.refs.iter().copied(), warmup);
+            let m = simulate(config, t.refs.iter(), warmup);
             miss += m.miss_ratio();
             traffic += m.traffic_ratio();
         }
@@ -900,6 +941,23 @@ mod tests {
         let second = b.arch_traces(Architecture::Pdp11).len();
         assert_eq!(first, second);
         assert_eq!(first, 6);
+    }
+
+    #[test]
+    fn workbench_memoizes_trace_generation_per_spec() {
+        let mut b = small_bench();
+        let first = b.traces_from(&WorkloadSpec::z8000_load_forward_set());
+        // A second request for the same specs — as another artifact in a
+        // `--bin all` run would make — hands back the very same buffers
+        // instead of regenerating them.
+        let second = b.traces_from(&WorkloadSpec::z8000_load_forward_set());
+        for (a, c) in first.iter().zip(&second) {
+            assert!(
+                std::sync::Arc::ptr_eq(&a.refs, &c.refs),
+                "{} was generated twice",
+                a.name
+            );
+        }
     }
 
     #[test]

@@ -2,31 +2,57 @@
 //! configurations against them, average ratios across traces as the paper
 //! does ("Multiple-trace miss and traffic ratios are the unweighted average
 //! of the miss and traffic ratios of individual runs", §3.3).
+//!
+//! Sweeps do not simulate every point independently: a planner groups the
+//! grid into one-pass-compatible slices (same block size, LRU, demand
+//! fetch) and runs each slice through
+//! [`occache_core::multisim`], which yields every cache size's metrics
+//! from a single trace pass — bit-identical to [`simulate`]. Points the
+//! engine cannot express (FIFO/Random, prefetch, copy-back) fall back to
+//! the direct simulator, and `OCCACHE_NO_MULTISIM=1` forces the direct
+//! path everywhere (used by equivalence tests and timing comparisons).
 
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
 
-use occache_core::{simulate, BusModel, CacheConfig, FetchPolicy, Metrics};
-use occache_trace::MemRef;
+use occache_core::{
+    engine_supports, simulate, simulate_many, BusModel, CacheConfig, FetchPolicy, Metrics,
+    MAX_MULTISIM_CONFIGS,
+};
+use occache_trace::{MemRef, PackedTrace};
 use occache_workloads::{Architecture, WorkloadSpec};
 
 /// A fully materialised trace, reusable across configurations.
+///
+/// References live in a shared [`PackedTrace`] (9 bytes per reference
+/// instead of 16), so cloning a `Trace` — as the memoizing workbench and
+/// the sweep workers do — bumps a reference count rather than copying a
+/// million-entry stream.
 #[derive(Debug, Clone)]
 pub struct Trace {
     /// Trace name (as in the paper's workload tables).
     pub name: String,
-    /// The reference stream.
-    pub refs: Vec<MemRef>,
+    /// The reference stream, shared by reference across workers.
+    pub refs: Arc<PackedTrace>,
+}
+
+impl Trace {
+    /// Packs a reference stream under a name.
+    pub fn new(name: impl Into<String>, refs: impl IntoIterator<Item = MemRef>) -> Self {
+        Trace {
+            name: name.into(),
+            refs: Arc::new(refs.into_iter().collect()),
+        }
+    }
 }
 
 /// Generates `len` references for each spec (seed 0, the canonical trace).
 pub fn materialize(specs: &[WorkloadSpec], len: usize) -> Vec<Trace> {
     specs
         .iter()
-        .map(|spec| Trace {
-            name: spec.name().to_string(),
-            refs: spec.generator(0).take(len).collect(),
-        })
+        .map(|spec| Trace::new(spec.name(), spec.generator(0).take(len)))
         .collect()
 }
 
@@ -58,7 +84,7 @@ pub fn evaluate_point(config: CacheConfig, traces: &[Trace], warmup: usize) -> D
     let mut scaled = 0.0;
     let mut redundant = 0.0;
     for trace in traces {
-        let metrics: Metrics = simulate(config, trace.refs.iter().copied(), warmup);
+        let metrics: Metrics = simulate(config, trace.refs.iter(), warmup);
         miss += metrics.miss_ratio();
         traffic += metrics.traffic_ratio();
         scaled += metrics.scaled_traffic_ratio(nibble);
@@ -74,6 +100,207 @@ pub fn evaluate_point(config: CacheConfig, traces: &[Trace], warmup: usize) -> D
         nibble_traffic_ratio: scaled / n,
         redundant_load_fraction: redundant / n,
         gross_size: config.gross_size(),
+    }
+}
+
+/// Evaluates a one-pass-compatible slice of configurations with a single
+/// engine pass per trace, averaging exactly as [`evaluate_point`] does.
+///
+/// The accumulation order per configuration is identical to the per-point
+/// path (outer loop over traces, then the division by the trace count), so
+/// the resulting floats are bit-identical, not merely close.
+fn evaluate_slice(configs: &[CacheConfig], traces: &[Trace], warmup: usize) -> Vec<DesignPoint> {
+    let nibble = BusModel::paper_nibble();
+    let mut miss = vec![0.0; configs.len()];
+    let mut traffic = vec![0.0; configs.len()];
+    let mut scaled = vec![0.0; configs.len()];
+    let mut redundant = vec![0.0; configs.len()];
+    for trace in traces {
+        let all = simulate_many(configs, trace.refs.iter(), warmup)
+            .expect("sweep planner grouped an engine-incompatible slice");
+        for (i, metrics) in all.iter().enumerate() {
+            miss[i] += metrics.miss_ratio();
+            traffic[i] += metrics.traffic_ratio();
+            scaled[i] += metrics.scaled_traffic_ratio(nibble);
+            if metrics.sub_loads() > 0 {
+                redundant[i] += metrics.redundant_sub_loads() as f64 / metrics.sub_loads() as f64;
+            }
+        }
+    }
+    let n = traces.len().max(1) as f64;
+    configs
+        .iter()
+        .enumerate()
+        .map(|(i, &config)| DesignPoint {
+            config,
+            miss_ratio: miss[i] / n,
+            traffic_ratio: traffic[i] / n,
+            nibble_traffic_ratio: scaled[i] / n,
+            redundant_load_fraction: redundant[i] / n,
+            gross_size: config.gross_size(),
+        })
+        .collect()
+}
+
+/// One schedulable unit of a sliced sweep: a group of config indices that
+/// share an engine pass, or a single config that needs the direct
+/// simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SweepUnit {
+    /// Indices into the config grid, one-pass-compatible with each other.
+    Engine(Vec<usize>),
+    /// Index of a config the engine cannot express.
+    Direct(usize),
+}
+
+/// Groups a config grid into one-pass-compatible slices.
+///
+/// Engine-eligible configs (see [`engine_supports`]) sharing a block
+/// size share a slice — sub-block size, word size and associativity may
+/// differ, the engine tracks those per size — chunked at
+/// [`MAX_MULTISIM_CONFIGS`]; everything else becomes a direct unit.
+/// Deterministic for a given grid, and every input index appears in
+/// exactly one unit.
+fn plan_units(configs: &[CacheConfig]) -> Vec<SweepUnit> {
+    let mut units = Vec::new();
+    let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+    for (i, config) in configs.iter().enumerate() {
+        if engine_supports(config) {
+            let key = config.block_size();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        } else {
+            units.push(SweepUnit::Direct(i));
+        }
+    }
+    for (_, members) in groups {
+        for chunk in members.chunks(MAX_MULTISIM_CONFIGS) {
+            units.push(SweepUnit::Engine(chunk.to_vec()));
+        }
+    }
+    units
+}
+
+/// Whether `OCCACHE_NO_MULTISIM` forces the direct simulator for every
+/// point (equivalence tests and honest before/after timing set it).
+fn multisim_disabled() -> bool {
+    std::env::var("OCCACHE_NO_MULTISIM").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Fault-isolated parallel sweep that shares trace passes across
+/// one-pass-compatible slices, returning one result per config in input
+/// order.
+///
+/// The grid is planned into [`SweepUnit`]s and the units drained from a
+/// shared queue by the worker pool. A panic inside an engine slice does
+/// not fail its sibling configs: each member is retried alone on the
+/// direct simulator, so fault isolation stays per-point exactly as in
+/// [`evaluate_results_with`].
+pub fn evaluate_results_sliced(
+    configs: &[CacheConfig],
+    traces: &[Trace],
+    warmup: usize,
+) -> Vec<Result<DesignPoint, PointError>> {
+    if multisim_disabled() {
+        return evaluate_results_with(configs, traces, warmup, evaluate_point);
+    }
+    let units = plan_units(configs);
+    let workers = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(units.len().max(1));
+    let mut slots: Vec<Option<Result<DesignPoint, PointError>>> = vec![None; configs.len()];
+    let mut died: Vec<String> = Vec::new();
+    let next = AtomicUsize::new(0);
+    let (units, next) = (&units, &next);
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            handles.push(scope.spawn(move || {
+                let mut done: Vec<(usize, Result<DesignPoint, PointError>)> = Vec::new();
+                loop {
+                    let u = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(unit) = units.get(u) else { break };
+                    match unit {
+                        SweepUnit::Direct(i) => done
+                            .push((*i, evaluate_contained(configs[*i], traces, warmup, &evaluate_point))),
+                        SweepUnit::Engine(members) => {
+                            let slice: Vec<CacheConfig> =
+                                members.iter().map(|&i| configs[i]).collect();
+                            let run = panic::catch_unwind(AssertUnwindSafe(|| {
+                                evaluate_slice(&slice, traces, warmup)
+                            }));
+                            match run {
+                                Ok(points) => done.extend(
+                                    members.iter().copied().zip(points.into_iter().map(Ok)),
+                                ),
+                                // A slice panic must not take siblings down
+                                // with it: retry each member alone on the
+                                // direct simulator, keeping fault isolation
+                                // per-point.
+                                Err(_) => {
+                                    for &i in members {
+                                        done.push((
+                                            i,
+                                            evaluate_contained(
+                                                configs[i],
+                                                traces,
+                                                warmup,
+                                                &evaluate_point,
+                                            ),
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                done
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(done) => {
+                    for (i, r) in done {
+                        slots[i] = Some(r);
+                    }
+                }
+                // With per-unit containment a worker should never die, but
+                // if one does, its claimed units surface below as failures
+                // rather than poisoning the whole sweep.
+                Err(payload) => died.push(panic_message(payload)),
+            }
+        }
+    });
+    let death = died.first().map(String::as_str).unwrap_or("unknown cause");
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                Err(PointError {
+                    config: configs[i],
+                    message: format!("sweep worker thread died outside point isolation: {death}"),
+                })
+            })
+        })
+        .collect()
+}
+
+/// Adapts a per-point evaluation function to the batch shape the
+/// checkpointed sweeps consume, keeping per-point fault isolation.
+/// Production sweeps pass [`evaluate_results_sliced`] instead; tests use
+/// this to inject point-level faults into batch APIs.
+pub fn batch_of<F>(
+    eval: F,
+) -> impl Fn(&[CacheConfig], &[Trace], usize) -> Vec<Result<DesignPoint, PointError>> + Sync
+where
+    F: Fn(CacheConfig, &[Trace], usize) -> DesignPoint + Sync,
+{
+    move |configs: &[CacheConfig], traces: &[Trace], warmup: usize| {
+        evaluate_results_with(configs, traces, warmup, &eval)
     }
 }
 
@@ -257,13 +484,22 @@ where
     outcome
 }
 
-/// Fault-isolated parallel sweep using the standard [`evaluate_point`].
+/// Fault-isolated parallel sweep using the one-pass engine where the grid
+/// allows it and [`evaluate_point`] elsewhere (see
+/// [`evaluate_results_sliced`]).
 pub fn evaluate_points_isolated(
     configs: &[CacheConfig],
     traces: &[Trace],
     warmup: usize,
 ) -> SweepOutcome {
-    evaluate_points_isolated_with(configs, traces, warmup, evaluate_point)
+    let mut outcome = SweepOutcome::default();
+    for result in evaluate_results_sliced(configs, traces, warmup) {
+        match result {
+            Ok(p) => outcome.points.push(p),
+            Err(e) => outcome.failures.push(e),
+        }
+    }
+    outcome
 }
 
 /// Evaluates many configurations, spreading work across threads.
@@ -520,6 +756,96 @@ mod tests {
         for (cfg, p) in configs.iter().zip(&parallel) {
             let serial = evaluate_point(*cfg, &traces, 0);
             assert_eq!(serial.miss_ratio, p.miss_ratio);
+        }
+    }
+
+    /// A Table-7-style grid plus configs the engine cannot express (FIFO,
+    /// prefetch, copy-back): exercises both planner paths.
+    fn mixed_grid() -> Vec<CacheConfig> {
+        let mut configs = Vec::new();
+        for net in [64u64, 256] {
+            for (b, s) in table1_pairs(net, 2) {
+                configs.push(standard_config(Architecture::Pdp11, net, b, s));
+            }
+        }
+        let fallback = |builder: &mut occache_core::CacheConfigBuilder| {
+            builder
+                .net_size(256)
+                .block_size(16)
+                .sub_block_size(8)
+                .word_size(2)
+                .build()
+                .expect("valid geometry")
+        };
+        configs.push(fallback(
+            CacheConfig::builder().replacement(occache_core::ReplacementPolicy::Fifo),
+        ));
+        configs.push(fallback(
+            CacheConfig::builder().fetch(FetchPolicy::PrefetchNext { tagged: true }),
+        ));
+        configs.push(fallback(
+            CacheConfig::builder().write_policy(occache_core::WritePolicy::CopyBack),
+        ));
+        configs
+    }
+
+    #[test]
+    fn planner_covers_every_index_exactly_once() {
+        let configs = mixed_grid();
+        let units = plan_units(&configs);
+        let mut seen = vec![0usize; configs.len()];
+        for unit in &units {
+            match unit {
+                SweepUnit::Direct(i) => seen[*i] += 1,
+                SweepUnit::Engine(members) => {
+                    assert!(members.len() <= MAX_MULTISIM_CONFIGS);
+                    let b = configs[members[0]].block_size();
+                    for &i in members {
+                        assert!(engine_supports(&configs[i]));
+                        assert_eq!(configs[i].block_size(), b);
+                        seen[i] += 1;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "{seen:?}");
+        // The three policy fallbacks are the only direct units.
+        let direct = units
+            .iter()
+            .filter(|u| matches!(u, SweepUnit::Direct(_)))
+            .count();
+        assert_eq!(direct, 3);
+        // Sharing must actually happen: fewer engine passes than engine
+        // points (each geometry common to both nets shares one pass).
+        let engine_units = units.len() - direct;
+        assert!(engine_units < configs.len() - direct, "{units:?}");
+        assert!(
+            units
+                .iter()
+                .any(|u| matches!(u, SweepUnit::Engine(m) if m.len() > 1)),
+            "{units:?}"
+        );
+    }
+
+    #[test]
+    fn sliced_sweep_is_bit_identical_to_direct_evaluation() {
+        let traces = materialize(
+            &[WorkloadSpec::pdp11_ed(), WorkloadSpec::pdp11_trace()],
+            3_000,
+        );
+        let configs = mixed_grid();
+        let sliced = evaluate_results_sliced(&configs, &traces, 200);
+        for (cfg, r) in configs.iter().zip(&sliced) {
+            let p = r.as_ref().expect("no faults injected");
+            let direct = evaluate_point(*cfg, &traces, 200);
+            assert_eq!(p.miss_ratio, direct.miss_ratio, "{cfg}");
+            assert_eq!(p.traffic_ratio, direct.traffic_ratio, "{cfg}");
+            assert_eq!(p.nibble_traffic_ratio, direct.nibble_traffic_ratio, "{cfg}");
+            assert_eq!(
+                p.redundant_load_fraction, direct.redundant_load_fraction,
+                "{cfg}"
+            );
+            assert_eq!(p.gross_size, direct.gross_size, "{cfg}");
         }
     }
 }

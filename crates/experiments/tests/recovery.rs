@@ -10,7 +10,9 @@ use std::path::PathBuf;
 use occache_core::CacheConfig;
 use occache_experiments::checkpoint::evaluate_checkpointed_in;
 use occache_experiments::report::{points_to_csv, write_result_in};
-use occache_experiments::sweep::{evaluate_point, materialize, standard_config, table1_pairs};
+use occache_experiments::sweep::{
+    batch_of, evaluate_point, materialize, standard_config, table1_pairs,
+};
 use occache_experiments::Trace;
 use occache_trace::fault::{FaultMode, FaultyReader};
 use occache_trace::io::{parse_trace, write_trace, ParseTraceError};
@@ -45,9 +47,16 @@ fn kill_and_resume_matches_clean_run() {
     // Phase 1: the "killed" run completes only the first K points. Dropping
     // all in-memory state afterwards is exactly what a process death does;
     // the journal on disk is the only survivor.
-    let partial =
-        evaluate_checkpointed_in(&dir, "grid", &configs[..k], &traces, 0, false, evaluate_point)
-            .unwrap();
+    let partial = evaluate_checkpointed_in(
+        &dir,
+        "grid",
+        &configs[..k],
+        &traces,
+        0,
+        false,
+        batch_of(evaluate_point),
+    )
+    .unwrap();
     assert_eq!(partial.points.len(), k);
     drop(partial);
 
@@ -56,11 +65,13 @@ fn kill_and_resume_matches_clean_run() {
     // rest are computed.
     let mut fresh_evals = 0usize;
     let fresh_counter = std::sync::atomic::AtomicUsize::new(0);
-    let resumed = evaluate_checkpointed_in(&dir, "grid", &configs, &traces, 0, false, |c, t, w| {
+    let counting_eval = batch_of(|c: CacheConfig, t: &[Trace], w: usize| {
         fresh_counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         evaluate_point(c, t, w)
-    })
-    .unwrap();
+    });
+    let resumed =
+        evaluate_checkpointed_in(&dir, "grid", &configs, &traces, 0, false, counting_eval)
+            .unwrap();
     fresh_evals += fresh_counter.load(std::sync::atomic::Ordering::SeqCst);
     assert_eq!(resumed.resumed, k);
     assert_eq!(fresh_evals, configs.len() - k);
@@ -68,9 +79,16 @@ fn kill_and_resume_matches_clean_run() {
 
     // The merged grid equals a clean run, point for point, bit for bit.
     let clean_dir = temp_dir("kill-resume-clean");
-    let clean =
-        evaluate_checkpointed_in(&clean_dir, "grid", &configs, &traces, 0, false, evaluate_point)
-            .unwrap();
+    let clean = evaluate_checkpointed_in(
+        &clean_dir,
+        "grid",
+        &configs,
+        &traces,
+        0,
+        false,
+        batch_of(evaluate_point),
+    )
+    .unwrap();
     assert_eq!(resumed.points.len(), clean.points.len());
     for (r, c) in resumed.points.iter().zip(&clean.points) {
         assert_eq!(r.config, c.config);
@@ -96,15 +114,12 @@ fn faulty_sweep_completes_reports_and_resumes() {
     // through a reader that fails after 64 bytes. The structured error is
     // the signal to drop that trace (with a note) rather than crash.
     let mut encoded = Vec::new();
-    write_trace(&mut encoded, traces[0].refs.iter().copied()).unwrap();
+    write_trace(&mut encoded, traces[0].refs.iter()).unwrap();
     let faulty = FaultyReader::new(&encoded[..], FaultMode::ErrorAfter(64));
     let mut survivors = Vec::new();
     let mut trace_notes = Vec::new();
     match parse_trace(faulty) {
-        Ok(refs) => survivors.push(Trace {
-            name: traces[0].name.clone(),
-            refs,
-        }),
+        Ok(refs) => survivors.push(Trace::new(traces[0].name.clone(), refs)),
         Err(e @ ParseTraceError::Io(_)) => {
             trace_notes.push(format!("dropped trace {}: {e}", traces[0].name));
         }
@@ -117,14 +132,15 @@ fn faulty_sweep_completes_reports_and_resumes() {
 
     // --- Injected panicking design point, over the surviving trace set.
     let bad = configs[2];
+    let faulty_eval = batch_of(|c: CacheConfig, t: &[Trace], w: usize| {
+        if c == bad {
+            panic!("injected point fault");
+        }
+        evaluate_point(c, t, w)
+    });
     let outcome =
-        evaluate_checkpointed_in(&dir, "faulty", &configs, &survivors, 0, false, |c, t, w| {
-            if c == bad {
-                panic!("injected point fault");
-            }
-            evaluate_point(c, t, w)
-        })
-        .unwrap();
+        evaluate_checkpointed_in(&dir, "faulty", &configs, &survivors, 0, false, faulty_eval)
+            .unwrap();
     assert_eq!(outcome.points.len(), configs.len() - 1);
     assert_eq!(outcome.failures.len(), 1);
 
@@ -161,12 +177,13 @@ fn faulty_sweep_completes_reports_and_resumes() {
     // Second invocation: every surviving point resumes from the journal
     // (the always-panicking eval proves nothing is re-simulated), and the
     // previously failed cell is retried — this time successfully.
+    let retry_eval = batch_of(|c: CacheConfig, t: &[Trace], w: usize| {
+        assert_eq!(c, bad, "only the failed cell may re-run");
+        evaluate_point(c, t, w)
+    });
     let second =
-        evaluate_checkpointed_in(&dir, "faulty", &configs, &survivors, 0, false, |c, t, w| {
-            assert_eq!(c, bad, "only the failed cell may re-run");
-            evaluate_point(c, t, w)
-        })
-        .unwrap();
+        evaluate_checkpointed_in(&dir, "faulty", &configs, &survivors, 0, false, retry_eval)
+            .unwrap();
     assert_eq!(second.resumed, configs.len() - 1);
     assert!(second.is_complete());
     fs::remove_dir_all(&dir).unwrap();

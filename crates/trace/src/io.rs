@@ -374,7 +374,7 @@ mod tests {
 
     #[test]
     fn embedded_nul_is_rejected() {
-        expect_malformed("i 4\0400\n", 1, MalformedKind::EmbeddedNul);
+        expect_malformed("i 4\x00400\n", 1, MalformedKind::EmbeddedNul);
         // Even inside a would-be comment: NUL marks binary input.
         expect_malformed("# hea\0der\ni 400\n", 1, MalformedKind::EmbeddedNul);
     }

@@ -7,6 +7,8 @@
 //! the rest of the workspace shares:
 //!
 //! * [`MemRef`], [`Address`] and [`AccessKind`] — the trace record types,
+//! * [`PackedTrace`] — a compact structure-of-arrays reference buffer
+//!   shared across sweep workers ([`packed`]),
 //! * the [`TraceSource`] abstraction plus combinators ([`stream`]),
 //! * a `dinero`-style text format for persisting traces ([`io`]),
 //! * a fault-injecting reader for hardening tests ([`fault`]),
@@ -31,12 +33,14 @@
 pub mod din;
 pub mod fault;
 pub mod io;
+pub mod packed;
 pub mod record;
 pub mod sample;
 pub mod stats;
 pub mod stream;
 pub mod workingset;
 
+pub use packed::PackedTrace;
 pub use record::{AccessKind, Address, MemRef};
 pub use stats::TraceStats;
 pub use stream::TraceSource;

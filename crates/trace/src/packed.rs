@@ -1,0 +1,224 @@
+//! A compact, structure-of-arrays trace buffer.
+//!
+//! A [`MemRef`] is 16 bytes (a padded `u64` address plus a discriminant);
+//! a million-reference trace held as `Vec<MemRef>` costs 16 MB per copy
+//! and streams poorly when several sweep workers walk it at once.
+//! [`PackedTrace`] stores the same information as parallel `Vec<u64>`
+//! addresses and one kind byte per reference — 9 bytes per reference —
+//! and yields `MemRef`s on iteration, so simulators consume it unchanged.
+//!
+//! The experiment harness wraps a `PackedTrace` in an [`Arc`] and shares
+//! it by reference across the sweep worker pool: cloning a trace set is
+//! then a reference-count bump, not a copy of the reference stream.
+//!
+//! [`Arc`]: std::sync::Arc
+
+use crate::record::{AccessKind, MemRef};
+
+const KIND_IFETCH: u8 = 0;
+const KIND_READ: u8 = 1;
+const KIND_WRITE: u8 = 2;
+
+const fn kind_to_byte(kind: AccessKind) -> u8 {
+    match kind {
+        AccessKind::InstrFetch => KIND_IFETCH,
+        AccessKind::DataRead => KIND_READ,
+        AccessKind::DataWrite => KIND_WRITE,
+    }
+}
+
+const fn byte_to_kind(byte: u8) -> AccessKind {
+    match byte {
+        KIND_IFETCH => AccessKind::InstrFetch,
+        KIND_READ => AccessKind::DataRead,
+        // Kind bytes are private and only written by `push`, so anything
+        // else is unreachable; mapping it keeps decoding branch-cheap.
+        _ => AccessKind::DataWrite,
+    }
+}
+
+/// A reference stream stored as separate address and kind arrays
+/// (structure-of-arrays), 9 bytes per reference instead of 16.
+///
+/// ```
+/// use occache_trace::{MemRef, PackedTrace};
+///
+/// let packed: PackedTrace = vec![MemRef::ifetch(0x100), MemRef::write(0x8)]
+///     .into_iter()
+///     .collect();
+/// assert_eq!(packed.len(), 2);
+/// let back: Vec<MemRef> = packed.iter().collect();
+/// assert_eq!(back[0], MemRef::ifetch(0x100));
+/// assert_eq!(back[1], MemRef::write(0x8));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedTrace {
+    addrs: Vec<u64>,
+    kinds: Vec<u8>,
+}
+
+impl PackedTrace {
+    /// Creates an empty trace buffer.
+    pub fn new() -> Self {
+        PackedTrace::default()
+    }
+
+    /// Creates an empty buffer with room for `capacity` references.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PackedTrace {
+            addrs: Vec::with_capacity(capacity),
+            kinds: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one reference.
+    pub fn push(&mut self, r: MemRef) {
+        self.addrs.push(r.address().value());
+        self.kinds.push(kind_to_byte(r.kind()));
+    }
+
+    /// Number of references.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the trace holds no references.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// The `i`-th reference, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<MemRef> {
+        let &addr = self.addrs.get(i)?;
+        Some(MemRef::new(addr.into(), byte_to_kind(self.kinds[i])))
+    }
+
+    /// Iterates the references as [`MemRef`]s (by value; the backing
+    /// storage never holds `MemRef`s).
+    pub fn iter(&self) -> PackedIter<'_> {
+        PackedIter {
+            addrs: self.addrs.iter(),
+            kinds: self.kinds.iter(),
+        }
+    }
+
+    /// Bytes of heap storage used (the 9-bytes-per-reference claim,
+    /// ignoring `Vec` over-allocation).
+    pub fn payload_bytes(&self) -> usize {
+        self.addrs.len() * std::mem::size_of::<u64>() + self.kinds.len()
+    }
+}
+
+impl FromIterator<MemRef> for PackedTrace {
+    fn from_iter<I: IntoIterator<Item = MemRef>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut packed = PackedTrace::with_capacity(iter.size_hint().0);
+        for r in iter {
+            packed.push(r);
+        }
+        packed
+    }
+}
+
+impl Extend<MemRef> for PackedTrace {
+    fn extend<I: IntoIterator<Item = MemRef>>(&mut self, iter: I) {
+        for r in iter {
+            self.push(r);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PackedTrace {
+    type Item = MemRef;
+    type IntoIter = PackedIter<'a>;
+
+    fn into_iter(self) -> PackedIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`PackedTrace`], yielding owned [`MemRef`]s.
+#[derive(Debug, Clone)]
+pub struct PackedIter<'a> {
+    addrs: std::slice::Iter<'a, u64>,
+    kinds: std::slice::Iter<'a, u8>,
+}
+
+impl Iterator for PackedIter<'_> {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        let &addr = self.addrs.next()?;
+        let &kind = self.kinds.next()?;
+        Some(MemRef::new(addr.into(), byte_to_kind(kind)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.addrs.size_hint()
+    }
+}
+
+impl ExactSizeIterator for PackedIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<MemRef> {
+        vec![
+            MemRef::ifetch(0x1000),
+            MemRef::read(0x2004),
+            MemRef::write(0x2004),
+            MemRef::ifetch(0x1002),
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_kind() {
+        let refs = sample();
+        let packed: PackedTrace = refs.iter().copied().collect();
+        assert_eq!(packed.len(), refs.len());
+        let back: Vec<MemRef> = packed.iter().collect();
+        assert_eq!(back, refs);
+    }
+
+    #[test]
+    fn get_matches_iteration_and_bounds() {
+        let packed: PackedTrace = sample().into_iter().collect();
+        for (i, r) in packed.iter().enumerate() {
+            assert_eq!(packed.get(i), Some(r));
+        }
+        assert_eq!(packed.get(packed.len()), None);
+    }
+
+    #[test]
+    fn payload_is_nine_bytes_per_reference() {
+        let packed: PackedTrace = sample().into_iter().collect();
+        assert_eq!(packed.payload_bytes(), 9 * packed.len());
+    }
+
+    #[test]
+    fn iterator_is_exact_size() {
+        let packed: PackedTrace = sample().into_iter().collect();
+        let mut it = packed.iter();
+        assert_eq!(it.len(), 4);
+        it.next();
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut packed: PackedTrace = sample().into_iter().collect();
+        packed.extend([MemRef::read(0x42)]);
+        assert_eq!(packed.len(), 5);
+        assert_eq!(packed.get(4), Some(MemRef::read(0x42)));
+    }
+
+    #[test]
+    fn empty_trace_behaves() {
+        let packed = PackedTrace::new();
+        assert!(packed.is_empty());
+        assert_eq!(packed.iter().count(), 0);
+        assert_eq!(packed.get(0), None);
+    }
+}
