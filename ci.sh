@@ -26,4 +26,60 @@ echo "== perf smoke: one-pass sweep vs direct simulation =="
 cargo build --release -q -p occache-bench --bin perf_smoke
 ./target/release/perf_smoke
 
+echo "== integrity: manifest + verify + supervised fault injection =="
+# A real Table 7 run into a scratch results dir, then occache-verify on
+# it: manifest hashes, strict journal scan, and sampled bit-exact
+# re-simulation through the direct simulator. A single flipped byte in
+# either a CSV or a journal record must fail the gate; a re-run must
+# repair the damage; an injected hang must surface as a Timeout in
+# RUN_REPORT.json; and a second run against a held checkpoint lock must
+# fail fast with a diagnostic instead of corrupting the journal.
+INT_DIR=target/ci-integrity
+INT_REFS=20000
+rm -rf "$INT_DIR"
+cargo build --release -q -p occache-experiments --bin table7
+cargo build --release -q -p occache-cli --bin occache-verify
+OCCACHE_RESULTS="$INT_DIR" OCCACHE_REFS="$INT_REFS" ./target/release/table7
+test -f "$INT_DIR/MANIFEST.json" || { echo "FAIL: no MANIFEST.json"; exit 1; }
+test -f "$INT_DIR/RUN_REPORT.json" || { echo "FAIL: no RUN_REPORT.json"; exit 1; }
+./target/release/occache-verify --dir "$INT_DIR" --refs "$INT_REFS" --sample 2
+
+echo "-- a flipped CSV byte must fail verify --"
+CSV=$(ls "$INT_DIR"/*.csv | head -1)
+printf 'X' | dd of="$CSV" bs=1 seek=5 count=1 conv=notrunc status=none
+if ./target/release/occache-verify --dir "$INT_DIR" --refs "$INT_REFS" --sample 2 >/dev/null; then
+  echo "FAIL: verify passed on a corrupted CSV"; exit 1
+fi
+# A re-emit regenerates the CSV from the intact journal and heals it.
+OCCACHE_RESULTS="$INT_DIR" OCCACHE_REFS="$INT_REFS" ./target/release/table7
+./target/release/occache-verify --dir "$INT_DIR" --refs "$INT_REFS" --sample 2
+
+echo "-- a flipped journal byte must fail verify, and a re-run must repair it --"
+JOURNAL="$INT_DIR/.checkpoint/table7.jsonl"
+printf 'X' | dd of="$JOURNAL" bs=1 seek=12 count=1 conv=notrunc status=none
+if ./target/release/occache-verify --dir "$INT_DIR" --refs "$INT_REFS" --sample 2 >/dev/null; then
+  echo "FAIL: verify passed on a corrupted journal"; exit 1
+fi
+OCCACHE_RESULTS="$INT_DIR" OCCACHE_REFS="$INT_REFS" ./target/release/table7
+./target/release/occache-verify --dir "$INT_DIR" --refs "$INT_REFS" --sample 2
+
+echo "-- an injected hang must be reported as a timeout --"
+OCCACHE_RESULTS="$INT_DIR" OCCACHE_REFS="$INT_REFS" OCCACHE_FRESH=1 \
+  OCCACHE_POINT_TIMEOUT=0.5 OCCACHE_FAULT_POINT=hang:8,4 ./target/release/table7
+grep -Eq '"timed_out": [1-9]' "$INT_DIR/RUN_REPORT.json" \
+  || { echo "FAIL: hang not reported as a timeout in RUN_REPORT.json"; exit 1; }
+
+echo "-- a held checkpoint lock must fail fast with a diagnostic --"
+echo "garbage-holder" > "$INT_DIR/.checkpoint/LOCK"
+set +e
+LOCK_ERR=$(OCCACHE_RESULTS="$INT_DIR" OCCACHE_REFS="$INT_REFS" ./target/release/table7 2>&1)
+LOCK_RC=$?
+set -e
+if [ "$LOCK_RC" -eq 0 ]; then
+  echo "FAIL: run succeeded against a held lock"; exit 1
+fi
+echo "$LOCK_ERR" | grep -qi "lock" \
+  || { echo "FAIL: lock contention diagnostic missing: $LOCK_ERR"; exit 1; }
+rm -f "$INT_DIR/.checkpoint/LOCK"
+
 echo "ci.sh: all gates passed"

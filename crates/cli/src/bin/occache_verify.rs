@@ -1,0 +1,20 @@
+//! Binary wrapper; the logic lives in `occache_cli::verify_cmd`.
+//!
+//! Exit codes: 0 verified clean, 1 integrity failure (report on stdout),
+//! 2 usage or i/o error.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match occache_cli::verify_cmd::run(&argv) {
+        Ok(report) => print!("{report}"),
+        Err(occache_cli::CliError::Integrity(report)) => {
+            println!("{report}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("\n{}", occache_cli::verify_cmd::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

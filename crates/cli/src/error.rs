@@ -18,6 +18,9 @@ pub enum CliError {
     Trace(ParseTraceError),
     /// Filesystem or pipe failure.
     Io(io::Error),
+    /// A verification pass found damaged or divergent results; the
+    /// message is the full verify report.
+    Integrity(String),
 }
 
 impl fmt::Display for CliError {
@@ -27,6 +30,7 @@ impl fmt::Display for CliError {
             CliError::Config(e) => write!(f, "invalid cache configuration: {e}"),
             CliError::Trace(e) => write!(f, "invalid trace: {e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Integrity(report) => write!(f, "integrity check failed:\n{report}"),
         }
     }
 }
@@ -38,6 +42,7 @@ impl Error for CliError {
             CliError::Config(e) => Some(e),
             CliError::Trace(e) => Some(e),
             CliError::Io(e) => Some(e),
+            CliError::Integrity(_) => None,
         }
     }
 }

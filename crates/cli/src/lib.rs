@@ -2,7 +2,7 @@
 
 //! # occache-cli — command-line front ends
 //!
-//! Four binaries in the spirit of the trace-driven-simulation tooling the
+//! Five binaries in the spirit of the trace-driven-simulation tooling the
 //! paper's methodology spawned (dinero and its descendants):
 //!
 //! * **`occache-sim`** — simulate one cache configuration against a trace
@@ -12,7 +12,10 @@
 //! * **`occache-sweep`** — run the Table 1 design-space grid for one
 //!   architecture and write the CSV,
 //! * **`occache-stats`** — locality characterisation (mix, footprint,
-//!   sequential runs, Denning working-set curve) of a trace or workload.
+//!   sequential runs, Denning working-set curve) of a trace or workload,
+//! * **`occache-verify`** — check a results directory end to end:
+//!   manifest hashes, checkpoint-journal integrity, and sampled bit-exact
+//!   re-simulation (also reachable as `occache-sweep --verify`).
 //!
 //! The command logic lives in this library so it is unit-testable; the
 //! `src/bin` wrappers only shuttle `std::env::args` in and exit codes out.
@@ -23,5 +26,6 @@ pub mod gen;
 pub mod sim;
 pub mod stats_cmd;
 pub mod sweep_cmd;
+pub mod verify_cmd;
 
 pub use error::CliError;

@@ -23,6 +23,8 @@ USAGE:
   --refs N        references per trace                [1000000]
   --warmup N      uncounted warm-up prefix            [0]
   --csv FILE      also write the results as CSV
+  --verify        verify a results directory instead of sweeping
+                  (see occache-verify --help for its options)
 
 Averages the miss/traffic/nibble ratios over the architecture's trace set
 (the paper's Tables 2-5), exactly as Table 7 does.
@@ -66,6 +68,9 @@ fn parse_nets(list: &str) -> Result<Vec<u64>, CliError> {
 ///
 /// Returns a [`CliError`] on bad usage or I/O failure writing the CSV.
 pub fn run<S: AsRef<str>>(argv: &[S]) -> Result<String, CliError> {
+    if argv.iter().any(|a| a.as_ref() == "--verify") {
+        return crate::verify_cmd::run(argv);
+    }
     let parsed = parse(argv, VALUE_FLAGS, BOOL_FLAGS)?;
     if parsed.switch("help") {
         return Ok(USAGE.to_string());

@@ -35,6 +35,10 @@ fn run_all(bench: &mut Workbench) -> std::io::Result<()> {
 }
 
 fn main() -> ExitCode {
+    if let Err(e) = occache_experiments::supervisor::SupervisorPolicy::try_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let mut bench = match Workbench::try_from_env() {
         Ok(b) => b,
         Err(e) => {
@@ -43,8 +47,13 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("regenerating all artifacts at {} refs/trace", bench.len());
-    match run_all(&mut bench) {
-        Ok(()) => ExitCode::SUCCESS,
+    match run_all(&mut bench).and_then(|()| {
+        occache_experiments::run_report::write(&occache_experiments::report::results_dir())
+    }) {
+        Ok(path) => {
+            eprintln!("wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -7,8 +7,14 @@
 //!
 //! * [`sweep`] — trace materialisation, design-point evaluation, the
 //!   Table 1 parameter grid, fault-isolated multi-threaded sweeps,
-//! * [`checkpoint`] — the append-only journal that makes sweeps resumable
-//!   (`--fresh` / `OCCACHE_FRESH=1` discards it),
+//! * [`checkpoint`] — the append-only, checksummed journal that makes
+//!   sweeps resumable (`--fresh` / `OCCACHE_FRESH=1` discards it),
+//! * [`supervisor`] — per-point wall-clock deadlines, bounded retries,
+//!   and fault injection for unattended paper-scale runs,
+//! * [`manifest`] / [`run_report`] / [`verify`] — end-to-end result
+//!   integrity: content-hashed artifact manifest, per-run supervision
+//!   report, and the `occache-verify` checks (manifest + journal scan +
+//!   sampled re-simulation),
 //! * [`paper`] — the paper's published numbers (Tables 6–8, prose anchors)
 //!   for paper-vs-measured comparison,
 //! * [`report`] — paper-style text tables, CSV output, atomic writes.
@@ -22,13 +28,17 @@ pub mod buffers;
 pub mod characterize;
 pub mod checkpoint;
 pub mod extensions;
+pub mod manifest;
 pub mod paper;
 pub mod plot;
 pub mod report;
+pub mod run_report;
 pub mod runs;
+pub mod supervisor;
 pub mod sweep;
+pub mod verify;
 
 pub use sweep::{
     evaluate_point, evaluate_points, evaluate_points_isolated, load_forward_config, materialize,
-    standard_config, table1_pairs, DesignPoint, PointError, SweepOutcome, Trace,
+    standard_config, table1_pairs, DesignPoint, PointError, PointFault, SweepOutcome, Trace,
 };

@@ -1,0 +1,189 @@
+//! The per-run supervision report: `results/RUN_REPORT.json`.
+//!
+//! Every checkpointed sweep phase records what actually happened —
+//! points computed vs restored, failures by class (timed out,
+//! quarantined, non-finite), supervisor retries, journal damage found,
+//! and wall-clock — into an in-process registry; binaries write the
+//! accumulated report once at exit via [`write`]. The report is the
+//! operator's first stop after an unattended paper-scale run: a clean
+//! run shows zeros in every failure column, and anything else names the
+//! phase to investigate (see the EXPERIMENTS.md runbook).
+//!
+//! The format is the same hand-rolled line-oriented JSON as the
+//! checkpoint journal: one `"phases"` array with one object per line,
+//! plus a `"totals"` object — trivially greppable in CI.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use crate::report::write_result_in;
+
+/// The report file name under the results directory.
+pub const RUN_REPORT_FILE: &str = "RUN_REPORT.json";
+
+/// What one checkpointed sweep phase (one `evaluate_checkpointed` call)
+/// did. One artifact can contribute several phases — `table7` runs once
+/// per architecture — and the report keeps them separate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// The artifact (journal) name, e.g. `"table7"`.
+    pub artifact: String,
+    /// Points simulated in this run.
+    pub computed: usize,
+    /// Points restored from the checkpoint journal.
+    pub restored: usize,
+    /// Points that failed (all classes, including the ones below).
+    pub failed: usize,
+    /// Failures that were deadline overruns.
+    pub timed_out: usize,
+    /// Points skipped because the journal quarantined them.
+    pub quarantined: usize,
+    /// Points rejected for non-finite metrics.
+    pub non_finite: usize,
+    /// Supervisor retry attempts after transient failures.
+    pub retries: usize,
+    /// Watchdog threads abandoned at their deadline.
+    pub abandoned_threads: usize,
+    /// Corrupt journal lines found (and compacted away) on load.
+    pub bad_journal_lines: usize,
+    /// Bytes of torn journal tail repaired on load.
+    pub repaired_tail_bytes: usize,
+    /// Wall-clock for the phase, milliseconds.
+    pub wall_ms: u128,
+    /// Fingerprint of the trace set the phase ran over.
+    pub trace_fp: u64,
+    /// Fingerprint of the config grid the phase ran over.
+    pub config_fp: u64,
+}
+
+fn registry() -> &'static Mutex<Vec<PhaseReport>> {
+    static PHASES: OnceLock<Mutex<Vec<PhaseReport>>> = OnceLock::new();
+    PHASES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Records a completed phase into the in-process registry.
+pub fn record_phase(phase: PhaseReport) {
+    registry()
+        .lock()
+        .expect("run report registry lock")
+        .push(phase);
+}
+
+/// A snapshot of every phase recorded so far, in recording order.
+pub fn phases() -> Vec<PhaseReport> {
+    registry()
+        .lock()
+        .expect("run report registry lock")
+        .clone()
+}
+
+/// Clears the registry (tests; binaries never need it).
+pub fn reset() {
+    registry()
+        .lock()
+        .expect("run report registry lock")
+        .clear();
+}
+
+/// Renders the report: one JSON object per phase line plus a totals
+/// object, so `grep '"timed_out": [1-9]'` works without a JSON parser.
+pub fn render(phases: &[PhaseReport]) -> String {
+    let mut out = String::from("{\n\"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        out.push_str(&format!(
+            "{{\"artifact\":\"{}\",\"computed\":{},\"restored\":{},\"failed\":{},\
+             \"timed_out\":{},\"quarantined\":{},\"non_finite\":{},\"retries\":{},\
+             \"abandoned_threads\":{},\"bad_journal_lines\":{},\"repaired_tail_bytes\":{},\
+             \"wall_ms\":{},\"trace_fp\":\"{:016x}\",\"config_fp\":\"{:016x}\"}}{comma}\n",
+            p.artifact,
+            p.computed,
+            p.restored,
+            p.failed,
+            p.timed_out,
+            p.quarantined,
+            p.non_finite,
+            p.retries,
+            p.abandoned_threads,
+            p.bad_journal_lines,
+            p.repaired_tail_bytes,
+            p.wall_ms,
+            p.trace_fp,
+            p.config_fp,
+        ));
+    }
+    out.push_str("],\n");
+    let total = |f: fn(&PhaseReport) -> usize| phases.iter().map(f).sum::<usize>();
+    out.push_str(&format!(
+        "\"totals\": {{\"phases\":{},\"computed\":{},\"restored\":{},\"failed\":{},\
+         \"timed_out\": {},\"quarantined\": {},\"non_finite\": {},\"retries\":{},\
+         \"abandoned_threads\":{},\"bad_journal_lines\":{},\"repaired_tail_bytes\":{},\
+         \"wall_ms\":{}}}\n}}\n",
+        phases.len(),
+        total(|p| p.computed),
+        total(|p| p.restored),
+        total(|p| p.failed),
+        total(|p| p.timed_out),
+        total(|p| p.quarantined),
+        total(|p| p.non_finite),
+        total(|p| p.retries),
+        total(|p| p.abandoned_threads),
+        total(|p| p.bad_journal_lines),
+        total(|p| p.repaired_tail_bytes),
+        phases.iter().map(|p| p.wall_ms).sum::<u128>(),
+    ));
+    out
+}
+
+/// Writes the accumulated report to `dir/RUN_REPORT.json` (atomically),
+/// returning the path. An empty registry still writes a report — all
+/// zeros is exactly what a clean no-op run should say.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the atomic write.
+pub fn write(dir: &Path) -> io::Result<PathBuf> {
+    write_result_in(dir, RUN_REPORT_FILE, &render(&phases()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(artifact: &str, timed_out: usize) -> PhaseReport {
+        PhaseReport {
+            artifact: artifact.to_string(),
+            computed: 10,
+            restored: 5,
+            failed: timed_out,
+            timed_out,
+            quarantined: 0,
+            non_finite: 0,
+            retries: 1,
+            abandoned_threads: timed_out,
+            bad_journal_lines: 0,
+            repaired_tail_bytes: 0,
+            wall_ms: 42,
+            trace_fp: 0xabc,
+            config_fp: 0xdef,
+        }
+    }
+
+    #[test]
+    fn render_includes_phases_and_greppable_totals() {
+        let text = render(&[sample("table7", 0), sample("fig2", 1)]);
+        assert!(text.contains("\"artifact\":\"table7\""));
+        assert!(text.contains("\"artifact\":\"fig2\""));
+        assert!(text.contains("\"timed_out\": 1"), "{text}");
+        assert!(text.contains("\"computed\":20"), "{text}");
+        assert!(text.contains("\"trace_fp\":\"0000000000000abc\""));
+    }
+
+    #[test]
+    fn empty_report_renders_zero_totals() {
+        let text = render(&[]);
+        assert!(text.contains("\"phases\":0"), "{text}");
+        assert!(text.contains("\"timed_out\": 0"), "{text}");
+    }
+}

@@ -28,9 +28,11 @@ pub struct Artifact {
 }
 
 impl Artifact {
-    /// Prints the report to stdout and writes the CSVs (atomically) under
-    /// `results/`, logging each path written — the shared tail of every
-    /// experiment binary.
+    /// Prints the report to stdout, writes the CSVs (atomically) under
+    /// `results/`, logging each path written, and records every file
+    /// into the content-hashed manifest (`MANIFEST.json`) so
+    /// `occache-verify` can later detect corruption — the shared tail of
+    /// every experiment binary.
     ///
     /// # Errors
     ///
@@ -38,24 +40,61 @@ impl Artifact {
     /// exit nonzero without tearing down mid-artifact.
     pub fn emit(&self) -> std::io::Result<()> {
         println!("{}", self.report);
+        let (trace_fp, config_fp) = artifact_fingerprints(self.name);
+        let mut entries = Vec::new();
         for (file_name, contents) in &self.csv {
             let path = crate::report::write_result(file_name, contents).map_err(|e| {
                 std::io::Error::new(e.kind(), format!("failed to write {file_name}: {e}"))
             })?;
             eprintln!("wrote {}", path.display());
+            entries.push(crate::manifest::ManifestEntry::of(
+                file_name, contents, self.name, trace_fp, config_fp,
+            ));
         }
-        Ok(())
+        crate::manifest::record(&crate::report::results_dir(), self.name, entries).map_err(|e| {
+            std::io::Error::new(e.kind(), format!("failed to update the manifest: {e}"))
+        })
     }
 }
 
-/// The shared `main` of the experiment binaries: builds a workbench from
-/// the environment, runs `build`, emits the artifact, and maps failures
-/// (malformed env vars, unwritable results) to a nonzero exit code with a
-/// message instead of a panic.
+/// The combined trace/config fingerprints of the sweep phases recorded
+/// for an artifact this run: the phase's own fingerprints when it swept
+/// once, an FNV fold when it swept several times (`table7` runs once per
+/// architecture), and zeros for artifacts that run no checkpointed
+/// sweep.
+fn artifact_fingerprints(artifact: &str) -> (u64, u64) {
+    let phases = crate::run_report::phases();
+    let mine: Vec<_> = phases.iter().filter(|p| p.artifact == artifact).collect();
+    match mine.as_slice() {
+        [] => (0, 0),
+        [one] => (one.trace_fp, one.config_fp),
+        many => {
+            let fold = |pick: fn(&crate::run_report::PhaseReport) -> u64| {
+                let mut bytes = Vec::with_capacity(many.len() * 8);
+                for p in many {
+                    bytes.extend_from_slice(&pick(p).to_le_bytes());
+                }
+                crate::checkpoint::fnv1a(&bytes)
+            };
+            (fold(|p| p.trace_fp), fold(|p| p.config_fp))
+        }
+    }
+}
+
+/// The shared `main` of the experiment binaries: validates the
+/// supervisor environment (`OCCACHE_POINT_TIMEOUT`, `OCCACHE_POINT_RETRIES`,
+/// `OCCACHE_FAULT_POINT`), builds a workbench, runs `build`, emits the
+/// artifact, and writes the run report (`RUN_REPORT.json`). Failures
+/// (malformed env vars, unwritable results) map to a nonzero exit code
+/// with a message instead of a panic.
 pub fn emit_main<F>(build: F) -> std::process::ExitCode
 where
     F: FnOnce(&mut Workbench) -> Artifact,
 {
+    if let Err(e) = crate::supervisor::SupervisorPolicy::try_from_env() {
+        eprintln!("error: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
     let mut bench = match Workbench::try_from_env() {
         Ok(b) => b,
         Err(e) => {
@@ -64,7 +103,16 @@ where
         }
     };
     match build(&mut bench).emit() {
-        Ok(()) => std::process::ExitCode::SUCCESS,
+        Ok(()) => match crate::run_report::write(&crate::report::results_dir()) {
+            Ok(path) => {
+                eprintln!("wrote {}", path.display());
+                std::process::ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: failed to write the run report: {e}");
+                std::process::ExitCode::FAILURE
+            }
+        },
         Err(e) => {
             eprintln!("error: {e}");
             std::process::ExitCode::FAILURE
@@ -210,6 +258,68 @@ const FIGURES: &[(u8, Architecture, [u64; 3], TrafficAxis)] = &[
     (8, Architecture::Pdp11, [64, 256, 1024], TrafficAxis::Nibble),
 ];
 
+/// The paper's standard sweep grid for an architecture over a set of net
+/// sizes: every Table 1 (block, sub-block) pair at each net, 4-way LRU
+/// demand fetch. The order (nets outer, Table 1 pairs inner) is the
+/// order every figure and Table 7 render in, and the order journal
+/// verification reconstructs.
+fn paper_grid(arch: Architecture, nets: &[u64]) -> Vec<CacheConfig> {
+    nets.iter()
+        .flat_map(|&net| {
+            table1_pairs(net, arch.word_size())
+                .into_iter()
+                .map(move |(b, s)| standard_config(arch, net, b, s))
+        })
+        .collect()
+}
+
+/// One homogeneous slice of a journalled artifact's sweep: the configs
+/// evaluated against one trace set with one warm-up. Verification
+/// re-derives journal keys from these.
+#[derive(Debug, Clone)]
+pub struct GridGroup {
+    /// The config grid of this slice, in sweep order.
+    pub configs: Vec<CacheConfig>,
+    /// The materialised trace set the slice ran over.
+    pub traces: Vec<Trace>,
+    /// Warm-up prefix length.
+    pub warmup: usize,
+}
+
+/// The artifacts that keep checkpoint journals (grid sweeps): Table 7
+/// and Figures 1–8.
+pub fn journalled_artifacts() -> &'static [&'static str] {
+    &[
+        "table7", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    ]
+}
+
+/// Reconstructs the sweep grid behind a journalled artifact so a
+/// verifier can re-derive journal keys and re-simulate sampled points.
+/// `table7` yields one group per architecture (each with its own trace
+/// set and warm-up); each figure yields a single group. Returns `None`
+/// for names that keep no journal.
+pub fn journalled_grid(bench: &mut Workbench, artifact: &str) -> Option<Vec<GridGroup>> {
+    if artifact == "table7" {
+        let groups = Architecture::ALL
+            .into_iter()
+            .map(|arch| GridGroup {
+                configs: paper_grid(arch, &[64, 256, 1024]),
+                warmup: bench.warmup_for(arch),
+                traces: bench.arch_traces(arch).to_vec(),
+            })
+            .collect();
+        return Some(groups);
+    }
+    let figure: u8 = artifact.strip_prefix("fig")?.parse().ok()?;
+    let &(_, arch, nets, _) = FIGURES.iter().find(|&&(n, ..)| n == figure)?;
+    Some(vec![GridGroup {
+        configs: paper_grid(arch, &nets),
+        warmup: bench.warmup_for(arch),
+        traces: bench.arch_traces(arch).to_vec(),
+    }])
+}
+
 /// Regenerates one of Figures 1–8.
 ///
 /// # Panics
@@ -242,14 +352,7 @@ pub fn run_figure(bench: &mut Workbench, figure: u8) -> Artifact {
     // shares trace passes across nets (each (block, sub) geometry recurs
     // at every net), and journal keys are per-point, so journals written
     // by older per-net sweeps still resume.
-    let all_configs: Vec<CacheConfig> = nets
-        .iter()
-        .flat_map(|&net| {
-            table1_pairs(net, arch.word_size())
-                .into_iter()
-                .map(move |(b, s)| standard_config(arch, net, b, s))
-        })
-        .collect();
+    let all_configs = paper_grid(arch, &nets);
     let outcome = crate::checkpoint::evaluate_checkpointed(
         &format!("fig{figure}"),
         &all_configs,
@@ -479,14 +582,7 @@ pub fn run_table7(bench: &mut Workbench) -> Artifact {
         // share trace passes across nets; journal keys stay per-point and
         // the concatenation preserves the per-net point order the render
         // expects.
-        let configs: Vec<CacheConfig> = [64u64, 256, 1024]
-            .into_iter()
-            .flat_map(|net| {
-                table1_pairs(net, arch.word_size())
-                    .into_iter()
-                    .map(move |(b, s)| standard_config(arch, net, b, s))
-            })
-            .collect();
+        let configs = paper_grid(arch, &[64, 256, 1024]);
         let outcome = crate::checkpoint::evaluate_checkpointed("table7", &configs, traces, warmup);
         let points = outcome.points;
         let failures = outcome.failures;

@@ -13,7 +13,6 @@
 //! path everywhere (used by equivalence tests and timing comparisons).
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -109,7 +108,11 @@ pub fn evaluate_point(config: CacheConfig, traces: &[Trace], warmup: usize) -> D
 /// The accumulation order per configuration is identical to the per-point
 /// path (outer loop over traces, then the division by the trace count), so
 /// the resulting floats are bit-identical, not merely close.
-fn evaluate_slice(configs: &[CacheConfig], traces: &[Trace], warmup: usize) -> Vec<DesignPoint> {
+pub(crate) fn evaluate_slice(
+    configs: &[CacheConfig],
+    traces: &[Trace],
+    warmup: usize,
+) -> Vec<DesignPoint> {
     let nibble = BusModel::paper_nibble();
     let mut miss = vec![0.0; configs.len()];
     let mut traffic = vec![0.0; configs.len()];
@@ -146,7 +149,7 @@ fn evaluate_slice(configs: &[CacheConfig], traces: &[Trace], warmup: usize) -> V
 /// share an engine pass, or a single config that needs the direct
 /// simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum SweepUnit {
+pub(crate) enum SweepUnit {
     /// Indices into the config grid, one-pass-compatible with each other.
     Engine(Vec<usize>),
     /// Index of a config the engine cannot express.
@@ -161,7 +164,7 @@ enum SweepUnit {
 /// [`MAX_MULTISIM_CONFIGS`]; everything else becomes a direct unit.
 /// Deterministic for a given grid, and every input index appears in
 /// exactly one unit.
-fn plan_units(configs: &[CacheConfig]) -> Vec<SweepUnit> {
+pub(crate) fn plan_units(configs: &[CacheConfig]) -> Vec<SweepUnit> {
     let mut units = Vec::new();
     let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
     for (i, config) in configs.iter().enumerate() {
@@ -185,7 +188,7 @@ fn plan_units(configs: &[CacheConfig]) -> Vec<SweepUnit> {
 
 /// Whether `OCCACHE_NO_MULTISIM` forces the direct simulator for every
 /// point (equivalence tests and honest before/after timing set it).
-fn multisim_disabled() -> bool {
+pub(crate) fn multisim_disabled() -> bool {
     std::env::var("OCCACHE_NO_MULTISIM").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
@@ -194,99 +197,19 @@ fn multisim_disabled() -> bool {
 /// order.
 ///
 /// The grid is planned into [`SweepUnit`]s and the units drained from a
-/// shared queue by the worker pool. A panic inside an engine slice does
-/// not fail its sibling configs: each member is retried alone on the
-/// direct simulator, so fault isolation stays per-point exactly as in
-/// [`evaluate_results_with`].
+/// shared queue by the supervised worker pool (see
+/// [`crate::supervisor::evaluate_results_supervised`], of which this is
+/// the no-deadline, no-retry special case). A panic inside an engine
+/// slice does not fail its sibling configs: each member is retried alone
+/// on the direct simulator, so fault isolation stays per-point exactly
+/// as in [`evaluate_results_with`].
 pub fn evaluate_results_sliced(
     configs: &[CacheConfig],
     traces: &[Trace],
     warmup: usize,
 ) -> Vec<Result<DesignPoint, PointError>> {
-    if multisim_disabled() {
-        return evaluate_results_with(configs, traces, warmup, evaluate_point);
-    }
-    let units = plan_units(configs);
-    let workers = thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(units.len().max(1));
-    let mut slots: Vec<Option<Result<DesignPoint, PointError>>> = vec![None; configs.len()];
-    let mut died: Vec<String> = Vec::new();
-    let next = AtomicUsize::new(0);
-    let (units, next) = (&units, &next);
-    thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..workers {
-            handles.push(scope.spawn(move || {
-                let mut done: Vec<(usize, Result<DesignPoint, PointError>)> = Vec::new();
-                loop {
-                    let u = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(unit) = units.get(u) else { break };
-                    match unit {
-                        SweepUnit::Direct(i) => done
-                            .push((*i, evaluate_contained(configs[*i], traces, warmup, &evaluate_point))),
-                        SweepUnit::Engine(members) => {
-                            let slice: Vec<CacheConfig> =
-                                members.iter().map(|&i| configs[i]).collect();
-                            let run = panic::catch_unwind(AssertUnwindSafe(|| {
-                                evaluate_slice(&slice, traces, warmup)
-                            }));
-                            match run {
-                                Ok(points) => done.extend(
-                                    members.iter().copied().zip(points.into_iter().map(Ok)),
-                                ),
-                                // A slice panic must not take siblings down
-                                // with it: retry each member alone on the
-                                // direct simulator, keeping fault isolation
-                                // per-point.
-                                Err(_) => {
-                                    for &i in members {
-                                        done.push((
-                                            i,
-                                            evaluate_contained(
-                                                configs[i],
-                                                traces,
-                                                warmup,
-                                                &evaluate_point,
-                                            ),
-                                        ));
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                done
-            }));
-        }
-        for h in handles {
-            match h.join() {
-                Ok(done) => {
-                    for (i, r) in done {
-                        slots[i] = Some(r);
-                    }
-                }
-                // With per-unit containment a worker should never die, but
-                // if one does, its claimed units surface below as failures
-                // rather than poisoning the whole sweep.
-                Err(payload) => died.push(panic_message(payload)),
-            }
-        }
-    });
-    let death = died.first().map(String::as_str).unwrap_or("unknown cause");
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| {
-            slot.unwrap_or_else(|| {
-                Err(PointError {
-                    config: configs[i],
-                    message: format!("sweep worker thread died outside point isolation: {death}"),
-                })
-            })
-        })
-        .collect()
+    let policy = crate::supervisor::SupervisorPolicy::disabled();
+    crate::supervisor::evaluate_results_supervised(&policy, configs, traces, warmup).0
 }
 
 /// Adapts a per-point evaluation function to the batch shape the
@@ -304,21 +227,116 @@ where
     }
 }
 
-/// A design point whose evaluation failed (panic inside the simulator or
-/// eval function). The sweep records the failure and carries on with the
-/// remaining points.
+/// Why a design point failed to produce a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointFault {
+    /// The evaluation panicked (simulator bug or injected fault).
+    Panic,
+    /// The evaluation exceeded the supervisor's wall-clock deadline.
+    Timeout,
+    /// The evaluation produced a non-finite metric (NaN or infinity),
+    /// which must never reach a journal or an artifact.
+    NonFinite,
+    /// The point failed in enough earlier runs that the journal
+    /// quarantined it; it is skipped instead of retried forever.
+    Quarantined,
+    /// A sweep worker thread died outside per-point isolation.
+    WorkerLoss,
+}
+
+impl std::fmt::Display for PointFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PointFault::Panic => "panic",
+            PointFault::Timeout => "timeout",
+            PointFault::NonFinite => "non-finite",
+            PointFault::Quarantined => "quarantined",
+            PointFault::WorkerLoss => "worker-loss",
+        })
+    }
+}
+
+/// A design point whose evaluation failed (panic, deadline overrun,
+/// poisoned metrics, or a journal quarantine). The sweep records the
+/// failure and carries on with the remaining points.
 #[derive(Debug, Clone)]
 pub struct PointError {
     /// The configuration that failed.
     pub config: CacheConfig,
-    /// The panic payload (or join-error description), rendered.
+    /// The failure class (drives retry/quarantine policy and reporting).
+    pub fault: PointFault,
+    /// Human-readable detail (panic payload, deadline, field name, ...).
     pub message: String,
+}
+
+impl PointError {
+    /// A panicking evaluation, with the rendered payload.
+    pub fn panicked(config: CacheConfig, message: impl Into<String>) -> Self {
+        PointError {
+            config,
+            fault: PointFault::Panic,
+            message: message.into(),
+        }
+    }
+
+    /// An evaluation abandoned at its wall-clock deadline.
+    pub fn timed_out(config: CacheConfig, deadline: std::time::Duration) -> Self {
+        PointError {
+            config,
+            fault: PointFault::Timeout,
+            message: format!(
+                "exceeded the {:.1}s point deadline (OCCACHE_POINT_TIMEOUT); evaluation abandoned",
+                deadline.as_secs_f64()
+            ),
+        }
+    }
+
+    /// An evaluation that produced a non-finite metric.
+    pub fn non_finite(config: CacheConfig, field: &str) -> Self {
+        PointError {
+            config,
+            fault: PointFault::NonFinite,
+            message: format!("{field} is not finite; the point was rejected, not journalled"),
+        }
+    }
+
+    /// A point skipped because the journal quarantined it.
+    pub fn quarantined(config: CacheConfig, failures: u32) -> Self {
+        PointError {
+            config,
+            fault: PointFault::Quarantined,
+            message: format!(
+                "quarantined after {failures} failed run(s); pass --fresh to retry it"
+            ),
+        }
+    }
+
+    /// A worker thread dying outside per-point isolation.
+    pub fn worker_loss(config: CacheConfig, message: impl Into<String>) -> Self {
+        PointError {
+            config,
+            fault: PointFault::WorkerLoss,
+            message: message.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for PointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: {}", self.config, self.message)
+        write!(f, "{}: [{}] {}", self.config, self.fault, self.message)
     }
+}
+
+/// Journal health observed while loading a checkpoint (all zero for
+/// non-resumable sweeps and pristine journals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalHealth {
+    /// Corrupt journal lines encountered (bad checksum, unknown schema
+    /// version, unparseable, non-finite payload) — counted, warned about,
+    /// and dropped by compaction, never silently skipped.
+    pub bad_lines: usize,
+    /// Bytes of torn trailing record truncated away by tail repair.
+    pub repaired_tail_bytes: usize,
 }
 
 /// The outcome of a fault-isolated (and possibly resumed) sweep.
@@ -326,17 +344,40 @@ impl std::fmt::Display for PointError {
 pub struct SweepOutcome {
     /// Successfully evaluated points, in the order of the input configs.
     pub points: Vec<DesignPoint>,
-    /// Points whose evaluation panicked, with the failing config named.
+    /// Points whose evaluation failed, with the failing config named.
     pub failures: Vec<PointError>,
     /// How many points were restored from a checkpoint journal rather than
     /// re-simulated (always 0 for non-resumable sweeps).
     pub resumed: usize,
+    /// Retried attempts the supervisor made after transient failures.
+    pub retries: usize,
+    /// Checkpoint-journal health observed while resuming.
+    pub journal: JournalHealth,
 }
 
 impl SweepOutcome {
     /// True when every input config produced a point.
     pub fn is_complete(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// How many failures were deadline overruns.
+    pub fn timed_out(&self) -> usize {
+        self.fault_count(PointFault::Timeout)
+    }
+
+    /// How many points the journal quarantined.
+    pub fn quarantined(&self) -> usize {
+        self.fault_count(PointFault::Quarantined)
+    }
+
+    /// How many points produced non-finite metrics.
+    pub fn non_finite(&self) -> usize {
+        self.fault_count(PointFault::NonFinite)
+    }
+
+    fn fault_count(&self, fault: PointFault) -> usize {
+        self.failures.iter().filter(|f| f.fault == fault).count()
     }
 
     /// A short report block naming each failed cell, or `None` when the
@@ -366,7 +407,7 @@ pub fn failure_note(failures: &[PointError]) -> Option<String> {
 
 /// Renders a panic payload as text (panics carry `&str` or `String`
 /// payloads in practice; anything else is reported opaquely).
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -387,12 +428,8 @@ fn evaluate_contained<F>(
 where
     F: Fn(CacheConfig, &[Trace], usize) -> DesignPoint,
 {
-    panic::catch_unwind(AssertUnwindSafe(|| eval(config, traces, warmup))).map_err(|payload| {
-        PointError {
-            config,
-            message: panic_message(payload),
-        }
-    })
+    panic::catch_unwind(AssertUnwindSafe(|| eval(config, traces, warmup)))
+        .map_err(|payload| PointError::panicked(config, panic_message(payload)))
 }
 
 /// Fault-isolated parallel sweep returning one result per config, in
@@ -444,10 +481,7 @@ where
                         panic_message(payload)
                     );
                     for (j, &c) in block.iter().enumerate() {
-                        slots[start + j] = Some(Err(PointError {
-                            config: c,
-                            message: message.clone(),
-                        }));
+                        slots[start + j] = Some(Err(PointError::worker_loss(c, message.clone())));
                     }
                 }
             }
@@ -724,10 +758,7 @@ mod tests {
     #[test]
     fn point_error_display_names_the_config() {
         let config = standard_config(Architecture::Pdp11, 64, 8, 4);
-        let e = PointError {
-            config,
-            message: "injected".into(),
-        };
+        let e = PointError::panicked(config, "injected");
         let text = e.to_string();
         assert!(text.contains("(8,4)"), "{text}");
         assert!(text.contains("injected"), "{text}");

@@ -1,19 +1,27 @@
 //! End-to-end failure-model tests: kill-and-resume from the checkpoint
-//! journal, and a sweep surviving an injected panicking design point plus
-//! an injected faulty trace reader, with surviving results written
-//! atomically.
+//! journal, a sweep surviving an injected panicking design point plus an
+//! injected faulty trace reader with surviving results written
+//! atomically, supervised timeout → retry → quarantine transitions on
+//! real checkpointed sweeps, and a manifest/verify round trip that
+//! catches a single flipped byte.
 
 use std::fs;
 use std::io::Read as _;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use occache_core::CacheConfig;
 use occache_experiments::checkpoint::evaluate_checkpointed_in;
+use occache_experiments::manifest::{self, ManifestEntry};
 use occache_experiments::report::{points_to_csv, write_result_in};
+use occache_experiments::supervisor::{
+    evaluate_results_supervised, FaultPlan, SupervisorPolicy,
+};
 use occache_experiments::sweep::{
     batch_of, evaluate_point, materialize, standard_config, table1_pairs,
 };
-use occache_experiments::Trace;
+use occache_experiments::verify::{verify_dir, VerifyOptions};
+use occache_experiments::{PointFault, Trace};
 use occache_trace::fault::{FaultMode, FaultyReader};
 use occache_trace::io::{parse_trace, write_trace, ParseTraceError};
 use occache_workloads::{Architecture, WorkloadSpec};
@@ -186,5 +194,195 @@ fn faulty_sweep_completes_reports_and_resumes() {
             .unwrap();
     assert_eq!(second.resumed, configs.len() - 1);
     assert!(second.is_complete());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The supervised acceptance scenario end to end: a design point hung by
+/// fault injection times out under the point deadline on two consecutive
+/// checkpointed runs (each appending a failure tombstone), and the third
+/// run quarantines the cell — skipping it without evaluation — while
+/// every healthy sibling completes and resumes normally.
+#[test]
+fn hung_point_times_out_twice_then_quarantines() {
+    let dir = temp_dir("hang-quarantine");
+    let (configs, traces) = grid();
+    let bad = configs[2];
+    let policy = SupervisorPolicy {
+        timeout: Some(Duration::from_millis(250)),
+        retries: 1,
+        backoff: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(40),
+        fault: FaultPlan::hang(
+            bad.block_size(),
+            bad.sub_block_size(),
+            Duration::from_secs(30),
+        ),
+    };
+    let supervised = |cs: &[CacheConfig], ts: &[Trace], w: usize| {
+        evaluate_results_supervised(&policy, cs, ts, w).0
+    };
+
+    // Runs 1 and 2: the hung cell times out, everything else completes.
+    for run in 1..=2 {
+        let outcome =
+            evaluate_checkpointed_in(&dir, "hang", &configs, &traces, 0, false, supervised)
+                .unwrap();
+        assert_eq!(outcome.points.len(), configs.len() - 1, "run {run}");
+        assert_eq!(outcome.failures.len(), 1, "run {run}");
+        assert_eq!(outcome.timed_out(), 1, "run {run}");
+        let failure = &outcome.failures[0];
+        assert_eq!(failure.config, bad);
+        assert_eq!(failure.fault, PointFault::Timeout);
+        assert!(
+            failure.message.contains("OCCACHE_POINT_TIMEOUT"),
+            "{failure}"
+        );
+        if run == 2 {
+            // The healthy points resumed from the journal.
+            assert_eq!(outcome.resumed, configs.len() - 1);
+        }
+    }
+
+    // Run 3: two recorded failures quarantine the cell. The panicking
+    // eval proves the quarantined point is never handed to the sweep.
+    let must_not_run = |cs: &[CacheConfig], ts: &[Trace], w: usize| {
+        assert!(
+            !cs.contains(&bad),
+            "quarantined cell must not be re-evaluated"
+        );
+        evaluate_results_supervised(&SupervisorPolicy::disabled(), cs, ts, w).0
+    };
+    let third =
+        evaluate_checkpointed_in(&dir, "hang", &configs, &traces, 0, false, must_not_run)
+            .unwrap();
+    assert_eq!(third.quarantined(), 1);
+    let failure = &third.failures[0];
+    assert_eq!(failure.config, bad);
+    assert_eq!(failure.fault, PointFault::Quarantined);
+    assert!(failure.message.contains("--fresh"), "{failure}");
+
+    // --fresh lifts the quarantine: with the fault gone the cell finally
+    // computes and the grid completes.
+    let clean = |cs: &[CacheConfig], ts: &[Trace], w: usize| {
+        evaluate_results_supervised(&SupervisorPolicy::disabled(), cs, ts, w).0
+    };
+    let fourth =
+        evaluate_checkpointed_in(&dir, "hang", &configs, &traces, 0, true, clean).unwrap();
+    assert!(fourth.is_complete(), "{:?}", fourth.failure_note());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A transient panic (fires once, succeeds on retry) is absorbed by the
+/// retry budget: the checkpointed sweep completes on the first run, the
+/// retry is counted, and no tombstone survives into the journal.
+#[test]
+fn transient_panic_is_retried_within_a_single_run() {
+    let dir = temp_dir("transient");
+    let (configs, traces) = grid();
+    let bad = configs[1];
+    let policy = SupervisorPolicy {
+        timeout: None,
+        retries: 1,
+        backoff: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(20),
+        fault: FaultPlan::panic_once(bad.block_size(), bad.sub_block_size()),
+    };
+    let retries = std::sync::Mutex::new(0usize);
+    let supervised = |cs: &[CacheConfig], ts: &[Trace], w: usize| {
+        let (results, stats) = evaluate_results_supervised(&policy, cs, ts, w);
+        *retries.lock().unwrap() += stats.retries;
+        results
+    };
+    let outcome =
+        evaluate_checkpointed_in(&dir, "transient", &configs, &traces, 0, false, supervised)
+            .unwrap();
+    assert!(outcome.is_complete(), "{:?}", outcome.failure_note());
+    assert!(*retries.lock().unwrap() >= 1, "the retry must be counted");
+
+    // The journal holds only clean points: a resume restores everything.
+    let nothing_pending = |cs: &[CacheConfig], _: &[Trace], _: usize| {
+        panic!("nothing should be pending, got {} configs", cs.len());
+    };
+    let resumed = evaluate_checkpointed_in(
+        &dir,
+        "transient",
+        &configs,
+        &traces,
+        0,
+        false,
+        nothing_pending,
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed, configs.len());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Manifest + verify round trip on a real checkpointed sweep: a clean
+/// directory passes, then a single flipped byte in the CSV fails the
+/// pass, and a single flipped byte inside a journal record fails it too.
+#[test]
+fn verify_catches_a_single_flipped_byte_anywhere() {
+    let dir = temp_dir("verify");
+    let (configs, traces) = grid();
+    let outcome = evaluate_checkpointed_in(
+        &dir,
+        "grid",
+        &configs,
+        &traces,
+        0,
+        false,
+        batch_of(evaluate_point),
+    )
+    .unwrap();
+    let csv = points_to_csv("PDP-11", &outcome.points);
+    write_result_in(&dir, "grid.csv", &csv).unwrap();
+    manifest::record(
+        &dir,
+        "grid",
+        vec![ManifestEntry::of("grid.csv", &csv, "grid", 0, 0)],
+    )
+    .unwrap();
+    let opts = VerifyOptions {
+        sample: 2,
+        refs: 2_000,
+        resim: true,
+    };
+
+    let clean = verify_dir(&dir, &opts).unwrap();
+    assert!(clean.is_ok(), "{}", clean.render());
+    assert_eq!(clean.files_checked, 1);
+    assert_eq!(clean.journals_checked, 1);
+
+    // Flip one byte in the CSV.
+    let mut bytes = fs::read(dir.join("grid.csv")).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(dir.join("grid.csv"), &bytes).unwrap();
+    let flipped = verify_dir(&dir, &opts).unwrap();
+    assert!(!flipped.is_ok());
+    assert_eq!(flipped.files_mismatched.len(), 1, "{}", flipped.render());
+    // Restore the CSV for the journal corruption case.
+    bytes[mid] ^= 0x01;
+    fs::write(dir.join("grid.csv"), &bytes).unwrap();
+
+    // Flip one byte inside a journal record's metric digits.
+    let journal = dir.join(".checkpoint").join("grid.jsonl");
+    let mut jbytes = fs::read(&journal).unwrap();
+    let miss_at = jbytes
+        .windows(7)
+        .position(|w| w == b"\"miss\":")
+        .expect("journal has a point record");
+    let digit = (miss_at + 7..jbytes.len())
+        .find(|&i| jbytes[i].is_ascii_digit())
+        .unwrap();
+    jbytes[digit] = if jbytes[digit] == b'9' { b'8' } else { b'9' };
+    fs::write(&journal, &jbytes).unwrap();
+    let corrupted = verify_dir(&dir, &opts).unwrap();
+    assert!(!corrupted.is_ok());
+    assert!(
+        !corrupted.journal_issues.is_empty(),
+        "{}",
+        corrupted.render()
+    );
     fs::remove_dir_all(&dir).unwrap();
 }
