@@ -82,4 +82,34 @@ echo "$LOCK_ERR" | grep -qi "lock" \
   || { echo "FAIL: lock contention diagnostic missing: $LOCK_ERR"; exit 1; }
 rm -f "$INT_DIR/.checkpoint/LOCK"
 
+echo "== serving-mode gate: occache-serve driven by occache-loadgen =="
+SERVE_LOG=target/ci-serve.log
+SERVE_BENCH=target/ci-BENCH_serve.json
+rm -f "$SERVE_LOG" "$SERVE_BENCH"
+OCCACHE_SERVE_ADDR=127.0.0.1:0 OCCACHE_SERVE_WORKERS=2 \
+  ./target/release/occache-serve > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$SERVE_LOG" 2>/dev/null && break
+  sleep 0.1
+done
+SERVE_ADDR=$(sed -n 's/^occache-serve listening on //p' "$SERVE_LOG")
+[ -n "$SERVE_ADDR" ] || { echo "FAIL: occache-serve never came up"; cat "$SERVE_LOG"; exit 1; }
+# --check fails unless the repeated point is a cache hit with
+# bit-identical metrics and /metrics scrapes clean.
+./target/release/occache-loadgen --addr "$SERVE_ADDR" --refs 30000 --check --out "$SERVE_BENCH"
+grep -q '"speedup"' "$SERVE_BENCH" \
+  || { echo "FAIL: $SERVE_BENCH is missing the speedup figure"; exit 1; }
+kill -INT "$SERVE_PID"
+set +e
+wait "$SERVE_PID"
+SERVE_RC=$?
+set -e
+if [ "$SERVE_RC" -ne 0 ]; then
+  echo "FAIL: occache-serve did not shut down cleanly on SIGINT (exit $SERVE_RC)"
+  cat "$SERVE_LOG"; exit 1
+fi
+grep -q "shut down cleanly" "$SERVE_LOG" \
+  || { echo "FAIL: graceful-shutdown message missing"; cat "$SERVE_LOG"; exit 1; }
+
 echo "ci.sh: all gates passed"

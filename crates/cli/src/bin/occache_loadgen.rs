@@ -1,0 +1,13 @@
+//! Binary wrapper; the logic lives in `occache_cli::loadgen_cmd`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match occache_cli::loadgen_cmd::run(&argv) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("\n{}", occache_cli::loadgen_cmd::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! A minimal blocking HTTP/1.1 client for talking to `occache-serve`.
+//!
+//! One keep-alive connection per client; requests are closed-loop (each
+//! waits for its response). Std-only, like the server it talks to.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::CliError;
+
+/// How long a single response may take before the client gives up.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Responses larger than this are refused (the service never sends
+/// bodies anywhere near it).
+const MAX_RESPONSE_BODY: usize = 64 * 1024 * 1024;
+
+/// A parsed HTTP response: status code and body.
+#[derive(Debug)]
+pub struct Response {
+    /// The status code (200, 429, ...).
+    pub status: u16,
+    /// The response body, assumed UTF-8.
+    pub body: String,
+}
+
+/// A keep-alive HTTP/1.1 connection to one server.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: String,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Io`] when the connection cannot be made.
+    pub fn connect(addr: &str) -> Result<HttpClient, CliError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            addr: addr.to_string(),
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request and reads the full response. `body` is sent as
+    /// `application/json` when present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Io`] on transport failure or a malformed
+    /// response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, CliError> {
+        let payload = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n{}Connection: keep-alive\r\n\r\n",
+            self.addr,
+            payload.len(),
+            if body.is_some() {
+                "Content-Type: application/json\r\n"
+            } else {
+                ""
+            },
+        );
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(payload.as_bytes())?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    /// Convenience: `POST` a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// As [`HttpClient::request`].
+    pub fn post(&mut self, path: &str, body: &str) -> Result<Response, CliError> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Convenience: `GET`.
+    ///
+    /// # Errors
+    ///
+    /// As [`HttpClient::request`].
+    pub fn get(&mut self, path: &str) -> Result<Response, CliError> {
+        self.request("GET", path, None)
+    }
+
+    fn read_response(&mut self) -> Result<Response, CliError> {
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let mut parts = line.split_whitespace();
+        let status = match (parts.next(), parts.next()) {
+            (Some(version), Some(code)) if version.starts_with("HTTP/1.") => code
+                .parse::<u16>()
+                .map_err(|_| bad(format!("unparseable status {code:?}")))?,
+            _ => return Err(bad(format!("bad status line {line:?}"))),
+        };
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header)?;
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    let n = value
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| bad(format!("bad content-length {value:?}")))?;
+                    content_length = Some(n);
+                }
+            }
+        }
+        let len = content_length.ok_or_else(|| bad("response without content-length".into()))?;
+        if len > MAX_RESPONSE_BODY {
+            return Err(bad(format!("response body of {len} bytes is too large")));
+        }
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        let body =
+            String::from_utf8(body).map_err(|_| bad("response body is not UTF-8".into()))?;
+        Ok(Response { status, body })
+    }
+}
+
+fn bad(message: String) -> CliError {
+    CliError::Io(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("malformed HTTP response: {message}"),
+    ))
+}

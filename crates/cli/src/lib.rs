@@ -15,14 +15,19 @@
 //!   sequential runs, Denning working-set curve) of a trace or workload,
 //! * **`occache-verify`** — check a results directory end to end:
 //!   manifest hashes, checkpoint-journal integrity, and sampled bit-exact
-//!   re-simulation (also reachable as `occache-sweep --verify`).
+//!   re-simulation (also reachable as `occache-sweep --verify`),
+//! * **`occache-loadgen`** — closed-loop benchmark client for
+//!   `occache-serve`: singles vs batched sweep throughput, cache-hit
+//!   bit-identity check, `BENCH_serve.json` summary.
 //!
 //! The command logic lives in this library so it is unit-testable; the
 //! `src/bin` wrappers only shuttle `std::env::args` in and exit codes out.
 
 pub mod args;
+pub mod client;
 mod error;
 pub mod gen;
+pub mod loadgen_cmd;
 pub mod sim;
 pub mod stats_cmd;
 pub mod sweep_cmd;

@@ -1,0 +1,314 @@
+//! `occache-loadgen` — a closed-loop benchmark client for `occache-serve`.
+//!
+//! Drives the service two ways over one keep-alive connection and
+//! reports the ratio:
+//!
+//! 1. **singles** — every `(block, sub-block)` pair of the Table 1 grid
+//!    at one net size, one `POST /v1/simulate` per point;
+//! 2. **batch** — the same-shaped grid at a different associativity
+//!    (distinct design points, so the cache cannot help) as one
+//!    `POST /v1/sweep`, which the scheduler coalesces into one-pass
+//!    multisim slices.
+//!
+//! It then re-requests the first point and checks the reply comes from
+//! the cache with bit-identical metrics, scrapes `/metrics`, and writes
+//! a `BENCH_serve.json` summary.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use occache_serve::json::Json;
+
+use crate::client::{HttpClient, Response};
+use crate::CliError;
+
+/// Usage text for `--help` and usage errors.
+pub const USAGE: &str = "\
+occache-loadgen — closed-loop benchmark client for occache-serve
+
+USAGE:
+  occache-loadgen --addr HOST:PORT [flags]
+
+FLAGS:
+  --addr HOST:PORT   server address (required)
+  --model NAME       workload model set (default pdp11)
+  --refs N           references per trace (default 20000)
+  --net BYTES        net cache size for the grid (default 256)
+  --out PATH         benchmark summary path (default BENCH_serve.json)
+  --check            fail unless the repeated point is served from cache
+                     with bit-identical metrics and /metrics scrapes clean
+  --help             this text
+";
+
+const RETRY_ATTEMPTS: usize = 40;
+const RETRY_PAUSE: Duration = Duration::from_millis(250);
+
+/// Runs the load generator; returns the human-readable report.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for bad flags, [`CliError::Io`] for transport
+/// failures, [`CliError::Integrity`] when `--check` assertions fail.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let parsed = crate::args::parse(
+        argv,
+        &["addr", "model", "refs", "net", "out"],
+        &["check", "help"],
+    )?;
+    if parsed.switch("help") {
+        return Ok(USAGE.to_string());
+    }
+    let addr = parsed
+        .value("addr")
+        .ok_or_else(|| CliError::Usage("--addr HOST:PORT is required".into()))?
+        .to_string();
+    let model = parsed.value("model").unwrap_or("pdp11").to_string();
+    let refs: usize = parsed.value_or("refs", 20_000)?;
+    let net: u64 = parsed.value_or("net", 256)?;
+    let out = parsed.value("out").unwrap_or("BENCH_serve.json").to_string();
+    let check = parsed.switch("check");
+
+    let word = occache_workloads::WorkloadSpec::set_by_name(&model)
+        .and_then(|specs| specs.first().map(|s| s.arch().word_size()))
+        .ok_or_else(|| CliError::Usage(format!("unknown model {model:?}")))?;
+    let pairs = occache_experiments::sweep::table1_pairs(net, word);
+    if pairs.is_empty() {
+        return Err(CliError::Usage(format!(
+            "net size {net} leaves no Table 1 grid points"
+        )));
+    }
+
+    let mut client = HttpClient::connect(&addr)?;
+    let status = client.get("/v1/status")?;
+    if status.status != 200 {
+        return Err(CliError::Integrity(format!(
+            "server at {addr} answered /v1/status with {}",
+            status.status
+        )));
+    }
+
+    // Phase 1: one point per request.
+    let mut latencies: Vec<Duration> = Vec::with_capacity(pairs.len());
+    let mut first_single: Option<(String, String)> = None; // (request body, response body)
+    let singles_started = Instant::now();
+    for &(block, sub) in &pairs {
+        let body = format!(
+            "{{\"model\":\"{model}\",\"refs\":{refs},\
+             \"config\":{{\"net\":{net},\"block\":{block},\"sub\":{sub},\"assoc\":4,\"word\":{word}}}}}"
+        );
+        let started = Instant::now();
+        let response = post_with_retry(&mut client, "/v1/simulate", &body)?;
+        latencies.push(started.elapsed());
+        expect_ok("/v1/simulate", &response)?;
+        if first_single.is_none() {
+            first_single = Some((body, response.body));
+        }
+    }
+    let singles_wall = singles_started.elapsed();
+
+    // Phase 2: the same grid shape at associativity 2 — distinct design
+    // points, all in one request the scheduler can coalesce.
+    let sweep_body = format!(
+        "{{\"model\":\"{model}\",\"refs\":{refs},\
+         \"grid\":{{\"nets\":[{net}],\"assoc\":2,\"word\":{word}}}}}"
+    );
+    let batch_started = Instant::now();
+    let sweep = post_with_retry(&mut client, "/v1/sweep", &sweep_body)?;
+    let batch_wall = batch_started.elapsed();
+    expect_ok("/v1/sweep", &sweep)?;
+    let sweep_doc = parse_json("/v1/sweep", &sweep.body)?;
+    let batch_points = sweep_doc
+        .get("total")
+        .and_then(Json::as_usize)
+        .unwrap_or(pairs.len());
+
+    // Phase 3: the repeated point must come back from the cache with
+    // bit-identical metrics.
+    let (prime_request, prime_body) =
+        first_single.ok_or_else(|| CliError::Integrity("no singles were run".into()))?;
+    let again = post_with_retry(&mut client, "/v1/simulate", &prime_request)?;
+    expect_ok("repeated /v1/simulate", &again)?;
+    let (cache_hit, bit_identical) = compare_points(&prime_body, &again.body)?;
+
+    // Scrape.
+    let metrics = client.get("/metrics")?;
+    let scrape_clean = metrics.status == 200
+        && metrics.body.contains("occache_requests_total")
+        && metrics.body.contains("occache_request_seconds{quantile=\"0.99\"}");
+    let status_doc = parse_json("/v1/status", &client.get("/v1/status")?.body)?;
+    let hits = status_doc.get("cache_hits").and_then(Json::as_u64).unwrap_or(0);
+    let misses = status_doc.get("cache_misses").and_then(Json::as_u64).unwrap_or(0);
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+
+    if check {
+        let mut problems = Vec::new();
+        if !cache_hit {
+            problems.push("repeated point was not served from the cache");
+        }
+        if !bit_identical {
+            problems.push("cached reply differed from the computed one");
+        }
+        if !scrape_clean {
+            problems.push("/metrics scrape was missing expected families");
+        }
+        if !problems.is_empty() {
+            return Err(CliError::Integrity(problems.join("; ")));
+        }
+    }
+
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1].as_secs_f64()
+    };
+    let singles_secs = singles_wall.as_secs_f64();
+    let batch_secs = batch_wall.as_secs_f64();
+    let speedup = if batch_secs > 0.0 {
+        singles_secs / batch_secs
+    } else {
+        f64::INFINITY
+    };
+
+    let bench = format!(
+        "{{\n\
+         \"addr\": \"{}\",\n\
+         \"model\": \"{}\",\n\
+         \"refs\": {refs},\n\
+         \"net\": {net},\n\
+         \"singles\": {{\"requests\": {}, \"wall_seconds\": {:?}, \"throughput_rps\": {:?}, \
+         \"p50_seconds\": {:?}, \"p99_seconds\": {:?}}},\n\
+         \"batch\": {{\"points\": {batch_points}, \"wall_seconds\": {:?}, \"throughput_pps\": {:?}}},\n\
+         \"speedup\": {:?},\n\
+         \"cache_check\": {{\"hit\": {cache_hit}, \"bit_identical\": {bit_identical}}},\n\
+         \"metrics_scrape_clean\": {scrape_clean},\n\
+         \"server_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {:?}}}\n\
+         }}\n",
+        occache_serve::json::escape(&addr),
+        occache_serve::json::escape(&model),
+        pairs.len(),
+        singles_secs,
+        pairs.len() as f64 / singles_secs.max(1e-9),
+        quantile(0.5),
+        quantile(0.99),
+        batch_secs,
+        batch_points as f64 / batch_secs.max(1e-9),
+        speedup,
+        hit_rate,
+    );
+    std::fs::write(&out, &bench)?;
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "singles: {} requests in {singles_secs:.3}s ({:.1} req/s, p50 {:.3}s, p99 {:.3}s)",
+        pairs.len(),
+        pairs.len() as f64 / singles_secs.max(1e-9),
+        quantile(0.5),
+        quantile(0.99),
+    );
+    let _ = writeln!(
+        report,
+        "batch:   {batch_points} points in {batch_secs:.3}s ({:.1} pts/s)",
+        batch_points as f64 / batch_secs.max(1e-9),
+    );
+    let _ = writeln!(report, "speedup: {speedup:.2}x (batched sweep vs one-point-per-request)");
+    let _ = writeln!(
+        report,
+        "cache:   repeat hit={cache_hit} bit_identical={bit_identical} server hit rate {:.1}%",
+        hit_rate * 100.0,
+    );
+    let _ = writeln!(report, "wrote {out}");
+    Ok(report)
+}
+
+/// POSTs, honouring 429 backpressure with bounded retries.
+fn post_with_retry(
+    client: &mut HttpClient,
+    path: &str,
+    body: &str,
+) -> Result<Response, CliError> {
+    for _ in 0..RETRY_ATTEMPTS {
+        let response = client.post(path, body)?;
+        if response.status != 429 {
+            return Ok(response);
+        }
+        std::thread::sleep(RETRY_PAUSE);
+    }
+    Err(CliError::Integrity(format!(
+        "{path} still answering 429 after {RETRY_ATTEMPTS} retries"
+    )))
+}
+
+fn expect_ok(what: &str, response: &Response) -> Result<(), CliError> {
+    if response.status == 200 {
+        Ok(())
+    } else {
+        Err(CliError::Integrity(format!(
+            "{what} answered {}: {}",
+            response.status, response.body
+        )))
+    }
+}
+
+fn parse_json(what: &str, body: &str) -> Result<Json, CliError> {
+    Json::parse(body)
+        .map_err(|e| CliError::Integrity(format!("{what} returned unparseable JSON: {e}")))
+}
+
+/// Compares a computed and a repeated point response: returns
+/// `(second was cached, metrics bit-identical)`.
+fn compare_points(first: &str, second: &str) -> Result<(bool, bool), CliError> {
+    let a = parse_json("first simulate", first)?;
+    let b = parse_json("repeated simulate", second)?;
+    let cached = b.get("cached").and_then(Json::as_bool) == Some(true);
+    let bits = |doc: &Json, field: &str| -> Option<u64> {
+        doc.get(field).and_then(Json::as_f64).map(f64::to_bits)
+    };
+    let mut identical = a.get("gross_size").and_then(Json::as_u64)
+        == b.get("gross_size").and_then(Json::as_u64)
+        && a.get("key").and_then(Json::as_str) == b.get("key").and_then(Json::as_str);
+    for field in [
+        "miss_ratio",
+        "traffic_ratio",
+        "nibble_traffic_ratio",
+        "redundant_load_fraction",
+    ] {
+        identical &= bits(&a, field).is_some() && bits(&a, field) == bits(&b, field);
+    }
+    Ok((cached, identical))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_is_reported_for_missing_addr() {
+        let err = run(&[]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["--help".to_string()]).unwrap();
+        assert!(out.contains("occache-loadgen"));
+    }
+
+    #[test]
+    fn compare_points_detects_divergence() {
+        let a = r#"{"key":"ab","cached":false,"gross_size":10,"miss_ratio":0.5,"traffic_ratio":1.0,"nibble_traffic_ratio":1.0,"redundant_load_fraction":0.0}"#;
+        let b = a.replace("\"cached\":false", "\"cached\":true");
+        let (cached, identical) = compare_points(a, &b).unwrap();
+        assert!(cached && identical);
+        let c = b.replace("0.5", "0.25");
+        let (_, identical) = compare_points(a, &c).unwrap();
+        assert!(!identical);
+    }
+}

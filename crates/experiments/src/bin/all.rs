@@ -16,26 +16,48 @@ use occache_experiments::runs::{
 };
 
 fn run_all(bench: &mut Workbench) -> std::io::Result<()> {
-    run_headline(bench).emit()?;
-    run_table6(bench).emit()?;
-    run_table7(bench).emit()?;
-    run_table8(bench).emit()?;
-    for figure in 1..=8 {
-        run_figure(bench, figure).emit()?;
+    type Runner = fn(&mut Workbench) -> occache_experiments::runs::Artifact;
+    let runners: &[Runner] = &[
+        run_headline,
+        run_table6,
+        run_table7,
+        run_table8,
+        |b| run_figure(b, 1),
+        |b| run_figure(b, 2),
+        |b| run_figure(b, 3),
+        |b| run_figure(b, 4),
+        |b| run_figure(b, 5),
+        |b| run_figure(b, 6),
+        |b| run_figure(b, 7),
+        |b| run_figure(b, 8),
+        run_fig9,
+        run_risc2,
+        run_risc2_chip,
+        run_ablations,
+        run_writes,
+        run_split,
+        run_workload_stats,
+        run_bus_contention,
+        run_buffers,
+    ];
+    for run in runners {
+        // Stop starting new artifacts once an interrupt arrives: what is
+        // already journalled is sealed, and a resume picks up from here.
+        if occache_experiments::interrupt::requested() {
+            break;
+        }
+        run(bench).emit()?;
     }
-    run_fig9(bench).emit()?;
-    run_risc2(bench).emit()?;
-    run_risc2_chip(bench).emit()?;
-    run_ablations(bench).emit()?;
-    run_writes(bench).emit()?;
-    run_split(bench).emit()?;
-    run_workload_stats(bench).emit()?;
-    run_bus_contention(bench).emit()?;
-    run_buffers(bench).emit()
+    Ok(())
 }
 
 fn main() -> ExitCode {
+    occache_experiments::interrupt::install();
     if let Err(e) = occache_experiments::supervisor::SupervisorPolicy::try_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = occache_experiments::sweep::try_jobs() {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
@@ -52,6 +74,10 @@ fn main() -> ExitCode {
     }) {
         Ok(path) => {
             eprintln!("wrote {}", path.display());
+            if occache_experiments::interrupt::requested() {
+                eprintln!("run interrupted; journal sealed and report marked — rerun to resume");
+                return ExitCode::from(occache_experiments::interrupt::EXIT_INTERRUPTED);
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

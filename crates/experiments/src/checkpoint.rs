@@ -38,8 +38,8 @@ use occache_core::CacheConfig;
 
 use crate::report::{results_dir, write_result_in};
 use crate::run_report::PhaseReport;
-use crate::supervisor::{evaluate_results_supervised, SuperviseStats, SupervisorPolicy};
-use crate::sweep::{DesignPoint, JournalHealth, PointError, SweepOutcome, Trace};
+use crate::supervisor::{evaluate_results_supervised_with, SuperviseStats, SupervisorPolicy};
+use crate::sweep::{DesignPoint, JournalHealth, PointError, PointFault, SweepOutcome, Trace};
 
 /// The journal schema version this build reads and writes. Records with
 /// any other version are counted as bad lines and re-simulated, never
@@ -683,6 +683,61 @@ pub fn evaluate_checkpointed_in<F>(
 where
     F: Fn(&[CacheConfig], &[Trace], usize) -> Vec<Result<DesignPoint, PointError>> + Sync,
 {
+    // The batch form journals after the whole batch returns, in pending
+    // order — the historical semantics the tests pin down. It is a thin
+    // wrapper over the streamed form with a post-hoc sink.
+    evaluate_checkpointed_in_streamed(
+        dir,
+        artifact,
+        configs,
+        traces,
+        warmup,
+        fresh,
+        |cfgs, tr, w, sink: &JournalSink| {
+            let results = eval(cfgs, tr, w);
+            for (i, r) in results.iter().enumerate() {
+                sink(i, r);
+            }
+            results
+        },
+    )
+}
+
+/// The per-point completion sink a streamed checkpointed sweep hands to
+/// its evaluation function: `(pending_index, result)`. Must be called
+/// exactly once per pending config, from any thread; each call seals one
+/// journal line and forwards it to the single writer thread.
+pub type JournalSink<'a> = dyn Fn(usize, &Result<DesignPoint, PointError>) + Sync + 'a;
+
+/// [`evaluate_checkpointed_in`] with *incremental* journaling: `eval`
+/// receives a [`JournalSink`] and calls it as each pending point
+/// completes, so a crash or interrupt mid-batch loses only in-flight
+/// points, not the whole batch. All appends go through one writer
+/// thread fed by a channel, keeping the journal single-writer no matter
+/// how many sweep workers complete points concurrently (`OCCACHE_JOBS`).
+///
+/// Lines land in completion order; journal keys are per-point, so resume
+/// semantics are identical to the batch form. Interrupted points
+/// ([`PointFault::Interrupted`]) are *not* tombstoned — nothing was
+/// evaluated, and a tombstone would push an innocent point toward
+/// quarantine.
+///
+/// # Errors
+///
+/// As [`evaluate_checkpointed_in`]; additionally any journal-append
+/// failure observed by the writer thread is reported after evaluation.
+pub fn evaluate_checkpointed_in_streamed<F>(
+    dir: &Path,
+    artifact: &str,
+    configs: &[CacheConfig],
+    traces: &[Trace],
+    warmup: usize,
+    fresh: bool,
+    eval: F,
+) -> io::Result<SweepOutcome>
+where
+    F: FnOnce(&[CacheConfig], &[Trace], usize, &JournalSink) -> Vec<Result<DesignPoint, PointError>>,
+{
     let path = journal_path(dir, artifact);
     let _lock = JournalLock::acquire(dir)?;
     if fresh {
@@ -722,41 +777,78 @@ where
     }
 
     if !pending_cfg.is_empty() {
-        let results = eval(&pending_cfg, traces, warmup);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let out = OpenOptions::new().create(true).append(true).open(&path)?;
+        // Single-writer journal: every completion, from any sweep worker,
+        // funnels through this channel to one thread owning the file, so
+        // sealed lines never interleave mid-record.
+        let (tx, rx) = std::sync::mpsc::channel::<String>();
+        let writer = std::thread::Builder::new()
+            .name("occache-journal".to_string())
+            .spawn(move || -> io::Result<()> {
+                let mut out = out;
+                for line in rx {
+                    out.write_all(line.as_bytes())?;
+                }
+                out.sync_all()
+            })
+            .map_err(|e| {
+                io::Error::new(e.kind(), format!("could not spawn the journal writer: {e}"))
+            })?;
+        let tx = Mutex::new(Some(tx));
+        let pending_keys: Vec<u64> = pending_idx.iter().map(|&i| keys[i]).collect();
+        let sink = |pi: usize, result: &Result<DesignPoint, PointError>| {
+            let Some(&key) = pending_keys.get(pi) else {
+                return; // out-of-range index from a buggy eval: ignore
+            };
+            let body = match result {
+                Ok(p) => match Entry::of(p).non_finite_field() {
+                    // Reject poisoned metrics at the journal gate: a
+                    // NaN/inf must not round-trip into an artifact.
+                    Some(_) => tombstone_body(key, 1),
+                    None => point_body(key, &Entry::of(p)),
+                },
+                // An interrupted point was never evaluated: no tombstone,
+                // so the resumed run retries it without a quarantine mark.
+                Err(e) if e.fault == PointFault::Interrupted => return,
+                Err(_) => tombstone_body(key, 1),
+            };
+            if let Some(tx) = tx.lock().expect("journal sender lock").as_ref() {
+                let _ = tx.send(format!("{}\n", seal(&body)));
+            }
+        };
+        let results = eval(&pending_cfg, traces, warmup, &sink);
+        // Close the channel and reap the writer; its I/O verdict is the
+        // journal's.
+        *tx.lock().expect("journal sender lock") = None;
+        writer
+            .join()
+            .unwrap_or_else(|payload| {
+                Err(io::Error::other(format!(
+                    "journal writer thread panicked: {}",
+                    crate::sweep::panic_message(payload)
+                )))
+            })?;
         assert_eq!(
             results.len(),
             pending_cfg.len(),
             "batch eval must return one result per pending config"
         );
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
-        }
-        let mut out = OpenOptions::new().create(true).append(true).open(&path)?;
         for (&i, result) in pending_idx.iter().zip(results) {
             let result = match result {
                 Ok(p) => {
                     let entry = Entry::of(&p);
                     match entry.non_finite_field() {
-                        // Reject poisoned metrics at the journal gate: a
-                        // NaN/inf must not round-trip into an artifact.
-                        Some(field) => {
-                            writeln!(out, "{}", seal(&tombstone_body(keys[i], 1)))?;
-                            Err(PointError::non_finite(p.config, field))
-                        }
-                        None => {
-                            writeln!(out, "{}", seal(&point_body(keys[i], &entry)))?;
-                            Ok(p)
-                        }
+                        Some(field) => Err(PointError::non_finite(p.config, field)),
+                        None => Ok(p),
                     }
                 }
-                Err(e) => {
-                    writeln!(out, "{}", seal(&tombstone_body(keys[i], 1)))?;
-                    Err(e)
-                }
+                Err(e) => Err(e),
             };
             slots[i] = Some(result);
         }
-        out.sync_all()?;
     }
 
     let mut outcome = SweepOutcome {
@@ -814,12 +906,17 @@ pub fn evaluate_checkpointed(
     let stats = Mutex::new(SuperviseStats::default());
     let dir = results_dir();
     let fresh = fresh_effective(&journal_path(&dir, artifact));
-    let supervised = |cfgs: &[CacheConfig], tr: &[Trace], w: usize| {
-        let (results, s) = evaluate_results_supervised(&policy, cfgs, tr, w);
+    // Stream each point into the journal as the supervisor finishes it,
+    // so a SIGINT mid-sweep still leaves everything completed so far
+    // sealed on disk.
+    let supervised = |cfgs: &[CacheConfig], tr: &[Trace], w: usize, sink: &JournalSink| {
+        let (results, s) =
+            evaluate_results_supervised_with(&policy, cfgs, tr, w, None, |i, r| sink(i, r));
         stats.lock().expect("supervisor stats lock").merge(s);
         results
     };
-    match evaluate_checkpointed_in(&dir, artifact, configs, traces, warmup, fresh, supervised) {
+    match evaluate_checkpointed_in_streamed(&dir, artifact, configs, traces, warmup, fresh, supervised)
+    {
         Ok(mut outcome) => {
             let stats = *stats.lock().expect("supervisor stats lock");
             outcome.retries = stats.retries;
@@ -859,7 +956,8 @@ pub fn evaluate_checkpointed(
         }
         Err(e) => {
             eprintln!("{artifact}: checkpoint journal unavailable ({e}); running without resume");
-            let (results, _) = evaluate_results_supervised(&policy, configs, traces, warmup);
+            let (results, _) =
+                evaluate_results_supervised_with(&policy, configs, traces, warmup, None, |_, _| {});
             let mut outcome = SweepOutcome::default();
             for result in results {
                 match result {

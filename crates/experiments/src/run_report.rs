@@ -88,8 +88,10 @@ pub fn reset() {
 
 /// Renders the report: one JSON object per phase line plus a totals
 /// object, so `grep '"timed_out": [1-9]'` works without a JSON parser.
-pub fn render(phases: &[PhaseReport]) -> String {
-    let mut out = String::from("{\n\"phases\": [\n");
+/// `interrupted` marks a run stopped by SIGINT/SIGTERM before every
+/// phase finished — the journal is still sealed, so a rerun resumes.
+pub fn render(phases: &[PhaseReport], interrupted: bool) -> String {
+    let mut out = format!("{{\n\"interrupted\": {interrupted},\n\"phases\": [\n");
     for (i, p) in phases.iter().enumerate() {
         let comma = if i + 1 < phases.len() { "," } else { "" };
         out.push_str(&format!(
@@ -144,7 +146,11 @@ pub fn render(phases: &[PhaseReport]) -> String {
 ///
 /// Propagates filesystem errors from the atomic write.
 pub fn write(dir: &Path) -> io::Result<PathBuf> {
-    write_result_in(dir, RUN_REPORT_FILE, &render(&phases()))
+    write_result_in(
+        dir,
+        RUN_REPORT_FILE,
+        &render(&phases(), crate::interrupt::requested()),
+    )
 }
 
 #[cfg(test)]
@@ -172,18 +178,25 @@ mod tests {
 
     #[test]
     fn render_includes_phases_and_greppable_totals() {
-        let text = render(&[sample("table7", 0), sample("fig2", 1)]);
+        let text = render(&[sample("table7", 0), sample("fig2", 1)], false);
         assert!(text.contains("\"artifact\":\"table7\""));
         assert!(text.contains("\"artifact\":\"fig2\""));
         assert!(text.contains("\"timed_out\": 1"), "{text}");
         assert!(text.contains("\"computed\":20"), "{text}");
         assert!(text.contains("\"trace_fp\":\"0000000000000abc\""));
+        assert!(text.contains("\"interrupted\": false"), "{text}");
     }
 
     #[test]
     fn empty_report_renders_zero_totals() {
-        let text = render(&[]);
+        let text = render(&[], false);
         assert!(text.contains("\"phases\":0"), "{text}");
         assert!(text.contains("\"timed_out\": 0"), "{text}");
+    }
+
+    #[test]
+    fn interrupted_run_is_marked() {
+        let text = render(&[sample("table7", 0)], true);
+        assert!(text.contains("\"interrupted\": true"), "{text}");
     }
 }

@@ -91,7 +91,12 @@ pub fn emit_main<F>(build: F) -> std::process::ExitCode
 where
     F: FnOnce(&mut Workbench) -> Artifact,
 {
+    crate::interrupt::install();
     if let Err(e) = crate::supervisor::SupervisorPolicy::try_from_env() {
+        eprintln!("error: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    if let Err(e) = crate::sweep::try_jobs() {
         eprintln!("error: {e}");
         return std::process::ExitCode::FAILURE;
     }
@@ -106,6 +111,12 @@ where
         Ok(()) => match crate::run_report::write(&crate::report::results_dir()) {
             Ok(path) => {
                 eprintln!("wrote {}", path.display());
+                if crate::interrupt::requested() {
+                    eprintln!(
+                        "run interrupted; journal sealed and report marked — rerun to resume"
+                    );
+                    return std::process::ExitCode::from(crate::interrupt::EXIT_INTERRUPTED);
+                }
                 std::process::ExitCode::SUCCESS
             }
             Err(e) => {

@@ -396,34 +396,71 @@ pub fn evaluate_results_supervised(
     traces: &[Trace],
     warmup: usize,
 ) -> (Vec<Result<DesignPoint, PointError>>, SuperviseStats) {
+    evaluate_results_supervised_with(policy, configs, traces, warmup, None, |_, _| {})
+}
+
+/// [`evaluate_results_supervised`] with the pool knobs exposed: an
+/// explicit worker-count override (`None` honours `OCCACHE_JOBS` /
+/// hardware parallelism via [`crate::sweep::pool_workers`]) and an
+/// `on_point` hook called exactly once per config — from worker threads,
+/// as each result lands — which the checkpoint layer uses to stream
+/// journal appends to its single writer thread and the serving layer
+/// uses to publish results as they complete.
+///
+/// The pool is interrupt-aware: once [`crate::interrupt::requested`]
+/// turns true, workers finish their current unit and stop claiming new
+/// ones; unclaimed configs come back as
+/// [`PointFault::Interrupted`](crate::sweep::PointFault::Interrupted)
+/// failures (for which `on_point` is *not* called — nothing was
+/// evaluated).
+pub fn evaluate_results_supervised_with<H>(
+    policy: &SupervisorPolicy,
+    configs: &[CacheConfig],
+    traces: &[Trace],
+    warmup: usize,
+    workers: Option<usize>,
+    on_point: H,
+) -> (Vec<Result<DesignPoint, PointError>>, SuperviseStats)
+where
+    H: Fn(usize, &Result<DesignPoint, PointError>) + Sync,
+{
     let units = if multisim_disabled() {
         (0..configs.len()).map(SweepUnit::Direct).collect()
     } else {
         plan_units(configs)
     };
-    let workers = thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(units.len().max(1));
+    let workers = workers
+        .unwrap_or_else(|| crate::sweep::pool_workers(units.len()))
+        .min(units.len().max(1))
+        .max(1);
     let mut slots: Vec<Option<Result<DesignPoint, PointError>>> = vec![None; configs.len()];
     let mut stats = SuperviseStats::default();
     let mut died: Vec<String> = Vec::new();
     let next = AtomicUsize::new(0);
-    let (units, next) = (&units, &next);
+    let (units, next, on_point) = (&units, &next, &on_point);
     thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..workers {
             handles.push(scope.spawn(move || {
                 let mut done: Vec<(usize, Result<DesignPoint, PointError>)> = Vec::new();
+                let emit = |done: &mut Vec<(usize, Result<DesignPoint, PointError>)>,
+                                i: usize,
+                                r: Result<DesignPoint, PointError>| {
+                    on_point(i, &r);
+                    done.push((i, r));
+                };
                 let mut local = SuperviseStats::default();
                 loop {
+                    if crate::interrupt::requested() {
+                        break;
+                    }
                     let u = next.fetch_add(1, Ordering::Relaxed);
                     let Some(unit) = units.get(u) else { break };
                     match unit {
-                        SweepUnit::Direct(i) => done.push((
-                            *i,
-                            supervise_point(policy, configs[*i], traces, warmup, &mut local),
-                        )),
+                        SweepUnit::Direct(i) => {
+                            let r = supervise_point(policy, configs[*i], traces, warmup, &mut local);
+                            emit(&mut done, *i, r);
+                        }
                         SweepUnit::Engine(members) => {
                             let slice: Vec<CacheConfig> =
                                 members.iter().map(|&i| configs[i]).collect();
@@ -436,9 +473,11 @@ pub fn evaluate_results_supervised(
                                 evaluate_slice(&slice, &owned, warmup)
                             });
                             match run {
-                                Deadline::Finished(Ok(points)) => done.extend(
-                                    members.iter().copied().zip(points.into_iter().map(Ok)),
-                                ),
+                                Deadline::Finished(Ok(points)) => {
+                                    for (&i, p) in members.iter().zip(points) {
+                                        emit(&mut done, i, Ok(p));
+                                    }
+                                }
                                 // A slice panic or overrun must not take
                                 // siblings down with it: re-run each
                                 // member alone on the direct simulator
@@ -450,12 +489,10 @@ pub fn evaluate_results_supervised(
                                     }
                                     local.retries += 1;
                                     for &i in members {
-                                        done.push((
-                                            i,
-                                            supervise_point(
-                                                policy, configs[i], traces, warmup, &mut local,
-                                            ),
-                                        ));
+                                        let r = supervise_point(
+                                            policy, configs[i], traces, warmup, &mut local,
+                                        );
+                                        emit(&mut done, i, r);
                                     }
                                 }
                             }
@@ -480,16 +517,21 @@ pub fn evaluate_results_supervised(
             }
         }
     });
+    let interrupted = crate::interrupt::requested();
     let death = died.first().map(String::as_str).unwrap_or("unknown cause");
     let results = slots
         .into_iter()
         .enumerate()
         .map(|(i, slot)| {
             slot.unwrap_or_else(|| {
-                Err(PointError::worker_loss(
-                    configs[i],
-                    format!("sweep worker thread died outside point isolation: {death}"),
-                ))
+                if interrupted && died.is_empty() {
+                    Err(PointError::interrupted(configs[i]))
+                } else {
+                    Err(PointError::worker_loss(
+                        configs[i],
+                        format!("sweep worker thread died outside point isolation: {death}"),
+                    ))
+                }
             })
         })
         .collect();

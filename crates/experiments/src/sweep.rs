@@ -108,7 +108,7 @@ pub fn evaluate_point(config: CacheConfig, traces: &[Trace], warmup: usize) -> D
 /// The accumulation order per configuration is identical to the per-point
 /// path (outer loop over traces, then the division by the trace count), so
 /// the resulting floats are bit-identical, not merely close.
-pub(crate) fn evaluate_slice(
+pub fn evaluate_slice(
     configs: &[CacheConfig],
     traces: &[Trace],
     warmup: usize,
@@ -149,7 +149,7 @@ pub(crate) fn evaluate_slice(
 /// share an engine pass, or a single config that needs the direct
 /// simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum SweepUnit {
+pub enum SweepUnit {
     /// Indices into the config grid, one-pass-compatible with each other.
     Engine(Vec<usize>),
     /// Index of a config the engine cannot express.
@@ -164,7 +164,7 @@ pub(crate) enum SweepUnit {
 /// [`MAX_MULTISIM_CONFIGS`]; everything else becomes a direct unit.
 /// Deterministic for a given grid, and every input index appears in
 /// exactly one unit.
-pub(crate) fn plan_units(configs: &[CacheConfig]) -> Vec<SweepUnit> {
+pub fn plan_units(configs: &[CacheConfig]) -> Vec<SweepUnit> {
     let mut units = Vec::new();
     let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
     for (i, config) in configs.iter().enumerate() {
@@ -188,7 +188,7 @@ pub(crate) fn plan_units(configs: &[CacheConfig]) -> Vec<SweepUnit> {
 
 /// Whether `OCCACHE_NO_MULTISIM` forces the direct simulator for every
 /// point (equivalence tests and honest before/after timing set it).
-pub(crate) fn multisim_disabled() -> bool {
+pub fn multisim_disabled() -> bool {
     std::env::var("OCCACHE_NO_MULTISIM").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
@@ -242,6 +242,10 @@ pub enum PointFault {
     Quarantined,
     /// A sweep worker thread died outside per-point isolation.
     WorkerLoss,
+    /// The run was interrupted (SIGINT/SIGTERM) before this point was
+    /// claimed by a worker; the point was never evaluated and is *not*
+    /// tombstoned, so a resumed run picks it up cleanly.
+    Interrupted,
 }
 
 impl std::fmt::Display for PointFault {
@@ -252,6 +256,7 @@ impl std::fmt::Display for PointFault {
             PointFault::NonFinite => "non-finite",
             PointFault::Quarantined => "quarantined",
             PointFault::WorkerLoss => "worker-loss",
+            PointFault::Interrupted => "interrupted",
         })
     }
 }
@@ -317,6 +322,17 @@ impl PointError {
             config,
             fault: PointFault::WorkerLoss,
             message: message.into(),
+        }
+    }
+
+    /// A point left unevaluated because the run was interrupted.
+    pub fn interrupted(config: CacheConfig) -> Self {
+        PointError {
+            config,
+            fault: PointFault::Interrupted,
+            message: "run interrupted (SIGINT/SIGTERM) before this point was evaluated; \
+                      rerun to resume"
+                .into(),
         }
     }
 }
@@ -444,10 +460,7 @@ pub fn evaluate_results_with<F>(
 where
     F: Fn(CacheConfig, &[Trace], usize) -> DesignPoint + Sync,
 {
-    let workers = thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(configs.len().max(1));
+    let workers = pool_workers(configs.len());
     let chunk = configs.len().div_ceil(workers.max(1)).max(1);
     let mut slots: Vec<Option<Result<DesignPoint, PointError>>> = vec![None; configs.len()];
     let eval = &eval;
@@ -651,6 +664,31 @@ pub fn try_warmup_len() -> Result<usize, String> {
 /// (falls back to 0). Prefer [`try_warmup_len`] in binaries.
 pub fn warmup_len() -> usize {
     try_warmup_len().unwrap_or(0)
+}
+
+/// Worker-thread override for the sweep pools: `OCCACHE_JOBS` env var.
+/// `Ok(None)` (unset or `0`) means "use the hardware parallelism" —
+/// today's behaviour; `OCCACHE_JOBS=1` forces a serial pool, which
+/// preserves byte-identical artifact and journal-append order.
+///
+/// # Errors
+///
+/// Returns a message naming the variable when it is set but malformed.
+pub fn try_jobs() -> Result<Option<usize>, String> {
+    env_usize("OCCACHE_JOBS", 0).map(|n| if n == 0 { None } else { Some(n) })
+}
+
+/// The worker count a sweep pool should use for `units` schedulable
+/// units: the `OCCACHE_JOBS` override when set (malformed values fall
+/// back silently — bins validate via [`try_jobs`] at startup), otherwise
+/// the hardware parallelism, never more workers than units and never
+/// zero.
+pub fn pool_workers(units: usize) -> usize {
+    let hardware = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    try_jobs()
+        .unwrap_or(None)
+        .unwrap_or(hardware)
+        .min(units.max(1))
 }
 
 #[cfg(test)]

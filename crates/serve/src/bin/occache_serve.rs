@@ -1,0 +1,44 @@
+//! The `occache-serve` binary: bind, serve, drain on SIGINT/SIGTERM.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use occache_experiments::interrupt;
+use occache_serve::service::{Server, ServiceConfig};
+
+fn main() -> ExitCode {
+    interrupt::install();
+    let config = match ServiceConfig::try_from_env() {
+        Ok(c) => c,
+        Err(why) => {
+            eprintln!("occache-serve: {why}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::start(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("occache-serve: could not bind {}: {e}", config.addr);
+            return ExitCode::from(1);
+        }
+    };
+    println!("occache-serve listening on {}", server.addr());
+    println!(
+        "workers={} queue={} batch={} cache={}",
+        config.workers, config.queue_capacity, config.max_batch, config.cache_capacity
+    );
+    while !interrupt::requested() && !server.finished() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("occache-serve: draining in-flight work");
+    match server.stop() {
+        Ok(()) => {
+            eprintln!("occache-serve: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("occache-serve: accept loop failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! `occache-serve` — a batching, cache-fronted simulation service.
+//!
+//! A dependency-free (std-only) HTTP/1.1 service that evaluates cache
+//! design points on demand. Clients POST JSON design points or grids
+//! referencing the named workload models from `occache-workloads`; the
+//! service fronts a shared worker-pool scheduler with a
+//! content-addressed result cache keyed by the same FNV fingerprints
+//! the checkpoint journals use, so any point a batch sweep already
+//! sealed to disk — or any point served once — comes back without
+//! re-simulation, bit-identical to direct evaluation.
+//!
+//! Layers, bottom up:
+//!
+//! * [`json`] — a minimal recursive-descent JSON parser and escaper.
+//! * [`http`] — HTTP/1.1 framing over any `Read + Write` stream.
+//! * [`metrics`] — atomic counters and a fixed-bucket latency histogram.
+//! * [`cache`] — the bounded content-addressed result cache.
+//! * [`scheduler`] — the bounded-queue worker pool that coalesces
+//!   compatible points into one-pass multisim engine slices.
+//! * [`service`] — routing, request handling, accept loop, graceful
+//!   shutdown.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod scheduler;
+pub mod service;

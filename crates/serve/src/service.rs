@@ -1,0 +1,863 @@
+//! The HTTP service: routing, request handling, the trace-set store,
+//! and the accept loop with graceful shutdown.
+//!
+//! Endpoints:
+//!
+//! * `POST /v1/simulate` — one design point against a named workload
+//!   model; served from the result cache when the content-addressed key
+//!   matches, otherwise scheduled on the worker pool.
+//! * `POST /v1/sweep` — a grid of points in one request; cache-checked
+//!   per point, the misses submitted back-to-back so a worker coalesces
+//!   them into multisim engine slices.
+//! * `GET /v1/status` — one JSON object for humans and health checks.
+//! * `GET /metrics` — Prometheus-style text exposition.
+//!
+//! Shutdown: the accept loop watches both [`Server::stop`] and the
+//! process-wide SIGINT/SIGTERM flag (`occache_experiments::interrupt`),
+//! stops accepting, waits for in-flight connections to finish, then
+//! drains and joins the scheduler.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use occache_core::CacheConfig;
+use occache_experiments::checkpoint::{point_key, trace_fingerprint, Entry};
+use occache_experiments::supervisor::SupervisorPolicy;
+use occache_experiments::sweep::{materialize, DesignPoint, PointError};
+use occache_workloads::WorkloadSpec;
+
+use crate::cache::ResultCache;
+use crate::http::{Connection, ParseError, ReadOutcome, Request};
+use crate::json::{escape, Json};
+use crate::metrics::{Counters, Gauges};
+use crate::scheduler::{Job, Scheduler, SubmitError, TraceSet};
+
+/// How long a connection may sit idle (or mid-read) before the server
+/// gives up on it.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long a request handler waits for the scheduler to answer before
+/// returning 503. Generous: the supervisor's own per-point deadline
+/// fires first when one is configured.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Accept-loop poll interval (shutdown-flag latency bound).
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// How long shutdown waits for in-flight connections to finish.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Service tuning, normally read from the environment.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address (`OCCACHE_SERVE_ADDR`, default `127.0.0.1:7807`;
+    /// port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Scheduler worker threads (`OCCACHE_SERVE_WORKERS`, falling back
+    /// to `OCCACHE_JOBS`, then hardware parallelism).
+    pub workers: usize,
+    /// Bounded queue capacity (`OCCACHE_SERVE_QUEUE`, default 256).
+    pub queue_capacity: usize,
+    /// Max design points coalesced per evaluation
+    /// (`OCCACHE_SERVE_BATCH`, default 64).
+    pub max_batch: usize,
+    /// Result-cache capacity in entries (`OCCACHE_SERVE_CACHE`, default
+    /// 65536).
+    pub cache_capacity: usize,
+    /// Default references per trace when a request omits `refs`
+    /// (`OCCACHE_REFS`, default the paper's 1 million).
+    pub default_refs: usize,
+    /// Results directory whose `.checkpoint/` journals warm-start the
+    /// cache (`OCCACHE_SERVE_WARM`; unset ⇒ no warm start).
+    pub warm_start: Option<String>,
+    /// Supervisor policy for evaluations (deadline, retries).
+    pub policy: SupervisorPolicy,
+}
+
+impl ServiceConfig {
+    /// Reads the configuration from the environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed variable.
+    pub fn try_from_env() -> Result<ServiceConfig, String> {
+        let workers = match env_usize("OCCACHE_SERVE_WORKERS")? {
+            Some(n) if n > 0 => n,
+            Some(_) | None => {
+                occache_experiments::sweep::try_jobs()?.unwrap_or_else(|| {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+                })
+            }
+        };
+        Ok(ServiceConfig {
+            addr: std::env::var("OCCACHE_SERVE_ADDR")
+                .unwrap_or_else(|_| "127.0.0.1:7807".to_string()),
+            workers,
+            queue_capacity: env_usize("OCCACHE_SERVE_QUEUE")?.unwrap_or(256).max(1),
+            max_batch: env_usize("OCCACHE_SERVE_BATCH")?.unwrap_or(64).max(1),
+            cache_capacity: env_usize("OCCACHE_SERVE_CACHE")?.unwrap_or(65_536).max(1),
+            default_refs: occache_experiments::sweep::try_trace_len()?,
+            warm_start: std::env::var("OCCACHE_SERVE_WARM").ok().filter(|s| !s.is_empty()),
+            policy: SupervisorPolicy::try_from_env()?,
+        })
+    }
+
+    /// A small configuration for tests: ephemeral port, tiny defaults,
+    /// no deadline, no warm start.
+    pub fn for_tests() -> ServiceConfig {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 64,
+            cache_capacity: 1024,
+            default_refs: 2_000,
+            warm_start: None,
+            policy: SupervisorPolicy::disabled(),
+        }
+    }
+}
+
+fn env_usize(var: &str) -> Result<Option<usize>, String> {
+    match std::env::var(var) {
+        Err(_) => Ok(None),
+        Ok(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| format!("{var} `{raw}` is not a whole number")),
+    }
+}
+
+/// The shared service state behind every connection thread.
+#[derive(Debug)]
+pub struct Service {
+    scheduler: Scheduler,
+    cache: ResultCache,
+    counters: Counters,
+    traces: Mutex<HashMap<(String, usize), Arc<TraceSet>>>,
+    default_refs: usize,
+    started: Instant,
+}
+
+impl Service {
+    /// Builds the service: starts the worker pool and (optionally)
+    /// warm-starts the cache from checkpoint journals.
+    pub fn new(config: &ServiceConfig) -> Service {
+        let service = Service {
+            scheduler: Scheduler::new(
+                config.workers,
+                config.queue_capacity,
+                config.max_batch,
+                config.policy.clone(),
+            ),
+            cache: ResultCache::new(config.cache_capacity),
+            counters: Counters::default(),
+            traces: Mutex::new(HashMap::new()),
+            default_refs: config.default_refs,
+            started: Instant::now(),
+        };
+        if let Some(dir) = &config.warm_start {
+            match service.cache.warm_start(std::path::Path::new(dir)) {
+                Ok(n) => eprintln!("warm start: loaded {n} point(s) from {dir}/.checkpoint"),
+                Err(e) => eprintln!("warm start from {dir} failed ({e}); starting cold"),
+            }
+        }
+        service
+    }
+
+    /// The result cache (integration tests inspect it).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Materialises (or recalls) the named model at `refs` references
+    /// per trace. Generation happens under the store lock: concurrent
+    /// first requests for the same set wait instead of duplicating the
+    /// work.
+    fn trace_set(&self, model: &str, refs: usize) -> Result<Arc<TraceSet>, String> {
+        let specs = WorkloadSpec::set_by_name(model).ok_or_else(|| {
+            format!(
+                "unknown model {model:?} (sets: {}; any Table 2-5 trace name also works)",
+                WorkloadSpec::set_names().join(", ")
+            )
+        })?;
+        let key = (model.to_ascii_lowercase(), refs);
+        let mut store = self.traces.lock().expect("trace store lock");
+        if let Some(set) = store.get(&key) {
+            return Ok(Arc::clone(set));
+        }
+        let traces = materialize(&specs, refs);
+        let fingerprint = trace_fingerprint(&traces);
+        let set = Arc::new(TraceSet {
+            traces,
+            fingerprint,
+        });
+        store.insert(key, Arc::clone(&set));
+        Ok(set)
+    }
+
+    /// Handles one parsed request, returning `(status, content_type,
+    /// extra headers, body)`.
+    fn handle(&self, request: &Request) -> (u16, &'static str, Vec<(&'static str, String)>, String) {
+        Counters::bump(&self.counters.requests);
+        let path = request
+            .head
+            .target
+            .split('?')
+            .next()
+            .unwrap_or(&request.head.target);
+        let method = request.head.method.as_str();
+        let started = Instant::now();
+        let (status, body) = match (method, path) {
+            ("POST", "/v1/simulate") => {
+                Counters::bump(&self.counters.simulate);
+                let out = self.simulate(&request.body);
+                self.counters.latency.record(started.elapsed());
+                out
+            }
+            ("POST", "/v1/sweep") => {
+                Counters::bump(&self.counters.sweep);
+                let out = self.sweep(&request.body);
+                self.counters.latency.record(started.elapsed());
+                out
+            }
+            ("GET", "/v1/status") => {
+                Counters::bump(&self.counters.scrapes);
+                (200, self.status_json())
+            }
+            ("GET", "/metrics") => {
+                Counters::bump(&self.counters.scrapes);
+                let text = crate::metrics::render(
+                    &self.counters,
+                    self.gauges(),
+                    &self.scheduler.worker_busy(),
+                );
+                return (200, "text/plain; version=0.0.4", Vec::new(), text);
+            }
+            (_, "/v1/simulate" | "/v1/sweep" | "/v1/status" | "/metrics") => {
+                (405, error_body("method not allowed"))
+            }
+            _ => (404, error_body("no such endpoint")),
+        };
+        match status {
+            400..=499 => Counters::bump(&self.counters.client_errors),
+            500..=599 => Counters::bump(&self.counters.server_errors),
+            _ => {}
+        }
+        let mut headers = Vec::new();
+        if status == 429 {
+            Counters::bump(&self.counters.rejected);
+            headers.push(("Retry-After", "1".to_string()));
+        }
+        (status, "application/json", headers, body)
+    }
+
+    fn gauges(&self) -> Gauges {
+        Gauges {
+            queue_depth: self.scheduler.queue_depth(),
+            workers: self.scheduler.workers(),
+            workers_busy: self.scheduler.busy_workers(),
+            cache_entries: self.cache.len(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    fn status_json(&self) -> String {
+        let g = self.gauges();
+        format!(
+            "{{\"service\":\"occache-serve\",\"queue_depth\":{},\"workers\":{},\
+             \"workers_busy\":{},\"cache_entries\":{},\"cache_hits\":{},\
+             \"cache_misses\":{},\"uptime_seconds\":{:?}}}",
+            g.queue_depth,
+            g.workers,
+            g.workers_busy,
+            g.cache_entries,
+            g.cache_hits,
+            g.cache_misses,
+            g.uptime_seconds,
+        )
+    }
+
+    /// `POST /v1/simulate`: one design point.
+    fn simulate(&self, body: &[u8]) -> (u16, String) {
+        let parsed = match parse_point_request(body, self.default_refs) {
+            Ok(p) => p,
+            Err(why) => return (400, error_body(&why)),
+        };
+        let set = match self.trace_set(&parsed.model, parsed.refs) {
+            Ok(s) => s,
+            Err(why) => return (400, error_body(&why)),
+        };
+        let config = match parsed.configs.first() {
+            Some(c) => *c,
+            None => return (400, error_body("no config given")),
+        };
+        let key = point_key(&config, set.fingerprint, parsed.warmup);
+        if let Some(entry) = self.cache.get(key) {
+            return (200, point_json(&parsed, config, key, &entry, true));
+        }
+        let (tx, rx) = channel();
+        let submit = self.scheduler.submit(Job {
+            config,
+            traces: Arc::clone(&set),
+            warmup: parsed.warmup,
+            key,
+            reply: tx,
+        });
+        match submit {
+            Err(SubmitError::Busy) => return (429, error_body("queue full; retry shortly")),
+            Err(SubmitError::Closed) => return (503, error_body("service is shutting down")),
+            Ok(()) => {}
+        }
+        match rx.recv_timeout(REPLY_TIMEOUT) {
+            Ok(result) => match result.result {
+                Ok(point) => {
+                    let entry = Entry::of(&point);
+                    self.cache.insert(key, entry);
+                    Counters::bump(&self.counters.points_computed);
+                    (200, point_json(&parsed, config, key, &entry, false))
+                }
+                Err(e) => (500, point_error_body(&e)),
+            },
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                (503, error_body("evaluation did not finish in time"))
+            }
+        }
+    }
+
+    /// `POST /v1/sweep`: a grid in one request.
+    fn sweep(&self, body: &[u8]) -> (u16, String) {
+        let parsed = match parse_point_request(body, self.default_refs) {
+            Ok(p) => p,
+            Err(why) => return (400, error_body(&why)),
+        };
+        if parsed.configs.is_empty() {
+            return (400, error_body("empty grid"));
+        }
+        let set = match self.trace_set(&parsed.model, parsed.refs) {
+            Ok(s) => s,
+            Err(why) => return (400, error_body(&why)),
+        };
+        let keys: Vec<u64> = parsed
+            .configs
+            .iter()
+            .map(|c| point_key(c, set.fingerprint, parsed.warmup))
+            .collect();
+        // Cache pass first, then submit every miss back-to-back so a
+        // worker claims them as one coalesced batch.
+        let mut slots: Vec<Option<(Entry, bool)>> = Vec::with_capacity(keys.len());
+        for &key in &keys {
+            slots.push(self.cache.get(key).map(|e| (e, true)));
+        }
+        let (tx, rx) = channel();
+        let mut pending = 0usize;
+        for (i, &key) in keys.iter().enumerate() {
+            if slots[i].is_some() {
+                continue;
+            }
+            let submit = self.scheduler.submit(Job {
+                config: parsed.configs[i],
+                traces: Arc::clone(&set),
+                warmup: parsed.warmup,
+                key,
+                reply: tx.clone(),
+            });
+            match submit {
+                Ok(()) => pending += 1,
+                Err(SubmitError::Busy) => {
+                    // Any already-submitted jobs still run; their replies
+                    // land in the dropped receiver harmlessly and their
+                    // results still reach the cache via a later request.
+                    return (429, error_body("queue full; retry shortly"));
+                }
+                Err(SubmitError::Closed) => {
+                    return (503, error_body("service is shutting down"));
+                }
+            }
+        }
+        drop(tx);
+        let mut failures: Vec<PointError> = Vec::new();
+        let deadline = Instant::now() + REPLY_TIMEOUT;
+        let mut by_key: HashMap<u64, Result<Entry, PointError>> = HashMap::new();
+        while pending > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(left) {
+                Ok(reply) => {
+                    pending -= 1;
+                    match reply.result {
+                        Ok(point) => {
+                            let entry = Entry::of(&point);
+                            self.cache.insert(reply.key, entry);
+                            Counters::bump(&self.counters.points_computed);
+                            by_key.insert(reply.key, Ok(entry));
+                        }
+                        Err(e) => {
+                            by_key.insert(reply.key, Err(e));
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                    return (503, error_body("evaluation did not finish in time"));
+                }
+            }
+        }
+        let mut points = String::new();
+        let mut cached = 0usize;
+        let mut computed = 0usize;
+        for (i, (&key, config)) in keys.iter().zip(&parsed.configs).enumerate() {
+            let (entry, was_cached) = match &slots[i] {
+                Some((entry, _)) => (*entry, true),
+                None => match by_key.get(&key) {
+                    Some(Ok(entry)) => (*entry, false),
+                    Some(Err(e)) => {
+                        failures.push(e.clone());
+                        continue;
+                    }
+                    // Duplicate configs in one request share a key and a
+                    // single computed reply covers them all.
+                    None => continue,
+                },
+            };
+            if was_cached {
+                cached += 1;
+            } else {
+                computed += 1;
+            }
+            if !points.is_empty() {
+                points.push(',');
+            }
+            points.push_str(&point_json_inner(*config, key, &entry, was_cached));
+        }
+        let mut fail_text = String::new();
+        for e in &failures {
+            if !fail_text.is_empty() {
+                fail_text.push(',');
+            }
+            fail_text.push_str(&format!(
+                "{{\"config\":\"{}\",\"fault\":\"{}\",\"message\":\"{}\"}}",
+                escape(&e.config.to_string()),
+                e.fault,
+                escape(&e.message),
+            ));
+        }
+        (
+            200,
+            format!(
+                "{{\"model\":\"{}\",\"refs\":{},\"warmup\":{},\"total\":{},\
+                 \"cached\":{cached},\"computed\":{computed},\
+                 \"points\":[{points}],\"failures\":[{fail_text}]}}",
+                escape(&parsed.model),
+                parsed.refs,
+                parsed.warmup,
+                parsed.configs.len(),
+            ),
+        )
+    }
+}
+
+/// A decoded simulate/sweep request body.
+#[derive(Debug)]
+struct PointRequest {
+    model: String,
+    refs: usize,
+    warmup: usize,
+    configs: Vec<CacheConfig>,
+}
+
+fn parse_point_request(body: &[u8], default_refs: usize) -> Result<PointRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let model = doc
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or("missing \"model\"")?
+        .to_string();
+    let refs = match doc.get("refs") {
+        None => default_refs,
+        Some(v) => v.as_usize().ok_or("\"refs\" must be a whole number")?,
+    };
+    if refs == 0 {
+        return Err("\"refs\" must be positive".into());
+    }
+    let warmup = match doc.get("warmup") {
+        None => 0,
+        Some(v) => v.as_usize().ok_or("\"warmup\" must be a whole number")?,
+    };
+    let default_word = WorkloadSpec::set_by_name(&model)
+        .and_then(|specs| specs.first().map(|s| s.arch().word_size()))
+        .unwrap_or(2);
+    let mut configs = Vec::new();
+    if let Some(config) = doc.get("config") {
+        configs.push(parse_config(config, default_word)?);
+    }
+    if let Some(points) = doc.get("points").and_then(Json::as_array) {
+        for p in points {
+            configs.push(parse_config(p, default_word)?);
+        }
+    }
+    if let Some(grid) = doc.get("grid") {
+        let nets = grid
+            .get("nets")
+            .and_then(Json::as_array)
+            .ok_or("\"grid\" needs a \"nets\" array")?;
+        let word = match grid.get("word") {
+            None => default_word,
+            Some(v) => v.as_u64().ok_or("\"word\" must be a whole number")?,
+        };
+        let assoc = match grid.get("assoc") {
+            None => 4,
+            Some(v) => v.as_u64().ok_or("\"assoc\" must be a whole number")?,
+        };
+        for net in nets {
+            let net = net.as_u64().ok_or("\"nets\" entries must be whole numbers")?;
+            for (block, sub) in occache_experiments::sweep::table1_pairs(net, word) {
+                let config = CacheConfig::builder()
+                    .net_size(net)
+                    .block_size(block)
+                    .sub_block_size(sub)
+                    .associativity(assoc)
+                    .word_size(word)
+                    .build()
+                    .map_err(|e| format!("grid config ({net},{block},{sub}): {e}"))?;
+                configs.push(config);
+            }
+        }
+    }
+    if configs.is_empty() {
+        return Err("no \"config\", \"points\", or \"grid\" given".into());
+    }
+    Ok(PointRequest {
+        model,
+        refs,
+        warmup,
+        configs,
+    })
+}
+
+fn parse_config(doc: &Json, default_word: u64) -> Result<CacheConfig, String> {
+    let field = |name: &str| -> Result<u64, String> {
+        doc.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("config needs a whole-number \"{name}\""))
+    };
+    let word = match doc.get("word") {
+        None => default_word,
+        Some(v) => v.as_u64().ok_or("\"word\" must be a whole number")?,
+    };
+    let assoc = match doc.get("assoc") {
+        None => 4,
+        Some(v) => v.as_u64().ok_or("\"assoc\" must be a whole number")?,
+    };
+    CacheConfig::builder()
+        .net_size(field("net")?)
+        .block_size(field("block")?)
+        .sub_block_size(field("sub")?)
+        .associativity(assoc)
+        .word_size(word)
+        .build()
+        .map_err(|e| format!("invalid config: {e}"))
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", escape(message))
+}
+
+fn point_error_body(e: &PointError) -> String {
+    format!(
+        "{{\"error\":\"point evaluation failed\",\"fault\":\"{}\",\"config\":\"{}\",\"message\":\"{}\"}}",
+        e.fault,
+        escape(&e.config.to_string()),
+        escape(&e.message),
+    )
+}
+
+/// The per-point response fields shared by simulate and sweep. `f64`
+/// metrics use `{:?}` — the shortest exact rendering — so a cached
+/// response is bit-identical to the computed one.
+fn point_json_inner(config: CacheConfig, key: u64, entry: &Entry, cached: bool) -> String {
+    format!(
+        "{{\"key\":\"{key:016x}\",\"cached\":{cached},\
+         \"config\":{{\"net\":{},\"block\":{},\"sub\":{},\"assoc\":{},\"word\":{}}},\
+         \"gross_size\":{},\"miss_ratio\":{:?},\"traffic_ratio\":{:?},\
+         \"nibble_traffic_ratio\":{:?},\"redundant_load_fraction\":{:?}}}",
+        config.net_size(),
+        config.block_size(),
+        config.sub_block_size(),
+        config.associativity(),
+        config.word_size(),
+        config.gross_size(),
+        entry.miss,
+        entry.traffic,
+        entry.nibble,
+        entry.redundant,
+    )
+}
+
+fn point_json(
+    parsed: &PointRequest,
+    config: CacheConfig,
+    key: u64,
+    entry: &Entry,
+    cached: bool,
+) -> String {
+    let inner = point_json_inner(config, key, entry, cached);
+    format!(
+        "{{\"model\":\"{}\",\"refs\":{},\"warmup\":{},{}",
+        escape(&parsed.model),
+        parsed.refs,
+        parsed.warmup,
+        &inner[1..],
+    )
+}
+
+/// Restores a [`DesignPoint`] from a cache entry (what a journal resume
+/// does). Exposed for integration tests comparing served responses to
+/// direct evaluation.
+pub fn restore_point(config: CacheConfig, entry: &Entry) -> DesignPoint {
+    DesignPoint {
+        config,
+        miss_ratio: entry.miss,
+        traffic_ratio: entry.traffic,
+        nibble_traffic_ratio: entry.nibble,
+        redundant_load_fraction: entry.redundant,
+        gross_size: config.gross_size(),
+    }
+}
+
+/// A running server: accept loop on its own thread, shared [`Service`]
+/// behind it.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl Server {
+    /// Binds, starts the worker pool and the accept loop, and returns.
+    /// The bound address (with the real port when `:0` was asked) is in
+    /// [`Server::addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(config: &ServiceConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let service = Arc::new(Service::new(config));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("occache-accept".to_string())
+                .spawn(move || accept_loop(&listener, &service, &stop))?
+        };
+        Ok(Server {
+            addr,
+            service,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (tests and embedders).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Whether the accept loop has exited (e.g. after SIGINT).
+    pub fn finished(&self) -> bool {
+        self.accept.as_ref().is_none_or(|h| h.is_finished())
+    }
+
+    /// Graceful shutdown: stop accepting, drain connections and the
+    /// scheduler queue, join everything.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an accept-loop I/O failure (the drain still ran).
+    pub fn stop(mut self) -> io::Result<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        let outcome = match self.accept.take() {
+            Some(handle) => handle
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("accept loop panicked"))),
+            None => Ok(()),
+        };
+        self.service.scheduler.shutdown();
+        outcome
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<Service>,
+    stop: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    let active = Arc::new(AtomicUsize::new(0));
+    let should_stop =
+        |stop: &AtomicBool| stop.load(Ordering::SeqCst) || occache_experiments::interrupt::requested();
+    while !should_stop(stop) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                active.fetch_add(1, Ordering::SeqCst);
+                let service = Arc::clone(service);
+                let stop = Arc::clone(stop);
+                let conn_active = Arc::clone(&active);
+                let spawned = std::thread::Builder::new()
+                    .name("occache-conn".to_string())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &service, &stop);
+                        conn_active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // Drain: give in-flight connections a bounded window to finish.
+    let deadline = Instant::now() + DRAIN_DEADLINE;
+    while active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(ACCEPT_POLL);
+    }
+    Ok(())
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    service: &Service,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut conn = Connection::new(stream);
+    loop {
+        let outcome = match conn.read_request() {
+            Ok(o) => o,
+            // An idle keep-alive connection timing out is a normal way
+            // for the exchange to end.
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                return Ok(())
+            }
+            Err(e) => return Err(e),
+        };
+        match outcome {
+            ReadOutcome::Closed => return Ok(()),
+            ReadOutcome::Malformed(e) => {
+                Counters::bump(&service.counters.client_errors);
+                let status = match e {
+                    ParseError::TooLarge => 400,
+                    ParseError::BodyTooLarge => 413,
+                    ParseError::Bad(_) => 400,
+                };
+                conn.write_error(status, &e.to_string())?;
+                return Ok(()); // framing is gone; close
+            }
+            ReadOutcome::Complete(request) => {
+                let keep_alive = request.head.keep_alive;
+                let (status, content_type, headers, body) = service.handle(&request);
+                conn.write_response(status, content_type, &headers, body.as_bytes())?;
+                if !keep_alive || stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_point_request_reads_config_points_and_grid() {
+        let body = br#"{"model":"pdp11","refs":5000,"config":{"net":1024,"block":16,"sub":8}}"#;
+        let p = parse_point_request(body, 999).unwrap();
+        assert_eq!(p.model, "pdp11");
+        assert_eq!(p.refs, 5000);
+        assert_eq!(p.configs.len(), 1);
+        assert_eq!(p.configs[0].word_size(), 2, "PDP-11 word default");
+
+        let grid = br#"{"model":"pdp11","grid":{"nets":[64],"assoc":4}}"#;
+        let p = parse_point_request(grid, 999).unwrap();
+        assert_eq!(
+            p.configs.len(),
+            occache_experiments::sweep::table1_pairs(64, 2).len()
+        );
+        assert_eq!(p.refs, 999, "default refs apply");
+
+        let points =
+            br#"{"model":"s370","points":[{"net":64,"block":8,"sub":4},{"net":64,"block":8,"sub":8}]}"#;
+        let p = parse_point_request(points, 999).unwrap();
+        assert_eq!(p.configs.len(), 2);
+        assert_eq!(p.configs[0].word_size(), 4, "S/370 word default");
+    }
+
+    #[test]
+    fn parse_point_request_rejects_junk() {
+        for bad in [
+            &b"not json"[..],
+            br#"{"refs":1}"#,
+            br#"{"model":"pdp11"}"#,
+            br#"{"model":"pdp11","refs":0,"config":{"net":64,"block":8,"sub":4}}"#,
+            br#"{"model":"pdp11","config":{"net":63,"block":8,"sub":4}}"#,
+            br#"{"model":"pdp11","grid":{}}"#,
+        ] {
+            assert!(
+                parse_point_request(bad, 100).is_err(),
+                "{:?} parsed",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn point_json_is_parseable_and_carries_exact_floats() {
+        let config = CacheConfig::builder()
+            .net_size(1024)
+            .block_size(16)
+            .sub_block_size(8)
+            .word_size(2)
+            .build()
+            .unwrap();
+        let entry = Entry {
+            miss: 1.0 / 3.0,
+            traffic: 0.1 + 0.2,
+            nibble: 6e-9,
+            redundant: 0.0,
+        };
+        let text = point_json_inner(config, 0xabcd, &entry, true);
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("miss_ratio").and_then(Json::as_f64).map(f64::to_bits),
+            Some((1.0f64 / 3.0).to_bits())
+        );
+        assert_eq!(
+            doc.get("gross_size").and_then(Json::as_u64),
+            Some(config.gross_size())
+        );
+    }
+}

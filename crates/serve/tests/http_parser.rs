@@ -1,0 +1,138 @@
+//! Property tests for the HTTP request parser: arbitrary bytes must
+//! never panic, torn reads must never yield a premature head, valid
+//! requests must survive any chunking, and the documented rejections
+//! (oversized heads, bad content-length) must fire.
+
+use occache_serve::http::{
+    parse_head, Connection, ParseError, ParseOutcome, ReadOutcome, MAX_HEAD_BYTES,
+};
+use proptest::prelude::*;
+
+/// A stream that serves a fixed byte script in chunks of at most
+/// `chunk` bytes per read, discarding writes — a deterministic stand-in
+/// for a socket delivering torn reads.
+struct ChunkStream {
+    data: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+}
+
+impl std::io::Read for ChunkStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = (self.data.len() - self.pos).min(self.chunk).min(buf.len());
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl std::io::Write for ChunkStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+const PATH_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789/_-.";
+
+fn path_from(indices: &[u8]) -> String {
+    let mut path = String::from("/");
+    for &i in indices {
+        path.push(PATH_CHARS[i as usize % PATH_CHARS.len()] as char);
+    }
+    path
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte salad must parse to *some* verdict, never panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 192), len in 0usize..=192) {
+        let _ = parse_head(&bytes[..len]);
+    }
+
+    /// A prefix of a valid request head is Incomplete, never Ready with
+    /// wrong framing — so torn reads can only delay a request, not
+    /// corrupt it.
+    #[test]
+    fn torn_reads_never_yield_a_premature_head(
+        indices in proptest::collection::vec(0u8..=255, 12),
+        body_len in 0usize..=64,
+    ) {
+        let path = path_from(&indices);
+        let wire = format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {body_len}\r\n\r\n"
+        );
+        let wire = wire.as_bytes();
+        for cut in 0..wire.len() {
+            prop_assert_eq!(
+                parse_head(&wire[..cut]),
+                Ok(ParseOutcome::Incomplete),
+                "cut at {} of {}", cut, wire.len()
+            );
+        }
+        match parse_head(wire) {
+            Ok(ParseOutcome::Ready { head, head_len }) => {
+                prop_assert_eq!(head.method.as_str(), "POST");
+                prop_assert_eq!(head.target, path);
+                prop_assert_eq!(head.content_length, body_len);
+                prop_assert_eq!(head_len, wire.len());
+            }
+            other => prop_assert!(false, "expected Ready, got {:?}", other),
+        }
+    }
+
+    /// The same request delivered in any chunk size reads back complete
+    /// and byte-identical through the connection layer.
+    #[test]
+    fn any_chunking_round_trips(
+        indices in proptest::collection::vec(0u8..=255, 8),
+        body in proptest::collection::vec(0u8..=255, 33),
+        chunk in 1usize..=48,
+    ) {
+        let path = path_from(&indices);
+        let mut wire = format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        wire.extend_from_slice(&body);
+        let mut conn = Connection::new(ChunkStream { data: wire, pos: 0, chunk });
+        match conn.read_request().expect("chunked read") {
+            ReadOutcome::Complete(request) => {
+                prop_assert_eq!(request.head.target, path);
+                prop_assert_eq!(request.body, body);
+            }
+            other => prop_assert!(false, "expected Complete, got {:?}", other),
+        }
+    }
+
+    /// An unterminated head is rejected as soon as it passes the cap —
+    /// no matter what filler it carries.
+    #[test]
+    fn oversized_heads_are_rejected(filler in 0u8..=255, extra in 1usize..=512) {
+        let mut wire = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        let filler = if filler == b'\n' { b'a' } else { filler };
+        wire.resize(MAX_HEAD_BYTES + extra, filler);
+        prop_assert_eq!(parse_head(&wire), Err(ParseError::TooLarge));
+    }
+
+    /// A content-length with any non-digit byte is a clean rejection.
+    #[test]
+    fn bad_content_length_is_rejected(
+        digits in proptest::collection::vec(0u8..=9, 4),
+        junk_at in 0usize..=4,
+        junk in 0u8..=25,
+    ) {
+        let mut value: String = digits.iter().map(|d| (b'0' + d) as char).collect();
+        value.insert(junk_at.min(value.len()), (b'a' + junk) as char);
+        let wire = format!("POST / HTTP/1.1\r\nContent-Length: {value}\r\n\r\n");
+        prop_assert!(
+            matches!(parse_head(wire.as_bytes()), Err(ParseError::Bad(_))),
+            "{:?} accepted", value
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! End-to-end tests over real sockets: a served design point must be
+//! bit-identical to direct evaluation, the second identical request must
+//! come from the cache, sweeps must preserve request order, and the
+//! server must shut down cleanly.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use occache_core::CacheConfig;
+use occache_experiments::sweep::{evaluate_point, materialize};
+use occache_serve::json::Json;
+use occache_serve::service::{Server, ServiceConfig};
+use occache_workloads::WorkloadSpec;
+
+/// One-shot request: fresh connection, `Connection: close`, read to EOF.
+fn http(addr: &std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let wire = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(wire.as_bytes()).expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("receive");
+    let text = String::from_utf8(response).expect("utf-8 response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {text:?}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn json(body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| panic!("unparseable response {body:?}: {e}"))
+}
+
+fn metric_bits(doc: &Json, field: &str) -> u64 {
+    doc.get(field)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing {field}"))
+        .to_bits()
+}
+
+const METRICS: [&str; 4] = [
+    "miss_ratio",
+    "traffic_ratio",
+    "nibble_traffic_ratio",
+    "redundant_load_fraction",
+];
+
+#[test]
+fn repeated_point_is_cached_and_bit_identical_to_direct_evaluation() {
+    let server = Server::start(&ServiceConfig::for_tests()).expect("start");
+    let addr = server.addr();
+    let body = r#"{"model":"pdp11","refs":2000,"config":{"net":256,"block":16,"sub":8}}"#;
+
+    let (status, first) = http(&addr, "POST", "/v1/simulate", body);
+    assert_eq!(status, 200, "{first}");
+    let first = json(&first);
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+
+    let (status, second) = http(&addr, "POST", "/v1/simulate", body);
+    assert_eq!(status, 200, "{second}");
+    let second = json(&second);
+    assert_eq!(
+        second.get("cached").and_then(Json::as_bool),
+        Some(true),
+        "second identical request must be served from the cache"
+    );
+
+    // Bit-identical to the first response and to direct evaluation.
+    let config = CacheConfig::builder()
+        .net_size(256)
+        .block_size(16)
+        .sub_block_size(8)
+        .associativity(4)
+        .word_size(2)
+        .build()
+        .expect("valid config");
+    let traces = materialize(
+        &WorkloadSpec::set_by_name("pdp11").expect("pdp11 set"),
+        2_000,
+    );
+    let direct = evaluate_point(config, &traces, 0);
+    let direct_bits = [
+        direct.miss_ratio.to_bits(),
+        direct.traffic_ratio.to_bits(),
+        direct.nibble_traffic_ratio.to_bits(),
+        direct.redundant_load_fraction.to_bits(),
+    ];
+    for (field, want) in METRICS.iter().zip(direct_bits) {
+        assert_eq!(metric_bits(&first, field), want, "{field} vs direct");
+        assert_eq!(metric_bits(&second, field), want, "{field} cached vs direct");
+    }
+    assert_eq!(
+        second.get("gross_size").and_then(Json::as_u64),
+        Some(direct.gross_size)
+    );
+
+    assert_eq!(server.service().cache().hits(), 1);
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn sweep_preserves_request_order_and_is_fully_cached_on_repeat() {
+    let server = Server::start(&ServiceConfig::for_tests()).expect("start");
+    let addr = server.addr();
+    let body = r#"{"model":"pdp11","refs":1500,"points":[
+        {"net":256,"block":32,"sub":16},
+        {"net":256,"block":8,"sub":4},
+        {"net":128,"block":16,"sub":8}
+    ]}"#;
+
+    let (status, first) = http(&addr, "POST", "/v1/sweep", body);
+    assert_eq!(status, 200, "{first}");
+    let first = json(&first);
+    assert_eq!(first.get("total").and_then(Json::as_u64), Some(3));
+    assert_eq!(first.get("computed").and_then(Json::as_u64), Some(3));
+    assert_eq!(first.get("cached").and_then(Json::as_u64), Some(0));
+    let points = first.get("points").and_then(Json::as_array).expect("points");
+    let blocks: Vec<u64> = points
+        .iter()
+        .map(|p| {
+            p.get("config")
+                .and_then(|c| c.get("block"))
+                .and_then(Json::as_u64)
+                .expect("block")
+        })
+        .collect();
+    assert_eq!(blocks, [32, 8, 16], "points must come back in request order");
+
+    let (status, again) = http(&addr, "POST", "/v1/sweep", body);
+    assert_eq!(status, 200, "{again}");
+    let again = json(&again);
+    assert_eq!(again.get("cached").and_then(Json::as_u64), Some(3));
+    assert_eq!(again.get("computed").and_then(Json::as_u64), Some(0));
+    let repeat = again.get("points").and_then(Json::as_array).expect("points");
+    for (a, b) in points.iter().zip(repeat) {
+        for field in METRICS {
+            assert_eq!(metric_bits(a, field), metric_bits(b, field), "{field}");
+        }
+    }
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn routing_and_input_validation() {
+    let server = Server::start(&ServiceConfig::for_tests()).expect("start");
+    let addr = server.addr();
+
+    assert_eq!(http(&addr, "GET", "/nope", "").0, 404);
+    assert_eq!(http(&addr, "GET", "/v1/simulate", "").0, 405);
+    assert_eq!(http(&addr, "POST", "/v1/simulate", "not json").0, 400);
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/v1/simulate",
+        r#"{"model":"enigma","config":{"net":64,"block":8,"sub":4}}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown model"), "{body}");
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/v1/simulate",
+        r#"{"model":"pdp11","config":{"net":63,"block":8,"sub":4}}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+
+    let (status, stat) = http(&addr, "GET", "/v1/status", "");
+    assert_eq!(status, 200);
+    let stat = json(&stat);
+    assert_eq!(stat.get("workers").and_then(Json::as_u64), Some(2));
+
+    let (status, metrics) = http(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for family in [
+        "occache_requests_total",
+        "occache_queue_depth",
+        "occache_cache_hits_total",
+        "occache_request_seconds{quantile=\"0.99\"}",
+        "occache_worker_busy_seconds{worker=\"0\"}",
+    ] {
+        assert!(metrics.contains(family), "missing {family} in:\n{metrics}");
+    }
+    server.stop().expect("clean shutdown");
+}

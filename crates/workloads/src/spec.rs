@@ -483,6 +483,43 @@ impl WorkloadSpec {
             arch_filter.is_none_or(|a| a == spec.arch()) && spec.name().eq_ignore_ascii_case(bare)
         })
     }
+
+    /// Looks a *workload model* — a named trace set — up by name,
+    /// case-insensitively. This is the vocabulary the serving layer and
+    /// load generator speak: an architecture name (`"pdp11"`, `"z8000"`,
+    /// `"vax11"`, `"s370"`, with the same aliases as [`by_name`]) yields
+    /// its paper trace set; `"z8000-full"`, `"z8000-compilers"`, `"m85"`
+    /// and `"all"` name the other sets; any single-trace name accepted by
+    /// [`by_name`] (e.g. `"ED"`, `"z8000:C2"`) yields that one trace.
+    pub fn set_by_name(name: &str) -> Option<Vec<WorkloadSpec>> {
+        match name.to_ascii_lowercase().as_str() {
+            "pdp11" | "pdp-11" => Some(WorkloadSpec::pdp11_set()),
+            "z8000" => Some(WorkloadSpec::z8000_set()),
+            "z8000-full" => Some(WorkloadSpec::z8000_full_set()),
+            "z8000-compilers" => Some(WorkloadSpec::z8000_load_forward_set()),
+            "vax11" | "vax-11" | "vax" => Some(WorkloadSpec::vax11_set()),
+            "s370" | "370" | "s/370" => Some(WorkloadSpec::s370_set()),
+            "m85" => Some(crate::m85_mix()),
+            "all" => Some(WorkloadSpec::all_named()),
+            _ => WorkloadSpec::by_name(name).map(|spec| vec![spec]),
+        }
+    }
+
+    /// The set names [`set_by_name`] accepts (canonical spellings only;
+    /// single-trace names from Tables 2–5 also resolve). The serving
+    /// layer's error messages and docs list these.
+    pub fn set_names() -> &'static [&'static str] {
+        &[
+            "pdp11",
+            "z8000",
+            "z8000-full",
+            "z8000-compilers",
+            "vax11",
+            "s370",
+            "m85",
+            "all",
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -565,6 +602,22 @@ mod tests {
         assert_eq!(WorkloadSpec::by_name("grep").unwrap().name(), "GREP");
         assert_eq!(WorkloadSpec::by_name("SPICE").unwrap().name(), "spice");
         assert!(WorkloadSpec::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn set_by_name_covers_every_listed_set_and_single_traces() {
+        for &name in WorkloadSpec::set_names() {
+            let set = WorkloadSpec::set_by_name(name)
+                .unwrap_or_else(|| panic!("set lookup failed for {name}"));
+            assert!(!set.is_empty(), "{name} resolved to an empty set");
+        }
+        assert_eq!(WorkloadSpec::set_by_name("PDP-11").unwrap().len(), 6);
+        assert_eq!(WorkloadSpec::set_by_name("m85").unwrap().len(), 6);
+        // Single-trace names fall through to by_name.
+        let ed = WorkloadSpec::set_by_name("ed").unwrap();
+        assert_eq!(ed.len(), 1);
+        assert_eq!(ed[0].name(), "ED");
+        assert!(WorkloadSpec::set_by_name("nonexistent").is_none());
     }
 
     #[test]
