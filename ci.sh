@@ -10,6 +10,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== rustfmt (formatting is enforced) =="
+cargo fmt --all -- --check
+
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace -- -D warnings
 
@@ -83,6 +86,10 @@ echo "$LOCK_ERR" | grep -qi "lock" \
 rm -f "$INT_DIR/.checkpoint/LOCK"
 
 echo "== serving-mode gate: occache-serve driven by occache-loadgen =="
+# The root package does not depend on the serve or cli crates, so the
+# tier-1 `cargo build --release` does not refresh these binaries.
+cargo build --release -q -p occache-serve --bin occache-serve
+cargo build --release -q -p occache-cli --bin occache-loadgen
 SERVE_LOG=target/ci-serve.log
 SERVE_BENCH=target/ci-BENCH_serve.json
 rm -f "$SERVE_LOG" "$SERVE_BENCH"
@@ -100,6 +107,36 @@ SERVE_ADDR=$(sed -n 's/^occache-serve listening on //p' "$SERVE_LOG")
 ./target/release/occache-loadgen --addr "$SERVE_ADDR" --refs 30000 --check --out "$SERVE_BENCH"
 grep -q '"speedup"' "$SERVE_BENCH" \
   || { echo "FAIL: $SERVE_BENCH is missing the speedup figure"; exit 1; }
+
+echo "-- dual front-end bit-identity: batch journal vs served sweep --"
+# The same tiny grid through both front-ends of occache-runtime: the
+# batch harness journals each point with shortest-exact floats keyed by
+# the content-addressed point key, and /v1/sweep responses carry the
+# same key and the same formatting — so every served (key, metrics)
+# tuple must appear verbatim in the batch journal.
+DUAL_DIR=target/ci-dual
+DUAL_REFS=2000
+rm -rf "$DUAL_DIR"
+OCCACHE_RESULTS="$DUAL_DIR" OCCACHE_REFS="$DUAL_REFS" ./target/release/table7
+sed -nE 's/.*"key":"([0-9a-f]{16})","miss":([^,]*),"traffic":([^,]*),"nibble":([^,]*),"redundant":([^,}]*).*/\1 \2 \3 \4 \5/p' \
+  "$DUAL_DIR/.checkpoint/table7.jsonl" | sort > target/ci-dual-batch.txt
+curl -s -X POST "http://$SERVE_ADDR/v1/sweep" \
+  -d "{\"model\":\"pdp11\",\"refs\":$DUAL_REFS,\"grid\":{\"nets\":[64,256,1024]}}" \
+  > target/ci-dual-serve.json
+grep -oE '"key":"[0-9a-f]{16}","cached":(true|false),"config":\{[^}]*\},"gross_size":[0-9]+,"miss_ratio":[^,]*,"traffic_ratio":[^,]*,"nibble_traffic_ratio":[^,]*,"redundant_load_fraction":[^,}]*' \
+  target/ci-dual-serve.json \
+  | sed -E 's/"key":"([0-9a-f]{16})".*"miss_ratio":([^,]*),"traffic_ratio":([^,]*),"nibble_traffic_ratio":([^,]*),"redundant_load_fraction":(.*)/\1 \2 \3 \4 \5/' \
+  | sort > target/ci-dual-serve.txt
+SERVED=$(wc -l < target/ci-dual-serve.txt)
+[ "$SERVED" -ge 10 ] || { echo "FAIL: served sweep returned only $SERVED points"; exit 1; }
+MISSING=$(comm -23 target/ci-dual-serve.txt target/ci-dual-batch.txt)
+if [ -n "$MISSING" ]; then
+  echo "FAIL: served metrics not bit-identical to the batch journal:"
+  echo "$MISSING"
+  exit 1
+fi
+echo "   $SERVED served points bit-identical to the batch journal"
+
 kill -INT "$SERVE_PID"
 set +e
 wait "$SERVE_PID"

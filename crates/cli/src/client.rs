@@ -131,8 +131,7 @@ impl HttpClient {
         }
         let mut body = vec![0u8; len];
         self.reader.read_exact(&mut body)?;
-        let body =
-            String::from_utf8(body).map_err(|_| bad("response body is not UTF-8".into()))?;
+        let body = String::from_utf8(body).map_err(|_| bad("response body is not UTF-8".into()))?;
         Ok(Response { status, body })
     }
 }

@@ -65,7 +65,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let model = parsed.value("model").unwrap_or("pdp11").to_string();
     let refs: usize = parsed.value_or("refs", 20_000)?;
     let net: u64 = parsed.value_or("net", 256)?;
-    let out = parsed.value("out").unwrap_or("BENCH_serve.json").to_string();
+    let out = parsed
+        .value("out")
+        .unwrap_or("BENCH_serve.json")
+        .to_string();
     let check = parsed.switch("check");
 
     let word = occache_workloads::WorkloadSpec::set_by_name(&model)
@@ -134,10 +137,18 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let metrics = client.get("/metrics")?;
     let scrape_clean = metrics.status == 200
         && metrics.body.contains("occache_requests_total")
-        && metrics.body.contains("occache_request_seconds{quantile=\"0.99\"}");
+        && metrics
+            .body
+            .contains("occache_request_seconds{quantile=\"0.99\"}");
     let status_doc = parse_json("/v1/status", &client.get("/v1/status")?.body)?;
-    let hits = status_doc.get("cache_hits").and_then(Json::as_u64).unwrap_or(0);
-    let misses = status_doc.get("cache_misses").and_then(Json::as_u64).unwrap_or(0);
+    let hits = status_doc
+        .get("cache_hits")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let misses = status_doc
+        .get("cache_misses")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
     let hit_rate = if hits + misses > 0 {
         hits as f64 / (hits + misses) as f64
     } else {
@@ -218,7 +229,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "batch:   {batch_points} points in {batch_secs:.3}s ({:.1} pts/s)",
         batch_points as f64 / batch_secs.max(1e-9),
     );
-    let _ = writeln!(report, "speedup: {speedup:.2}x (batched sweep vs one-point-per-request)");
+    let _ = writeln!(
+        report,
+        "speedup: {speedup:.2}x (batched sweep vs one-point-per-request)"
+    );
     let _ = writeln!(
         report,
         "cache:   repeat hit={cache_hit} bit_identical={bit_identical} server hit rate {:.1}%",
@@ -229,11 +243,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
 }
 
 /// POSTs, honouring 429 backpressure with bounded retries.
-fn post_with_retry(
-    client: &mut HttpClient,
-    path: &str,
-    body: &str,
-) -> Result<Response, CliError> {
+fn post_with_retry(client: &mut HttpClient, path: &str, body: &str) -> Result<Response, CliError> {
     for _ in 0..RETRY_ATTEMPTS {
         let response = client.post(path, body)?;
         if response.status != 429 {

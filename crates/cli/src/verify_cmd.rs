@@ -82,7 +82,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("occache-verifycmd-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("occache-verifycmd-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -122,8 +123,7 @@ mod tests {
         let dir = temp_dir("roundtrip");
         let contents = "block,miss\n32,0.05\n";
         occache_experiments::report::write_result_in(&dir, "t.csv", contents).unwrap();
-        let entry =
-            occache_experiments::manifest::ManifestEntry::of("t.csv", contents, "t", 0, 0);
+        let entry = occache_experiments::manifest::ManifestEntry::of("t.csv", contents, "t", 0, 0);
         occache_experiments::manifest::record(&dir, "t", vec![entry]).unwrap();
         let out = run(&["--dir", dir.to_str().unwrap(), "--no-resim"]).unwrap();
         assert!(out.contains("verify: OK"));

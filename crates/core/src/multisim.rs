@@ -323,11 +323,7 @@ impl AllSizesLruEngine {
                 });
             }
         }
-        let coarse_sets = configs
-            .iter()
-            .map(|c| c.num_sets())
-            .min()
-            .unwrap_or(1);
+        let coarse_sets = configs.iter().map(|c| c.num_sets()).min().unwrap_or(1);
         let mut classes: Vec<ResidencyClass> = Vec::new();
         let sizes = configs
             .iter()
@@ -470,7 +466,8 @@ impl AllSizesLruEngine {
                         // recent classmates exist), so evict and refill.
                         let vm = &mut slab[entries[victim[c]].mask as usize];
                         let referenced = u64::from(vm.refd[si].count_ones());
-                        size.metrics.record_eviction(size.slots, size.slots - referenced);
+                        size.metrics
+                            .record_eviction(size.slots, size.slots - referenced);
                         vm.valid[si] = 0;
                         vm.refd[si] = 0;
                         let m = &mut slab[mi];
@@ -495,7 +492,8 @@ impl AllSizesLruEngine {
                     if counts[c] == cassoc[c] {
                         let vm = &mut slab[entries[victim[c]].mask as usize];
                         let referenced = u64::from(vm.refd[si].count_ones());
-                        size.metrics.record_eviction(size.slots, size.slots - referenced);
+                        size.metrics
+                            .record_eviction(size.slots, size.slots - referenced);
                         vm.valid[si] = 0;
                         vm.refd[si] = 0;
                     }
@@ -703,7 +701,11 @@ mod tests {
         let trace = mixed_trace(5_000, 512);
         let all = simulate_many(&configs, trace.iter().copied(), 0).unwrap();
         for (config, metrics) in configs.iter().zip(&all) {
-            assert_eq!(*metrics, simulate(*config, trace.iter().copied(), 0), "{config}");
+            assert_eq!(
+                *metrics,
+                simulate(*config, trace.iter().copied(), 0),
+                "{config}"
+            );
         }
     }
 
@@ -811,7 +813,11 @@ mod tests {
             engine.prune_threshold
         );
         for (config, metrics) in configs.iter().zip(engine.metrics()) {
-            assert_eq!(metrics, simulate(*config, trace.iter().copied(), 0), "{config}");
+            assert_eq!(
+                metrics,
+                simulate(*config, trace.iter().copied(), 0),
+                "{config}"
+            );
         }
     }
 

@@ -10,6 +10,15 @@
 //! instead of re-simulated; anything else (changed trace set, changed
 //! `OCCACHE_REFS`, new configs) misses the key and is evaluated normally.
 //!
+//! The record *codec* — sealing, parsing, line classification, whole-file
+//! scanning and the key derivation — lives in [`occache_runtime::journal`]
+//! and [`occache_runtime::keys`], shared with `occache-serve`'s result
+//! cache so a cache entry in the server means exactly what a journal line
+//! means here. Those items are re-exported below under their historical
+//! paths. This module owns the *policy* around the codec: quarantine
+//! tallies, the advisory lock, atomic compaction, and the checkpointed
+//! sweep entry points.
+//!
 //! Since journal format v2 every record carries a schema-version field
 //! and an FNV-1a checksum over its payload, so corruption is *detected*
 //! rather than silently mis-parsed: bad lines are counted into
@@ -28,23 +37,26 @@
 //! Pass `--fresh` (or set `OCCACHE_FRESH=1`) to discard the journal
 //! (tombstones included) and recompute everything.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::fs::{self, OpenOptions};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock};
 
 use occache_core::CacheConfig;
+use occache_runtime::journal::{point_body, seal, tombstone_body};
 
 use crate::report::{results_dir, write_result_in};
 use crate::run_report::PhaseReport;
 use crate::supervisor::{evaluate_results_supervised_with, SuperviseStats, SupervisorPolicy};
-use crate::sweep::{DesignPoint, JournalHealth, PointError, PointFault, SweepOutcome, Trace};
+use crate::sweep::{DesignPoint, PointError, PointFault, SweepOutcome, Trace};
 
-/// The journal schema version this build reads and writes. Records with
-/// any other version are counted as bad lines and re-simulated, never
-/// guessed at.
-pub const JOURNAL_VERSION: u32 = 2;
+pub use occache_runtime::config::fresh_requested;
+pub use occache_runtime::journal::{
+    journal_path, lock_path, parse_line, scan_journal, Entry, JournalScan, LineIssue, Record,
+    JOURNAL_VERSION,
+};
+pub use occache_runtime::keys::{config_fingerprint, fnv1a, point_key, trace_fingerprint};
 
 /// How many failed runs put a design point into quarantine: the point is
 /// skipped (with a structured failure) instead of retried forever on
@@ -54,404 +66,6 @@ pub const QUARANTINE_AFTER: u32 = 2;
 /// Process exit code when another live run holds the checkpoint lock
 /// (sysexits `EX_TEMPFAIL`: try again later).
 pub const EXIT_LOCKED: i32 = 75;
-
-/// A journalled measurement: the averaged ratios of one design point.
-/// The config itself is not stored — the key identifies it, and the
-/// caller's config list supplies the full value on restore.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Entry {
-    /// Averaged miss ratio.
-    pub miss: f64,
-    /// Averaged traffic ratio.
-    pub traffic: f64,
-    /// Averaged nibble-mode scaled traffic ratio.
-    pub nibble: f64,
-    /// Averaged redundant-load fraction.
-    pub redundant: f64,
-}
-
-impl Entry {
-    /// The journalled fields of a computed design point.
-    pub fn of(p: &DesignPoint) -> Self {
-        Entry {
-            miss: p.miss_ratio,
-            traffic: p.traffic_ratio,
-            nibble: p.nibble_traffic_ratio,
-            redundant: p.redundant_load_fraction,
-        }
-    }
-
-    /// The first non-finite field's name, or `None` when all four
-    /// metrics are finite (the only state allowed into the journal).
-    pub fn non_finite_field(&self) -> Option<&'static str> {
-        [
-            ("miss_ratio", self.miss),
-            ("traffic_ratio", self.traffic),
-            ("nibble_traffic_ratio", self.nibble),
-            ("redundant_load_fraction", self.redundant),
-        ]
-        .into_iter()
-        .find(|(_, v)| !v.is_finite())
-        .map(|(name, _)| name)
-    }
-}
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Incremental FNV-1a hasher (no std `Hasher` indirection so the stream
-/// fed in is explicit and stable across Rust versions).
-#[derive(Debug, Clone, Copy)]
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(FNV_OFFSET)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    fn finish(self) -> u64 {
-        self.0
-    }
-}
-
-/// One-shot FNV-1a over a byte string: the hash behind journal record
-/// checksums and the artifact manifest's content hashes.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = Fnv::new();
-    h.write(bytes);
-    h.finish()
-}
-
-/// A stable fingerprint of a trace set: names, lengths and every
-/// reference. Two sweeps resume from each other's journals only when they
-/// saw byte-identical traces.
-pub fn trace_fingerprint(traces: &[Trace]) -> u64 {
-    let mut h = Fnv::new();
-    for trace in traces {
-        h.write(trace.name.as_bytes());
-        h.write(&[0xff]);
-        h.write(&(trace.refs.len() as u64).to_le_bytes());
-        for r in trace.refs.iter() {
-            h.write(&[occache_trace::din::din_label(r.kind())]);
-            h.write(&r.address().value().to_le_bytes());
-        }
-    }
-    h.finish()
-}
-
-/// A stable fingerprint of a config grid (full `Debug` rendering of each
-/// config, in order) — recorded in the manifest and run report so a
-/// verifier can tell whether an artifact was produced from the grid it
-/// expects.
-pub fn config_fingerprint(configs: &[CacheConfig]) -> u64 {
-    let mut h = Fnv::new();
-    for config in configs {
-        h.write(format!("{config:?}").as_bytes());
-        h.write(&[0xff]);
-    }
-    h.finish()
-}
-
-/// The journal key of one design point: config (its full `Debug`
-/// rendering, which covers every field) + trace fingerprint + warm-up.
-pub fn point_key(config: &CacheConfig, fingerprint: u64, warmup: usize) -> u64 {
-    let mut h = Fnv::new();
-    h.write(format!("{config:?}").as_bytes());
-    h.write(&fingerprint.to_le_bytes());
-    h.write(&(warmup as u64).to_le_bytes());
-    h.finish()
-}
-
-/// Whether the user asked to ignore existing checkpoints: `--fresh` on the
-/// command line or `OCCACHE_FRESH` set to anything but `0`/empty.
-pub fn fresh_requested() -> bool {
-    if std::env::args().any(|a| a == "--fresh") {
-        return true;
-    }
-    match std::env::var("OCCACHE_FRESH") {
-        Ok(v) => !v.is_empty() && v != "0",
-        Err(_) => false,
-    }
-}
-
-/// The journal path for an artifact under `dir`.
-pub fn journal_path(dir: &Path, artifact: &str) -> PathBuf {
-    dir.join(".checkpoint").join(format!("{artifact}.jsonl"))
-}
-
-/// The advisory lockfile path for a results directory.
-pub fn lock_path(dir: &Path) -> PathBuf {
-    dir.join(".checkpoint").join("LOCK")
-}
-
-// ---------------------------------------------------------------------------
-// Record format (v2): {<body>,"sum":"<fnv1a(body) as 016x>"}
-// where <body> is either a point record
-//   "v":2,"key":"<016x>","miss":M,"traffic":T,"nibble":N,"redundant":R
-// or a failure tombstone
-//   "v":2,"key":"<016x>","fail":COUNT
-// ---------------------------------------------------------------------------
-
-fn point_body(key: u64, e: &Entry) -> String {
-    // {:?} on f64 prints the shortest string that round-trips exactly, so
-    // a restored point is bit-identical to the computed one.
-    format!(
-        "\"v\":{JOURNAL_VERSION},\"key\":\"{key:016x}\",\"miss\":{:?},\"traffic\":{:?},\"nibble\":{:?},\"redundant\":{:?}",
-        e.miss, e.traffic, e.nibble, e.redundant
-    )
-}
-
-fn tombstone_body(key: u64, count: u32) -> String {
-    format!("\"v\":{JOURNAL_VERSION},\"key\":\"{key:016x}\",\"fail\":{count}")
-}
-
-/// Seals a record body into a journal line: the body plus an FNV-1a
-/// checksum over exactly the body bytes. Any single flipped or missing
-/// byte breaks either the checksum or the line structure.
-fn seal(body: &str) -> String {
-    format!("{{{body},\"sum\":\"{:016x}\"}}", fnv1a(body.as_bytes()))
-}
-
-/// One successfully parsed v2 journal record.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Record {
-    /// A completed design point.
-    Point(u64, Entry),
-    /// A failure tombstone: the point failed `count` more time(s).
-    Tombstone(u64, u32),
-}
-
-/// Why a journal line was rejected. Every rejection is counted and
-/// reported — never silently skipped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LineIssue {
-    /// Not a sealed record at all (torn write, foreign garbage).
-    Unparseable,
-    /// Well-formed but the checksum does not match the payload.
-    BadChecksum,
-    /// A schema version this build does not read (including legacy v1
-    /// lines, which carry no checksum and so cannot be trusted).
-    BadVersion,
-    /// A point record whose metrics include NaN or infinity.
-    NonFinite,
-}
-
-impl std::fmt::Display for LineIssue {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            LineIssue::Unparseable => "unparseable",
-            LineIssue::BadChecksum => "bad checksum",
-            LineIssue::BadVersion => "unsupported schema version",
-            LineIssue::NonFinite => "non-finite metric",
-        })
-    }
-}
-
-/// Parses the comma-separated fields of a record body. Values are a hex
-/// string and plain numbers, none of which can contain a comma, so
-/// splitting on ',' is unambiguous.
-fn parse_body(body: &str) -> Option<Record> {
-    let mut version = None;
-    let mut key = None;
-    let mut fail = None;
-    let mut miss = None;
-    let mut traffic = None;
-    let mut nibble = None;
-    let mut redundant = None;
-    for field in body.split(',') {
-        let (name, value) = field.split_once(':')?;
-        let name = name.trim().strip_prefix('"')?.strip_suffix('"')?;
-        let value = value.trim();
-        match name {
-            "v" => version = Some(value.parse::<u32>().ok()?),
-            "key" => {
-                let hex = value.strip_prefix('"')?.strip_suffix('"')?;
-                key = Some(u64::from_str_radix(hex, 16).ok()?);
-            }
-            "fail" => fail = Some(value.parse::<u32>().ok()?),
-            "miss" => miss = Some(value.parse().ok()?),
-            "traffic" => traffic = Some(value.parse().ok()?),
-            "nibble" => nibble = Some(value.parse().ok()?),
-            "redundant" => redundant = Some(value.parse().ok()?),
-            _ => return None,
-        }
-    }
-    if version? != JOURNAL_VERSION {
-        return None;
-    }
-    let key = key?;
-    if let Some(count) = fail {
-        if miss.is_some() || traffic.is_some() || nibble.is_some() || redundant.is_some() {
-            return None;
-        }
-        return Some(Record::Tombstone(key, count));
-    }
-    Some(Record::Point(
-        key,
-        Entry {
-            miss: miss?,
-            traffic: traffic?,
-            nibble: nibble?,
-            redundant: redundant?,
-        },
-    ))
-}
-
-/// Whether a line is a legacy (v1) record: parseable under the old
-/// unchecksummed schema. Reported as [`LineIssue::BadVersion`] so an old
-/// journal reads as "N stale lines", not as garbage.
-fn is_v1_line(line: &str) -> bool {
-    let Some(inner) = line
-        .trim()
-        .strip_prefix('{')
-        .and_then(|s| s.strip_suffix('}'))
-    else {
-        return false;
-    };
-    let mut saw_key = false;
-    for field in inner.split(',') {
-        let Some((name, _)) = field.split_once(':') else {
-            return false;
-        };
-        match name.trim() {
-            "\"key\"" => saw_key = true,
-            "\"miss\"" | "\"traffic\"" | "\"nibble\"" | "\"redundant\"" => {}
-            _ => return false,
-        }
-    }
-    saw_key
-}
-
-/// Parses one journal line into a [`Record`] or a structured rejection.
-pub fn parse_line(line: &str) -> Result<Record, LineIssue> {
-    let trimmed = line.trim();
-    let Some(inner) = trimmed
-        .strip_prefix('{')
-        .and_then(|s| s.strip_suffix('}'))
-    else {
-        return Err(LineIssue::Unparseable);
-    };
-    let Some((body, sum_part)) = inner.rsplit_once(",\"sum\":\"") else {
-        if is_v1_line(trimmed) {
-            return Err(LineIssue::BadVersion);
-        }
-        return Err(LineIssue::Unparseable);
-    };
-    let sum = sum_part
-        .strip_suffix('"')
-        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
-        .ok_or(LineIssue::Unparseable)?;
-    if fnv1a(body.as_bytes()) != sum {
-        return Err(LineIssue::BadChecksum);
-    }
-    let record = parse_body(body).ok_or(LineIssue::BadVersion)?;
-    if let Record::Point(_, entry) = &record {
-        if entry.non_finite_field().is_some() {
-            return Err(LineIssue::NonFinite);
-        }
-    }
-    Ok(record)
-}
-
-/// Everything a read of one journal file learned: the intact records,
-/// the damage, and whether an in-place repair (compaction) is needed.
-#[derive(Debug, Clone, Default)]
-pub struct JournalScan {
-    /// Intact completed points by key (last record wins).
-    pub points: HashMap<u64, Entry>,
-    /// Accumulated failure counts by key (tombstones summed).
-    pub fails: HashMap<u64, u32>,
-    /// Rejected lines as `(1-based line number, why)`.
-    pub issues: Vec<(usize, LineIssue)>,
-    /// Bytes of a torn trailing record (crash mid-append) that repair
-    /// truncates away. Zero for a cleanly terminated journal.
-    pub torn_tail_bytes: usize,
-    /// True when the final record parsed but lacked its newline (the
-    /// append crashed between the write and the `\n` landing).
-    pub missing_final_newline: bool,
-}
-
-impl JournalScan {
-    /// Whether the on-disk file needs rewriting to become pristine.
-    pub fn needs_repair(&self) -> bool {
-        !self.issues.is_empty() || self.torn_tail_bytes > 0 || self.missing_final_newline
-    }
-
-    /// The journal-health counters this scan contributes to a
-    /// [`SweepOutcome`].
-    pub fn health(&self) -> JournalHealth {
-        JournalHealth {
-            bad_lines: self.issues.len(),
-            repaired_tail_bytes: self.torn_tail_bytes,
-        }
-    }
-}
-
-/// Reads a journal without modifying it, classifying every line. A
-/// missing file is an empty (healthy) journal. The final segment is
-/// special-cased: if it has no terminating newline but still parses, the
-/// record is kept (only the newline is missing); if it does not parse it
-/// is a torn tail from a crashed append, counted in bytes rather than as
-/// a bad line.
-pub fn scan_journal(path: &Path) -> io::Result<JournalScan> {
-    let bytes = match fs::read(path) {
-        Ok(b) => b,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(JournalScan::default()),
-        Err(e) => return Err(e),
-    };
-    let mut scan = JournalScan::default();
-    let mut line_no = 0usize;
-    let mut rest: &[u8] = &bytes;
-    while !rest.is_empty() {
-        line_no += 1;
-        let (segment, terminated) = match rest.iter().position(|&b| b == b'\n') {
-            Some(nl) => {
-                let seg = &rest[..nl];
-                rest = &rest[nl + 1..];
-                (seg, true)
-            }
-            None => {
-                let seg = rest;
-                rest = &[];
-                (seg, false)
-            }
-        };
-        let text = String::from_utf8_lossy(segment);
-        match parse_line(&text) {
-            Ok(Record::Point(key, entry)) => {
-                if terminated {
-                    scan.points.insert(key, entry);
-                } else {
-                    scan.points.insert(key, entry);
-                    scan.missing_final_newline = true;
-                }
-            }
-            Ok(Record::Tombstone(key, count)) => {
-                *scan.fails.entry(key).or_insert(0) += count;
-                if !terminated {
-                    scan.missing_final_newline = true;
-                }
-            }
-            Err(issue) => {
-                if terminated {
-                    scan.issues.push((line_no, issue));
-                } else {
-                    // A torn trailing record: a crash mid-append, not
-                    // corruption of committed data.
-                    scan.torn_tail_bytes = segment.len();
-                }
-            }
-        }
-    }
-    Ok(scan)
-}
 
 /// Atomically rewrites a journal from a scan's intact records: canonical
 /// sealed lines, points first (sorted by key), then one aggregated
@@ -736,7 +350,12 @@ pub fn evaluate_checkpointed_in_streamed<F>(
     eval: F,
 ) -> io::Result<SweepOutcome>
 where
-    F: FnOnce(&[CacheConfig], &[Trace], usize, &JournalSink) -> Vec<Result<DesignPoint, PointError>>,
+    F: FnOnce(
+        &[CacheConfig],
+        &[Trace],
+        usize,
+        &JournalSink,
+    ) -> Vec<Result<DesignPoint, PointError>>,
 {
     let path = journal_path(dir, artifact);
     let _lock = JournalLock::acquire(dir)?;
@@ -823,14 +442,12 @@ where
         // Close the channel and reap the writer; its I/O verdict is the
         // journal's.
         *tx.lock().expect("journal sender lock") = None;
-        writer
-            .join()
-            .unwrap_or_else(|payload| {
-                Err(io::Error::other(format!(
-                    "journal writer thread panicked: {}",
-                    crate::sweep::panic_message(payload)
-                )))
-            })?;
+        writer.join().unwrap_or_else(|payload| {
+            Err(io::Error::other(format!(
+                "journal writer thread panicked: {}",
+                occache_runtime::eval::panic_message(payload)
+            )))
+        })?;
         assert_eq!(
             results.len(),
             pending_cfg.len(),
@@ -915,8 +532,9 @@ pub fn evaluate_checkpointed(
         stats.lock().expect("supervisor stats lock").merge(s);
         results
     };
-    match evaluate_checkpointed_in_streamed(&dir, artifact, configs, traces, warmup, fresh, supervised)
-    {
+    match evaluate_checkpointed_in_streamed(
+        &dir, artifact, configs, traces, warmup, fresh, supervised,
+    ) {
         Ok(mut outcome) => {
             let stats = *stats.lock().expect("supervisor stats lock");
             outcome.retries = stats.retries;
@@ -974,7 +592,8 @@ pub fn evaluate_checkpointed(
 mod tests {
     use super::*;
     use crate::sweep::{
-        batch_of, evaluate_point, materialize, standard_config, table1_pairs, PointFault,
+        batch_of, evaluate_point, materialize, standard_config, table1_pairs, JournalHealth,
+        PointFault,
     };
     use occache_workloads::{Architecture, WorkloadSpec};
 
@@ -988,10 +607,7 @@ mod tests {
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "occache-ckpt-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("occache-ckpt-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -1025,7 +641,15 @@ mod tests {
         assert_eq!(parse_line(""), Err(LineIssue::Unparseable));
         assert_eq!(parse_line("not json at all"), Err(LineIssue::Unparseable));
         // A flipped payload byte breaks the checksum.
-        let good = seal(&point_body(7, &Entry { miss: 0.5, traffic: 0.25, nibble: 0.1, redundant: 0.0 }));
+        let good = seal(&point_body(
+            7,
+            &Entry {
+                miss: 0.5,
+                traffic: 0.25,
+                nibble: 0.1,
+                redundant: 0.0,
+            },
+        ));
         let bad = good.replace("0.25", "0.35");
         assert_eq!(parse_line(&bad), Err(LineIssue::BadChecksum));
         // A flipped checksum byte likewise.
@@ -1053,10 +677,20 @@ mod tests {
 
     #[test]
     fn non_finite_metrics_are_rejected_by_the_parser() {
-        let e = Entry { miss: f64::NAN, traffic: 0.2, nibble: 0.3, redundant: 0.0 };
+        let e = Entry {
+            miss: f64::NAN,
+            traffic: 0.2,
+            nibble: 0.3,
+            redundant: 0.0,
+        };
         let line = seal(&point_body(1, &e));
         assert_eq!(parse_line(&line), Err(LineIssue::NonFinite));
-        let inf = Entry { miss: 0.1, traffic: f64::INFINITY, nibble: 0.3, redundant: 0.0 };
+        let inf = Entry {
+            miss: 0.1,
+            traffic: f64::INFINITY,
+            nibble: 0.3,
+            redundant: 0.0,
+        };
         let line = seal(&point_body(1, &inf));
         assert_eq!(parse_line(&line), Err(LineIssue::NonFinite));
     }
@@ -1164,8 +798,16 @@ mod tests {
     fn fresh_discards_the_journal() {
         let dir = temp_dir("fresh");
         let (configs, traces) = test_grid();
-        evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, batch_of(evaluate_point))
-            .unwrap();
+        evaluate_checkpointed_in(
+            &dir,
+            "t",
+            &configs,
+            &traces,
+            0,
+            false,
+            batch_of(evaluate_point),
+        )
+        .unwrap();
         let again = evaluate_checkpointed_in(
             &dir,
             "t",
@@ -1215,7 +857,11 @@ mod tests {
         assert_eq!(evals.load(std::sync::atomic::Ordering::SeqCst), 0);
         assert_eq!(third.failures.len(), 1);
         assert_eq!(third.failures[0].fault, PointFault::Quarantined);
-        assert!(third.failures[0].message.contains("--fresh"), "{}", third.failures[0]);
+        assert!(
+            third.failures[0].message.contains("--fresh"),
+            "{}",
+            third.failures[0]
+        );
         // --fresh clears the tally and the point runs again.
         let fresh = evaluate_checkpointed_in(
             &dir,
@@ -1235,8 +881,16 @@ mod tests {
     fn changed_traces_invalidate_the_journal() {
         let dir = temp_dir("invalidate");
         let (configs, traces) = test_grid();
-        evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, batch_of(evaluate_point))
-            .unwrap();
+        evaluate_checkpointed_in(
+            &dir,
+            "t",
+            &configs,
+            &traces,
+            0,
+            false,
+            batch_of(evaluate_point),
+        )
+        .unwrap();
         let longer = materialize(&[WorkloadSpec::pdp11_ed()], 2_000);
         let outcome = evaluate_checkpointed_in(
             &dir,
@@ -1256,8 +910,16 @@ mod tests {
     fn corrupt_mid_file_line_is_counted_and_compacted_away() {
         let dir = temp_dir("compact");
         let (configs, traces) = test_grid();
-        evaluate_checkpointed_in(&dir, "t", &configs, &traces, 0, false, batch_of(evaluate_point))
-            .unwrap();
+        evaluate_checkpointed_in(
+            &dir,
+            "t",
+            &configs,
+            &traces,
+            0,
+            false,
+            batch_of(evaluate_point),
+        )
+        .unwrap();
         let path = journal_path(&dir, "t");
         // Flip one byte in the middle of the second line.
         let mut bytes = fs::read(&path).unwrap();

@@ -130,8 +130,7 @@ pub fn run_split(bench: &mut Workbench) -> Artifact {
             let mut unified_miss = 0.0;
             let mut split_miss = 0.0;
             for trace in traces {
-                unified_miss +=
-                    simulate(unified_config, trace.refs.iter(), 0).miss_ratio();
+                unified_miss += simulate(unified_config, trace.refs.iter(), 0).miss_ratio();
                 let mut split = SplitCache::new(half_config, half_config);
                 split.run(trace.refs.iter());
                 split_miss += split.miss_ratio();

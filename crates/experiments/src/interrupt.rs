@@ -1,111 +1,9 @@
-//! Cooperative SIGINT/SIGTERM handling for long-running binaries.
-//!
-//! Batch bins (`all`, `table7`, `occache-sweep`, …) and the serving
-//! layer install a process-wide flag handler once via [`install`]; work
-//! loops poll [`requested`] at unit boundaries and wind down instead of
-//! dying mid-write. The journal writer then seals its current line, the
-//! run report is written with an `interrupted` marker, and the process
-//! exits with [`EXIT_INTERRUPTED`] — so a Ctrl-C during an overnight
-//! sweep leaves a resumable checkpoint, not a torn artifact.
-//!
-//! The handler itself only performs an atomic store, which is
-//! async-signal-safe; everything else happens on normal threads.
+//! Cooperative SIGINT/SIGTERM handling — re-exported from
+//! [`occache_runtime::interrupt`], which owns the signal handler so the
+//! batch bins and the serving layer's accept loop observe the same flag.
+//! This module keeps the historical import path working; it contains no
+//! logic of its own.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Once;
-
-/// POSIX signal number for SIGINT (Ctrl-C).
-pub const SIGINT: i32 = 2;
-
-/// POSIX signal number for SIGTERM.
-pub const SIGTERM: i32 = 15;
-
-/// Conventional exit code for a run stopped by SIGINT (128 + 2). Bins
-/// that wound down cleanly after an interrupt exit with this so shells
-/// and CI can tell "interrupted but sealed" from both success and crash.
-pub const EXIT_INTERRUPTED: u8 = 130;
-
-static INTERRUPTED: AtomicBool = AtomicBool::new(false);
-static INSTALL: Once = Once::new();
-
-#[cfg(unix)]
-mod imp {
-    use super::{INTERRUPTED, SIGINT, SIGTERM};
-    use std::sync::atomic::Ordering;
-
-    /// The C-ABI handler type `signal(2)` expects.
-    type SigHandler = extern "C" fn(i32);
-
-    // std already links the platform C library on unix targets, so the
-    // POSIX `signal` entry point is reachable without any crate
-    // dependency. The return value (the previous handler) is a
-    // pointer-sized opaque value we never inspect.
-    extern "C" {
-        fn signal(signum: i32, handler: SigHandler) -> usize;
-    }
-
-    extern "C" fn on_signal(_signum: i32) {
-        // An atomic store is on the async-signal-safe list; nothing else
-        // (no allocation, no locks, no I/O) may happen here.
-        INTERRUPTED.store(true, Ordering::SeqCst);
-    }
-
-    pub(super) fn install_handlers() {
-        unsafe {
-            signal(SIGINT, on_signal);
-            signal(SIGTERM, on_signal);
-        }
-    }
-}
-
-#[cfg(not(unix))]
-mod imp {
-    /// Non-unix builds keep the default signal disposition; [`super::requested`]
-    /// then only reflects [`super::trigger`] (tests and embedders).
-    pub(super) fn install_handlers() {}
-}
-
-/// Installs the SIGINT/SIGTERM flag handlers (idempotent). Call once
-/// near the top of `main`, before any long-running work starts.
-pub fn install() {
-    INSTALL.call_once(imp::install_handlers);
-}
-
-/// Whether an interrupt has been requested (by a signal or [`trigger`]).
-/// Work loops poll this at unit boundaries and stop claiming new work.
-pub fn requested() -> bool {
-    INTERRUPTED.load(Ordering::SeqCst)
-}
-
-/// Raises the interrupt flag programmatically — the serving layer's
-/// shutdown endpoint and tests use this; signals use the same flag.
-pub fn trigger() {
-    INTERRUPTED.store(true, Ordering::SeqCst);
-}
-
-/// Clears the flag. Test-only in spirit: production bins exit after an
-/// interrupt rather than resuming.
-pub fn clear() {
-    INTERRUPTED.store(false, Ordering::SeqCst);
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn flag_round_trips() {
-        clear();
-        assert!(!requested());
-        trigger();
-        assert!(requested());
-        clear();
-        assert!(!requested());
-    }
-
-    #[test]
-    fn install_is_idempotent() {
-        install();
-        install();
-    }
-}
+pub use occache_runtime::interrupt::{
+    clear, install, requested, trigger, EXIT_INTERRUPTED, SIGINT, SIGTERM,
+};

@@ -5,12 +5,22 @@
 //! Harness code shared by the experiment binaries (one per table/figure of
 //! Hill & Smith, ISCA 1984 — see `DESIGN.md` §5 for the index):
 //!
-//! * [`sweep`] — trace materialisation, design-point evaluation, the
-//!   Table 1 parameter grid, fault-isolated multi-threaded sweeps,
-//! * [`checkpoint`] — the append-only, checksummed journal that makes
-//!   sweeps resumable (`--fresh` / `OCCACHE_FRESH=1` discards it),
-//! * [`supervisor`] — per-point wall-clock deadlines, bounded retries,
-//!   and fault injection for unattended paper-scale runs,
+//! The execution machinery itself — supervised worker pools, the slice
+//! planner, watchdog/retry, the journal codec, instrumentation and
+//! `OCCACHE_*` env parsing — lives in `occache-runtime` (DESIGN.md §9),
+//! shared with `occache-serve`. This crate re-exports it under the
+//! historical paths and adds the batch-side policy and rendering:
+//!
+//! * [`sweep`] — trace materialisation and the Table 1 parameter grid
+//!   (plus re-exports of the runtime evaluation/executor API:
+//!   fault-isolated multi-threaded sweeps),
+//! * [`checkpoint`] — resumable sweeps over the runtime's journal codec:
+//!   advisory locking, atomic compaction, tombstone quarantine, and the
+//!   checkpointed entry points (`--fresh` / `OCCACHE_FRESH=1` discards
+//!   journals),
+//! * [`supervisor`] — re-export of the runtime supervisor: per-point
+//!   wall-clock deadlines, bounded retries, and fault injection for
+//!   unattended paper-scale runs,
 //! * [`manifest`] / [`run_report`] / [`verify`] — end-to-end result
 //!   integrity: content-hashed artifact manifest, per-run supervision
 //!   report, and the `occache-verify` checks (manifest + journal scan +

@@ -59,7 +59,12 @@ impl ManifestEntry {
         format!(
             "{{\"name\":\"{}\",\"bytes\":{},\"fnv\":\"{:016x}\",\"artifact\":\"{}\",\
              \"gen\":\"{}\",\"trace_fp\":\"{:016x}\",\"config_fp\":\"{:016x}\"}}",
-            self.name, self.bytes, self.fnv, self.artifact, self.generator, self.trace_fp,
+            self.name,
+            self.bytes,
+            self.fnv,
+            self.artifact,
+            self.generator,
+            self.trace_fp,
             self.config_fp,
         )
     }
@@ -170,10 +175,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "occache-manifest-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("occache-manifest-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir

@@ -84,7 +84,11 @@ pub fn write_result(file_name: &str, content: &str) -> io::Result<std::path::Pat
 /// # Errors
 ///
 /// Propagates filesystem errors from directory creation or the write.
-pub fn write_result_in(dir: &Path, file_name: &str, content: &str) -> io::Result<std::path::PathBuf> {
+pub fn write_result_in(
+    dir: &Path,
+    file_name: &str,
+    content: &str,
+) -> io::Result<std::path::PathBuf> {
     fs::create_dir_all(dir)?;
     let path = dir.join(file_name);
     // Same-directory temp name keeps the rename on one filesystem (rename
@@ -104,12 +108,9 @@ pub fn write_result_in(dir: &Path, file_name: &str, content: &str) -> io::Result
 }
 
 /// The output directory: `$OCCACHE_RESULTS` or `results/` in the current
-/// working directory.
-pub fn results_dir() -> std::path::PathBuf {
-    std::env::var_os("OCCACHE_RESULTS")
-        .map(Into::into)
-        .unwrap_or_else(|| Path::new("results").to_path_buf())
-}
+/// working directory. Delegates to [`occache_runtime::config::results_dir`],
+/// the single reader of `OCCACHE_RESULTS`.
+pub use occache_runtime::config::results_dir;
 
 /// Relative error `|measured - reference| / reference`, tolerant of a zero
 /// reference (returns the absolute error then).

@@ -17,6 +17,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock};
 
+use occache_runtime::instrument::Registry;
+
 use crate::report::write_result_in;
 
 /// The report file name under the results directory.
@@ -72,18 +74,12 @@ pub fn record_phase(phase: PhaseReport) {
 
 /// A snapshot of every phase recorded so far, in recording order.
 pub fn phases() -> Vec<PhaseReport> {
-    registry()
-        .lock()
-        .expect("run report registry lock")
-        .clone()
+    registry().lock().expect("run report registry lock").clone()
 }
 
 /// Clears the registry (tests; binaries never need it).
 pub fn reset() {
-    registry()
-        .lock()
-        .expect("run report registry lock")
-        .clear();
+    registry().lock().expect("run report registry lock").clear();
 }
 
 /// Renders the report: one JSON object per phase line plus a totals
@@ -116,25 +112,25 @@ pub fn render(phases: &[PhaseReport], interrupted: bool) -> String {
         ));
     }
     out.push_str("],\n");
-    let total = |f: fn(&PhaseReport) -> usize| phases.iter().map(f).sum::<usize>();
-    out.push_str(&format!(
-        "\"totals\": {{\"phases\":{},\"computed\":{},\"restored\":{},\"failed\":{},\
-         \"timed_out\": {},\"quarantined\": {},\"non_finite\": {},\"retries\":{},\
-         \"abandoned_threads\":{},\"bad_journal_lines\":{},\"repaired_tail_bytes\":{},\
-         \"wall_ms\":{}}}\n}}\n",
-        phases.len(),
-        total(|p| p.computed),
-        total(|p| p.restored),
-        total(|p| p.failed),
-        total(|p| p.timed_out),
-        total(|p| p.quarantined),
-        total(|p| p.non_finite),
-        total(|p| p.retries),
-        total(|p| p.abandoned_threads),
-        total(|p| p.bad_journal_lines),
-        total(|p| p.repaired_tail_bytes),
-        phases.iter().map(|p| p.wall_ms).sum::<u128>(),
-    ));
+    // The totals object renders through the shared instrumentation
+    // registry (the same sink machinery behind the server's /metrics),
+    // which pins the uniform `"name": value` spacing CI greps for.
+    let total = |f: fn(&PhaseReport) -> usize| phases.iter().map(f).sum::<usize>() as u128;
+    let mut totals = Registry::new();
+    totals
+        .bare("phases", phases.len() as u128)
+        .bare("computed", total(|p| p.computed))
+        .bare("restored", total(|p| p.restored))
+        .bare("failed", total(|p| p.failed))
+        .bare("timed_out", total(|p| p.timed_out))
+        .bare("quarantined", total(|p| p.quarantined))
+        .bare("non_finite", total(|p| p.non_finite))
+        .bare("retries", total(|p| p.retries))
+        .bare("abandoned_threads", total(|p| p.abandoned_threads))
+        .bare("bad_journal_lines", total(|p| p.bad_journal_lines))
+        .bare("repaired_tail_bytes", total(|p| p.repaired_tail_bytes))
+        .bare("wall_ms", phases.iter().map(|p| p.wall_ms).sum::<u128>());
+    out.push_str(&format!("\"totals\": {}\n}}\n", totals.render_json()));
     out
 }
 
@@ -182,7 +178,7 @@ mod tests {
         assert!(text.contains("\"artifact\":\"table7\""));
         assert!(text.contains("\"artifact\":\"fig2\""));
         assert!(text.contains("\"timed_out\": 1"), "{text}");
-        assert!(text.contains("\"computed\":20"), "{text}");
+        assert!(text.contains("\"computed\": 20"), "{text}");
         assert!(text.contains("\"trace_fp\":\"0000000000000abc\""));
         assert!(text.contains("\"interrupted\": false"), "{text}");
     }
@@ -190,7 +186,7 @@ mod tests {
     #[test]
     fn empty_report_renders_zero_totals() {
         let text = render(&[], false);
-        assert!(text.contains("\"phases\":0"), "{text}");
+        assert!(text.contains("\"phases\": 0"), "{text}");
         assert!(text.contains("\"timed_out\": 0"), "{text}");
     }
 

@@ -1,655 +1,11 @@
-//! Run supervision for paper-scale sweeps: per-point wall-clock
-//! deadlines, bounded retries with capped backoff, and deterministic
-//! fault injection for tests and CI.
-//!
-//! The supervisor owns the worker pool that [`crate::sweep::evaluate_results_sliced`]
-//! used to carry: the sliced sweep is now the no-deadline, no-retry
-//! special case of [`evaluate_results_supervised`]. Under a deadline,
-//! each design point (or engine slice) runs on a named watchdog thread
-//! and the supervisor waits with a timeout; a point that overruns is
-//! abandoned (the thread is leaked — Rust cannot kill a thread — and
-//! counted in [`SuperviseStats::abandoned_threads`]) and surfaces as
-//! [`PointFault::Timeout`](crate::sweep::PointFault::Timeout) instead of
-//! wedging the whole run. Panicking points get `retries` further
-//! attempts separated by an exponential backoff capped at
-//! `backoff_cap`; timeouts are never retried, because a hung point will
-//! hang again and every extra attempt leaks another thread.
-//!
-//! The policy is configured from the environment in production bins:
-//!
-//! * `OCCACHE_POINT_TIMEOUT` — per-point deadline in seconds (float).
-//!   `0`, `off` or empty disables the deadline; unset means the
-//!   [`DEFAULT_POINT_TIMEOUT`] of 300 s.
-//! * `OCCACHE_POINT_RETRIES` — extra attempts after a panic (default 1).
-//! * `OCCACHE_FAULT_POINT` — fault injection for tests and CI smoke
-//!   runs: `hang:B,S[:secs]` or `panic-once:B,S` (see [`FaultPlan`]).
+//! Run supervision for paper-scale sweeps — re-exported from
+//! [`occache_runtime::executor`], where the watchdog, retry/backoff and
+//! worker-pool machinery now lives (shared with `occache-serve`'s
+//! scheduler). This module keeps the historical import path
+//! (`occache_experiments::supervisor::*`) working for the batch bins and
+//! downstream callers; it contains no logic of its own.
 
-use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
-use std::thread;
-use std::time::Duration;
-
-use occache_core::CacheConfig;
-
-use crate::sweep::{
-    evaluate_point, evaluate_slice, multisim_disabled, panic_message, plan_units, DesignPoint,
-    PointError, SweepUnit, Trace,
+pub use occache_runtime::executor::{
+    evaluate_results_supervised, evaluate_results_supervised_with, FaultKind, FaultPlan,
+    SuperviseStats, SupervisorPolicy, DEFAULT_POINT_TIMEOUT,
 };
-
-/// The deadline applied when `OCCACHE_POINT_TIMEOUT` is unset: generous
-/// enough for a 1M-reference point on slow hardware, small enough that
-/// an unattended overnight sweep cannot wedge forever.
-pub const DEFAULT_POINT_TIMEOUT: Duration = Duration::from_secs(300);
-
-/// How a deliberately injected fault misbehaves (see [`FaultPlan`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FaultKind {
-    /// Sleep this long inside the evaluation, simulating a hung point.
-    Hang(Duration),
-    /// Panic exactly once per plan, simulating a transient failure that
-    /// succeeds on retry.
-    PanicOnce,
-}
-
-/// Deterministic fault injection for the supervisor, targeted at one
-/// `(block, sub-block)` cell so every other point runs normally. This
-/// is the supervisor-level sibling of the `FaultyReader` used for trace
-/// I/O faults: tests and the CI smoke run use it to prove the
-/// timeout → retry → quarantine transitions on real sweeps.
-#[derive(Debug, Clone)]
-pub struct FaultPlan {
-    /// `(block_size, sub_block_size)` of the targeted cell, or `None`
-    /// for a plan that never fires.
-    target: Option<(u64, u64)>,
-    /// What the fault does when tripped.
-    kind: Option<FaultKind>,
-    /// Shared once-latch for [`FaultKind::PanicOnce`].
-    fired: Arc<AtomicBool>,
-}
-
-impl FaultPlan {
-    /// A plan that never fires (the production default).
-    pub fn none() -> Self {
-        FaultPlan {
-            target: None,
-            kind: None,
-            fired: Arc::new(AtomicBool::new(false)),
-        }
-    }
-
-    /// A plan that hangs the `(block, sub)` cell for `delay` every time
-    /// it is evaluated.
-    pub fn hang(block: u64, sub: u64, delay: Duration) -> Self {
-        FaultPlan {
-            target: Some((block, sub)),
-            kind: Some(FaultKind::Hang(delay)),
-            fired: Arc::new(AtomicBool::new(false)),
-        }
-    }
-
-    /// A plan that panics the first evaluation of the `(block, sub)`
-    /// cell and lets every later attempt succeed.
-    pub fn panic_once(block: u64, sub: u64) -> Self {
-        FaultPlan {
-            target: Some((block, sub)),
-            kind: Some(FaultKind::PanicOnce),
-            fired: Arc::new(AtomicBool::new(false)),
-        }
-    }
-
-    /// Parses the `OCCACHE_FAULT_POINT` syntax: `hang:B,S` (30 s
-    /// default), `hang:B,S:SECS`, or `panic-once:B,S`.
-    pub fn parse(spec: &str) -> Result<Self, String> {
-        let spec = spec.trim();
-        let (kind, rest) = spec
-            .split_once(':')
-            .ok_or_else(|| format!("fault spec `{spec}` is missing `:B,S` (e.g. hang:8,4)"))?;
-        let (cell, extra) = match rest.split_once(':') {
-            Some((cell, extra)) => (cell, Some(extra)),
-            None => (rest, None),
-        };
-        let (b, s) = cell
-            .split_once(',')
-            .ok_or_else(|| format!("fault target `{cell}` is not of the form B,S"))?;
-        let block: u64 = b
-            .trim()
-            .parse()
-            .map_err(|_| format!("fault block size `{b}` is not a number"))?;
-        let sub: u64 = s
-            .trim()
-            .parse()
-            .map_err(|_| format!("fault sub-block size `{s}` is not a number"))?;
-        match kind {
-            "hang" => {
-                let secs = match extra {
-                    Some(raw) => raw
-                        .trim()
-                        .parse::<f64>()
-                        .ok()
-                        .filter(|v| v.is_finite() && *v >= 0.0)
-                        .ok_or_else(|| format!("hang duration `{raw}` is not a number"))?,
-                    None => 30.0,
-                };
-                Ok(FaultPlan::hang(block, sub, Duration::from_secs_f64(secs)))
-            }
-            "panic-once" => {
-                if extra.is_some() {
-                    return Err(format!("panic-once takes no duration: `{spec}`"));
-                }
-                Ok(FaultPlan::panic_once(block, sub))
-            }
-            other => Err(format!(
-                "unknown fault kind `{other}` (expected hang or panic-once)"
-            )),
-        }
-    }
-
-    /// Fires the fault if `config` is the targeted cell. Called inside
-    /// the evaluation thread, so a hang is indistinguishable from a
-    /// genuinely wedged simulation.
-    pub fn trip(&self, config: &CacheConfig) {
-        let Some((block, sub)) = self.target else {
-            return;
-        };
-        if config.block_size() != block || config.sub_block_size() != sub {
-            return;
-        }
-        match self.kind {
-            Some(FaultKind::Hang(delay)) => thread::sleep(delay),
-            Some(FaultKind::PanicOnce) if !self.fired.swap(true, Ordering::SeqCst) => {
-                panic!("injected transient point fault at ({block},{sub})");
-            }
-            _ => {}
-        }
-    }
-}
-
-/// How the supervisor treats each design point: deadline, retry budget,
-/// backoff shape, and any injected fault.
-#[derive(Debug, Clone)]
-pub struct SupervisorPolicy {
-    /// Wall-clock deadline per point (and per engine slice). `None`
-    /// disables the watchdog entirely — evaluation runs inline.
-    pub timeout: Option<Duration>,
-    /// Extra attempts after a panicking evaluation. Timeouts are never
-    /// retried.
-    pub retries: u32,
-    /// Sleep before the first retry; doubled per attempt.
-    pub backoff: Duration,
-    /// Upper bound on the doubled backoff.
-    pub backoff_cap: Duration,
-    /// Fault injection (production plans never fire).
-    pub fault: FaultPlan,
-}
-
-impl SupervisorPolicy {
-    /// No deadline, no retries, no faults: the policy behind the plain
-    /// sliced sweep and the in-process test suites.
-    pub fn disabled() -> Self {
-        SupervisorPolicy {
-            timeout: None,
-            retries: 0,
-            backoff: Duration::from_millis(50),
-            backoff_cap: Duration::from_secs(1),
-            fault: FaultPlan::none(),
-        }
-    }
-
-    /// The production default when no environment overrides are set:
-    /// [`DEFAULT_POINT_TIMEOUT`], one retry, 100 ms backoff capped at
-    /// 5 s, no faults.
-    pub fn production() -> Self {
-        SupervisorPolicy {
-            timeout: Some(DEFAULT_POINT_TIMEOUT),
-            retries: 1,
-            backoff: Duration::from_millis(100),
-            backoff_cap: Duration::from_secs(5),
-            fault: FaultPlan::none(),
-        }
-    }
-
-    /// Builds the policy from `OCCACHE_POINT_TIMEOUT`,
-    /// `OCCACHE_POINT_RETRIES` and `OCCACHE_FAULT_POINT`, rejecting
-    /// malformed values so bins can refuse to start instead of running
-    /// a long sweep under a misread policy.
-    pub fn try_from_env() -> Result<Self, String> {
-        let mut policy = SupervisorPolicy::production();
-        if let Ok(raw) = std::env::var("OCCACHE_POINT_TIMEOUT") {
-            policy.timeout = parse_timeout(&raw)?;
-        }
-        if let Ok(raw) = std::env::var("OCCACHE_POINT_RETRIES") {
-            policy.retries = raw
-                .trim()
-                .parse()
-                .map_err(|_| format!("OCCACHE_POINT_RETRIES `{raw}` is not a whole number"))?;
-        }
-        if let Ok(raw) = std::env::var("OCCACHE_FAULT_POINT") {
-            if !raw.trim().is_empty() {
-                policy.fault = FaultPlan::parse(&raw)?;
-            }
-        }
-        Ok(policy)
-    }
-
-    /// Like [`SupervisorPolicy::try_from_env`], but a malformed setting
-    /// degrades to the production default with a warning instead of
-    /// failing — used mid-run where aborting would waste completed
-    /// points.
-    pub fn from_env_lenient() -> Self {
-        SupervisorPolicy::try_from_env().unwrap_or_else(|e| {
-            eprintln!("warning: ignoring invalid supervisor settings: {e}");
-            SupervisorPolicy::production()
-        })
-    }
-}
-
-/// Parses `OCCACHE_POINT_TIMEOUT`: seconds as a float, with `0`, `off`
-/// or the empty string disabling the deadline.
-fn parse_timeout(raw: &str) -> Result<Option<Duration>, String> {
-    let raw = raw.trim();
-    if raw.is_empty() || raw == "0" || raw.eq_ignore_ascii_case("off") {
-        return Ok(None);
-    }
-    let secs: f64 = raw
-        .parse()
-        .map_err(|_| format!("OCCACHE_POINT_TIMEOUT `{raw}` is not a number of seconds"))?;
-    if !secs.is_finite() || secs <= 0.0 {
-        return Err(format!(
-            "OCCACHE_POINT_TIMEOUT `{raw}` must be a positive number of seconds"
-        ));
-    }
-    Ok(Some(Duration::from_secs_f64(secs)))
-}
-
-/// What the supervisor did beyond plain evaluation: retry attempts and
-/// watchdog threads abandoned at their deadline. Feeds RUN_REPORT.json.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SuperviseStats {
-    /// Evaluation attempts made after a first failure.
-    pub retries: usize,
-    /// Watchdog threads leaked because their point overran the deadline.
-    pub abandoned_threads: usize,
-}
-
-impl SuperviseStats {
-    /// Accumulates another worker's stats into this one.
-    pub fn merge(&mut self, other: SuperviseStats) {
-        self.retries += other.retries;
-        self.abandoned_threads += other.abandoned_threads;
-    }
-}
-
-/// The outcome of one deadline-bounded evaluation.
-enum Deadline<T> {
-    /// The closure ran to completion (possibly panicking) in time.
-    Finished(thread::Result<T>),
-    /// The deadline elapsed; the watchdog thread was abandoned.
-    Elapsed,
-}
-
-/// Runs `f` under an optional wall-clock deadline. With no deadline the
-/// closure runs inline under `catch_unwind`. With one, it runs on a
-/// named watchdog thread and the caller waits at most `timeout`; an
-/// overrunning thread is leaked (Rust offers no way to kill it) and the
-/// caller moves on.
-fn run_with_deadline<T: Send + 'static>(
-    timeout: Option<Duration>,
-    f: impl FnOnce() -> T + Send + 'static,
-) -> Deadline<T> {
-    let Some(limit) = timeout else {
-        return Deadline::Finished(panic::catch_unwind(AssertUnwindSafe(f)));
-    };
-    let (tx, rx) = mpsc::sync_channel::<thread::Result<T>>(1);
-    let spawned = thread::Builder::new()
-        .name("occache-point".to_string())
-        .spawn(move || {
-            let _ = tx.send(panic::catch_unwind(AssertUnwindSafe(f)));
-        });
-    let handle = match spawned {
-        Ok(handle) => handle,
-        // Thread spawn fails only under resource exhaustion; surface it
-        // as a point failure rather than crashing the sweep.
-        Err(e) => {
-            return Deadline::Finished(Err(Box::new(format!(
-                "could not spawn the point watchdog thread: {e}"
-            ))))
-        }
-    };
-    match rx.recv_timeout(limit) {
-        Ok(result) => {
-            // The sender has already produced a value; reap the thread.
-            let _ = handle.join();
-            Deadline::Finished(result)
-        }
-        Err(mpsc::RecvTimeoutError::Timeout) => Deadline::Elapsed,
-        // The sender dropped without sending: the thread died outside
-        // catch_unwind. Join it to recover the payload.
-        Err(mpsc::RecvTimeoutError::Disconnected) => match handle.join() {
-            Err(payload) => Deadline::Finished(Err(payload)),
-            Ok(()) => Deadline::Finished(Err(Box::new(
-                "point watchdog thread exited without a result".to_string(),
-            ))),
-        },
-    }
-}
-
-/// Evaluates one design point under the policy: deadline per attempt,
-/// bounded retries with doubling backoff after panics, no retry after a
-/// timeout (a hung point would hang again and leak another thread).
-fn supervise_point(
-    policy: &SupervisorPolicy,
-    config: CacheConfig,
-    traces: &[Trace],
-    warmup: usize,
-    stats: &mut SuperviseStats,
-) -> Result<DesignPoint, PointError> {
-    let mut backoff = policy.backoff;
-    let mut attempt: u32 = 0;
-    loop {
-        let fault = policy.fault.clone();
-        let owned = traces.to_vec();
-        let run = run_with_deadline(policy.timeout, move || {
-            fault.trip(&config);
-            evaluate_point(config, &owned, warmup)
-        });
-        match run {
-            Deadline::Finished(Ok(point)) => return Ok(point),
-            Deadline::Finished(Err(payload)) => {
-                let message = panic_message(payload);
-                if attempt < policy.retries {
-                    attempt += 1;
-                    stats.retries += 1;
-                    thread::sleep(backoff);
-                    backoff = backoff
-                        .checked_mul(2)
-                        .unwrap_or(policy.backoff_cap)
-                        .min(policy.backoff_cap);
-                    continue;
-                }
-                return Err(PointError::panicked(
-                    config,
-                    format!("{message} (after {} attempt(s))", attempt + 1),
-                ));
-            }
-            Deadline::Elapsed => {
-                stats.abandoned_threads += 1;
-                let limit = policy.timeout.unwrap_or_default();
-                return Err(PointError::timed_out(config, limit));
-            }
-        }
-    }
-}
-
-/// Supervised fault-isolated parallel sweep: the engine-sliced worker
-/// pool of the plain sweep, with every unit run under the policy's
-/// deadline and retry budget. Returns one result per config in input
-/// order, plus the supervision stats.
-///
-/// An engine slice that panics or overruns its deadline does not fail
-/// its sibling configs: each member is re-run alone on the direct
-/// simulator under its own deadline, so only the genuinely broken or
-/// hung cell fails and fault attribution stays per-point.
-pub fn evaluate_results_supervised(
-    policy: &SupervisorPolicy,
-    configs: &[CacheConfig],
-    traces: &[Trace],
-    warmup: usize,
-) -> (Vec<Result<DesignPoint, PointError>>, SuperviseStats) {
-    evaluate_results_supervised_with(policy, configs, traces, warmup, None, |_, _| {})
-}
-
-/// [`evaluate_results_supervised`] with the pool knobs exposed: an
-/// explicit worker-count override (`None` honours `OCCACHE_JOBS` /
-/// hardware parallelism via [`crate::sweep::pool_workers`]) and an
-/// `on_point` hook called exactly once per config — from worker threads,
-/// as each result lands — which the checkpoint layer uses to stream
-/// journal appends to its single writer thread and the serving layer
-/// uses to publish results as they complete.
-///
-/// The pool is interrupt-aware: once [`crate::interrupt::requested`]
-/// turns true, workers finish their current unit and stop claiming new
-/// ones; unclaimed configs come back as
-/// [`PointFault::Interrupted`](crate::sweep::PointFault::Interrupted)
-/// failures (for which `on_point` is *not* called — nothing was
-/// evaluated).
-pub fn evaluate_results_supervised_with<H>(
-    policy: &SupervisorPolicy,
-    configs: &[CacheConfig],
-    traces: &[Trace],
-    warmup: usize,
-    workers: Option<usize>,
-    on_point: H,
-) -> (Vec<Result<DesignPoint, PointError>>, SuperviseStats)
-where
-    H: Fn(usize, &Result<DesignPoint, PointError>) + Sync,
-{
-    let units = if multisim_disabled() {
-        (0..configs.len()).map(SweepUnit::Direct).collect()
-    } else {
-        plan_units(configs)
-    };
-    let workers = workers
-        .unwrap_or_else(|| crate::sweep::pool_workers(units.len()))
-        .min(units.len().max(1))
-        .max(1);
-    let mut slots: Vec<Option<Result<DesignPoint, PointError>>> = vec![None; configs.len()];
-    let mut stats = SuperviseStats::default();
-    let mut died: Vec<String> = Vec::new();
-    let next = AtomicUsize::new(0);
-    let (units, next, on_point) = (&units, &next, &on_point);
-    thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..workers {
-            handles.push(scope.spawn(move || {
-                let mut done: Vec<(usize, Result<DesignPoint, PointError>)> = Vec::new();
-                let emit = |done: &mut Vec<(usize, Result<DesignPoint, PointError>)>,
-                                i: usize,
-                                r: Result<DesignPoint, PointError>| {
-                    on_point(i, &r);
-                    done.push((i, r));
-                };
-                let mut local = SuperviseStats::default();
-                loop {
-                    if crate::interrupt::requested() {
-                        break;
-                    }
-                    let u = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(unit) = units.get(u) else { break };
-                    match unit {
-                        SweepUnit::Direct(i) => {
-                            let r = supervise_point(policy, configs[*i], traces, warmup, &mut local);
-                            emit(&mut done, *i, r);
-                        }
-                        SweepUnit::Engine(members) => {
-                            let slice: Vec<CacheConfig> =
-                                members.iter().map(|&i| configs[i]).collect();
-                            let owned = traces.to_vec();
-                            let fault = policy.fault.clone();
-                            let run = run_with_deadline(policy.timeout, move || {
-                                for config in &slice {
-                                    fault.trip(config);
-                                }
-                                evaluate_slice(&slice, &owned, warmup)
-                            });
-                            match run {
-                                Deadline::Finished(Ok(points)) => {
-                                    for (&i, p) in members.iter().zip(points) {
-                                        emit(&mut done, i, Ok(p));
-                                    }
-                                }
-                                // A slice panic or overrun must not take
-                                // siblings down with it: re-run each
-                                // member alone on the direct simulator
-                                // under its own deadline, so only the
-                                // broken or hung cell fails.
-                                Deadline::Finished(Err(_)) | Deadline::Elapsed => {
-                                    if matches!(run, Deadline::Elapsed) {
-                                        local.abandoned_threads += 1;
-                                    }
-                                    local.retries += 1;
-                                    for &i in members {
-                                        let r = supervise_point(
-                                            policy, configs[i], traces, warmup, &mut local,
-                                        );
-                                        emit(&mut done, i, r);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                (done, local)
-            }));
-        }
-        for h in handles {
-            match h.join() {
-                Ok((done, local)) => {
-                    for (i, r) in done {
-                        slots[i] = Some(r);
-                    }
-                    stats.merge(local);
-                }
-                // With per-unit containment a worker should never die,
-                // but if one does, its claimed units surface below as
-                // failures rather than poisoning the whole sweep.
-                Err(payload) => died.push(panic_message(payload)),
-            }
-        }
-    });
-    let interrupted = crate::interrupt::requested();
-    let death = died.first().map(String::as_str).unwrap_or("unknown cause");
-    let results = slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| {
-            slot.unwrap_or_else(|| {
-                if interrupted && died.is_empty() {
-                    Err(PointError::interrupted(configs[i]))
-                } else {
-                    Err(PointError::worker_loss(
-                        configs[i],
-                        format!("sweep worker thread died outside point isolation: {death}"),
-                    ))
-                }
-            })
-        })
-        .collect();
-    (results, stats)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::sweep::{materialize, standard_config, table1_pairs, PointFault};
-    use occache_workloads::{Architecture, WorkloadSpec};
-
-    fn small_grid() -> (Vec<CacheConfig>, Vec<Trace>) {
-        let traces = materialize(&[WorkloadSpec::pdp11_ed()], 1_000);
-        let configs = table1_pairs(256, 2)
-            .into_iter()
-            .map(|(b, s)| standard_config(Architecture::Pdp11, 256, b, s))
-            .collect();
-        (configs, traces)
-    }
-
-    #[test]
-    fn timeout_parsing_covers_off_and_seconds() {
-        assert_eq!(parse_timeout("").unwrap(), None);
-        assert_eq!(parse_timeout("0").unwrap(), None);
-        assert_eq!(parse_timeout("off").unwrap(), None);
-        assert_eq!(parse_timeout("OFF").unwrap(), None);
-        assert_eq!(
-            parse_timeout("2.5").unwrap(),
-            Some(Duration::from_millis(2_500))
-        );
-        assert!(parse_timeout("-1").is_err());
-        assert!(parse_timeout("soon").is_err());
-        assert!(parse_timeout("inf").is_err());
-    }
-
-    #[test]
-    fn fault_plan_parsing_round_trips_the_cli_syntax() {
-        let hang = FaultPlan::parse("hang:8,4:0.25").unwrap();
-        assert_eq!(hang.target, Some((8, 4)));
-        assert_eq!(
-            hang.kind,
-            Some(FaultKind::Hang(Duration::from_millis(250)))
-        );
-        let default_hang = FaultPlan::parse("hang:16,8").unwrap();
-        assert_eq!(default_hang.kind, Some(FaultKind::Hang(Duration::from_secs(30))));
-        let panic_once = FaultPlan::parse("panic-once:8,4").unwrap();
-        assert_eq!(panic_once.kind, Some(FaultKind::PanicOnce));
-        assert!(FaultPlan::parse("hang").is_err());
-        assert!(FaultPlan::parse("hang:8").is_err());
-        assert!(FaultPlan::parse("hang:a,b").is_err());
-        assert!(FaultPlan::parse("panic-once:8,4:1").is_err());
-        assert!(FaultPlan::parse("explode:8,4").is_err());
-    }
-
-    #[test]
-    fn disabled_policy_matches_the_plain_sweep() {
-        let (configs, traces) = small_grid();
-        let policy = SupervisorPolicy::disabled();
-        let (supervised, stats) =
-            evaluate_results_supervised(&policy, &configs, &traces, 0);
-        assert_eq!(stats, SuperviseStats::default());
-        let plain = crate::sweep::evaluate_results_with(&configs, &traces, 0, evaluate_point);
-        for (s, p) in supervised.iter().zip(&plain) {
-            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
-            assert_eq!(s.config, p.config);
-            assert_eq!(s.miss_ratio.to_bits(), p.miss_ratio.to_bits());
-            assert_eq!(s.traffic_ratio.to_bits(), p.traffic_ratio.to_bits());
-        }
-    }
-
-    #[test]
-    fn hung_point_times_out_and_siblings_complete() {
-        let (configs, traces) = small_grid();
-        let mut policy = SupervisorPolicy::disabled();
-        policy.timeout = Some(Duration::from_millis(200));
-        policy.fault = FaultPlan::hang(8, 4, Duration::from_secs(60));
-        let (results, stats) = evaluate_results_supervised(&policy, &configs, &traces, 0);
-        let mut timeouts = 0;
-        for (config, result) in configs.iter().zip(&results) {
-            let hung = config.block_size() == 8 && config.sub_block_size() == 4;
-            match result {
-                Ok(point) => assert!(!hung, "hung cell {:?} completed", point.config),
-                Err(e) => {
-                    assert!(hung, "unexpected failure: {e}");
-                    assert_eq!(e.fault, PointFault::Timeout);
-                    assert!(e.message.contains("deadline"), "{e}");
-                    timeouts += 1;
-                }
-            }
-        }
-        assert_eq!(timeouts, 1);
-        assert!(stats.abandoned_threads >= 1);
-    }
-
-    #[test]
-    fn transient_panic_succeeds_on_retry() {
-        let (configs, traces) = small_grid();
-        let mut policy = SupervisorPolicy::disabled();
-        policy.retries = 1;
-        policy.backoff = Duration::from_millis(1);
-        policy.fault = FaultPlan::panic_once(8, 4);
-        let (results, stats) = evaluate_results_supervised(&policy, &configs, &traces, 0);
-        assert!(results.iter().all(Result::is_ok), "retry must recover");
-        assert!(stats.retries >= 1);
-    }
-
-    #[test]
-    fn exhausted_retries_surface_the_panic() {
-        let (configs, traces) = small_grid();
-        let mut policy = SupervisorPolicy::disabled();
-        policy.fault = FaultPlan {
-            target: Some((8, 4)),
-            kind: Some(FaultKind::Hang(Duration::ZERO)),
-            fired: Arc::new(AtomicBool::new(false)),
-        };
-        // A zero-length hang never fails: the sweep completes.
-        let (results, _) = evaluate_results_supervised(&policy, &configs, &traces, 0);
-        assert!(results.iter().all(Result::is_ok));
-    }
-}

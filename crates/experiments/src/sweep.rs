@@ -1,51 +1,28 @@
-//! Design-space sweeps: materialise traces once, evaluate many cache
-//! configurations against them, average ratios across traces as the paper
-//! does ("Multiple-trace miss and traffic ratios are the unweighted average
-//! of the miss and traffic ratios of individual runs", §3.3).
+//! Design-space sweeps at the workload layer: trace materialisation, the
+//! paper's Table 1 grid helpers, and the `OCCACHE_REFS`/`OCCACHE_WARMUP`
+//! knobs with their paper defaults.
 //!
-//! Sweeps do not simulate every point independently: a planner groups the
-//! grid into one-pass-compatible slices (same block size, LRU, demand
-//! fetch) and runs each slice through
-//! [`occache_core::multisim`], which yields every cache size's metrics
-//! from a single trace pass — bit-identical to [`simulate`]. Points the
-//! engine cannot express (FIFO/Random, prefetch, copy-back) fall back to
-//! the direct simulator, and `OCCACHE_NO_MULTISIM=1` forces the direct
-//! path everywhere (used by equivalence tests and timing comparisons).
+//! The evaluation machinery itself — [`Trace`], [`DesignPoint`], the
+//! direct and one-pass engine paths, the slice planner, fault types and
+//! the supervised worker pool — lives in `occache-runtime` (shared with
+//! the serving layer) and is re-exported here so existing callers keep
+//! their import paths. This module adds only what needs the workload
+//! crate: turning [`WorkloadSpec`]s into traces and building the paper's
+//! standard configurations.
 
-use std::panic::{self, AssertUnwindSafe};
-use std::sync::Arc;
-use std::thread;
-
-use occache_core::{
-    engine_supports, simulate, simulate_many, BusModel, CacheConfig, FetchPolicy, Metrics,
-    MAX_MULTISIM_CONFIGS,
-};
-use occache_trace::{MemRef, PackedTrace};
+use occache_core::{CacheConfig, FetchPolicy};
 use occache_workloads::{Architecture, WorkloadSpec};
 
-/// A fully materialised trace, reusable across configurations.
-///
-/// References live in a shared [`PackedTrace`] (9 bytes per reference
-/// instead of 16), so cloning a `Trace` — as the memoizing workbench and
-/// the sweep workers do — bumps a reference count rather than copying a
-/// million-entry stream.
-#[derive(Debug, Clone)]
-pub struct Trace {
-    /// Trace name (as in the paper's workload tables).
-    pub name: String,
-    /// The reference stream, shared by reference across workers.
-    pub refs: Arc<PackedTrace>,
-}
-
-impl Trace {
-    /// Packs a reference stream under a name.
-    pub fn new(name: impl Into<String>, refs: impl IntoIterator<Item = MemRef>) -> Self {
-        Trace {
-            name: name.into(),
-            refs: Arc::new(refs.into_iter().collect()),
-        }
-    }
-}
+pub use occache_runtime::config::{multisim_disabled, try_jobs};
+pub use occache_runtime::eval::{
+    evaluate_point, evaluate_results_with, evaluate_slice, plan_units, pool_workers, DesignPoint,
+    PointError, PointFault, SweepUnit, Trace,
+};
+pub use occache_runtime::executor::{
+    batch_of, evaluate_points, evaluate_points_isolated, evaluate_points_isolated_with,
+    evaluate_results_sliced, failure_note, SweepOutcome,
+};
+pub use occache_runtime::journal::JournalHealth;
 
 /// Generates `len` references for each spec (seed 0, the canonical trace).
 pub fn materialize(specs: &[WorkloadSpec], len: usize) -> Vec<Trace> {
@@ -53,523 +30,6 @@ pub fn materialize(specs: &[WorkloadSpec], len: usize) -> Vec<Trace> {
         .iter()
         .map(|spec| Trace::new(spec.name(), spec.generator(0).take(len)))
         .collect()
-}
-
-/// Averaged results for one cache design point over a trace set.
-#[derive(Debug, Clone, Copy)]
-pub struct DesignPoint {
-    /// The configuration evaluated.
-    pub config: CacheConfig,
-    /// Unweighted mean miss ratio across traces.
-    pub miss_ratio: f64,
-    /// Unweighted mean traffic ratio across traces.
-    pub traffic_ratio: f64,
-    /// Unweighted mean nibble-mode scaled traffic ratio (§4.3).
-    pub nibble_traffic_ratio: f64,
-    /// Mean fraction of redundant sub-block loads (load-forward only).
-    pub redundant_load_fraction: f64,
-    /// Gross cache size in bytes.
-    pub gross_size: u64,
-}
-
-/// Evaluates one configuration against every trace, averaging the ratios.
-///
-/// `warmup` references at the head of each trace prime the cache without
-/// being counted (the paper's warm-start discipline; pass 0 for cold).
-pub fn evaluate_point(config: CacheConfig, traces: &[Trace], warmup: usize) -> DesignPoint {
-    let nibble = BusModel::paper_nibble();
-    let mut miss = 0.0;
-    let mut traffic = 0.0;
-    let mut scaled = 0.0;
-    let mut redundant = 0.0;
-    for trace in traces {
-        let metrics: Metrics = simulate(config, trace.refs.iter(), warmup);
-        miss += metrics.miss_ratio();
-        traffic += metrics.traffic_ratio();
-        scaled += metrics.scaled_traffic_ratio(nibble);
-        if metrics.sub_loads() > 0 {
-            redundant += metrics.redundant_sub_loads() as f64 / metrics.sub_loads() as f64;
-        }
-    }
-    let n = traces.len().max(1) as f64;
-    DesignPoint {
-        config,
-        miss_ratio: miss / n,
-        traffic_ratio: traffic / n,
-        nibble_traffic_ratio: scaled / n,
-        redundant_load_fraction: redundant / n,
-        gross_size: config.gross_size(),
-    }
-}
-
-/// Evaluates a one-pass-compatible slice of configurations with a single
-/// engine pass per trace, averaging exactly as [`evaluate_point`] does.
-///
-/// The accumulation order per configuration is identical to the per-point
-/// path (outer loop over traces, then the division by the trace count), so
-/// the resulting floats are bit-identical, not merely close.
-pub fn evaluate_slice(
-    configs: &[CacheConfig],
-    traces: &[Trace],
-    warmup: usize,
-) -> Vec<DesignPoint> {
-    let nibble = BusModel::paper_nibble();
-    let mut miss = vec![0.0; configs.len()];
-    let mut traffic = vec![0.0; configs.len()];
-    let mut scaled = vec![0.0; configs.len()];
-    let mut redundant = vec![0.0; configs.len()];
-    for trace in traces {
-        let all = simulate_many(configs, trace.refs.iter(), warmup)
-            .expect("sweep planner grouped an engine-incompatible slice");
-        for (i, metrics) in all.iter().enumerate() {
-            miss[i] += metrics.miss_ratio();
-            traffic[i] += metrics.traffic_ratio();
-            scaled[i] += metrics.scaled_traffic_ratio(nibble);
-            if metrics.sub_loads() > 0 {
-                redundant[i] += metrics.redundant_sub_loads() as f64 / metrics.sub_loads() as f64;
-            }
-        }
-    }
-    let n = traces.len().max(1) as f64;
-    configs
-        .iter()
-        .enumerate()
-        .map(|(i, &config)| DesignPoint {
-            config,
-            miss_ratio: miss[i] / n,
-            traffic_ratio: traffic[i] / n,
-            nibble_traffic_ratio: scaled[i] / n,
-            redundant_load_fraction: redundant[i] / n,
-            gross_size: config.gross_size(),
-        })
-        .collect()
-}
-
-/// One schedulable unit of a sliced sweep: a group of config indices that
-/// share an engine pass, or a single config that needs the direct
-/// simulator.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SweepUnit {
-    /// Indices into the config grid, one-pass-compatible with each other.
-    Engine(Vec<usize>),
-    /// Index of a config the engine cannot express.
-    Direct(usize),
-}
-
-/// Groups a config grid into one-pass-compatible slices.
-///
-/// Engine-eligible configs (see [`engine_supports`]) sharing a block
-/// size share a slice — sub-block size, word size and associativity may
-/// differ, the engine tracks those per size — chunked at
-/// [`MAX_MULTISIM_CONFIGS`]; everything else becomes a direct unit.
-/// Deterministic for a given grid, and every input index appears in
-/// exactly one unit.
-pub fn plan_units(configs: &[CacheConfig]) -> Vec<SweepUnit> {
-    let mut units = Vec::new();
-    let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
-    for (i, config) in configs.iter().enumerate() {
-        if engine_supports(config) {
-            let key = config.block_size();
-            match groups.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, members)) => members.push(i),
-                None => groups.push((key, vec![i])),
-            }
-        } else {
-            units.push(SweepUnit::Direct(i));
-        }
-    }
-    for (_, members) in groups {
-        for chunk in members.chunks(MAX_MULTISIM_CONFIGS) {
-            units.push(SweepUnit::Engine(chunk.to_vec()));
-        }
-    }
-    units
-}
-
-/// Whether `OCCACHE_NO_MULTISIM` forces the direct simulator for every
-/// point (equivalence tests and honest before/after timing set it).
-pub fn multisim_disabled() -> bool {
-    std::env::var("OCCACHE_NO_MULTISIM").is_ok_and(|v| !v.is_empty() && v != "0")
-}
-
-/// Fault-isolated parallel sweep that shares trace passes across
-/// one-pass-compatible slices, returning one result per config in input
-/// order.
-///
-/// The grid is planned into [`SweepUnit`]s and the units drained from a
-/// shared queue by the supervised worker pool (see
-/// [`crate::supervisor::evaluate_results_supervised`], of which this is
-/// the no-deadline, no-retry special case). A panic inside an engine
-/// slice does not fail its sibling configs: each member is retried alone
-/// on the direct simulator, so fault isolation stays per-point exactly
-/// as in [`evaluate_results_with`].
-pub fn evaluate_results_sliced(
-    configs: &[CacheConfig],
-    traces: &[Trace],
-    warmup: usize,
-) -> Vec<Result<DesignPoint, PointError>> {
-    let policy = crate::supervisor::SupervisorPolicy::disabled();
-    crate::supervisor::evaluate_results_supervised(&policy, configs, traces, warmup).0
-}
-
-/// Adapts a per-point evaluation function to the batch shape the
-/// checkpointed sweeps consume, keeping per-point fault isolation.
-/// Production sweeps pass [`evaluate_results_sliced`] instead; tests use
-/// this to inject point-level faults into batch APIs.
-pub fn batch_of<F>(
-    eval: F,
-) -> impl Fn(&[CacheConfig], &[Trace], usize) -> Vec<Result<DesignPoint, PointError>> + Sync
-where
-    F: Fn(CacheConfig, &[Trace], usize) -> DesignPoint + Sync,
-{
-    move |configs: &[CacheConfig], traces: &[Trace], warmup: usize| {
-        evaluate_results_with(configs, traces, warmup, &eval)
-    }
-}
-
-/// Why a design point failed to produce a result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PointFault {
-    /// The evaluation panicked (simulator bug or injected fault).
-    Panic,
-    /// The evaluation exceeded the supervisor's wall-clock deadline.
-    Timeout,
-    /// The evaluation produced a non-finite metric (NaN or infinity),
-    /// which must never reach a journal or an artifact.
-    NonFinite,
-    /// The point failed in enough earlier runs that the journal
-    /// quarantined it; it is skipped instead of retried forever.
-    Quarantined,
-    /// A sweep worker thread died outside per-point isolation.
-    WorkerLoss,
-    /// The run was interrupted (SIGINT/SIGTERM) before this point was
-    /// claimed by a worker; the point was never evaluated and is *not*
-    /// tombstoned, so a resumed run picks it up cleanly.
-    Interrupted,
-}
-
-impl std::fmt::Display for PointFault {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            PointFault::Panic => "panic",
-            PointFault::Timeout => "timeout",
-            PointFault::NonFinite => "non-finite",
-            PointFault::Quarantined => "quarantined",
-            PointFault::WorkerLoss => "worker-loss",
-            PointFault::Interrupted => "interrupted",
-        })
-    }
-}
-
-/// A design point whose evaluation failed (panic, deadline overrun,
-/// poisoned metrics, or a journal quarantine). The sweep records the
-/// failure and carries on with the remaining points.
-#[derive(Debug, Clone)]
-pub struct PointError {
-    /// The configuration that failed.
-    pub config: CacheConfig,
-    /// The failure class (drives retry/quarantine policy and reporting).
-    pub fault: PointFault,
-    /// Human-readable detail (panic payload, deadline, field name, ...).
-    pub message: String,
-}
-
-impl PointError {
-    /// A panicking evaluation, with the rendered payload.
-    pub fn panicked(config: CacheConfig, message: impl Into<String>) -> Self {
-        PointError {
-            config,
-            fault: PointFault::Panic,
-            message: message.into(),
-        }
-    }
-
-    /// An evaluation abandoned at its wall-clock deadline.
-    pub fn timed_out(config: CacheConfig, deadline: std::time::Duration) -> Self {
-        PointError {
-            config,
-            fault: PointFault::Timeout,
-            message: format!(
-                "exceeded the {:.1}s point deadline (OCCACHE_POINT_TIMEOUT); evaluation abandoned",
-                deadline.as_secs_f64()
-            ),
-        }
-    }
-
-    /// An evaluation that produced a non-finite metric.
-    pub fn non_finite(config: CacheConfig, field: &str) -> Self {
-        PointError {
-            config,
-            fault: PointFault::NonFinite,
-            message: format!("{field} is not finite; the point was rejected, not journalled"),
-        }
-    }
-
-    /// A point skipped because the journal quarantined it.
-    pub fn quarantined(config: CacheConfig, failures: u32) -> Self {
-        PointError {
-            config,
-            fault: PointFault::Quarantined,
-            message: format!(
-                "quarantined after {failures} failed run(s); pass --fresh to retry it"
-            ),
-        }
-    }
-
-    /// A worker thread dying outside per-point isolation.
-    pub fn worker_loss(config: CacheConfig, message: impl Into<String>) -> Self {
-        PointError {
-            config,
-            fault: PointFault::WorkerLoss,
-            message: message.into(),
-        }
-    }
-
-    /// A point left unevaluated because the run was interrupted.
-    pub fn interrupted(config: CacheConfig) -> Self {
-        PointError {
-            config,
-            fault: PointFault::Interrupted,
-            message: "run interrupted (SIGINT/SIGTERM) before this point was evaluated; \
-                      rerun to resume"
-                .into(),
-        }
-    }
-}
-
-impl std::fmt::Display for PointError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: [{}] {}", self.config, self.fault, self.message)
-    }
-}
-
-/// Journal health observed while loading a checkpoint (all zero for
-/// non-resumable sweeps and pristine journals).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct JournalHealth {
-    /// Corrupt journal lines encountered (bad checksum, unknown schema
-    /// version, unparseable, non-finite payload) — counted, warned about,
-    /// and dropped by compaction, never silently skipped.
-    pub bad_lines: usize,
-    /// Bytes of torn trailing record truncated away by tail repair.
-    pub repaired_tail_bytes: usize,
-}
-
-/// The outcome of a fault-isolated (and possibly resumed) sweep.
-#[derive(Debug, Clone, Default)]
-pub struct SweepOutcome {
-    /// Successfully evaluated points, in the order of the input configs.
-    pub points: Vec<DesignPoint>,
-    /// Points whose evaluation failed, with the failing config named.
-    pub failures: Vec<PointError>,
-    /// How many points were restored from a checkpoint journal rather than
-    /// re-simulated (always 0 for non-resumable sweeps).
-    pub resumed: usize,
-    /// Retried attempts the supervisor made after transient failures.
-    pub retries: usize,
-    /// Checkpoint-journal health observed while resuming.
-    pub journal: JournalHealth,
-}
-
-impl SweepOutcome {
-    /// True when every input config produced a point.
-    pub fn is_complete(&self) -> bool {
-        self.failures.is_empty()
-    }
-
-    /// How many failures were deadline overruns.
-    pub fn timed_out(&self) -> usize {
-        self.fault_count(PointFault::Timeout)
-    }
-
-    /// How many points the journal quarantined.
-    pub fn quarantined(&self) -> usize {
-        self.fault_count(PointFault::Quarantined)
-    }
-
-    /// How many points produced non-finite metrics.
-    pub fn non_finite(&self) -> usize {
-        self.fault_count(PointFault::NonFinite)
-    }
-
-    fn fault_count(&self, fault: PointFault) -> usize {
-        self.failures.iter().filter(|f| f.fault == fault).count()
-    }
-
-    /// A short report block naming each failed cell, or `None` when the
-    /// sweep is complete. Artifact reports append this so partial results
-    /// are never mistaken for full grids.
-    pub fn failure_note(&self) -> Option<String> {
-        failure_note(&self.failures)
-    }
-}
-
-/// Renders a failed-cells block for a report, or `None` when `failures`
-/// is empty. See [`SweepOutcome::failure_note`].
-pub fn failure_note(failures: &[PointError]) -> Option<String> {
-    if failures.is_empty() {
-        return None;
-    }
-    let mut note = format!(
-        "WARNING: {} design point(s) FAILED and are missing above:\n",
-        failures.len()
-    );
-    for f in failures {
-        use std::fmt::Write as _;
-        let _ = writeln!(note, "  FAILED {f}");
-    }
-    Some(note)
-}
-
-/// Renders a panic payload as text (panics carry `&str` or `String`
-/// payloads in practice; anything else is reported opaquely).
-pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "panicked with a non-string payload".to_string()
-    }
-}
-
-/// Evaluates one configuration with panic containment: a panic inside
-/// `eval` becomes an `Err(PointError)` instead of unwinding the sweep.
-fn evaluate_contained<F>(
-    config: CacheConfig,
-    traces: &[Trace],
-    warmup: usize,
-    eval: &F,
-) -> Result<DesignPoint, PointError>
-where
-    F: Fn(CacheConfig, &[Trace], usize) -> DesignPoint,
-{
-    panic::catch_unwind(AssertUnwindSafe(|| eval(config, traces, warmup)))
-        .map_err(|payload| PointError::panicked(config, panic_message(payload)))
-}
-
-/// Fault-isolated parallel sweep returning one result per config, in
-/// input order. The building block under [`evaluate_points_isolated_with`]
-/// and the checkpointed sweeps, which need the per-index mapping.
-pub fn evaluate_results_with<F>(
-    configs: &[CacheConfig],
-    traces: &[Trace],
-    warmup: usize,
-    eval: F,
-) -> Vec<Result<DesignPoint, PointError>>
-where
-    F: Fn(CacheConfig, &[Trace], usize) -> DesignPoint + Sync,
-{
-    let workers = pool_workers(configs.len());
-    let chunk = configs.len().div_ceil(workers.max(1)).max(1);
-    let mut slots: Vec<Option<Result<DesignPoint, PointError>>> = vec![None; configs.len()];
-    let eval = &eval;
-    thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, block) in configs.chunks(chunk).enumerate() {
-            handles.push((
-                i * chunk,
-                block,
-                scope.spawn(move || {
-                    block
-                        .iter()
-                        .map(|&c| evaluate_contained(c, traces, warmup, eval))
-                        .collect::<Vec<_>>()
-                }),
-            ));
-        }
-        for (start, block, h) in handles {
-            match h.join() {
-                Ok(results) => {
-                    for (j, r) in results.into_iter().enumerate() {
-                        slots[start + j] = Some(r);
-                    }
-                }
-                // With per-point containment a worker should never die, but
-                // if one does, name every config it was carrying rather
-                // than poisoning the whole sweep.
-                Err(payload) => {
-                    let message = format!(
-                        "sweep worker thread died outside point isolation: {}",
-                        panic_message(payload)
-                    );
-                    for (j, &c) in block.iter().enumerate() {
-                        slots[start + j] = Some(Err(PointError::worker_loss(c, message.clone())));
-                    }
-                }
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every chunk filled its slots"))
-        .collect()
-}
-
-/// Fault-isolated parallel sweep with a custom evaluation function.
-///
-/// Each point runs under `catch_unwind`: a panicking point is reported in
-/// [`SweepOutcome::failures`] (named by its config) and the rest of the
-/// grid still completes. `eval` is a parameter so tests can inject faults;
-/// production callers use [`evaluate_points_isolated`].
-pub fn evaluate_points_isolated_with<F>(
-    configs: &[CacheConfig],
-    traces: &[Trace],
-    warmup: usize,
-    eval: F,
-) -> SweepOutcome
-where
-    F: Fn(CacheConfig, &[Trace], usize) -> DesignPoint + Sync,
-{
-    let mut outcome = SweepOutcome::default();
-    for result in evaluate_results_with(configs, traces, warmup, eval) {
-        match result {
-            Ok(p) => outcome.points.push(p),
-            Err(e) => outcome.failures.push(e),
-        }
-    }
-    outcome
-}
-
-/// Fault-isolated parallel sweep using the one-pass engine where the grid
-/// allows it and [`evaluate_point`] elsewhere (see
-/// [`evaluate_results_sliced`]).
-pub fn evaluate_points_isolated(
-    configs: &[CacheConfig],
-    traces: &[Trace],
-    warmup: usize,
-) -> SweepOutcome {
-    let mut outcome = SweepOutcome::default();
-    for result in evaluate_results_sliced(configs, traces, warmup) {
-        match result {
-            Ok(p) => outcome.points.push(p),
-            Err(e) => outcome.failures.push(e),
-        }
-    }
-    outcome
-}
-
-/// Evaluates many configurations, spreading work across threads.
-///
-/// # Panics
-///
-/// Panics if any point's evaluation panics, naming the failing
-/// configuration. Use [`evaluate_points_isolated`] to get partial results
-/// instead.
-pub fn evaluate_points(
-    configs: &[CacheConfig],
-    traces: &[Trace],
-    warmup: usize,
-) -> Vec<DesignPoint> {
-    let outcome = evaluate_points_isolated(configs, traces, warmup);
-    if let Some(first) = outcome.failures.first() {
-        panic!(
-            "sweep failed at {} of {} design point(s); first failure: {first}",
-            outcome.failures.len(),
-            configs.len()
-        );
-    }
-    outcome.points
 }
 
 /// The `(block, sub-block)` pairs of the paper's Table 1 grid applicable to
@@ -620,20 +80,6 @@ pub fn load_forward_config(arch: Architecture, net: u64, block: u64, sub: u64) -
         .expect("Table 1 geometry is valid")
 }
 
-/// Parses a non-negative-integer env var strictly: absent → `default`,
-/// present but unparsable → an error naming the variable (a typo in
-/// `OCCACHE_REFS` must not silently run the paper-size sweep).
-fn env_usize(var: &str, default: usize) -> Result<usize, String> {
-    match std::env::var(var) {
-        Ok(v) => v
-            .trim()
-            .parse()
-            .map_err(|_| format!("{var}={v:?} is not a non-negative integer")),
-        Err(std::env::VarError::NotPresent) => Ok(default),
-        Err(std::env::VarError::NotUnicode(_)) => Err(format!("{var} is not valid UTF-8")),
-    }
-}
-
 /// Number of references per trace: `OCCACHE_REFS` env var, defaulting to
 /// the paper's 1 million.
 ///
@@ -641,7 +87,7 @@ fn env_usize(var: &str, default: usize) -> Result<usize, String> {
 ///
 /// Returns a message naming the variable when it is set but malformed.
 pub fn try_trace_len() -> Result<usize, String> {
-    env_usize("OCCACHE_REFS", occache_workloads::PAPER_TRACE_LEN)
+    occache_runtime::config::env_usize("OCCACHE_REFS", occache_workloads::PAPER_TRACE_LEN)
 }
 
 /// Number of references per trace, tolerating a malformed `OCCACHE_REFS`
@@ -657,7 +103,7 @@ pub fn trace_len() -> usize {
 ///
 /// Returns a message naming the variable when it is set but malformed.
 pub fn try_warmup_len() -> Result<usize, String> {
-    env_usize("OCCACHE_WARMUP", 0)
+    occache_runtime::config::env_usize("OCCACHE_WARMUP", 0)
 }
 
 /// Warm-up references per run, tolerating a malformed `OCCACHE_WARMUP`
@@ -666,34 +112,10 @@ pub fn warmup_len() -> usize {
     try_warmup_len().unwrap_or(0)
 }
 
-/// Worker-thread override for the sweep pools: `OCCACHE_JOBS` env var.
-/// `Ok(None)` (unset or `0`) means "use the hardware parallelism" —
-/// today's behaviour; `OCCACHE_JOBS=1` forces a serial pool, which
-/// preserves byte-identical artifact and journal-append order.
-///
-/// # Errors
-///
-/// Returns a message naming the variable when it is set but malformed.
-pub fn try_jobs() -> Result<Option<usize>, String> {
-    env_usize("OCCACHE_JOBS", 0).map(|n| if n == 0 { None } else { Some(n) })
-}
-
-/// The worker count a sweep pool should use for `units` schedulable
-/// units: the `OCCACHE_JOBS` override when set (malformed values fall
-/// back silently — bins validate via [`try_jobs`] at startup), otherwise
-/// the hardware parallelism, never more workers than units and never
-/// zero.
-pub fn pool_workers(units: usize) -> usize {
-    let hardware = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    try_jobs()
-        .unwrap_or(None)
-        .unwrap_or(hardware)
-        .min(units.max(1))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use occache_core::{engine_supports, MAX_MULTISIM_CONFIGS};
 
     #[test]
     fn table1_pairs_match_table7_row_sets() {
@@ -775,7 +197,10 @@ mod tests {
         // The failure note names the cell for the artifact report.
         let note = outcome.failure_note().unwrap();
         assert!(note.contains("FAILED"), "{note}");
-        assert!(note.contains("(8,4)"), "note should name the config: {note}");
+        assert!(
+            note.contains("(8,4)"),
+            "note should name the config: {note}"
+        );
     }
 
     #[test]
@@ -800,18 +225,6 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("(8,4)"), "{text}");
         assert!(text.contains("injected"), "{text}");
-    }
-
-    #[test]
-    fn env_parsing_is_strict_on_malformed_values() {
-        // Uses the pure helper directly on a variable we control to avoid
-        // races with other tests reading OCCACHE_REFS.
-        std::env::set_var("OCCACHE_TEST_ENV_USIZE", "12abc");
-        assert!(env_usize("OCCACHE_TEST_ENV_USIZE", 5).is_err());
-        std::env::set_var("OCCACHE_TEST_ENV_USIZE", " 42 ");
-        assert_eq!(env_usize("OCCACHE_TEST_ENV_USIZE", 5), Ok(42));
-        std::env::remove_var("OCCACHE_TEST_ENV_USIZE");
-        assert_eq!(env_usize("OCCACHE_TEST_ENV_USIZE", 5), Ok(5));
     }
 
     #[test]

@@ -14,9 +14,7 @@ use occache_core::CacheConfig;
 use occache_experiments::checkpoint::evaluate_checkpointed_in;
 use occache_experiments::manifest::{self, ManifestEntry};
 use occache_experiments::report::{points_to_csv, write_result_in};
-use occache_experiments::supervisor::{
-    evaluate_results_supervised, FaultPlan, SupervisorPolicy,
-};
+use occache_experiments::supervisor::{evaluate_results_supervised, FaultPlan, SupervisorPolicy};
 use occache_experiments::sweep::{
     batch_of, evaluate_point, materialize, standard_config, table1_pairs,
 };
@@ -34,7 +32,10 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 fn grid() -> (Vec<CacheConfig>, Vec<Trace>) {
-    let traces = materialize(&[WorkloadSpec::pdp11_ed(), WorkloadSpec::pdp11_opsys()], 2_000);
+    let traces = materialize(
+        &[WorkloadSpec::pdp11_ed(), WorkloadSpec::pdp11_opsys()],
+        2_000,
+    );
     let configs = table1_pairs(256, 2)
         .into_iter()
         .map(|(b, s)| standard_config(Architecture::Pdp11, 256, b, s))
@@ -78,8 +79,7 @@ fn kill_and_resume_matches_clean_run() {
         evaluate_point(c, t, w)
     });
     let resumed =
-        evaluate_checkpointed_in(&dir, "grid", &configs, &traces, 0, false, counting_eval)
-            .unwrap();
+        evaluate_checkpointed_in(&dir, "grid", &configs, &traces, 0, false, counting_eval).unwrap();
     fresh_evals += fresh_counter.load(std::sync::atomic::Ordering::SeqCst);
     assert_eq!(resumed.resumed, k);
     assert_eq!(fresh_evals, configs.len() - k);
@@ -157,11 +157,7 @@ fn faulty_sweep_completes_reports_and_resumes() {
     assert!(note.contains("FAILED"), "{note}");
     assert!(note.contains("injected point fault"), "{note}");
     assert!(
-        note.contains(&format!(
-            "({},{})",
-            bad.block_size(),
-            bad.sub_block_size()
-        )),
+        note.contains(&format!("({},{})", bad.block_size(), bad.sub_block_size())),
         "failed cell not named: {note}"
     );
 
@@ -253,8 +249,7 @@ fn hung_point_times_out_twice_then_quarantines() {
         evaluate_results_supervised(&SupervisorPolicy::disabled(), cs, ts, w).0
     };
     let third =
-        evaluate_checkpointed_in(&dir, "hang", &configs, &traces, 0, false, must_not_run)
-            .unwrap();
+        evaluate_checkpointed_in(&dir, "hang", &configs, &traces, 0, false, must_not_run).unwrap();
     assert_eq!(third.quarantined(), 1);
     let failure = &third.failures[0];
     assert_eq!(failure.config, bad);
@@ -266,8 +261,7 @@ fn hung_point_times_out_twice_then_quarantines() {
     let clean = |cs: &[CacheConfig], ts: &[Trace], w: usize| {
         evaluate_results_supervised(&SupervisorPolicy::disabled(), cs, ts, w).0
     };
-    let fourth =
-        evaluate_checkpointed_in(&dir, "hang", &configs, &traces, 0, true, clean).unwrap();
+    let fourth = evaluate_checkpointed_in(&dir, "hang", &configs, &traces, 0, true, clean).unwrap();
     assert!(fourth.is_complete(), "{:?}", fourth.failure_note());
     fs::remove_dir_all(&dir).unwrap();
 }

@@ -1,0 +1,154 @@
+//! Every `OCCACHE_*` environment variable, parsed in one place.
+//!
+//! Before the runtime crate existed the parsing was scattered across
+//! the batch harness (`sweep.rs`, `supervisor.rs`, `checkpoint.rs`,
+//! `report.rs`) and the serving layer's `service.rs`, each with its own
+//! strictness. The rule here is uniform: an *absent* variable means its
+//! documented default, a *present but malformed* value is an error
+//! naming the variable — a typo in `OCCACHE_REFS` must refuse to start,
+//! not silently run the paper-size sweep. Binaries validate at startup
+//! via the `try_*` accessors; the `*_lenient` forms exist only for
+//! mid-run contexts where aborting would waste completed work.
+//!
+//! The variables (see the EXPERIMENTS.md table for the operator view):
+//!
+//! | variable | parsed by | default |
+//! |---|---|---|
+//! | `OCCACHE_REFS` | [`env_usize`] | caller-supplied (paper: 1 M) |
+//! | `OCCACHE_WARMUP` | [`env_usize`] | 0 |
+//! | `OCCACHE_JOBS` | [`try_jobs`] | hardware parallelism |
+//! | `OCCACHE_NO_MULTISIM` | [`multisim_disabled`] | off |
+//! | `OCCACHE_FRESH` | [`fresh_requested`] | off |
+//! | `OCCACHE_RESULTS` | [`results_dir`] | `results/` |
+//! | `OCCACHE_POINT_TIMEOUT` | [`parse_timeout`] | 300 s |
+//! | `OCCACHE_POINT_RETRIES` | `SupervisorPolicy::try_from_env` | 1 |
+//! | `OCCACHE_FAULT_POINT` | `FaultPlan::parse` | none |
+//! | `OCCACHE_SERVE_*` | [`env_usize_opt`] | see `ServiceConfig` |
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Parses a non-negative-integer env var strictly: absent → `default`,
+/// present but unparsable → an error naming the variable (a typo in
+/// `OCCACHE_REFS` must not silently run the paper-size sweep).
+///
+/// # Errors
+///
+/// Returns a message naming the variable when it is set but malformed.
+pub fn env_usize(var: &str, default: usize) -> Result<usize, String> {
+    env_usize_opt(var).map(|v| v.unwrap_or(default))
+}
+
+/// Like [`env_usize`] but distinguishes "absent" from any default:
+/// `Ok(None)` when the variable is unset, so callers with computed
+/// defaults (hardware parallelism, derived capacities) can fall back
+/// themselves.
+///
+/// # Errors
+///
+/// Returns a message naming the variable when it is set but malformed.
+pub fn env_usize_opt(var: &str) -> Result<Option<usize>, String> {
+    match std::env::var(var) {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{var}={v:?} is not a non-negative integer")),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!("{var} is not valid UTF-8")),
+    }
+}
+
+/// Worker-thread override for the sweep pools: `OCCACHE_JOBS` env var.
+/// `Ok(None)` (unset or `0`) means "use the hardware parallelism";
+/// `OCCACHE_JOBS=1` forces a serial pool, which preserves byte-identical
+/// artifact and journal-append order.
+///
+/// # Errors
+///
+/// Returns a message naming the variable when it is set but malformed.
+pub fn try_jobs() -> Result<Option<usize>, String> {
+    env_usize("OCCACHE_JOBS", 0).map(|n| if n == 0 { None } else { Some(n) })
+}
+
+/// Whether `OCCACHE_NO_MULTISIM` forces the direct simulator for every
+/// point (equivalence tests and honest before/after timing set it).
+pub fn multisim_disabled() -> bool {
+    std::env::var("OCCACHE_NO_MULTISIM").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Whether the user asked to ignore existing checkpoints: `--fresh` on the
+/// command line or `OCCACHE_FRESH` set to anything but `0`/empty.
+pub fn fresh_requested() -> bool {
+    if std::env::args().any(|a| a == "--fresh") {
+        return true;
+    }
+    match std::env::var("OCCACHE_FRESH") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// The results directory: `OCCACHE_RESULTS` env var, defaulting to
+/// `results/`. Never fails — a directory name needs no parsing.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("OCCACHE_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Parses `OCCACHE_POINT_TIMEOUT`: seconds as a float, with `0`, `off`
+/// or the empty string disabling the deadline.
+///
+/// # Errors
+///
+/// Returns a message naming the variable for non-numeric, non-finite or
+/// non-positive values.
+pub fn parse_timeout(raw: &str) -> Result<Option<Duration>, String> {
+    let raw = raw.trim();
+    if raw.is_empty() || raw == "0" || raw.eq_ignore_ascii_case("off") {
+        return Ok(None);
+    }
+    let secs: f64 = raw
+        .parse()
+        .map_err(|_| format!("OCCACHE_POINT_TIMEOUT `{raw}` is not a number of seconds"))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!(
+            "OCCACHE_POINT_TIMEOUT `{raw}` must be a positive number of seconds"
+        ));
+    }
+    Ok(Some(Duration::from_secs_f64(secs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_is_strict_on_malformed_values() {
+        // Uses a variable we control to avoid races with other tests
+        // reading the real OCCACHE_* variables.
+        std::env::set_var("OCCACHE_TEST_ENV_USIZE", "12abc");
+        assert!(env_usize("OCCACHE_TEST_ENV_USIZE", 5).is_err());
+        std::env::set_var("OCCACHE_TEST_ENV_USIZE", " 42 ");
+        assert_eq!(env_usize("OCCACHE_TEST_ENV_USIZE", 5), Ok(42));
+        std::env::remove_var("OCCACHE_TEST_ENV_USIZE");
+        assert_eq!(env_usize("OCCACHE_TEST_ENV_USIZE", 5), Ok(5));
+        assert_eq!(env_usize_opt("OCCACHE_TEST_ENV_USIZE"), Ok(None));
+    }
+
+    #[test]
+    fn timeout_parsing_covers_off_and_seconds() {
+        assert_eq!(parse_timeout("").unwrap(), None);
+        assert_eq!(parse_timeout("0").unwrap(), None);
+        assert_eq!(parse_timeout("off").unwrap(), None);
+        assert_eq!(parse_timeout("OFF").unwrap(), None);
+        assert_eq!(
+            parse_timeout("2.5").unwrap(),
+            Some(Duration::from_millis(2_500))
+        );
+        assert!(parse_timeout("-1").is_err());
+        assert!(parse_timeout("soon").is_err());
+        assert!(parse_timeout("inf").is_err());
+    }
+}

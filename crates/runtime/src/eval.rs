@@ -1,0 +1,394 @@
+//! Design-point evaluation: the direct simulator path, the one-pass
+//! engine path, the slice planner, and structured point faults.
+//!
+//! Evaluation averages ratios across traces exactly as the paper does
+//! ("Multiple-trace miss and traffic ratios are the unweighted average
+//! of the miss and traffic ratios of individual runs", §3.3). Sweeps do
+//! not simulate every point independently: [`plan_units`] groups a grid
+//! into one-pass-compatible slices (same block size, LRU, demand fetch)
+//! and [`evaluate_slice`] runs each through [`occache_core::multisim`],
+//! which yields every cache size's metrics from a single trace pass —
+//! bit-identical to [`occache_core::simulate`]. Points the engine cannot
+//! express (FIFO/Random, prefetch, copy-back) fall back to the direct
+//! simulator, and `OCCACHE_NO_MULTISIM=1` forces the direct path
+//! everywhere (used by equivalence tests and timing comparisons).
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+
+use occache_core::{
+    engine_supports, simulate, simulate_many, BusModel, CacheConfig, Metrics, MAX_MULTISIM_CONFIGS,
+};
+use occache_trace::{MemRef, PackedTrace};
+
+/// A fully materialised trace, reusable across configurations.
+///
+/// References live in a shared [`PackedTrace`] (9 bytes per reference
+/// instead of 16), so cloning a `Trace` — as the memoizing workbench and
+/// the sweep workers do — bumps a reference count rather than copying a
+/// million-entry stream.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Trace name (as in the paper's workload tables).
+    pub name: String,
+    /// The reference stream, shared by reference across workers.
+    pub refs: Arc<PackedTrace>,
+}
+
+impl Trace {
+    /// Packs a reference stream under a name.
+    pub fn new(name: impl Into<String>, refs: impl IntoIterator<Item = MemRef>) -> Self {
+        Trace {
+            name: name.into(),
+            refs: Arc::new(refs.into_iter().collect()),
+        }
+    }
+}
+
+/// Averaged results for one cache design point over a trace set.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignPoint {
+    /// The configuration evaluated.
+    pub config: CacheConfig,
+    /// Unweighted mean miss ratio across traces.
+    pub miss_ratio: f64,
+    /// Unweighted mean traffic ratio across traces.
+    pub traffic_ratio: f64,
+    /// Unweighted mean nibble-mode scaled traffic ratio (§4.3).
+    pub nibble_traffic_ratio: f64,
+    /// Mean fraction of redundant sub-block loads (load-forward only).
+    pub redundant_load_fraction: f64,
+    /// Gross cache size in bytes.
+    pub gross_size: u64,
+}
+
+/// Evaluates one configuration against every trace, averaging the ratios.
+///
+/// `warmup` references at the head of each trace prime the cache without
+/// being counted (the paper's warm-start discipline; pass 0 for cold).
+pub fn evaluate_point(config: CacheConfig, traces: &[Trace], warmup: usize) -> DesignPoint {
+    let nibble = BusModel::paper_nibble();
+    let mut miss = 0.0;
+    let mut traffic = 0.0;
+    let mut scaled = 0.0;
+    let mut redundant = 0.0;
+    for trace in traces {
+        let metrics: Metrics = simulate(config, trace.refs.iter(), warmup);
+        miss += metrics.miss_ratio();
+        traffic += metrics.traffic_ratio();
+        scaled += metrics.scaled_traffic_ratio(nibble);
+        if metrics.sub_loads() > 0 {
+            redundant += metrics.redundant_sub_loads() as f64 / metrics.sub_loads() as f64;
+        }
+    }
+    let n = traces.len().max(1) as f64;
+    DesignPoint {
+        config,
+        miss_ratio: miss / n,
+        traffic_ratio: traffic / n,
+        nibble_traffic_ratio: scaled / n,
+        redundant_load_fraction: redundant / n,
+        gross_size: config.gross_size(),
+    }
+}
+
+/// Evaluates a one-pass-compatible slice of configurations with a single
+/// engine pass per trace, averaging exactly as [`evaluate_point`] does.
+///
+/// The accumulation order per configuration is identical to the per-point
+/// path (outer loop over traces, then the division by the trace count), so
+/// the resulting floats are bit-identical, not merely close.
+pub fn evaluate_slice(
+    configs: &[CacheConfig],
+    traces: &[Trace],
+    warmup: usize,
+) -> Vec<DesignPoint> {
+    let nibble = BusModel::paper_nibble();
+    let mut miss = vec![0.0; configs.len()];
+    let mut traffic = vec![0.0; configs.len()];
+    let mut scaled = vec![0.0; configs.len()];
+    let mut redundant = vec![0.0; configs.len()];
+    for trace in traces {
+        let all = simulate_many(configs, trace.refs.iter(), warmup)
+            .expect("sweep planner grouped an engine-incompatible slice");
+        for (i, metrics) in all.iter().enumerate() {
+            miss[i] += metrics.miss_ratio();
+            traffic[i] += metrics.traffic_ratio();
+            scaled[i] += metrics.scaled_traffic_ratio(nibble);
+            if metrics.sub_loads() > 0 {
+                redundant[i] += metrics.redundant_sub_loads() as f64 / metrics.sub_loads() as f64;
+            }
+        }
+    }
+    let n = traces.len().max(1) as f64;
+    configs
+        .iter()
+        .enumerate()
+        .map(|(i, &config)| DesignPoint {
+            config,
+            miss_ratio: miss[i] / n,
+            traffic_ratio: traffic[i] / n,
+            nibble_traffic_ratio: scaled[i] / n,
+            redundant_load_fraction: redundant[i] / n,
+            gross_size: config.gross_size(),
+        })
+        .collect()
+}
+
+/// One schedulable unit of a sliced sweep: a group of config indices that
+/// share an engine pass, or a single config that needs the direct
+/// simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepUnit {
+    /// Indices into the config grid, one-pass-compatible with each other.
+    Engine(Vec<usize>),
+    /// Index of a config the engine cannot express.
+    Direct(usize),
+}
+
+/// Groups a config grid into one-pass-compatible slices.
+///
+/// Engine-eligible configs (see [`engine_supports`]) sharing a block
+/// size share a slice — sub-block size, word size and associativity may
+/// differ, the engine tracks those per size — chunked at
+/// [`MAX_MULTISIM_CONFIGS`]; everything else becomes a direct unit.
+/// Deterministic for a given grid, and every input index appears in
+/// exactly one unit.
+pub fn plan_units(configs: &[CacheConfig]) -> Vec<SweepUnit> {
+    let mut units = Vec::new();
+    let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+    for (i, config) in configs.iter().enumerate() {
+        if engine_supports(config) {
+            let key = config.block_size();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        } else {
+            units.push(SweepUnit::Direct(i));
+        }
+    }
+    for (_, members) in groups {
+        for chunk in members.chunks(MAX_MULTISIM_CONFIGS) {
+            units.push(SweepUnit::Engine(chunk.to_vec()));
+        }
+    }
+    units
+}
+
+/// Why a design point failed to produce a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointFault {
+    /// The evaluation panicked (simulator bug or injected fault).
+    Panic,
+    /// The evaluation exceeded the supervisor's wall-clock deadline.
+    Timeout,
+    /// The evaluation produced a non-finite metric (NaN or infinity),
+    /// which must never reach a journal or an artifact.
+    NonFinite,
+    /// The point failed in enough earlier runs that the journal
+    /// quarantined it; it is skipped instead of being retried forever.
+    Quarantined,
+    /// A sweep worker thread died outside per-point isolation.
+    WorkerLoss,
+    /// The run was interrupted (SIGINT/SIGTERM) before this point was
+    /// claimed by a worker; the point was never evaluated and is *not*
+    /// tombstoned, so a resumed run picks it up cleanly.
+    Interrupted,
+}
+
+impl std::fmt::Display for PointFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PointFault::Panic => "panic",
+            PointFault::Timeout => "timeout",
+            PointFault::NonFinite => "non-finite",
+            PointFault::Quarantined => "quarantined",
+            PointFault::WorkerLoss => "worker-loss",
+            PointFault::Interrupted => "interrupted",
+        })
+    }
+}
+
+/// A design point whose evaluation failed (panic, deadline overrun,
+/// poisoned metrics, or a journal quarantine). The sweep records the
+/// failure and carries on with the remaining points.
+#[derive(Debug, Clone)]
+pub struct PointError {
+    /// The configuration that failed.
+    pub config: CacheConfig,
+    /// The failure class (drives retry/quarantine policy and reporting).
+    pub fault: PointFault,
+    /// Human-readable detail (panic payload, deadline, field name, ...).
+    pub message: String,
+}
+
+impl PointError {
+    /// A panicking evaluation, with the rendered payload.
+    pub fn panicked(config: CacheConfig, message: impl Into<String>) -> Self {
+        PointError {
+            config,
+            fault: PointFault::Panic,
+            message: message.into(),
+        }
+    }
+
+    /// An evaluation abandoned at its wall-clock deadline.
+    pub fn timed_out(config: CacheConfig, deadline: std::time::Duration) -> Self {
+        PointError {
+            config,
+            fault: PointFault::Timeout,
+            message: format!(
+                "exceeded the {:.1}s point deadline (OCCACHE_POINT_TIMEOUT); evaluation abandoned",
+                deadline.as_secs_f64()
+            ),
+        }
+    }
+
+    /// An evaluation that produced a non-finite metric.
+    pub fn non_finite(config: CacheConfig, field: &str) -> Self {
+        PointError {
+            config,
+            fault: PointFault::NonFinite,
+            message: format!("{field} is not finite; the point was rejected, not journalled"),
+        }
+    }
+
+    /// A point skipped because the journal quarantined it.
+    pub fn quarantined(config: CacheConfig, failures: u32) -> Self {
+        PointError {
+            config,
+            fault: PointFault::Quarantined,
+            message: format!(
+                "quarantined after {failures} failed run(s); pass --fresh to retry it"
+            ),
+        }
+    }
+
+    /// A worker thread dying outside per-point isolation.
+    pub fn worker_loss(config: CacheConfig, message: impl Into<String>) -> Self {
+        PointError {
+            config,
+            fault: PointFault::WorkerLoss,
+            message: message.into(),
+        }
+    }
+
+    /// A point left unevaluated because the run was interrupted.
+    pub fn interrupted(config: CacheConfig) -> Self {
+        PointError {
+            config,
+            fault: PointFault::Interrupted,
+            message: "run interrupted (SIGINT/SIGTERM) before this point was evaluated; \
+                      rerun to resume"
+                .into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: [{}] {}", self.config, self.fault, self.message)
+    }
+}
+
+/// Renders a panic payload as text (panics carry `&str` or `String`
+/// payloads in practice; anything else is reported opaquely).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// Evaluates one configuration with panic containment: a panic inside
+/// `eval` becomes an `Err(PointError)` instead of unwinding the sweep.
+fn evaluate_contained<F>(
+    config: CacheConfig,
+    traces: &[Trace],
+    warmup: usize,
+    eval: &F,
+) -> Result<DesignPoint, PointError>
+where
+    F: Fn(CacheConfig, &[Trace], usize) -> DesignPoint,
+{
+    panic::catch_unwind(AssertUnwindSafe(|| eval(config, traces, warmup)))
+        .map_err(|payload| PointError::panicked(config, panic_message(payload)))
+}
+
+/// Fault-isolated parallel sweep returning one result per config, in
+/// input order. The building block under the isolated-sweep entry points
+/// and the checkpointed sweeps, which need the per-index mapping.
+pub fn evaluate_results_with<F>(
+    configs: &[CacheConfig],
+    traces: &[Trace],
+    warmup: usize,
+    eval: F,
+) -> Vec<Result<DesignPoint, PointError>>
+where
+    F: Fn(CacheConfig, &[Trace], usize) -> DesignPoint + Sync,
+{
+    let workers = pool_workers(configs.len());
+    let chunk = configs.len().div_ceil(workers.max(1)).max(1);
+    let mut slots: Vec<Option<Result<DesignPoint, PointError>>> = vec![None; configs.len()];
+    let eval = &eval;
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, block) in configs.chunks(chunk).enumerate() {
+            handles.push((
+                i * chunk,
+                block,
+                scope.spawn(move || {
+                    block
+                        .iter()
+                        .map(|&c| evaluate_contained(c, traces, warmup, eval))
+                        .collect::<Vec<_>>()
+                }),
+            ));
+        }
+        for (start, block, h) in handles {
+            match h.join() {
+                Ok(results) => {
+                    for (j, r) in results.into_iter().enumerate() {
+                        slots[start + j] = Some(r);
+                    }
+                }
+                // With per-point containment a worker should never die, but
+                // if one does, name every config it was carrying rather
+                // than poisoning the whole sweep.
+                Err(payload) => {
+                    let message = format!(
+                        "sweep worker thread died outside point isolation: {}",
+                        panic_message(payload)
+                    );
+                    for (j, &c) in block.iter().enumerate() {
+                        slots[start + j] = Some(Err(PointError::worker_loss(c, message.clone())));
+                    }
+                }
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every chunk filled its slots"))
+        .collect()
+}
+
+/// The worker count a sweep pool should use for `units` schedulable
+/// units: the `OCCACHE_JOBS` override when set (malformed values fall
+/// back silently — bins validate via [`crate::config::try_jobs`] at
+/// startup), otherwise the hardware parallelism, never more workers than
+/// units and never zero.
+pub fn pool_workers(units: usize) -> usize {
+    let hardware = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    crate::config::try_jobs()
+        .unwrap_or(None)
+        .unwrap_or(hardware)
+        .min(units.max(1))
+}

@@ -1,0 +1,50 @@
+//! The f64 rendering convention shared by every exact-value surface.
+//!
+//! Journal records, the serving layer's JSON responses and the metric
+//! quantile samples all print floats with `{:?}`, which emits the
+//! shortest decimal string that parses back to the identical bits — so
+//! a restored or cached point is bit-identical to the computed one.
+//! Keeping the convention in one named helper stops the three surfaces
+//! from drifting apart.
+
+/// Renders an `f64` as the shortest string that round-trips exactly:
+/// `parse::<f64>()` of the result yields the same bits.
+pub fn fmt_f64_exact(value: f64) -> String {
+    format!("{value:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn common_values_render_shortest() {
+        assert_eq!(fmt_f64_exact(0.1), "0.1");
+        assert_eq!(fmt_f64_exact(1.0), "1.0");
+        assert_eq!(fmt_f64_exact(0.001024), "0.001024");
+        assert_eq!(fmt_f64_exact(f64::NAN), "NaN");
+    }
+
+    proptest! {
+        #[test]
+        fn rendering_round_trips_exactly(
+            value in (0u64..=u64::MAX).prop_filter_map("finite", |bits| {
+                let v = f64::from_bits(bits);
+                v.is_finite().then_some(v)
+            })
+        ) {
+            let parsed: f64 = fmt_f64_exact(value).parse().expect("parses back");
+            prop_assert_eq!(parsed.to_bits(), value.to_bits());
+        }
+
+        #[test]
+        fn ratio_range_round_trips_exactly(
+            // Metric ratios live in [0, 4]; cover that range densely.
+            value in (0u64..=u64::MAX).prop_map(|n| n as f64 / u64::MAX as f64 * 4.0)
+        ) {
+            let parsed: f64 = fmt_f64_exact(value).parse().expect("parses back");
+            prop_assert_eq!(parsed.to_bits(), value.to_bits());
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Instrumentation shared by both front-ends: lock-free counters, a
+//! fixed-bucket latency histogram, and a snapshot [`Registry`] whose
+//! named instruments render to either sink — Prometheus text exposition
+//! (the server's `/metrics`) or greppable line-oriented JSON (the batch
+//! harness's `RUN_REPORT.json` totals).
+//!
+//! The registry is a *snapshot*, not a live store: callers read their
+//! atomics, assemble the families in display order, and render. That
+//! keeps recording on the hot path one relaxed atomic increment with no
+//! registry lock, and keeps both renderings byte-deterministic for a
+//! given snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::fmt::fmt_f64_exact;
+
+/// A monotonically increasing event counter with relaxed atomics: safe
+/// to bump from any worker thread, read for a render snapshot.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Histogram bucket upper bounds in microseconds: powers of four from
+/// 64 µs to ~67 s, plus an unbounded overflow bucket. Fixed at compile
+/// time so recording is one atomic increment.
+const BUCKET_BOUNDS_US: &[u64] = &[
+    64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216, 67_108_864,
+];
+
+/// A fixed-bucket latency histogram with lock-free recording.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: (0..=BUCKET_BOUNDS_US.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            total: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let bucket = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile in seconds (upper bound of the bucket holding
+    /// it): a conservative estimate, monotone in `q`. Zero when empty.
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, count) in self.counts.iter().enumerate() {
+            seen += count.load(Ordering::Relaxed);
+            if seen >= rank {
+                let bound_us = BUCKET_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    // Overflow bucket: report the largest finite bound.
+                    .unwrap_or(*BUCKET_BOUNDS_US.last().expect("bounds non-empty"));
+                return bound_us as f64 / 1e6;
+            }
+        }
+        0.0
+    }
+}
+
+/// How a sample's value is rendered in the text sinks.
+#[derive(Debug, Clone, Copy)]
+enum Value {
+    /// A whole number (`{}`).
+    Int(u128),
+    /// A float at fixed millisecond precision (`{:.3}`) — uptimes and
+    /// busy-seconds, where sub-millisecond digits are noise.
+    Float3(f64),
+    /// A float rendered shortest-round-trip ([`fmt_f64_exact`]) —
+    /// quantiles and ratios, where the exact bits are the contract.
+    FloatExact(f64),
+}
+
+impl Value {
+    fn render(self) -> String {
+        match self {
+            Value::Int(v) => format!("{v}"),
+            Value::Float3(v) => format!("{v:.3}"),
+            Value::FloatExact(v) => fmt_f64_exact(v),
+        }
+    }
+}
+
+/// One sample row of a family: an optional `{label="..."}` suffix plus
+/// the value.
+#[derive(Debug, Clone)]
+struct Sample {
+    /// Rendered label set including braces (e.g. `{worker="0"}`), or
+    /// empty for an unlabeled sample.
+    labels: String,
+    value: Value,
+}
+
+/// One named instrument family: its metadata (omitted for bare samples
+/// such as Prometheus summary `_count` rows) and its samples in order.
+#[derive(Debug, Clone)]
+struct Family {
+    name: String,
+    /// `Some((help text, exposition type))` emits `# HELP` / `# TYPE`
+    /// header lines in the Prometheus sink; `None` emits samples only.
+    meta: Option<(String, &'static str)>,
+    samples: Vec<Sample>,
+}
+
+/// An ordered snapshot of named instruments, renderable to either sink.
+///
+/// Families render in insertion order, samples in push order, so a given
+/// snapshot produces byte-identical output on every render — both sinks
+/// are diffed in CI.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    families: Vec<Family>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn push(&mut self, name: &str, meta: Option<(String, &'static str)>, sample: Sample) {
+        if let Some(family) = self.families.last_mut() {
+            if family.name == name {
+                family.samples.push(sample);
+                return;
+            }
+        }
+        self.families.push(Family {
+            name: name.to_string(),
+            meta,
+            samples: vec![sample],
+        });
+    }
+
+    /// Adds a counter family with one unlabeled integer sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        self.push(
+            name,
+            Some((help.to_string(), "counter")),
+            Sample {
+                labels: String::new(),
+                value: Value::Int(u128::from(value)),
+            },
+        );
+        self
+    }
+
+    /// Adds a gauge family with one unlabeled integer sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        self.push(
+            name,
+            Some((help.to_string(), "gauge")),
+            Sample {
+                labels: String::new(),
+                value: Value::Int(u128::from(value)),
+            },
+        );
+        self
+    }
+
+    /// Adds a gauge family with one unlabeled fixed-precision float
+    /// sample (`{:.3}`).
+    pub fn gauge_seconds(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
+        self.push(
+            name,
+            Some((help.to_string(), "gauge")),
+            Sample {
+                labels: String::new(),
+                value: Value::Float3(value),
+            },
+        );
+        self
+    }
+
+    /// Adds an integer sample with no `# HELP`/`# TYPE` header — the
+    /// shape of companion rows like a summary's `_count` or a gauge's
+    /// secondary series.
+    pub fn bare(&mut self, name: &str, value: u128) -> &mut Self {
+        self.push(
+            name,
+            None,
+            Sample {
+                labels: String::new(),
+                value: Value::Int(value),
+            },
+        );
+        self
+    }
+
+    /// Adds a counter family with one fixed-precision float sample per
+    /// label value, labeled `{key="value"}` in the given order.
+    pub fn labeled_counter_seconds(
+        &mut self,
+        name: &str,
+        help: &str,
+        key: &str,
+        samples: impl IntoIterator<Item = (String, f64)>,
+    ) -> &mut Self {
+        let mut meta = Some((help.to_string(), "counter"));
+        for (label, value) in samples {
+            self.push(
+                name,
+                meta.take(),
+                Sample {
+                    labels: format!("{{{key}=\"{label}\"}}"),
+                    value: Value::Float3(value),
+                },
+            );
+        }
+        self
+    }
+
+    /// Adds a summary family: one shortest-round-trip float sample per
+    /// `{quantile="..."}` label. The companion `_count` row is a
+    /// separate [`Registry::bare`] family, as in the exposition format.
+    pub fn summary(
+        &mut self,
+        name: &str,
+        help: &str,
+        quantiles: impl IntoIterator<Item = (String, f64)>,
+    ) -> &mut Self {
+        let mut meta = Some((help.to_string(), "summary"));
+        for (label, value) in quantiles {
+            self.push(
+                name,
+                meta.take(),
+                Sample {
+                    labels: format!("{{quantile=\"{label}\"}}"),
+                    value: Value::FloatExact(value),
+                },
+            );
+        }
+        self
+    }
+
+    /// Renders the Prometheus text exposition: `# HELP` / `# TYPE`
+    /// headers for families carrying metadata, then one
+    /// `name{labels} value` row per sample.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        for family in &self.families {
+            if let Some((help, kind)) = &family.meta {
+                let _ = writeln!(out, "# HELP {} {help}", family.name);
+                let _ = writeln!(out, "# TYPE {} {kind}", family.name);
+            }
+            for sample in &family.samples {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    family.name,
+                    sample.labels,
+                    sample.value.render()
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders one flat JSON object, `{"name": value,...}`, taking each
+    /// family's first sample. The uniform `"name": value` spacing is the
+    /// greppable contract of RUN_REPORT.json (CI matches
+    /// `'"timed_out": [1-9]'` without a JSON parser).
+    pub fn render_json(&self) -> String {
+        let fields: Vec<String> = self
+            .families
+            .iter()
+            .filter_map(|family| {
+                let sample = family.samples.first()?;
+                Some(format!("\"{}\": {}", family.name, sample.value.render()))
+            })
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_monotone_and_bucketed() {
+        let h = Histogram::default();
+        for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 500] {
+            h.record(Duration::from_millis(ms));
+        }
+        let p50 = h.quantile_seconds(0.5);
+        let p99 = h.quantile_seconds(0.99);
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        // 1 ms lands in the 1024 µs bucket; 500 ms in the 1.048576 s one.
+        assert!((p50 - 0.001024).abs() < 1e-9, "{p50}");
+        assert!((p99 - 1.048576).abs() < 1e-9, "{p99}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_seconds(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn counter_accumulates_relaxed_increments() {
+        let c = Counter::default();
+        c.bump();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn prometheus_sink_renders_exact_exposition_rows() {
+        let mut reg = Registry::new();
+        reg.counter("occache_requests_total", "Requests accepted.", 3)
+            .gauge("occache_workers", "Scheduler worker threads.", 2)
+            .bare("occache_workers_busy", 1)
+            .gauge_seconds("occache_uptime_seconds", "Seconds since start.", 6.5)
+            .labeled_counter_seconds(
+                "occache_worker_busy_seconds",
+                "Cumulative evaluation time per worker.",
+                "worker",
+                [(String::from("0"), 1.0), (String::from("1"), 2.0)],
+            )
+            .summary(
+                "occache_request_seconds",
+                "Latency quantiles.",
+                [
+                    (String::from("0.5"), 0.001024),
+                    (String::from("0.99"), 1.048576),
+                ],
+            )
+            .bare("occache_request_seconds_count", 10);
+        let text = reg.render_prometheus();
+        let expected = "\
+# HELP occache_requests_total Requests accepted.
+# TYPE occache_requests_total counter
+occache_requests_total 3
+# HELP occache_workers Scheduler worker threads.
+# TYPE occache_workers gauge
+occache_workers 2
+occache_workers_busy 1
+# HELP occache_uptime_seconds Seconds since start.
+# TYPE occache_uptime_seconds gauge
+occache_uptime_seconds 6.500
+# HELP occache_worker_busy_seconds Cumulative evaluation time per worker.
+# TYPE occache_worker_busy_seconds counter
+occache_worker_busy_seconds{worker=\"0\"} 1.000
+occache_worker_busy_seconds{worker=\"1\"} 2.000
+# HELP occache_request_seconds Latency quantiles.
+# TYPE occache_request_seconds summary
+occache_request_seconds{quantile=\"0.5\"} 0.001024
+occache_request_seconds{quantile=\"0.99\"} 1.048576
+occache_request_seconds_count 10
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn json_sink_renders_uniform_greppable_fields() {
+        let mut reg = Registry::new();
+        reg.bare("phases", 2)
+            .bare("computed", 20)
+            .bare("timed_out", 1);
+        assert_eq!(
+            reg.render_json(),
+            "{\"phases\": 2,\"computed\": 20,\"timed_out\": 1}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Content addressing shared by the checkpoint journals, the serving
+//! layer's result cache, and the artifact manifest.
+//!
+//! Every surface that identifies a design point by value uses the same
+//! derivation: FNV-1a over the config's full `Debug` rendering, the
+//! trace-set fingerprint, and the warm-up length. A cache entry in the
+//! server therefore means exactly what a journal line means in a batch
+//! run, which is what lets a `results/.checkpoint/` directory warm-start
+//! the service.
+
+use occache_core::CacheConfig;
+
+use crate::eval::Trace;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher (no std `Hasher` indirection so the stream
+/// fed in is explicit and stable across Rust versions).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a over a byte string: the hash behind journal record
+/// checksums and the artifact manifest's content hashes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// A stable fingerprint of a trace set: names, lengths and every
+/// reference. Two sweeps resume from each other's journals only when they
+/// saw byte-identical traces.
+pub fn trace_fingerprint(traces: &[Trace]) -> u64 {
+    let mut h = Fnv::new();
+    for trace in traces {
+        h.write(trace.name.as_bytes());
+        h.write(&[0xff]);
+        h.write(&(trace.refs.len() as u64).to_le_bytes());
+        for r in trace.refs.iter() {
+            h.write(&[occache_trace::din::din_label(r.kind())]);
+            h.write(&r.address().value().to_le_bytes());
+        }
+    }
+    h.finish()
+}
+
+/// A stable fingerprint of a config grid (full `Debug` rendering of each
+/// config, in order) — recorded in the manifest and run report so a
+/// verifier can tell whether an artifact was produced from the grid it
+/// expects.
+pub fn config_fingerprint(configs: &[CacheConfig]) -> u64 {
+    let mut h = Fnv::new();
+    for config in configs {
+        h.write(format!("{config:?}").as_bytes());
+        h.write(&[0xff]);
+    }
+    h.finish()
+}
+
+/// The journal key of one design point: config (its full `Debug`
+/// rendering, which covers every field) + trace fingerprint + warm-up.
+pub fn point_key(config: &CacheConfig, fingerprint: u64, warmup: usize) -> u64 {
+    let mut h = Fnv::new();
+    h.write(format!("{config:?}").as_bytes());
+    h.write(&fingerprint.to_le_bytes());
+    h.write(&(warmup as u64).to_le_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn point_key_separates_warmup_and_fingerprint() {
+        let config = occache_core::CacheConfig::builder()
+            .net_size(64)
+            .block_size(8)
+            .sub_block_size(4)
+            .word_size(2)
+            .build()
+            .expect("valid geometry");
+        let base = point_key(&config, 1, 0);
+        assert_ne!(base, point_key(&config, 2, 0));
+        assert_ne!(base, point_key(&config, 1, 100));
+        assert_eq!(base, point_key(&config, 1, 0));
+    }
+}

@@ -3,7 +3,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use occache_experiments::interrupt;
+use occache_runtime::interrupt;
 use occache_serve::service::{Server, ServiceConfig};
 
 fn main() -> ExitCode {

@@ -13,7 +13,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use occache_experiments::checkpoint::{scan_journal, Entry};
+use occache_runtime::journal::{scan_journal, Entry};
 
 #[derive(Debug, Default)]
 struct Inner {

@@ -112,7 +112,9 @@ pub fn parse_head(buf: &[u8]) -> Result<ParseOutcome, ParseError> {
     }
     let head_text = std::str::from_utf8(&buf[..head_len])
         .map_err(|_| ParseError::Bad("head is not UTF-8".into()))?;
-    let mut lines = head_text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let mut lines = head_text
+        .split('\n')
+        .map(|l| l.strip_suffix('\r').unwrap_or(l));
 
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
@@ -413,10 +415,18 @@ mod tests {
     #[test]
     fn response_is_well_formed() {
         let mut conn = Connection::new(io::Cursor::new(Vec::new()));
-        conn.write_response(429, "application/json", &[("Retry-After", "1".into())], b"{}")
-            .unwrap();
+        conn.write_response(
+            429,
+            "application/json",
+            &[("Retry-After", "1".into())],
+            b"{}",
+        )
+        .unwrap();
         let wire = String::from_utf8(conn.stream.into_inner()).unwrap();
-        assert!(wire.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{wire}");
+        assert!(
+            wire.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{wire}"
+        );
         assert!(wire.contains("Retry-After: 1\r\n"), "{wire}");
         assert!(wire.ends_with("\r\n\r\n{}"), "{wire}");
     }

@@ -217,8 +217,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                             if !(0xdc00..0xe000).contains(&low) {
                                 return Err("bad low surrogate".into());
                             }
-                            let combined =
-                                0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                            let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
                             char::from_u32(combined).ok_or("bad surrogate pair")?
                         } else {
                             char::from_u32(code).ok_or("bad \\u escape")?
@@ -243,9 +242,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
 }
 
 fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
-    let chunk = bytes
-        .get(at..at + 4)
-        .ok_or("truncated \\u escape")?;
+    let chunk = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
     let text = std::str::from_utf8(chunk).map_err(|_| "non-UTF8 \\u escape")?;
     u32::from_str_radix(text, 16).map_err(|_| format!("bad \\u escape `{text}`"))
 }
@@ -316,10 +313,15 @@ mod tests {
         assert_eq!(v.get("model").and_then(Json::as_str), Some("pdp11"));
         assert_eq!(v.get("refs").and_then(Json::as_usize), Some(20000));
         assert_eq!(
-            v.get("config").and_then(|c| c.get("net")).and_then(Json::as_u64),
+            v.get("config")
+                .and_then(|c| c.get("net"))
+                .and_then(Json::as_u64),
             Some(1024)
         );
-        assert_eq!(v.get("tags").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        assert_eq!(
+            v.get("tags").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
         assert_eq!(v.get("warm").and_then(Json::as_bool), Some(true));
         assert_eq!(v.get("none"), Some(&Json::Null));
     }

@@ -1,123 +1,41 @@
-//! Service counters and a fixed-bucket latency histogram, all atomic —
-//! the `/metrics` endpoint renders a snapshot without stopping workers.
+//! Service counters and the `/metrics` text exposition.
+//!
+//! The instruments themselves — the lock-free [`Counter`], the
+//! fixed-bucket latency [`Histogram`] and the [`Registry`] snapshot that
+//! renders them — live in [`occache_runtime::instrument`], shared with
+//! the batch harness (whose `RUN_REPORT.json` totals render through the
+//! same registry). This module owns only the service's instrument *set*
+//! and the family order of its Prometheus exposition.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Histogram bucket upper bounds in microseconds: powers of four from
-/// 64 µs to ~67 s, plus an unbounded overflow bucket. Fixed at compile
-/// time so recording is one atomic increment.
-const BUCKET_BOUNDS_US: &[u64] = &[
-    64,
-    256,
-    1_024,
-    4_096,
-    16_384,
-    65_536,
-    262_144,
-    1_048_576,
-    4_194_304,
-    16_777_216,
-    67_108_864,
-];
+use occache_runtime::instrument::{Counter, Registry};
 
-/// A fixed-bucket latency histogram with lock-free recording.
-#[derive(Debug)]
-pub struct Histogram {
-    counts: Vec<AtomicU64>,
-    total: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            counts: (0..=BUCKET_BOUNDS_US.len()).map(|_| AtomicU64::new(0)).collect(),
-            total: AtomicU64::new(0),
-        }
-    }
-}
-
-impl Histogram {
-    /// Records one observation.
-    pub fn record(&self, elapsed: Duration) {
-        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        let bucket = BUCKET_BOUNDS_US
-            .iter()
-            .position(|&bound| us <= bound)
-            .unwrap_or(BUCKET_BOUNDS_US.len());
-        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Observations recorded so far.
-    pub fn count(&self) -> u64 {
-        self.total.load(Ordering::Relaxed)
-    }
-
-    /// The `q`-quantile in seconds (upper bound of the bucket holding
-    /// it): a conservative estimate, monotone in `q`. Zero when empty.
-    pub fn quantile_seconds(&self, q: f64) -> f64 {
-        let total = self.count();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, count) in self.counts.iter().enumerate() {
-            seen += count.load(Ordering::Relaxed);
-            if seen >= rank {
-                let bound_us = BUCKET_BOUNDS_US
-                    .get(i)
-                    .copied()
-                    // Overflow bucket: report the largest finite bound.
-                    .unwrap_or(*BUCKET_BOUNDS_US.last().expect("bounds non-empty"));
-                return bound_us as f64 / 1e6;
-            }
-        }
-        0.0
-    }
-}
+pub use occache_runtime::instrument::Histogram;
 
 /// Request-level counters for the whole service.
 #[derive(Debug, Default)]
 pub struct Counters {
     /// All requests accepted for processing (any endpoint).
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// `/v1/simulate` requests.
-    pub simulate: AtomicU64,
+    pub simulate: Counter,
     /// `/v1/sweep` requests.
-    pub sweep: AtomicU64,
+    pub sweep: Counter,
     /// `/v1/status` and `/metrics` scrapes.
-    pub scrapes: AtomicU64,
+    pub scrapes: Counter,
     /// Requests rejected with 429 (queue full).
-    pub rejected: AtomicU64,
+    pub rejected: Counter,
     /// Requests answered 4xx (malformed input).
-    pub client_errors: AtomicU64,
+    pub client_errors: Counter,
     /// Requests answered 5xx.
-    pub server_errors: AtomicU64,
+    pub server_errors: Counter,
     /// Design points served straight from the result cache.
-    pub points_cached: AtomicU64,
+    pub points_cached: Counter,
     /// Design points computed by the scheduler.
-    pub points_computed: AtomicU64,
+    pub points_computed: Counter,
     /// End-to-end latency of simulate/sweep requests.
     pub latency: Histogram,
-}
-
-impl Counters {
-    /// Convenience: relaxed increment.
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Convenience: relaxed add.
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Convenience: relaxed read.
-    pub fn get(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
-    }
 }
 
 /// Point-in-time gauges the service assembles from its other layers for
@@ -140,108 +58,106 @@ pub struct Gauges {
     pub uptime_seconds: f64,
 }
 
-/// Renders the Prometheus-style text exposition for `/metrics`.
-pub fn render(counters: &Counters, gauges: Gauges, worker_busy: &[Duration]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::with_capacity(1024);
-    let mut counter = |name: &str, help: &str, value: u64| {
-        let _ = writeln!(out, "# HELP {name} {help}");
-        let _ = writeln!(out, "# TYPE {name} counter");
-        let _ = writeln!(out, "{name} {value}");
-    };
-    counter(
+/// Assembles the service's instrument families, in exposition order,
+/// into a [`Registry`] snapshot.
+pub fn registry(counters: &Counters, gauges: Gauges, worker_busy: &[Duration]) -> Registry {
+    let mut reg = Registry::new();
+    reg.counter(
         "occache_requests_total",
         "Requests accepted on any endpoint.",
-        Counters::get(&counters.requests),
-    );
-    counter(
+        counters.requests.get(),
+    )
+    .counter(
         "occache_requests_simulate_total",
         "POST /v1/simulate requests.",
-        Counters::get(&counters.simulate),
-    );
-    counter(
+        counters.simulate.get(),
+    )
+    .counter(
         "occache_requests_sweep_total",
         "POST /v1/sweep requests.",
-        Counters::get(&counters.sweep),
-    );
-    counter(
+        counters.sweep.get(),
+    )
+    .counter(
         "occache_scrapes_total",
         "Status and metrics scrapes.",
-        Counters::get(&counters.scrapes),
-    );
-    counter(
+        counters.scrapes.get(),
+    )
+    .counter(
         "occache_rejected_total",
         "Requests rejected with 429 (queue full).",
-        Counters::get(&counters.rejected),
-    );
-    counter(
+        counters.rejected.get(),
+    )
+    .counter(
         "occache_client_errors_total",
         "Requests answered 4xx.",
-        Counters::get(&counters.client_errors),
-    );
-    counter(
+        counters.client_errors.get(),
+    )
+    .counter(
         "occache_server_errors_total",
         "Requests answered 5xx.",
-        Counters::get(&counters.server_errors),
-    );
-    counter(
+        counters.server_errors.get(),
+    )
+    .counter(
         "occache_cache_hits_total",
         "Design points served from the result cache.",
         gauges.cache_hits,
-    );
-    counter(
+    )
+    .counter(
         "occache_cache_misses_total",
         "Design points not found in the result cache.",
         gauges.cache_misses,
-    );
-    counter(
+    )
+    .counter(
         "occache_points_computed_total",
         "Design points computed by the scheduler.",
-        Counters::get(&counters.points_computed),
+        counters.points_computed.get(),
+    )
+    .gauge(
+        "occache_queue_depth",
+        "Jobs waiting in the scheduler queue.",
+        gauges.queue_depth as u64,
+    )
+    .gauge(
+        "occache_workers",
+        "Scheduler worker threads.",
+        gauges.workers as u64,
+    )
+    .bare("occache_workers_busy", gauges.workers_busy as u128)
+    .gauge(
+        "occache_cache_entries",
+        "Result-cache entries resident.",
+        gauges.cache_entries as u64,
+    )
+    .gauge_seconds(
+        "occache_uptime_seconds",
+        "Seconds since service start.",
+        gauges.uptime_seconds,
+    )
+    .labeled_counter_seconds(
+        "occache_worker_busy_seconds",
+        "Cumulative evaluation time per worker.",
+        "worker",
+        worker_busy
+            .iter()
+            .enumerate()
+            .map(|(i, busy)| (i.to_string(), busy.as_secs_f64())),
+    )
+    .summary(
+        "occache_request_seconds",
+        "Simulate/sweep latency quantiles (bucket upper bounds).",
+        [("0.5", 0.5), ("0.99", 0.99)]
+            .map(|(label, q)| (label.to_string(), counters.latency.quantile_seconds(q))),
+    )
+    .bare(
+        "occache_request_seconds_count",
+        u128::from(counters.latency.count()),
     );
-    let _ = writeln!(out, "# HELP occache_queue_depth Jobs waiting in the scheduler queue.");
-    let _ = writeln!(out, "# TYPE occache_queue_depth gauge");
-    let _ = writeln!(out, "occache_queue_depth {}", gauges.queue_depth);
-    let _ = writeln!(out, "# HELP occache_workers Scheduler worker threads.");
-    let _ = writeln!(out, "# TYPE occache_workers gauge");
-    let _ = writeln!(out, "occache_workers {}", gauges.workers);
-    let _ = writeln!(out, "occache_workers_busy {}", gauges.workers_busy);
-    let _ = writeln!(out, "# HELP occache_cache_entries Result-cache entries resident.");
-    let _ = writeln!(out, "# TYPE occache_cache_entries gauge");
-    let _ = writeln!(out, "occache_cache_entries {}", gauges.cache_entries);
-    let _ = writeln!(out, "# HELP occache_uptime_seconds Seconds since service start.");
-    let _ = writeln!(out, "# TYPE occache_uptime_seconds gauge");
-    let _ = writeln!(out, "occache_uptime_seconds {:.3}", gauges.uptime_seconds);
-    let _ = writeln!(
-        out,
-        "# HELP occache_worker_busy_seconds Cumulative evaluation time per worker."
-    );
-    let _ = writeln!(out, "# TYPE occache_worker_busy_seconds counter");
-    for (i, busy) in worker_busy.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "occache_worker_busy_seconds{{worker=\"{i}\"}} {:.3}",
-            busy.as_secs_f64()
-        );
-    }
-    let _ = writeln!(
-        out,
-        "# HELP occache_request_seconds Simulate/sweep latency quantiles (bucket upper bounds)."
-    );
-    let _ = writeln!(out, "# TYPE occache_request_seconds summary");
-    for (label, q) in [("0.5", 0.5), ("0.99", 0.99)] {
-        let _ = writeln!(
-            out,
-            "occache_request_seconds{{quantile=\"{label}\"}} {:?}",
-            counters.latency.quantile_seconds(q)
-        );
-    }
-    let _ = writeln!(
-        out,
-        "occache_request_seconds_count {}",
-        counters.latency.count()
-    );
-    out
+    reg
+}
+
+/// Renders the Prometheus-style text exposition for `/metrics`.
+pub fn render(counters: &Counters, gauges: Gauges, worker_busy: &[Duration]) -> String {
+    registry(counters, gauges, worker_busy).render_prometheus()
 }
 
 #[cfg(test)]
@@ -249,30 +165,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quantiles_are_monotone_and_bucketed() {
-        let h = Histogram::default();
-        for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 500] {
-            h.record(Duration::from_millis(ms));
-        }
-        let p50 = h.quantile_seconds(0.5);
-        let p99 = h.quantile_seconds(0.99);
-        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
-        // 1 ms lands in the 1024 µs bucket; 500 ms in the 1.048576 s one.
-        assert!((p50 - 0.001024).abs() < 1e-9, "{p50}");
-        assert!((p99 - 1.048576).abs() < 1e-9, "{p99}");
-    }
-
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let h = Histogram::default();
-        assert_eq!(h.quantile_seconds(0.5), 0.0);
-        assert_eq!(h.count(), 0);
-    }
-
-    #[test]
     fn render_includes_every_family() {
         let counters = Counters::default();
-        Counters::bump(&counters.requests);
+        counters.requests.bump();
         counters.latency.record(Duration::from_millis(2));
         let text = render(
             &counters,
@@ -291,11 +186,14 @@ mod tests {
             "occache_requests_total 1",
             "occache_queue_depth 1",
             "occache_workers 2",
+            "occache_workers_busy 1",
             "occache_cache_hits_total 4",
             "occache_cache_misses_total 5",
+            "occache_uptime_seconds 6.500",
             "occache_worker_busy_seconds{worker=\"1\"} 2.000",
-            "occache_request_seconds{quantile=\"0.5\"}",
-            "occache_request_seconds{quantile=\"0.99\"}",
+            "occache_request_seconds{quantile=\"0.5\"} 0.004096",
+            "occache_request_seconds{quantile=\"0.99\"} 0.004096",
+            "occache_request_seconds_count 1",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

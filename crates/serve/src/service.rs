@@ -13,7 +13,7 @@
 //! * `GET /metrics` — Prometheus-style text exposition.
 //!
 //! Shutdown: the accept loop watches both [`Server::stop`] and the
-//! process-wide SIGINT/SIGTERM flag (`occache_experiments::interrupt`),
+//! process-wide SIGINT/SIGTERM flag (`occache_runtime::interrupt`),
 //! stops accepting, waits for in-flight connections to finish, then
 //! drains and joins the scheduler.
 
@@ -26,9 +26,13 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use occache_core::CacheConfig;
-use occache_experiments::checkpoint::{point_key, trace_fingerprint, Entry};
-use occache_experiments::supervisor::SupervisorPolicy;
-use occache_experiments::sweep::{materialize, DesignPoint, PointError};
+use occache_experiments::sweep::materialize;
+use occache_runtime::config::env_usize_opt;
+use occache_runtime::eval::{DesignPoint, PointError};
+use occache_runtime::executor::SupervisorPolicy;
+use occache_runtime::fmt::fmt_f64_exact;
+use occache_runtime::journal::Entry;
+use occache_runtime::keys::{point_key, trace_fingerprint};
 use occache_workloads::WorkloadSpec;
 
 use crate::cache::ResultCache;
@@ -86,23 +90,27 @@ impl ServiceConfig {
     ///
     /// Returns a message naming the malformed variable.
     pub fn try_from_env() -> Result<ServiceConfig, String> {
-        let workers = match env_usize("OCCACHE_SERVE_WORKERS")? {
+        let workers = match env_usize_opt("OCCACHE_SERVE_WORKERS")? {
             Some(n) if n > 0 => n,
-            Some(_) | None => {
-                occache_experiments::sweep::try_jobs()?.unwrap_or_else(|| {
-                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-                })
-            }
+            Some(_) | None => occache_runtime::config::try_jobs()?.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            }),
         };
         Ok(ServiceConfig {
             addr: std::env::var("OCCACHE_SERVE_ADDR")
                 .unwrap_or_else(|_| "127.0.0.1:7807".to_string()),
             workers,
-            queue_capacity: env_usize("OCCACHE_SERVE_QUEUE")?.unwrap_or(256).max(1),
-            max_batch: env_usize("OCCACHE_SERVE_BATCH")?.unwrap_or(64).max(1),
-            cache_capacity: env_usize("OCCACHE_SERVE_CACHE")?.unwrap_or(65_536).max(1),
+            queue_capacity: env_usize_opt("OCCACHE_SERVE_QUEUE")?.unwrap_or(256).max(1),
+            max_batch: env_usize_opt("OCCACHE_SERVE_BATCH")?.unwrap_or(64).max(1),
+            cache_capacity: env_usize_opt("OCCACHE_SERVE_CACHE")?
+                .unwrap_or(65_536)
+                .max(1),
             default_refs: occache_experiments::sweep::try_trace_len()?,
-            warm_start: std::env::var("OCCACHE_SERVE_WARM").ok().filter(|s| !s.is_empty()),
+            warm_start: std::env::var("OCCACHE_SERVE_WARM")
+                .ok()
+                .filter(|s| !s.is_empty()),
             policy: SupervisorPolicy::try_from_env()?,
         })
     }
@@ -120,17 +128,6 @@ impl ServiceConfig {
             warm_start: None,
             policy: SupervisorPolicy::disabled(),
         }
-    }
-}
-
-fn env_usize(var: &str) -> Result<Option<usize>, String> {
-    match std::env::var(var) {
-        Err(_) => Ok(None),
-        Ok(raw) => raw
-            .trim()
-            .parse::<usize>()
-            .map(Some)
-            .map_err(|_| format!("{var} `{raw}` is not a whole number")),
     }
 }
 
@@ -204,8 +201,11 @@ impl Service {
 
     /// Handles one parsed request, returning `(status, content_type,
     /// extra headers, body)`.
-    fn handle(&self, request: &Request) -> (u16, &'static str, Vec<(&'static str, String)>, String) {
-        Counters::bump(&self.counters.requests);
+    fn handle(
+        &self,
+        request: &Request,
+    ) -> (u16, &'static str, Vec<(&'static str, String)>, String) {
+        self.counters.requests.bump();
         let path = request
             .head
             .target
@@ -216,23 +216,23 @@ impl Service {
         let started = Instant::now();
         let (status, body) = match (method, path) {
             ("POST", "/v1/simulate") => {
-                Counters::bump(&self.counters.simulate);
+                self.counters.simulate.bump();
                 let out = self.simulate(&request.body);
                 self.counters.latency.record(started.elapsed());
                 out
             }
             ("POST", "/v1/sweep") => {
-                Counters::bump(&self.counters.sweep);
+                self.counters.sweep.bump();
                 let out = self.sweep(&request.body);
                 self.counters.latency.record(started.elapsed());
                 out
             }
             ("GET", "/v1/status") => {
-                Counters::bump(&self.counters.scrapes);
+                self.counters.scrapes.bump();
                 (200, self.status_json())
             }
             ("GET", "/metrics") => {
-                Counters::bump(&self.counters.scrapes);
+                self.counters.scrapes.bump();
                 let text = crate::metrics::render(
                     &self.counters,
                     self.gauges(),
@@ -246,13 +246,13 @@ impl Service {
             _ => (404, error_body("no such endpoint")),
         };
         match status {
-            400..=499 => Counters::bump(&self.counters.client_errors),
-            500..=599 => Counters::bump(&self.counters.server_errors),
+            400..=499 => self.counters.client_errors.bump(),
+            500..=599 => self.counters.server_errors.bump(),
             _ => {}
         }
         let mut headers = Vec::new();
         if status == 429 {
-            Counters::bump(&self.counters.rejected);
+            self.counters.rejected.bump();
             headers.push(("Retry-After", "1".to_string()));
         }
         (status, "application/json", headers, body)
@@ -322,7 +322,7 @@ impl Service {
                 Ok(point) => {
                     let entry = Entry::of(&point);
                     self.cache.insert(key, entry);
-                    Counters::bump(&self.counters.points_computed);
+                    self.counters.points_computed.bump();
                     (200, point_json(&parsed, config, key, &entry, false))
                 }
                 Err(e) => (500, point_error_body(&e)),
@@ -396,7 +396,7 @@ impl Service {
                         Ok(point) => {
                             let entry = Entry::of(&point);
                             self.cache.insert(reply.key, entry);
-                            Counters::bump(&self.counters.points_computed);
+                            self.counters.points_computed.bump();
                             by_key.insert(reply.key, Ok(entry));
                         }
                         Err(e) => {
@@ -517,7 +517,9 @@ fn parse_point_request(body: &[u8], default_refs: usize) -> Result<PointRequest,
             Some(v) => v.as_u64().ok_or("\"assoc\" must be a whole number")?,
         };
         for net in nets {
-            let net = net.as_u64().ok_or("\"nets\" entries must be whole numbers")?;
+            let net = net
+                .as_u64()
+                .ok_or("\"nets\" entries must be whole numbers")?;
             for (block, sub) in occache_experiments::sweep::table1_pairs(net, word) {
                 let config = CacheConfig::builder()
                     .net_size(net)
@@ -580,24 +582,25 @@ fn point_error_body(e: &PointError) -> String {
 }
 
 /// The per-point response fields shared by simulate and sweep. `f64`
-/// metrics use `{:?}` — the shortest exact rendering — so a cached
-/// response is bit-identical to the computed one.
+/// metrics use [`fmt_f64_exact`] — the shortest exact rendering, shared
+/// with the checkpoint journal — so a cached response is bit-identical
+/// to the computed one.
 fn point_json_inner(config: CacheConfig, key: u64, entry: &Entry, cached: bool) -> String {
     format!(
         "{{\"key\":\"{key:016x}\",\"cached\":{cached},\
          \"config\":{{\"net\":{},\"block\":{},\"sub\":{},\"assoc\":{},\"word\":{}}},\
-         \"gross_size\":{},\"miss_ratio\":{:?},\"traffic_ratio\":{:?},\
-         \"nibble_traffic_ratio\":{:?},\"redundant_load_fraction\":{:?}}}",
+         \"gross_size\":{},\"miss_ratio\":{},\"traffic_ratio\":{},\
+         \"nibble_traffic_ratio\":{},\"redundant_load_fraction\":{}}}",
         config.net_size(),
         config.block_size(),
         config.sub_block_size(),
         config.associativity(),
         config.word_size(),
         config.gross_size(),
-        entry.miss,
-        entry.traffic,
-        entry.nibble,
-        entry.redundant,
+        fmt_f64_exact(entry.miss),
+        fmt_f64_exact(entry.traffic),
+        fmt_f64_exact(entry.nibble),
+        fmt_f64_exact(entry.redundant),
     )
 }
 
@@ -712,7 +715,7 @@ fn accept_loop(
 ) -> io::Result<()> {
     let active = Arc::new(AtomicUsize::new(0));
     let should_stop =
-        |stop: &AtomicBool| stop.load(Ordering::SeqCst) || occache_experiments::interrupt::requested();
+        |stop: &AtomicBool| stop.load(Ordering::SeqCst) || occache_runtime::interrupt::requested();
     while !should_stop(stop) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -744,11 +747,7 @@ fn accept_loop(
     Ok(())
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    service: &Service,
-    stop: &AtomicBool,
-) -> io::Result<()> {
+fn serve_connection(stream: TcpStream, service: &Service, stop: &AtomicBool) -> io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     let mut conn = Connection::new(stream);
     loop {
@@ -757,7 +756,10 @@ fn serve_connection(
             // An idle keep-alive connection timing out is a normal way
             // for the exchange to end.
             Err(e)
-                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
             {
                 return Ok(())
             }
@@ -766,7 +768,7 @@ fn serve_connection(
         match outcome {
             ReadOutcome::Closed => return Ok(()),
             ReadOutcome::Malformed(e) => {
-                Counters::bump(&service.counters.client_errors);
+                service.counters.client_errors.bump();
                 let status = match e {
                     ParseError::TooLarge => 400,
                     ParseError::BodyTooLarge => 413,
@@ -852,7 +854,9 @@ mod tests {
         let doc = Json::parse(&text).unwrap();
         assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(true));
         assert_eq!(
-            doc.get("miss_ratio").and_then(Json::as_f64).map(f64::to_bits),
+            doc.get("miss_ratio")
+                .and_then(Json::as_f64)
+                .map(f64::to_bits),
             Some((1.0f64 / 3.0).to_bits())
         );
         assert_eq!(

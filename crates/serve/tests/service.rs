@@ -95,7 +95,11 @@ fn repeated_point_is_cached_and_bit_identical_to_direct_evaluation() {
     ];
     for (field, want) in METRICS.iter().zip(direct_bits) {
         assert_eq!(metric_bits(&first, field), want, "{field} vs direct");
-        assert_eq!(metric_bits(&second, field), want, "{field} cached vs direct");
+        assert_eq!(
+            metric_bits(&second, field),
+            want,
+            "{field} cached vs direct"
+        );
     }
     assert_eq!(
         second.get("gross_size").and_then(Json::as_u64),
@@ -122,7 +126,10 @@ fn sweep_preserves_request_order_and_is_fully_cached_on_repeat() {
     assert_eq!(first.get("total").and_then(Json::as_u64), Some(3));
     assert_eq!(first.get("computed").and_then(Json::as_u64), Some(3));
     assert_eq!(first.get("cached").and_then(Json::as_u64), Some(0));
-    let points = first.get("points").and_then(Json::as_array).expect("points");
+    let points = first
+        .get("points")
+        .and_then(Json::as_array)
+        .expect("points");
     let blocks: Vec<u64> = points
         .iter()
         .map(|p| {
@@ -132,14 +139,21 @@ fn sweep_preserves_request_order_and_is_fully_cached_on_repeat() {
                 .expect("block")
         })
         .collect();
-    assert_eq!(blocks, [32, 8, 16], "points must come back in request order");
+    assert_eq!(
+        blocks,
+        [32, 8, 16],
+        "points must come back in request order"
+    );
 
     let (status, again) = http(&addr, "POST", "/v1/sweep", body);
     assert_eq!(status, 200, "{again}");
     let again = json(&again);
     assert_eq!(again.get("cached").and_then(Json::as_u64), Some(3));
     assert_eq!(again.get("computed").and_then(Json::as_u64), Some(0));
-    let repeat = again.get("points").and_then(Json::as_array).expect("points");
+    let repeat = again
+        .get("points")
+        .and_then(Json::as_array)
+        .expect("points");
     for (a, b) in points.iter().zip(repeat) {
         for field in METRICS {
             assert_eq!(metric_bits(a, field), metric_bits(b, field), "{field}");

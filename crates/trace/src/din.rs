@@ -94,7 +94,8 @@ pub fn parse_din<R: Read>(reader: R) -> Result<Vec<MemRef>, ParseTraceError> {
             continue;
         }
         out.push(
-            classify_din_record(trimmed).map_err(|kind| crate::io::malformed(idx + 1, &line, kind))?,
+            classify_din_record(trimmed)
+                .map_err(|kind| crate::io::malformed(idx + 1, &line, kind))?,
         );
     }
     Ok(out)

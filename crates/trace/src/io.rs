@@ -90,7 +90,10 @@ impl fmt::Display for ParseTraceError {
         match self {
             ParseTraceError::Io(e) => write!(f, "trace read failed: {e}"),
             ParseTraceError::Malformed { line, text, kind } => {
-                write!(f, "malformed trace record at line {line} ({kind}): {text:?}")
+                write!(
+                    f,
+                    "malformed trace record at line {line} ({kind}): {text:?}"
+                )
             }
         }
     }

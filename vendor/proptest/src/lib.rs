@@ -195,9 +195,7 @@ pub mod collection {
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
-            (0..self.len)
-                .map(|_| self.element.generate(rng))
-                .collect()
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
         }
     }
 }
@@ -213,11 +211,9 @@ where
 {
     use rand::SeedableRng as _;
     // FNV-1a over the test name: stable per test, independent of ordering.
-    let seed = name
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
-        });
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    });
     let mut rng = StdRng::seed_from_u64(seed);
     let mut accepted = 0u32;
     let mut rejects = 0u32;
@@ -233,9 +229,8 @@ where
             Some(value) => {
                 accepted += 1;
                 let rendered = format!("{value:?}");
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    check(value)
-                }));
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(value)));
                 if let Err(panic) = result {
                     eprintln!("proptest {name}: case {accepted} failed with input {rendered}");
                     std::panic::resume_unwind(panic);
