@@ -107,6 +107,13 @@ SERVE_ADDR=$(sed -n 's/^occache-serve listening on //p' "$SERVE_LOG")
 ./target/release/occache-loadgen --addr "$SERVE_ADDR" --refs 30000 --check --out "$SERVE_BENCH"
 grep -q '"speedup"' "$SERVE_BENCH" \
   || { echo "FAIL: $SERVE_BENCH is missing the speedup figure"; exit 1; }
+# Batching must actually pay: the coalesced sweep has to beat
+# one-point-per-request by at least 2x.
+SPEEDUP=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' "$SERVE_BENCH")
+[ -n "$SPEEDUP" ] || { echo "FAIL: unparseable speedup in $SERVE_BENCH"; exit 1; }
+awk -v s="$SPEEDUP" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }' \
+  || { echo "FAIL: batched speedup ${SPEEDUP}x is below the 2x floor"; exit 1; }
+echo "   batched sweep speedup: ${SPEEDUP}x (floor 2x)"
 
 echo "-- dual front-end bit-identity: batch journal vs served sweep --"
 # The same tiny grid through both front-ends of occache-runtime: the
@@ -148,5 +155,88 @@ if [ "$SERVE_RC" -ne 0 ]; then
 fi
 grep -q "shut down cleanly" "$SERVE_LOG" \
   || { echo "FAIL: graceful-shutdown message missing"; cat "$SERVE_LOG"; exit 1; }
+
+echo "== chaos gate: deterministic fault injection vs the resilient loadgen =="
+# The server tears every 5th response write and drops every 7th
+# connection (OCCACHE_SERVE_FAULT); the loadgen retries transport faults
+# and retryable structured errors. The run must end with every request
+# answered — correctly — or fail; `timeout` bounds the whole run so a
+# hung connection past its deadline fails the gate rather than wedging CI.
+CHAOS_LOG=target/ci-chaos.log
+CHAOS_BENCH=target/ci-BENCH_chaos.json
+CHAOS_JOURNAL=target/ci-chaos-journal
+rm -rf "$CHAOS_LOG" "$CHAOS_BENCH" "$CHAOS_JOURNAL" target/ci-chaos-*.txt
+mkdir -p "$CHAOS_JOURNAL"
+OCCACHE_SERVE_ADDR=127.0.0.1:0 OCCACHE_SERVE_WORKERS=2 \
+  OCCACHE_SERVE_FAULT=torn-write:5,drop-conn:7 \
+  OCCACHE_SERVE_JOURNAL="$CHAOS_JOURNAL" \
+  ./target/release/occache-serve > "$CHAOS_LOG" 2>&1 &
+CHAOS_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$CHAOS_LOG" 2>/dev/null && break
+  sleep 0.1
+done
+CHAOS_ADDR=$(sed -n 's/^occache-serve listening on //p' "$CHAOS_LOG")
+[ -n "$CHAOS_ADDR" ] || { echo "FAIL: chaotic occache-serve never came up"; cat "$CHAOS_LOG"; exit 1; }
+timeout 180 ./target/release/occache-loadgen --addr "$CHAOS_ADDR" --refs 20000 \
+    --retries 12 --timeout 30 --check \
+    --out "$CHAOS_BENCH" --digest target/ci-chaos-before.txt \
+  || { echo "FAIL: loadgen did not complete under chaos"; cat "$CHAOS_LOG"; exit 1; }
+# The client must actually have exercised its retry path...
+grep -Eq '"retries": [1-9]' "$CHAOS_BENCH" \
+  || { echo "FAIL: chaos run finished without a single client retry"; cat "$CHAOS_BENCH"; exit 1; }
+# ...and the injected fault counters must be visible on /metrics (the
+# scrape itself can be torn, so allow a few attempts).
+METRICS_OK=
+for _ in $(seq 1 6); do
+  if curl -s "http://$CHAOS_ADDR/metrics" > target/ci-chaos-metrics.txt 2>/dev/null \
+     && grep -Eq 'occache_fault_torn_write_injected_total [1-9]' target/ci-chaos-metrics.txt \
+     && grep -Eq 'occache_fault_drop_conn_injected_total [1-9]' target/ci-chaos-metrics.txt; then
+    METRICS_OK=1; break
+  fi
+  sleep 0.2
+done
+[ -n "$METRICS_OK" ] \
+  || { echo "FAIL: injected fault counters missing from /metrics"; cat target/ci-chaos-metrics.txt; exit 1; }
+echo "   chaos survived: $(sed -n 's/.*"resilience": {\(.*\)}.*/\1/p' "$CHAOS_BENCH")"
+
+echo "-- crash recovery: kill -9, restart, bit-identical answers from the journal --"
+# No graceful shutdown: the write-behind journal alone must carry every
+# computed point across the crash.
+kill -9 "$CHAOS_PID"
+set +e; wait "$CHAOS_PID" 2>/dev/null; set -e
+RECOVER_LOG=target/ci-recover.log
+RECOVER_BENCH=target/ci-BENCH_recover.json
+rm -f "$RECOVER_LOG" "$RECOVER_BENCH"
+OCCACHE_SERVE_ADDR=127.0.0.1:0 OCCACHE_SERVE_WORKERS=2 \
+  OCCACHE_SERVE_JOURNAL="$CHAOS_JOURNAL" \
+  ./target/release/occache-serve > "$RECOVER_LOG" 2>&1 &
+RECOVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$RECOVER_LOG" 2>/dev/null && break
+  sleep 0.1
+done
+RECOVER_ADDR=$(sed -n 's/^occache-serve listening on //p' "$RECOVER_LOG")
+[ -n "$RECOVER_ADDR" ] || { echo "FAIL: restarted occache-serve never came up"; cat "$RECOVER_LOG"; exit 1; }
+grep -Eq "crash recovery: [1-9][0-9]* point" "$RECOVER_LOG" \
+  || { echo "FAIL: restart did not report journal recovery"; cat "$RECOVER_LOG"; exit 1; }
+timeout 120 ./target/release/occache-loadgen --addr "$RECOVER_ADDR" --refs 20000 \
+    --retries 8 --timeout 30 --check \
+    --out "$RECOVER_BENCH" --digest target/ci-chaos-after.txt \
+  || { echo "FAIL: loadgen failed against the recovered server"; cat "$RECOVER_LOG"; exit 1; }
+cmp target/ci-chaos-before.txt target/ci-chaos-after.txt \
+  || { echo "FAIL: post-crash answers are not bit-identical to pre-crash"; \
+       diff target/ci-chaos-before.txt target/ci-chaos-after.txt | head; exit 1; }
+# Recovery means recall, not recompute: every point must have come from
+# the journal-warmed cache.
+curl -s "http://$RECOVER_ADDR/metrics" > target/ci-recover-metrics.txt
+grep -q 'occache_points_computed_total 0' target/ci-recover-metrics.txt \
+  || { echo "FAIL: recovered server recomputed points instead of serving the journal"; \
+       grep occache_points_computed_total target/ci-recover-metrics.txt; exit 1; }
+echo "   $(wc -l < target/ci-chaos-after.txt) points bit-identical across kill -9"
+kill -INT "$RECOVER_PID"
+set +e; wait "$RECOVER_PID"; RECOVER_RC=$?; set -e
+[ "$RECOVER_RC" -eq 0 ] \
+  || { echo "FAIL: recovered server did not shut down cleanly"; cat "$RECOVER_LOG"; exit 1; }
 
 echo "ci.sh: all gates passed"

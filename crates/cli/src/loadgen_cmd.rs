@@ -1,4 +1,5 @@
-//! `occache-loadgen` — a closed-loop benchmark client for `occache-serve`.
+//! `occache-loadgen` — a closed-loop benchmark and chaos-probe client
+//! for `occache-serve`.
 //!
 //! Drives the service two ways over one keep-alive connection and
 //! reports the ratio:
@@ -13,11 +14,26 @@
 //! It then re-requests the first point and checks the reply comes from
 //! the cache with bit-identical metrics, scrapes `/metrics`, and writes
 //! a `BENCH_serve.json` summary.
+//!
+//! Every request goes through a resilience layer built for the server's
+//! chaos harness (`OCCACHE_SERVE_FAULT`): transport failures (torn
+//! writes, dropped connections, stalled reads) reconnect and retry with
+//! capped exponential backoff plus deterministic jitter; structured
+//! error bodies are parsed and retried only when the server marks them
+//! `retryable`; `--hedge MS` races a duplicate request on a second
+//! connection when the first is slow (safe — point evaluation is
+//! idempotent and content-addressed). A terminal error that is not an
+//! attributed [`ErrorBody`] fails the run: under chaos, every request
+//! must end in a correct result or a structured, attributed error —
+//! never a hang, never silent corruption. `--digest PATH` writes the
+//! bit patterns of every point metric so two runs (e.g. faulted vs
+//! clean, or pre- vs post-crash) can be compared for bit-identity.
 
 use std::fmt::Write as _;
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use occache_serve::json::Json;
+use occache_serve::json::{ErrorBody, Json};
 
 use crate::client::{HttpClient, Response};
 use crate::CliError;
@@ -35,24 +51,56 @@ FLAGS:
   --refs N           references per trace (default 20000)
   --net BYTES        net cache size for the grid (default 256)
   --out PATH         benchmark summary path (default BENCH_serve.json)
+  --retries N        retries per request after the first attempt
+                     (default 10; transport errors and retryable
+                     structured errors only, capped exponential backoff)
+  --timeout SECS     per-response timeout (default 600)
+  --hedge MS         race a duplicate request on a fresh connection when
+                     the first has not answered within MS (default 0=off)
+  --digest PATH      write sorted per-point metric bit patterns for
+                     cross-run bit-identity comparison
   --check            fail unless the repeated point is served from cache
                      with bit-identical metrics and /metrics scrapes clean
   --help             this text
 ";
 
-const RETRY_ATTEMPTS: usize = 40;
-const RETRY_PAUSE: Duration = Duration::from_millis(250);
+/// Backoff starts here and doubles per attempt.
+const BACKOFF_FLOOR: Duration = Duration::from_millis(50);
+/// Backoff (and any honoured `Retry-After`) never exceeds this.
+const BACKOFF_CAP: Duration = Duration::from_millis(2_000);
+
+/// Per-run retry/hedging policy, from the command line.
+#[derive(Debug, Clone, Copy)]
+struct RetryPolicy {
+    retries: u32,
+    timeout: Duration,
+    hedge: Option<Duration>,
+}
+
+/// What the resilience layer had to do to complete the run.
+#[derive(Debug, Default)]
+struct Resilience {
+    retries: u64,
+    reconnects: u64,
+    hedges: u64,
+    /// Whether the keep-alive connection has been established at least
+    /// once — the first connect of a run is not a *re*connect.
+    connected: bool,
+}
 
 /// Runs the load generator; returns the human-readable report.
 ///
 /// # Errors
 ///
 /// [`CliError::Usage`] for bad flags, [`CliError::Io`] for transport
-/// failures, [`CliError::Integrity`] when `--check` assertions fail.
+/// failures, [`CliError::Integrity`] when `--check` assertions fail or
+/// a request ends in an unattributed error.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let parsed = crate::args::parse(
         argv,
-        &["addr", "model", "refs", "net", "out"],
+        &[
+            "addr", "model", "refs", "net", "out", "retries", "timeout", "hedge", "digest",
+        ],
         &["check", "help"],
     )?;
     if parsed.switch("help") {
@@ -69,7 +117,16 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         .value("out")
         .unwrap_or("BENCH_serve.json")
         .to_string();
+    let retries: u32 = parsed.value_or("retries", 10)?;
+    let timeout_secs: u64 = parsed.value_or("timeout", 600)?;
+    let hedge_ms: u64 = parsed.value_or("hedge", 0)?;
+    let digest_path = parsed.value("digest").map(str::to_string);
     let check = parsed.switch("check");
+    let policy = RetryPolicy {
+        retries,
+        timeout: Duration::from_secs(timeout_secs.max(1)),
+        hedge: (hedge_ms > 0).then(|| Duration::from_millis(hedge_ms)),
+    };
 
     let word = occache_workloads::WorkloadSpec::set_by_name(&model)
         .and_then(|specs| specs.first().map(|s| s.arch().word_size()))
@@ -81,8 +138,19 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         )));
     }
 
-    let mut client = HttpClient::connect(&addr)?;
-    let status = client.get("/v1/status")?;
+    let mut stats = Resilience::default();
+    let mut client: Option<HttpClient> = None;
+    let mut digest: Vec<String> = Vec::new();
+
+    let status = resilient_request(
+        &addr,
+        &mut client,
+        "GET",
+        "/v1/status",
+        None,
+        policy,
+        &mut stats,
+    )?;
     if status.status != 200 {
         return Err(CliError::Integrity(format!(
             "server at {addr} answered /v1/status with {}",
@@ -100,9 +168,18 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
              \"config\":{{\"net\":{net},\"block\":{block},\"sub\":{sub},\"assoc\":4,\"word\":{word}}}}}"
         );
         let started = Instant::now();
-        let response = post_with_retry(&mut client, "/v1/simulate", &body)?;
+        let response = resilient_request(
+            &addr,
+            &mut client,
+            "POST",
+            "/v1/simulate",
+            Some(&body),
+            policy,
+            &mut stats,
+        )?;
         latencies.push(started.elapsed());
         expect_ok("/v1/simulate", &response)?;
+        digest_point(&parse_json("/v1/simulate", &response.body)?, &mut digest);
         if first_single.is_none() {
             first_single = Some((body, response.body));
         }
@@ -116,7 +193,15 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
          \"grid\":{{\"nets\":[{net}],\"assoc\":2,\"word\":{word}}}}}"
     );
     let batch_started = Instant::now();
-    let sweep = post_with_retry(&mut client, "/v1/sweep", &sweep_body)?;
+    let sweep = resilient_request(
+        &addr,
+        &mut client,
+        "POST",
+        "/v1/sweep",
+        Some(&sweep_body),
+        policy,
+        &mut stats,
+    )?;
     let batch_wall = batch_started.elapsed();
     expect_ok("/v1/sweep", &sweep)?;
     let sweep_doc = parse_json("/v1/sweep", &sweep.body)?;
@@ -124,23 +209,60 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         .get("total")
         .and_then(Json::as_usize)
         .unwrap_or(pairs.len());
+    if let Some(points) = sweep_doc.get("points").and_then(Json::as_array) {
+        for point in points {
+            digest_point(point, &mut digest);
+        }
+    }
 
     // Phase 3: the repeated point must come back from the cache with
     // bit-identical metrics.
     let (prime_request, prime_body) =
         first_single.ok_or_else(|| CliError::Integrity("no singles were run".into()))?;
-    let again = post_with_retry(&mut client, "/v1/simulate", &prime_request)?;
+    let again = resilient_request(
+        &addr,
+        &mut client,
+        "POST",
+        "/v1/simulate",
+        Some(&prime_request),
+        policy,
+        &mut stats,
+    )?;
     expect_ok("repeated /v1/simulate", &again)?;
     let (cache_hit, bit_identical) = compare_points(&prime_body, &again.body)?;
+    digest_point(
+        &parse_json("repeated /v1/simulate", &again.body)?,
+        &mut digest,
+    );
 
     // Scrape.
-    let metrics = client.get("/metrics")?;
+    let metrics = resilient_request(
+        &addr,
+        &mut client,
+        "GET",
+        "/metrics",
+        None,
+        policy,
+        &mut stats,
+    )?;
     let scrape_clean = metrics.status == 200
         && metrics.body.contains("occache_requests_total")
         && metrics
             .body
             .contains("occache_request_seconds{quantile=\"0.99\"}");
-    let status_doc = parse_json("/v1/status", &client.get("/v1/status")?.body)?;
+    let status_doc = parse_json(
+        "/v1/status",
+        &resilient_request(
+            &addr,
+            &mut client,
+            "GET",
+            "/v1/status",
+            None,
+            policy,
+            &mut stats,
+        )?
+        .body,
+    )?;
     let hits = status_doc
         .get("cache_hits")
         .and_then(Json::as_u64)
@@ -171,6 +293,12 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         }
     }
 
+    if let Some(path) = &digest_path {
+        digest.sort_unstable();
+        digest.dedup();
+        std::fs::write(path, digest.join("\n") + "\n")?;
+    }
+
     latencies.sort_unstable();
     let quantile = |q: f64| -> f64 {
         if latencies.is_empty() {
@@ -199,6 +327,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
          \"speedup\": {:?},\n\
          \"cache_check\": {{\"hit\": {cache_hit}, \"bit_identical\": {bit_identical}}},\n\
          \"metrics_scrape_clean\": {scrape_clean},\n\
+         \"resilience\": {{\"retries\": {}, \"reconnects\": {}, \"hedges\": {}}},\n\
          \"server_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {:?}}}\n\
          }}\n",
         occache_serve::json::escape(&addr),
@@ -211,6 +340,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         batch_secs,
         batch_points as f64 / batch_secs.max(1e-9),
         speedup,
+        stats.retries,
+        stats.reconnects,
+        stats.hedges,
         hit_rate,
     );
     std::fs::write(&out, &bench)?;
@@ -238,22 +370,216 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "cache:   repeat hit={cache_hit} bit_identical={bit_identical} server hit rate {:.1}%",
         hit_rate * 100.0,
     );
+    let _ = writeln!(
+        report,
+        "chaos:   {} retries, {} reconnects, {} hedged requests",
+        stats.retries, stats.reconnects, stats.hedges,
+    );
+    if let Some(path) = &digest_path {
+        let _ = writeln!(report, "digest:  {} point(s) -> {path}", digest.len());
+    }
     let _ = writeln!(report, "wrote {out}");
     Ok(report)
 }
 
-/// POSTs, honouring 429 backpressure with bounded retries.
-fn post_with_retry(client: &mut HttpClient, path: &str, body: &str) -> Result<Response, CliError> {
-    for _ in 0..RETRY_ATTEMPTS {
-        let response = client.post(path, body)?;
-        if response.status != 429 {
-            return Ok(response);
+/// What to do with one attempt's outcome.
+#[derive(Debug)]
+enum Disposition {
+    /// 200, or a structured error the server marked non-retryable —
+    /// hand the response to the caller as the final answer.
+    Done,
+    /// Retryable: back off at least this long (the server's
+    /// `Retry-After`, capped) and try again.
+    Retry(Duration),
+    /// A non-200 whose body is not an attributed [`ErrorBody`] — under
+    /// the chaos contract this fails the run outright.
+    Unattributed(String),
+}
+
+/// Classifies a complete response under the chaos contract.
+fn classify(response: &Response) -> Disposition {
+    if response.status == 200 {
+        return Disposition::Done;
+    }
+    let floor = Duration::from_secs(response.retry_after.unwrap_or(0)).min(BACKOFF_CAP);
+    match ErrorBody::parse(&response.body) {
+        Ok(body) if body.retryable => Disposition::Retry(floor),
+        Ok(_) => Disposition::Done,
+        Err(why) => Disposition::Unattributed(format!(
+            "status {} with unattributed error body {:?} ({why})",
+            response.status, response.body
+        )),
+    }
+}
+
+/// One request, retried to completion: transport errors reconnect,
+/// retryable structured errors back off, anything else is final. The
+/// keep-alive connection lives in `client` and is dropped on any
+/// transport fault so the next attempt reconnects.
+#[allow(clippy::too_many_arguments)]
+fn resilient_request(
+    addr: &str,
+    client: &mut Option<HttpClient>,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: RetryPolicy,
+    stats: &mut Resilience,
+) -> Result<Response, CliError> {
+    let seed = fnv1a(path.as_bytes()) ^ fnv1a(body.unwrap_or("").as_bytes());
+    let mut last_error = String::new();
+    for attempt in 0..=policy.retries {
+        if attempt > 0 {
+            stats.retries += 1;
         }
-        std::thread::sleep(RETRY_PAUSE);
+        let outcome = if let Some(hedge) = policy.hedge.filter(|_| method == "POST") {
+            hedged_post(addr, path, body.unwrap_or(""), policy.timeout, hedge, stats)
+        } else {
+            attempt_once(addr, client, method, path, body, policy.timeout, stats)
+        };
+        match outcome {
+            Ok(response) => match classify(&response) {
+                Disposition::Done => return Ok(response),
+                Disposition::Retry(floor) => {
+                    last_error = format!("status {}: {}", response.status, response.body);
+                    std::thread::sleep(backoff_delay(attempt, seed).max(floor));
+                }
+                Disposition::Unattributed(why) => {
+                    return Err(CliError::Integrity(format!("{method} {path}: {why}")));
+                }
+            },
+            Err(e) => {
+                // Transport fault (torn write, dropped or stalled
+                // connection): the keep-alive stream is unusable.
+                *client = None;
+                last_error = e.to_string();
+                std::thread::sleep(backoff_delay(attempt, seed));
+            }
+        }
     }
     Err(CliError::Integrity(format!(
-        "{path} still answering 429 after {RETRY_ATTEMPTS} retries"
+        "{method} {path} failed after {} attempts; last error: {last_error}",
+        u64::from(policy.retries) + 1,
     )))
+}
+
+/// One attempt over the shared keep-alive connection, reconnecting
+/// first if a previous fault closed it.
+fn attempt_once(
+    addr: &str,
+    client: &mut Option<HttpClient>,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+    stats: &mut Resilience,
+) -> Result<Response, CliError> {
+    if client.is_none() {
+        *client = Some(HttpClient::connect_with_timeout(addr, timeout)?);
+        if stats.connected {
+            stats.reconnects += 1;
+        }
+        stats.connected = true;
+    }
+    match client.as_mut() {
+        Some(c) => c.request(method, path, body),
+        None => Err(CliError::Integrity("connection vanished".into())),
+    }
+}
+
+/// Fires a request on a fresh connection; if nothing answers within
+/// `hedge`, fires an identical duplicate on a second connection and
+/// takes whichever finishes first. Safe because point evaluation is
+/// idempotent and content-addressed — a duplicate compute lands in the
+/// same cache slot.
+fn hedged_post(
+    addr: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+    hedge: Duration,
+    stats: &mut Resilience,
+) -> Result<Response, CliError> {
+    let (tx, rx) = mpsc::channel();
+    spawn_leg(addr, path, body, timeout, tx.clone());
+    match rx.recv_timeout(hedge) {
+        Ok(first) => first,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            stats.hedges += 1;
+            spawn_leg(addr, path, body, timeout, tx);
+            // Two legs in flight; take the first to land. The loser's
+            // send into the dropped receiver is harmless.
+            match rx.recv_timeout(timeout + hedge) {
+                Ok(result) => result,
+                Err(_) => Err(CliError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "both hedged requests timed out",
+                ))),
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(CliError::Io(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "hedged request thread died",
+        ))),
+    }
+}
+
+fn spawn_leg(
+    addr: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+    tx: mpsc::Sender<Result<Response, CliError>>,
+) {
+    let (addr, path, body) = (addr.to_string(), path.to_string(), body.to_string());
+    std::thread::spawn(move || {
+        let result =
+            HttpClient::connect_with_timeout(&addr, timeout).and_then(|mut c| c.post(&path, &body));
+        let _ = tx.send(result);
+    });
+}
+
+/// Capped exponential backoff with deterministic jitter: the base
+/// doubles from 50 ms per attempt up to 2 s; the jitter (up to 25% of
+/// the base) is a pure function of the request and attempt so chaos
+/// runs replay identically.
+fn backoff_delay(attempt: u32, seed: u64) -> Duration {
+    let base = BACKOFF_FLOOR
+        .saturating_mul(1u32 << attempt.min(10))
+        .min(BACKOFF_CAP);
+    let jitter_range = (base.as_millis() as u64 / 4).max(1);
+    let jitter = fnv1a(&(seed ^ u64::from(attempt)).to_le_bytes()) % jitter_range;
+    base + Duration::from_millis(jitter)
+}
+
+/// FNV-1a over bytes — the same hash family the journal and result
+/// cache key on, reimplemented locally to keep the CLI's dependency
+/// surface unchanged.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends one digest line for a point response object: the key plus
+/// the raw bit patterns of all four metrics, so equality means
+/// bit-identity, not approximate equality.
+fn digest_point(doc: &Json, lines: &mut Vec<String>) {
+    let bits = |field: &str| doc.get(field).and_then(Json::as_f64).map(f64::to_bits);
+    if let (Some(key), Some(miss), Some(traffic), Some(nibble), Some(redundant)) = (
+        doc.get("key").and_then(Json::as_str),
+        bits("miss_ratio"),
+        bits("traffic_ratio"),
+        bits("nibble_traffic_ratio"),
+        bits("redundant_load_fraction"),
+    ) {
+        lines.push(format!(
+            "{key} {miss:016x} {traffic:016x} {nibble:016x} {redundant:016x}"
+        ));
+    }
 }
 
 fn expect_ok(what: &str, response: &Response) -> Result<(), CliError> {
@@ -309,6 +635,8 @@ mod tests {
     fn help_prints_usage() {
         let out = run(&["--help".to_string()]).unwrap();
         assert!(out.contains("occache-loadgen"));
+        assert!(out.contains("--hedge"));
+        assert!(out.contains("--digest"));
     }
 
     #[test]
@@ -320,5 +648,79 @@ mod tests {
         let c = b.replace("0.5", "0.25");
         let (_, identical) = compare_points(a, &c).unwrap();
         assert!(!identical);
+    }
+
+    #[test]
+    fn backoff_is_capped_and_deterministic() {
+        for attempt in 0..16 {
+            let a = backoff_delay(attempt, 42);
+            let b = backoff_delay(attempt, 42);
+            assert_eq!(a, b, "same attempt and seed must back off identically");
+            assert!(a >= BACKOFF_FLOOR);
+            assert!(a <= BACKOFF_CAP + BACKOFF_CAP / 4);
+        }
+        // Base doubles per attempt, so attempt 1 (>=100ms) always
+        // outlasts attempt 0 (<=50ms + 25% jitter).
+        assert!(backoff_delay(1, 42) > backoff_delay(0, 42));
+    }
+
+    #[test]
+    fn classify_follows_the_chaos_contract() {
+        let ok = Response {
+            status: 200,
+            body: "{}".into(),
+            retry_after: None,
+        };
+        assert!(matches!(classify(&ok), Disposition::Done));
+
+        let retryable = Response {
+            status: 429,
+            body: ErrorBody::new("queue-full", "queue full", true).render(),
+            retry_after: Some(3),
+        };
+        match classify(&retryable) {
+            Disposition::Retry(floor) => assert_eq!(floor, Duration::from_secs(2)),
+            other => panic!("expected retry, got {other:?}"),
+        }
+
+        let terminal = Response {
+            status: 503,
+            body: ErrorBody::new("quarantined", "circuit open", false)
+                .with_key(7)
+                .render(),
+            retry_after: None,
+        };
+        assert!(matches!(classify(&terminal), Disposition::Done));
+
+        let garbage = Response {
+            status: 500,
+            body: "Internal Server Error".into(),
+            retry_after: None,
+        };
+        assert!(matches!(classify(&garbage), Disposition::Unattributed(_)));
+    }
+
+    #[test]
+    fn digest_lines_capture_bit_patterns() {
+        let doc = Json::parse(
+            r#"{"key":"00ab","miss_ratio":0.5,"traffic_ratio":1.0,"nibble_traffic_ratio":1.0,"redundant_load_fraction":0.0}"#,
+        )
+        .unwrap();
+        let mut lines = Vec::new();
+        digest_point(&doc, &mut lines);
+        assert_eq!(
+            lines,
+            vec![format!(
+                "00ab {:016x} {:016x} {:016x} {:016x}",
+                0.5f64.to_bits(),
+                1.0f64.to_bits(),
+                1.0f64.to_bits(),
+                0.0f64.to_bits()
+            )]
+        );
+        // A failure object (no metrics) contributes nothing.
+        let failure = Json::parse(r#"{"config":"x","fault":"panic","message":"boom"}"#).unwrap();
+        digest_point(&failure, &mut lines);
+        assert_eq!(lines.len(), 1);
     }
 }

@@ -23,6 +23,8 @@
 //! | `OCCACHE_POINT_TIMEOUT` | [`parse_timeout`] | 300 s |
 //! | `OCCACHE_POINT_RETRIES` | `SupervisorPolicy::try_from_env` | 1 |
 //! | `OCCACHE_FAULT_POINT` | `FaultPlan::parse` | none |
+//! | `OCCACHE_SERVE_CONN_TIMEOUT` | [`env_timeout`] | 5 s |
+//! | `OCCACHE_SERVE_FAULT` | `occache-serve::fault` | none |
 //! | `OCCACHE_SERVE_*` | [`env_usize_opt`] | see `ServiceConfig` |
 
 use std::path::PathBuf;
@@ -105,19 +107,45 @@ pub fn results_dir() -> PathBuf {
 /// Returns a message naming the variable for non-numeric, non-finite or
 /// non-positive values.
 pub fn parse_timeout(raw: &str) -> Result<Option<Duration>, String> {
+    parse_timeout_var("OCCACHE_POINT_TIMEOUT", raw)
+}
+
+/// Parses a seconds-as-float deadline value for any named variable:
+/// `0`, `off` or the empty string disable the deadline
+/// (`OCCACHE_POINT_TIMEOUT`, `OCCACHE_SERVE_CONN_TIMEOUT`).
+///
+/// # Errors
+///
+/// Returns a message naming `var` for non-numeric, non-finite or
+/// non-positive values.
+pub fn parse_timeout_var(var: &str, raw: &str) -> Result<Option<Duration>, String> {
     let raw = raw.trim();
     if raw.is_empty() || raw == "0" || raw.eq_ignore_ascii_case("off") {
         return Ok(None);
     }
     let secs: f64 = raw
         .parse()
-        .map_err(|_| format!("OCCACHE_POINT_TIMEOUT `{raw}` is not a number of seconds"))?;
+        .map_err(|_| format!("{var} `{raw}` is not a number of seconds"))?;
     if !secs.is_finite() || secs <= 0.0 {
         return Err(format!(
-            "OCCACHE_POINT_TIMEOUT `{raw}` must be a positive number of seconds"
+            "{var} `{raw}` must be a positive number of seconds"
         ));
     }
     Ok(Some(Duration::from_secs_f64(secs)))
+}
+
+/// Reads and parses a seconds-as-float deadline env var: unset means
+/// `default`, `0`/`off`/empty disables, anything else must parse.
+///
+/// # Errors
+///
+/// Returns a message naming the variable when it is set but malformed.
+pub fn env_timeout(var: &str, default: Option<Duration>) -> Result<Option<Duration>, String> {
+    match std::env::var(var) {
+        Ok(raw) => parse_timeout_var(var, &raw),
+        Err(std::env::VarError::NotPresent) => Ok(default),
+        Err(std::env::VarError::NotUnicode(_)) => Err(format!("{var} is not valid UTF-8")),
+    }
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@
 //!   runs: `hang:B,S[:secs]` or `panic-once:B,S` (see [`FaultPlan`]).
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
@@ -63,42 +63,57 @@ pub enum FaultKind {
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     /// `(block_size, sub_block_size)` of the targeted cell, or `None`
-    /// for a plan that never fires.
+    /// for a plan that never fires on a cell.
     target: Option<(u64, u64)>,
     /// What the fault does when tripped.
     kind: Option<FaultKind>,
     /// Shared once-latch for [`FaultKind::PanicOnce`].
     fired: Arc<AtomicBool>,
+    /// Count-based injection: panic every `period`-th evaluation,
+    /// regardless of cell. Deterministic in the number of evaluations,
+    /// so a retried attempt advances the counter and succeeds — the
+    /// serving layer's `panic-worker:K` chaos mode.
+    every: Option<u64>,
+    /// Shared evaluation counter for [`FaultPlan::panic_every`].
+    evaluations: Arc<AtomicU64>,
 }
 
 impl FaultPlan {
+    fn cell(target: Option<(u64, u64)>, kind: Option<FaultKind>) -> Self {
+        FaultPlan {
+            target,
+            kind,
+            fired: Arc::new(AtomicBool::new(false)),
+            every: None,
+            evaluations: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
     /// A plan that never fires (the production default).
     pub fn none() -> Self {
-        FaultPlan {
-            target: None,
-            kind: None,
-            fired: Arc::new(AtomicBool::new(false)),
-        }
+        FaultPlan::cell(None, None)
     }
 
     /// A plan that hangs the `(block, sub)` cell for `delay` every time
     /// it is evaluated.
     pub fn hang(block: u64, sub: u64, delay: Duration) -> Self {
-        FaultPlan {
-            target: Some((block, sub)),
-            kind: Some(FaultKind::Hang(delay)),
-            fired: Arc::new(AtomicBool::new(false)),
-        }
+        FaultPlan::cell(Some((block, sub)), Some(FaultKind::Hang(delay)))
     }
 
     /// A plan that panics the first evaluation of the `(block, sub)`
     /// cell and lets every later attempt succeed.
     pub fn panic_once(block: u64, sub: u64) -> Self {
-        FaultPlan {
-            target: Some((block, sub)),
-            kind: Some(FaultKind::PanicOnce),
-            fired: Arc::new(AtomicBool::new(false)),
-        }
+        FaultPlan::cell(Some((block, sub)), Some(FaultKind::PanicOnce))
+    }
+
+    /// A plan that panics every `period`-th evaluation (any cell),
+    /// counting deterministically across clones. A retry is a fresh
+    /// evaluation, so with a supervisor retry budget the point recovers
+    /// — this is the scheduler-layer arm of `OCCACHE_SERVE_FAULT`.
+    pub fn panic_every(period: u64) -> Self {
+        let mut plan = FaultPlan::none();
+        plan.every = Some(period.max(1));
+        plan
     }
 
     /// Parses the `OCCACHE_FAULT_POINT` syntax: `hang:B,S` (30 s
@@ -152,10 +167,17 @@ impl FaultPlan {
         }
     }
 
-    /// Fires the fault if `config` is the targeted cell. Called inside
-    /// the evaluation thread, so a hang is indistinguishable from a
-    /// genuinely wedged simulation.
+    /// Fires the fault if `config` is the targeted cell (or the
+    /// evaluation counter hits a [`FaultPlan::panic_every`] period).
+    /// Called inside the evaluation thread, so a hang is
+    /// indistinguishable from a genuinely wedged simulation.
     pub fn trip(&self, config: &CacheConfig) {
+        if let Some(period) = self.every {
+            let n = self.evaluations.fetch_add(1, Ordering::SeqCst) + 1;
+            if n.is_multiple_of(period) {
+                panic!("injected worker panic (every {period} evaluations, at {n})");
+            }
+        }
         let Some((block, sub)) = self.target else {
             return;
         };
@@ -806,11 +828,7 @@ mod tests {
     fn exhausted_retries_surface_the_panic() {
         let (configs, traces) = small_grid();
         let mut policy = SupervisorPolicy::disabled();
-        policy.fault = FaultPlan {
-            target: Some((8, 4)),
-            kind: Some(FaultKind::Hang(Duration::ZERO)),
-            fired: Arc::new(AtomicBool::new(false)),
-        };
+        policy.fault = FaultPlan::hang(8, 4, Duration::ZERO);
         // A zero-length hang never fails: the sweep completes.
         let (results, _) = evaluate_results_supervised(&policy, &configs, &traces, 0);
         assert!(results.iter().all(Result::is_ok));

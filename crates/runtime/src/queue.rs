@@ -36,6 +36,20 @@ pub struct TraceSet {
     pub fingerprint: u64,
 }
 
+/// The admission lane a job belongs to. Under load the queue sheds
+/// [`Priority::Bulk`] work (full grids) first and keeps accepting
+/// [`Priority::Interactive`] work (single-point lookups) until it is
+/// completely full, so cheap cache-adjacent traffic degrades last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// A single-point lookup: admitted until the queue is full.
+    #[default]
+    Interactive,
+    /// A grid member: admitted only while the queue has bulk headroom
+    /// (half the capacity), shed first under pressure.
+    Bulk,
+}
+
 /// One design point awaiting evaluation.
 #[derive(Debug)]
 pub struct Job {
@@ -48,6 +62,8 @@ pub struct Job {
     /// The content-addressed point key (for the submitter's bookkeeping;
     /// echoed back in the result).
     pub key: u64,
+    /// The admission lane (see [`Priority`]).
+    pub priority: Priority,
     /// Where the result goes. A dropped receiver is fine — the send is
     /// best-effort, the computation still happened.
     pub reply: Sender<JobResult>,
@@ -80,6 +96,10 @@ struct State {
     max_batch: usize,
     policy: SupervisorPolicy,
     busy: Vec<WorkerGauge>,
+    /// Completed evaluations, for the service-rate estimate.
+    points_done: AtomicU64,
+    /// Cumulative evaluation time across all completed points, µs.
+    eval_micros: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -116,6 +136,8 @@ impl Scheduler {
             max_batch: max_batch.max(1),
             policy,
             busy: (0..workers).map(|_| WorkerGauge::default()).collect(),
+            points_done: AtomicU64::new(0),
+            eval_micros: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -132,25 +154,38 @@ impl Scheduler {
         }
     }
 
-    /// Enqueues a job.
+    /// Enqueues a job, applying lane-aware admission control: a
+    /// [`Priority::Bulk`] job is refused once the queue passes its bulk
+    /// headroom (half of capacity, minimum 1), an interactive job only
+    /// when the queue is completely full — grids are shed before point
+    /// lookups.
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Busy`] when the queue is at capacity,
+    /// [`SubmitError::Busy`] when the job's lane is at capacity,
     /// [`SubmitError::Closed`] after shutdown began.
     pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
         if !self.state.open.load(Ordering::SeqCst) {
             return Err(SubmitError::Closed);
         }
+        let limit = match job.priority {
+            Priority::Interactive => self.state.capacity,
+            Priority::Bulk => self.bulk_capacity(),
+        };
         {
             let mut queue = self.state.queue.lock().expect("scheduler queue lock");
-            if queue.len() >= self.state.capacity {
+            if queue.len() >= limit {
                 return Err(SubmitError::Busy);
             }
             queue.push_back(job);
         }
         self.state.available.notify_one();
         Ok(())
+    }
+
+    /// The bulk lane's admission bound: half the capacity, minimum 1.
+    pub fn bulk_capacity(&self) -> usize {
+        (self.state.capacity / 2).max(1)
     }
 
     /// Jobs waiting (not counting those being evaluated).
@@ -179,6 +214,33 @@ impl Scheduler {
             .iter()
             .map(|g| Duration::from_micros(g.busy_micros.load(Ordering::Relaxed)))
             .collect()
+    }
+
+    /// Design points evaluated since start.
+    pub fn points_evaluated(&self) -> u64 {
+        self.state.points_done.load(Ordering::Relaxed)
+    }
+
+    /// Observed mean evaluation time per point, or `None` before the
+    /// first point completes.
+    pub fn avg_point_micros(&self) -> Option<u64> {
+        let done = self.state.points_done.load(Ordering::Relaxed);
+        if done == 0 {
+            return None;
+        }
+        Some(self.state.eval_micros.load(Ordering::Relaxed) / done)
+    }
+
+    /// A queue-depth-aware `Retry-After` estimate in whole seconds: how
+    /// long draining the current backlog should take at the observed
+    /// service rate, clamped to `1..=60`. Before any point has completed
+    /// the estimate assumes 50 ms per point rather than guessing zero.
+    pub fn suggested_retry_after(&self) -> u64 {
+        let per_point = self.avg_point_micros().unwrap_or(50_000).max(1);
+        let backlog = self.queue_depth() as u64 + self.busy_workers() as u64;
+        let workers = self.state.busy.len().max(1) as u64;
+        let drain_micros = backlog.saturating_mul(per_point) / workers;
+        drain_micros.div_ceil(1_000_000).clamp(1, 60)
     }
 
     /// Closes the queue and joins the workers. Jobs already queued are
@@ -216,10 +278,13 @@ fn worker_loop(state: &State, index: usize) {
         gauge.busy_now.store(true, Ordering::Relaxed);
         let started = Instant::now();
         evaluate_batch(&state.policy, &batch);
-        gauge
-            .busy_micros
-            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        let elapsed = started.elapsed().as_micros() as u64;
+        gauge.busy_micros.fetch_add(elapsed, Ordering::Relaxed);
         gauge.busy_now.store(false, Ordering::Relaxed);
+        state
+            .points_done
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        state.eval_micros.fetch_add(elapsed, Ordering::Relaxed);
     }
 }
 
@@ -318,6 +383,7 @@ mod tests {
                     config: *config,
                     traces: Arc::clone(&set),
                     warmup: 0,
+                    priority: Priority::Interactive,
                     key: point_key(config, set.fingerprint, 0),
                     reply: tx.clone(),
                 })
@@ -356,6 +422,7 @@ mod tests {
                 config,
                 traces: Arc::clone(&set),
                 warmup: 0,
+                priority: Priority::Bulk,
                 key: 1,
                 reply: tx.clone(),
             }) {
@@ -383,6 +450,7 @@ mod tests {
                     config,
                     traces: Arc::clone(&set),
                     warmup: 0,
+                    priority: Priority::Interactive,
                     key: 7,
                     reply: tx.clone(),
                 })
@@ -391,6 +459,36 @@ mod tests {
         drop(tx);
         sched.shutdown();
         assert_eq!(rx.iter().count(), 8, "shutdown must drain the queue");
+    }
+
+    #[test]
+    fn bulk_lane_and_retry_estimate_are_bounded() {
+        let sched = Scheduler::new(2, 8, 4, SupervisorPolicy::disabled());
+        assert_eq!(sched.bulk_capacity(), 4);
+        // No observations yet: the estimate falls back to the default
+        // service time and stays within the clamp.
+        assert!((1..=60).contains(&sched.suggested_retry_after()));
+        assert_eq!(sched.avg_point_micros(), None);
+
+        // After real work the rate estimate is observed, not guessed.
+        let set = small_set();
+        let (tx, rx) = channel();
+        let config = config(64, 8, 4);
+        sched
+            .submit(Job {
+                config,
+                traces: Arc::clone(&set),
+                warmup: 0,
+                priority: Priority::Bulk,
+                key: point_key(&config, set.fingerprint, 0),
+                reply: tx,
+            })
+            .unwrap();
+        assert!(rx.recv().expect("job answered").result.is_ok());
+        sched.shutdown();
+        assert_eq!(sched.points_evaluated(), 1);
+        assert!(sched.avg_point_micros().is_some());
+        assert!((1..=60).contains(&sched.suggested_retry_after()));
     }
 
     #[test]
@@ -406,6 +504,7 @@ mod tests {
                     config: *config,
                     traces: Arc::clone(&set),
                     warmup: 0,
+                    priority: Priority::Interactive,
                     key: point_key(config, set.fingerprint, 0),
                     reply: tx.clone(),
                 })

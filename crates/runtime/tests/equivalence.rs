@@ -11,7 +11,7 @@ use occache_core::CacheConfig;
 use occache_runtime::eval::Trace;
 use occache_runtime::executor::{evaluate_points_isolated, SupervisorPolicy};
 use occache_runtime::keys::{point_key, trace_fingerprint};
-use occache_runtime::queue::{Job, JobResult, Scheduler, TraceSet};
+use occache_runtime::queue::{Job, JobResult, Priority, Scheduler, TraceSet};
 use occache_workloads::WorkloadSpec;
 
 fn grid(net: u64) -> Vec<CacheConfig> {
@@ -62,6 +62,7 @@ fn batch_executor_and_live_queue_agree_bit_for_bit() {
                 config: *config,
                 traces: Arc::clone(&set),
                 warmup: 0,
+                priority: Priority::default(),
                 key: point_key(config, fingerprint, 0),
                 reply: tx.clone(),
             })

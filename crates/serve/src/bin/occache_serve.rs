@@ -27,6 +27,15 @@ fn main() -> ExitCode {
         "workers={} queue={} batch={} cache={}",
         config.workers, config.queue_capacity, config.max_batch, config.cache_capacity
     );
+    println!(
+        "conn_timeout={} journal={} breaker={} chaos={}",
+        config
+            .conn_timeout
+            .map_or("off".to_string(), |t| format!("{}s", t.as_secs_f64())),
+        config.journal_dir.as_deref().unwrap_or("off"),
+        config.breaker_threshold,
+        if config.fault.is_some() { "on" } else { "off" },
+    );
     while !interrupt::requested() && !server.finished() {
         std::thread::sleep(Duration::from_millis(50));
     }

@@ -9,6 +9,7 @@
 //! malformed framing directly property-testable without sockets.
 
 use std::io::{self, Read, Write};
+use std::time::Instant;
 
 /// Upper bound on the request head (request line + headers + blank
 /// line). Heads that exceed this without terminating are rejected.
@@ -230,6 +231,23 @@ impl<S: Read + Write> Connection<S> {
     /// Propagates transport errors (including read timeouts, surfaced by
     /// the OS as `WouldBlock`/`TimedOut`).
     pub fn read_request(&mut self) -> io::Result<ReadOutcome> {
+        self.read_request_before(None)
+    }
+
+    /// [`Connection::read_request`] with an overall wall-clock deadline.
+    ///
+    /// The stream's own read timeout bounds each *individual* read; the
+    /// deadline bounds the *whole* request, which is what defeats a
+    /// slow-loris client trickling one byte per read-timeout window. The
+    /// clock is checked between reads, so the deadline can overshoot by
+    /// at most one read-timeout.
+    ///
+    /// # Errors
+    ///
+    /// `TimedOut` once the deadline passes (check
+    /// [`Connection::mid_request`] to distinguish a half-sent request
+    /// from an idle keep-alive); transport errors propagate.
+    pub fn read_request_before(&mut self, deadline: Option<Instant>) -> io::Result<ReadOutcome> {
         loop {
             match parse_head(&self.buf) {
                 Err(e) => return Ok(ReadOutcome::Malformed(e)),
@@ -244,6 +262,14 @@ impl<S: Read + Write> Connection<S> {
                 }
                 Ok(ParseOutcome::Incomplete) => {}
             }
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "connection deadline exceeded",
+                    ));
+                }
+            }
             let mut chunk = [0u8; 8 * 1024];
             let n = self.stream.read(&mut chunk)?;
             if n == 0 {
@@ -255,6 +281,12 @@ impl<S: Read + Write> Connection<S> {
             }
             self.buf.extend_from_slice(&chunk[..n]);
         }
+    }
+
+    /// Whether a partial request is buffered — a timeout with bytes
+    /// pending deserves a 408, an idle keep-alive just a quiet close.
+    pub fn mid_request(&self) -> bool {
+        !self.buf.is_empty()
     }
 
     /// Writes a response with the given status, extra headers, and body.
@@ -269,20 +301,29 @@ impl<S: Read + Write> Connection<S> {
         extra_headers: &[(&str, String)],
         body: &[u8],
     ) -> io::Result<()> {
-        let reason = reason_phrase(status);
-        let mut head = format!(
-            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
-            body.len()
-        );
-        for (name, value) in extra_headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
-        }
-        head.push_str("\r\n");
-        self.stream.write_all(head.as_bytes())?;
-        self.stream.write_all(body)?;
+        let wire = render_response(status, content_type, extra_headers, body);
+        self.stream.write_all(&wire)?;
+        self.stream.flush()
+    }
+
+    /// Writes only the first `prefix` bytes of the response — the chaos
+    /// harness's torn-write injection. The caller must close the
+    /// connection afterwards; the peer sees a response whose body stops
+    /// short of its declared `Content-Length`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn write_torn_response(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        extra_headers: &[(&str, String)],
+        body: &[u8],
+        prefix: usize,
+    ) -> io::Result<()> {
+        let wire = render_response(status, content_type, extra_headers, body);
+        self.stream.write_all(&wire[..prefix.min(wire.len())])?;
         self.stream.flush()
     }
 
@@ -304,6 +345,32 @@ impl<S: Read + Write> Connection<S> {
         let body = format!("{{\"error\":\"{}\"}}", crate::json::escape(message));
         self.write_json(status, &body)
     }
+}
+
+/// Renders a complete response (status line, headers, blank line, body)
+/// to wire bytes. Pure, so torn-write injection can truncate the exact
+/// bytes an intact response would have sent.
+pub fn render_response(
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> Vec<u8> {
+    let reason = reason_phrase(status);
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut wire = head.into_bytes();
+    wire.extend_from_slice(body);
+    wire
 }
 
 fn reason_phrase(status: u16) -> &'static str {

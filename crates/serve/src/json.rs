@@ -126,6 +126,110 @@ pub fn escape(text: &str) -> String {
     out
 }
 
+/// The one structured error shape both sides of the wire speak:
+/// the server renders it for every non-200 response and the loadgen
+/// client parses it to decide whether a failure is retryable or final.
+/// `error` carries the human-readable message; `code` is the stable
+/// machine-readable class; `point_key` attributes the failure to a
+/// design point when one is involved; `attempt` is which try produced
+/// it (the server always says 1, the client stamps its own retry
+/// count when reporting); `retryable` is the server's verdict on
+/// whether the same request can succeed later.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorBody {
+    /// Stable machine-readable error class (e.g. `queue-full`,
+    /// `request-timeout`, `quarantined`, `eval-panic`).
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+    /// The content-addressed point key the failure is attributed to,
+    /// when the request got far enough to have one.
+    pub point_key: Option<u64>,
+    /// Which attempt produced this error (1-based).
+    pub attempt: u32,
+    /// Whether retrying the identical request can succeed.
+    pub retryable: bool,
+}
+
+impl ErrorBody {
+    /// A fresh error body (attempt 1, no point key).
+    pub fn new(code: &str, message: &str, retryable: bool) -> ErrorBody {
+        ErrorBody {
+            code: code.to_string(),
+            message: message.to_string(),
+            point_key: None,
+            attempt: 1,
+            retryable,
+        }
+    }
+
+    /// Attributes the error to a design point.
+    #[must_use]
+    pub fn with_key(mut self, key: u64) -> ErrorBody {
+        self.point_key = Some(key);
+        self
+    }
+
+    /// Renders the JSON wire form. The key renders as the same
+    /// zero-padded hex string point responses use.
+    pub fn render(&self) -> String {
+        let key = match self.point_key {
+            Some(k) => format!("\"{k:016x}\""),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"error\":\"{}\",\"code\":\"{}\",\"point_key\":{key},\
+             \"attempt\":{},\"retryable\":{}}}",
+            escape(&self.message),
+            escape(&self.code),
+            self.attempt,
+            self.retryable,
+        )
+    }
+
+    /// Parses a wire error body. Tolerates a missing `code` (legacy
+    /// `{"error": ...}` bodies read as code `error`, not retryable) but
+    /// refuses documents without an `error` message — an unattributed
+    /// failure must surface as such, never be guessed into shape.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when `text` is not JSON or carries no
+    /// `error` field.
+    pub fn parse(text: &str) -> Result<ErrorBody, String> {
+        let doc = Json::parse(text)?;
+        let message = doc
+            .get("error")
+            .and_then(Json::as_str)
+            .ok_or("no \"error\" field")?
+            .to_string();
+        let code = doc
+            .get("code")
+            .and_then(Json::as_str)
+            .unwrap_or("error")
+            .to_string();
+        let point_key = doc
+            .get("point_key")
+            .and_then(Json::as_str)
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok());
+        let attempt = doc
+            .get("attempt")
+            .and_then(Json::as_u64)
+            .map_or(1, |n| n.min(u64::from(u32::MAX)) as u32);
+        let retryable = doc
+            .get("retryable")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        Ok(ErrorBody {
+            code,
+            message,
+            point_key,
+            attempt,
+            retryable,
+        })
+    }
+}
+
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
     while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
         *pos += 1;
@@ -335,6 +439,32 @@ mod tests {
             let parsed = Json::parse(&text).unwrap().as_f64().unwrap();
             assert_eq!(parsed.to_bits(), x.to_bits(), "{text}");
         }
+    }
+
+    #[test]
+    fn error_body_round_trips_both_directions() {
+        let body = ErrorBody::new("queue-full", "queue full; retry shortly", true).with_key(0xabc);
+        let wire = body.render();
+        // Server side: the render is a valid JSON document with the
+        // documented shape.
+        let doc = Json::parse(&wire).unwrap();
+        assert_eq!(doc.get("code").and_then(Json::as_str), Some("queue-full"));
+        assert_eq!(
+            doc.get("point_key").and_then(Json::as_str),
+            Some("0000000000000abc")
+        );
+        assert_eq!(doc.get("retryable").and_then(Json::as_bool), Some(true));
+        // Client side: the parse reads the identical value back.
+        assert_eq!(ErrorBody::parse(&wire), Ok(body));
+
+        // Legacy bodies still attribute, conservatively non-retryable.
+        let legacy = ErrorBody::parse(r#"{"error":"queue full"}"#).unwrap();
+        assert_eq!(legacy.code, "error");
+        assert!(!legacy.retryable);
+        assert_eq!(legacy.point_key, None);
+        // An unattributed document is an error, not a guess.
+        assert!(ErrorBody::parse(r#"{"status":"bad"}"#).is_err());
+        assert!(ErrorBody::parse("not json").is_err());
     }
 
     #[test]

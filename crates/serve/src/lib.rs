@@ -11,10 +11,17 @@
 //!
 //! Layers, bottom up:
 //!
-//! * [`json`] — a minimal recursive-descent JSON parser and escaper.
-//! * [`http`] — HTTP/1.1 framing over any `Read + Write` stream.
+//! * [`json`] — a minimal recursive-descent JSON parser and escaper,
+//!   plus the unified structured error body both wire sides speak.
+//! * [`http`] — HTTP/1.1 framing over any `Read + Write` stream, with
+//!   per-connection deadlines and torn-write injection support.
 //! * [`metrics`] — atomic counters and a fixed-bucket latency histogram.
 //! * [`cache`] — the bounded content-addressed result cache.
+//! * [`fault`] — deterministic socket/scheduler chaos injection
+//!   (`OCCACHE_SERVE_FAULT`).
+//! * [`breaker`] — the per-point-key circuit breaker mirroring the
+//!   journal quarantine policy.
+//! * [`persist`] — the write-behind result journal (crash recovery).
 //! * [`scheduler`] — the bounded-queue worker pool that coalesces
 //!   compatible points into one-pass multisim engine slices.
 //! * [`service`] — routing, request handling, accept loop, graceful
@@ -22,9 +29,12 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
+pub mod fault;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod persist;
 pub mod scheduler;
 pub mod service;

@@ -26,6 +26,17 @@ pub struct Counters {
     pub scrapes: Counter,
     /// Requests rejected with 429 (queue full).
     pub rejected: Counter,
+    /// Interactive (single-point) submissions shed by admission control.
+    pub shed_interactive: Counter,
+    /// Bulk (grid) submissions shed by admission control.
+    pub shed_bulk: Counter,
+    /// Requests answered 408 (connection deadline hit mid-request).
+    pub timeouts: Counter,
+    /// Requests refused because the point key is quarantined by the
+    /// circuit breaker.
+    pub quarantined: Counter,
+    /// Computed points queued to the write-behind journal.
+    pub journal_appends: Counter,
     /// Requests answered 4xx (malformed input).
     pub client_errors: Counter,
     /// Requests answered 5xx.
@@ -56,11 +67,23 @@ pub struct Gauges {
     pub cache_misses: u64,
     /// Seconds since the service started.
     pub uptime_seconds: f64,
+    /// Whether `/v1/ready` currently answers 200 (warm start finished,
+    /// not draining).
+    pub ready: bool,
+    /// Whether shutdown has begun.
+    pub draining: bool,
+    /// The `Retry-After` seconds a 429 would carry right now.
+    pub retry_after: u64,
 }
 
 /// Assembles the service's instrument families, in exposition order,
 /// into a [`Registry`] snapshot.
-pub fn registry(counters: &Counters, gauges: Gauges, worker_busy: &[Duration]) -> Registry {
+pub fn registry(
+    counters: &Counters,
+    gauges: Gauges,
+    worker_busy: &[Duration],
+    faults_injected: &[(&'static str, u64)],
+) -> Registry {
     let mut reg = Registry::new();
     reg.counter(
         "occache_requests_total",
@@ -86,6 +109,31 @@ pub fn registry(counters: &Counters, gauges: Gauges, worker_busy: &[Duration]) -
         "occache_rejected_total",
         "Requests rejected with 429 (queue full).",
         counters.rejected.get(),
+    )
+    .counter(
+        "occache_shed_interactive_total",
+        "Interactive submissions shed by admission control.",
+        counters.shed_interactive.get(),
+    )
+    .counter(
+        "occache_shed_bulk_total",
+        "Bulk (grid) submissions shed by admission control.",
+        counters.shed_bulk.get(),
+    )
+    .counter(
+        "occache_timeouts_total",
+        "Requests answered 408 (connection deadline mid-request).",
+        counters.timeouts.get(),
+    )
+    .counter(
+        "occache_quarantined_total",
+        "Requests refused because the point key is circuit-broken.",
+        counters.quarantined.get(),
+    )
+    .counter(
+        "occache_journal_appends_total",
+        "Computed points queued to the write-behind journal.",
+        counters.journal_appends.get(),
     )
     .counter(
         "occache_client_errors_total",
@@ -128,6 +176,21 @@ pub fn registry(counters: &Counters, gauges: Gauges, worker_busy: &[Duration]) -
         "Result-cache entries resident.",
         gauges.cache_entries as u64,
     )
+    .gauge(
+        "occache_ready",
+        "1 when /v1/ready answers 200 (warm start done, not draining).",
+        u64::from(gauges.ready),
+    )
+    .gauge(
+        "occache_draining",
+        "1 once shutdown has begun.",
+        u64::from(gauges.draining),
+    )
+    .gauge(
+        "occache_retry_after_seconds",
+        "The Retry-After estimate a 429 would carry right now.",
+        gauges.retry_after,
+    )
     .gauge_seconds(
         "occache_uptime_seconds",
         "Seconds since service start.",
@@ -152,12 +215,24 @@ pub fn registry(counters: &Counters, gauges: Gauges, worker_busy: &[Duration]) -
         "occache_request_seconds_count",
         u128::from(counters.latency.count()),
     );
+    for (kind, fired) in faults_injected {
+        reg.counter(
+            &format!("occache_fault_{kind}_injected_total"),
+            "Chaos injections fired (OCCACHE_SERVE_FAULT).",
+            *fired,
+        );
+    }
     reg
 }
 
 /// Renders the Prometheus-style text exposition for `/metrics`.
-pub fn render(counters: &Counters, gauges: Gauges, worker_busy: &[Duration]) -> String {
-    registry(counters, gauges, worker_busy).render_prometheus()
+pub fn render(
+    counters: &Counters,
+    gauges: Gauges,
+    worker_busy: &[Duration],
+    faults_injected: &[(&'static str, u64)],
+) -> String {
+    registry(counters, gauges, worker_busy, faults_injected).render_prometheus()
 }
 
 #[cfg(test)]
@@ -169,6 +244,8 @@ mod tests {
         let counters = Counters::default();
         counters.requests.bump();
         counters.latency.record(Duration::from_millis(2));
+        counters.shed_bulk.bump();
+        counters.timeouts.bump();
         let text = render(
             &counters,
             Gauges {
@@ -179,21 +256,35 @@ mod tests {
                 cache_hits: 4,
                 cache_misses: 5,
                 uptime_seconds: 6.5,
+                ready: true,
+                draining: false,
+                retry_after: 3,
             },
             &[Duration::from_secs(1), Duration::from_secs(2)],
+            &[("torn_write", 2), ("drop_conn", 0)],
         );
         for needle in [
             "occache_requests_total 1",
             "occache_queue_depth 1",
             "occache_workers 2",
             "occache_workers_busy 1",
+            "occache_shed_interactive_total 0",
+            "occache_shed_bulk_total 1",
+            "occache_timeouts_total 1",
+            "occache_quarantined_total 0",
+            "occache_journal_appends_total 0",
             "occache_cache_hits_total 4",
             "occache_cache_misses_total 5",
+            "occache_ready 1",
+            "occache_draining 0",
+            "occache_retry_after_seconds 3",
             "occache_uptime_seconds 6.500",
             "occache_worker_busy_seconds{worker=\"1\"} 2.000",
             "occache_request_seconds{quantile=\"0.5\"} 0.004096",
             "occache_request_seconds{quantile=\"0.99\"} 0.004096",
             "occache_request_seconds_count 1",
+            "occache_fault_torn_write_injected_total 2",
+            "occache_fault_drop_conn_injected_total 0",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

@@ -12,4 +12,4 @@
 //! identity, same warm-up) into one grid so the multisim engine shares
 //! trace passes, and every point runs under the supervisor policy.
 
-pub use occache_runtime::queue::{Job, JobResult, Scheduler, SubmitError, TraceSet};
+pub use occache_runtime::queue::{Job, JobResult, Priority, Scheduler, SubmitError, TraceSet};

@@ -10,7 +10,21 @@
 //!   per point, the misses submitted back-to-back so a worker coalesces
 //!   them into multisim engine slices.
 //! * `GET /v1/status` — one JSON object for humans and health checks.
+//! * `GET /v1/health` — liveness: 200 whenever the process can answer.
+//! * `GET /v1/ready` — readiness: 503 until the warm start finishes and
+//!   again once draining begins.
 //! * `GET /metrics` — Prometheus-style text exposition.
+//!
+//! Failure model (DESIGN.md §10): every connection runs under a
+//! wall-clock deadline (`OCCACHE_SERVE_CONN_TIMEOUT`) so a slow-loris
+//! client gets a 408 and a close, never a parked thread; admission
+//! control sheds bulk (grid) work at half the queue capacity and
+//! interactive points only when it is full, with a queue-depth-derived
+//! `Retry-After`; a per-point circuit breaker ([`crate::breaker`])
+//! quarantines keys that keep failing; computed points stream to a
+//! write-behind journal ([`crate::persist`]) so a crashed-and-restarted
+//! server answers them from disk bit-identically; and every error is a
+//! structured [`ErrorBody`] with fault attribution.
 //!
 //! Shutdown: the accept loop watches both [`Server::stop`] and the
 //! process-wide SIGINT/SIGTERM flag (`occache_runtime::interrupt`),
@@ -27,19 +41,22 @@ use std::time::{Duration, Instant};
 
 use occache_core::CacheConfig;
 use occache_experiments::sweep::materialize;
-use occache_runtime::config::env_usize_opt;
-use occache_runtime::eval::{DesignPoint, PointError};
+use occache_runtime::config::{env_timeout, env_usize_opt};
+use occache_runtime::eval::{DesignPoint, PointError, PointFault};
 use occache_runtime::executor::SupervisorPolicy;
 use occache_runtime::fmt::fmt_f64_exact;
 use occache_runtime::journal::Entry;
 use occache_runtime::keys::{point_key, trace_fingerprint};
 use occache_workloads::WorkloadSpec;
 
+use crate::breaker::{Breaker, DEFAULT_THRESHOLD};
 use crate::cache::ResultCache;
+use crate::fault::ServeFault;
 use crate::http::{Connection, ParseError, ReadOutcome, Request};
-use crate::json::{escape, Json};
+use crate::json::{escape, ErrorBody, Json};
 use crate::metrics::{Counters, Gauges};
-use crate::scheduler::{Job, Scheduler, SubmitError, TraceSet};
+use crate::persist::WriteBehind;
+use crate::scheduler::{Job, Priority, Scheduler, SubmitError, TraceSet};
 
 /// How long a connection may sit idle (or mid-read) before the server
 /// gives up on it.
@@ -81,6 +98,20 @@ pub struct ServiceConfig {
     pub warm_start: Option<String>,
     /// Supervisor policy for evaluations (deadline, retries).
     pub policy: SupervisorPolicy,
+    /// Per-connection wall-clock deadline
+    /// (`OCCACHE_SERVE_CONN_TIMEOUT`, default 5 s; `0`/`off` disables).
+    pub conn_timeout: Option<Duration>,
+    /// Directory for the write-behind result journal
+    /// (`OCCACHE_SERVE_JOURNAL`; unset ⇒ no journalling, no crash
+    /// recovery). The journal lands at `<dir>/.checkpoint/serve.jsonl`
+    /// and also warm-starts the cache on restart.
+    pub journal_dir: Option<String>,
+    /// Consecutive failures per point key before the circuit breaker
+    /// quarantines it (`OCCACHE_SERVE_BREAKER`, default 2; 0 disables).
+    pub breaker_threshold: u32,
+    /// Deterministic chaos injection (`OCCACHE_SERVE_FAULT`; unset ⇒
+    /// none).
+    pub fault: Option<Arc<ServeFault>>,
 }
 
 impl ServiceConfig {
@@ -112,6 +143,13 @@ impl ServiceConfig {
                 .ok()
                 .filter(|s| !s.is_empty()),
             policy: SupervisorPolicy::try_from_env()?,
+            conn_timeout: env_timeout("OCCACHE_SERVE_CONN_TIMEOUT", Some(READ_TIMEOUT))?,
+            journal_dir: std::env::var("OCCACHE_SERVE_JOURNAL")
+                .ok()
+                .filter(|s| !s.is_empty()),
+            breaker_threshold: env_usize_opt("OCCACHE_SERVE_BREAKER")?
+                .map_or(DEFAULT_THRESHOLD, |n| n.min(u32::MAX as usize) as u32),
+            fault: ServeFault::try_from_env()?.map(Arc::new),
         })
     }
 
@@ -127,6 +165,10 @@ impl ServiceConfig {
             default_refs: 2_000,
             warm_start: None,
             policy: SupervisorPolicy::disabled(),
+            conn_timeout: Some(Duration::from_secs(5)),
+            journal_dir: None,
+            breaker_threshold: DEFAULT_THRESHOLD,
+            fault: None,
         }
     }
 }
@@ -140,32 +182,90 @@ pub struct Service {
     traces: Mutex<HashMap<(String, usize), Arc<TraceSet>>>,
     default_refs: usize,
     started: Instant,
+    breaker: Breaker,
+    persist: Option<WriteBehind>,
+    fault: Option<Arc<ServeFault>>,
+    conn_timeout: Option<Duration>,
+    warm_dir: Option<String>,
+    ready: AtomicBool,
+    draining: AtomicBool,
 }
 
 impl Service {
-    /// Builds the service: starts the worker pool and (optionally)
-    /// warm-starts the cache from checkpoint journals.
+    /// Builds the service: starts the worker pool, opens the
+    /// write-behind journal (recovering previously computed points into
+    /// the cache), and remembers the warm-start directory for
+    /// [`Service::warm_load`].
     pub fn new(config: &ServiceConfig) -> Service {
-        let service = Service {
+        let mut policy = config.policy.clone();
+        if let Some(plan) = config.fault.as_ref().and_then(|f| f.worker_fault()) {
+            policy.fault = plan;
+        }
+        let mut persist = None;
+        let cache = ResultCache::new(config.cache_capacity);
+        if let Some(dir) = &config.journal_dir {
+            match WriteBehind::open(std::path::Path::new(dir)) {
+                Ok((wb, recovered)) => {
+                    let n = recovered.len();
+                    for (key, entry) in recovered {
+                        cache.insert(key, entry);
+                    }
+                    if n > 0 {
+                        eprintln!("crash recovery: {n} point(s) restored from {dir} journal");
+                    }
+                    persist = Some(wb);
+                }
+                Err(e) => {
+                    eprintln!("write-behind journal in {dir} unavailable ({e}); serving without");
+                }
+            }
+        }
+        Service {
             scheduler: Scheduler::new(
                 config.workers,
                 config.queue_capacity,
                 config.max_batch,
-                config.policy.clone(),
+                policy,
             ),
-            cache: ResultCache::new(config.cache_capacity),
+            cache,
             counters: Counters::default(),
             traces: Mutex::new(HashMap::new()),
             default_refs: config.default_refs,
             started: Instant::now(),
-        };
-        if let Some(dir) = &config.warm_start {
-            match service.cache.warm_start(std::path::Path::new(dir)) {
+            breaker: Breaker::new(config.breaker_threshold),
+            persist,
+            fault: config.fault.clone(),
+            conn_timeout: config.conn_timeout,
+            warm_dir: config.warm_start.clone(),
+            ready: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Runs the (possibly slow) warm start from checkpoint journals and
+    /// flips the readiness flag. [`Server::start`] calls this on a
+    /// background thread so `/v1/health` answers while the cache warms.
+    pub fn warm_load(&self) {
+        if let Some(dir) = &self.warm_dir {
+            match self.cache.warm_start(std::path::Path::new(dir)) {
                 Ok(n) => eprintln!("warm start: loaded {n} point(s) from {dir}/.checkpoint"),
                 Err(e) => eprintln!("warm start from {dir} failed ({e}); starting cold"),
             }
         }
-        service
+        self.ready.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the service would answer `/v1/ready` with 200.
+    pub fn ready(&self) -> bool {
+        self.ready.load(Ordering::SeqCst)
+            && !self.draining.load(Ordering::SeqCst)
+            && !occache_runtime::interrupt::requested()
+    }
+
+    /// Marks the service as draining: `/v1/ready` flips to 503 so a
+    /// load balancer stops routing here while in-flight work finishes.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
     }
 
     /// The result cache (integration tests inspect it).
@@ -231,19 +331,38 @@ impl Service {
                 self.counters.scrapes.bump();
                 (200, self.status_json())
             }
+            ("GET", "/v1/health") => {
+                // Liveness: answering at all is the signal.
+                (200, "{\"status\":\"ok\"}".to_string())
+            }
+            ("GET", "/v1/ready") => {
+                if self.ready() {
+                    (200, "{\"ready\":true}".to_string())
+                } else if self.draining.load(Ordering::SeqCst)
+                    || occache_runtime::interrupt::requested()
+                {
+                    (503, err("draining", "service is draining", false))
+                } else {
+                    (503, err("warm-starting", "warm start in progress", true))
+                }
+            }
             ("GET", "/metrics") => {
                 self.counters.scrapes.bump();
+                let faults = self.fault.as_ref().map(|f| f.injected());
                 let text = crate::metrics::render(
                     &self.counters,
                     self.gauges(),
                     &self.scheduler.worker_busy(),
+                    faults.as_ref().map_or(&[], |f| &f[..]),
                 );
                 return (200, "text/plain; version=0.0.4", Vec::new(), text);
             }
-            (_, "/v1/simulate" | "/v1/sweep" | "/v1/status" | "/metrics") => {
-                (405, error_body("method not allowed"))
-            }
-            _ => (404, error_body("no such endpoint")),
+            (
+                _,
+                "/v1/simulate" | "/v1/sweep" | "/v1/status" | "/v1/health" | "/v1/ready"
+                | "/metrics",
+            ) => (405, err("method-not-allowed", "method not allowed", false)),
+            _ => (404, err("not-found", "no such endpoint", false)),
         };
         match status {
             400..=499 => self.counters.client_errors.bump(),
@@ -253,7 +372,10 @@ impl Service {
         let mut headers = Vec::new();
         if status == 429 {
             self.counters.rejected.bump();
-            headers.push(("Retry-After", "1".to_string()));
+            headers.push((
+                "Retry-After",
+                self.scheduler.suggested_retry_after().to_string(),
+            ));
         }
         (status, "application/json", headers, body)
     }
@@ -267,6 +389,9 @@ impl Service {
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             uptime_seconds: self.started.elapsed().as_secs_f64(),
+            ready: self.ready(),
+            draining: self.draining.load(Ordering::SeqCst),
+            retry_after: self.scheduler.suggested_retry_after(),
         }
     }
 
@@ -275,7 +400,8 @@ impl Service {
         format!(
             "{{\"service\":\"occache-serve\",\"queue_depth\":{},\"workers\":{},\
              \"workers_busy\":{},\"cache_entries\":{},\"cache_hits\":{},\
-             \"cache_misses\":{},\"uptime_seconds\":{:?}}}",
+             \"cache_misses\":{},\"uptime_seconds\":{:?},\"ready\":{},\
+             \"draining\":{},\"retry_after\":{},\"quarantined\":{}}}",
             g.queue_depth,
             g.workers,
             g.workers_busy,
@@ -283,68 +409,114 @@ impl Service {
             g.cache_hits,
             g.cache_misses,
             g.uptime_seconds,
+            g.ready,
+            g.draining,
+            g.retry_after,
+            self.breaker.tripped(),
         )
     }
 
-    /// `POST /v1/simulate`: one design point.
+    /// Records a computed point everywhere it belongs: the cache, the
+    /// write-behind journal, the counters.
+    fn commit_point(&self, key: u64, entry: Entry) {
+        self.cache.insert(key, entry);
+        self.counters.points_computed.bump();
+        if let Some(persist) = &self.persist {
+            persist.record(key, entry);
+            self.counters.journal_appends.bump();
+        }
+        self.breaker.record_success(key);
+    }
+
+    /// `POST /v1/simulate`: one design point, interactive lane.
     fn simulate(&self, body: &[u8]) -> (u16, String) {
         let parsed = match parse_point_request(body, self.default_refs) {
             Ok(p) => p,
-            Err(why) => return (400, error_body(&why)),
+            Err(why) => return (400, err("bad-request", &why, false)),
         };
         let set = match self.trace_set(&parsed.model, parsed.refs) {
             Ok(s) => s,
-            Err(why) => return (400, error_body(&why)),
+            Err(why) => return (400, err("bad-request", &why, false)),
         };
         let config = match parsed.configs.first() {
             Some(c) => *c,
-            None => return (400, error_body("no config given")),
+            None => return (400, err("bad-request", "no config given", false)),
         };
         let key = point_key(&config, set.fingerprint, parsed.warmup);
         if let Some(entry) = self.cache.get(key) {
+            self.counters.points_cached.bump();
             return (200, point_json(&parsed, config, key, &entry, true));
+        }
+        if self.breaker.is_quarantined(key) {
+            self.counters.quarantined.bump();
+            return (
+                503,
+                ErrorBody::new(
+                    "quarantined",
+                    "point keeps failing; circuit breaker is open",
+                    false,
+                )
+                .with_key(key)
+                .render(),
+            );
         }
         let (tx, rx) = channel();
         let submit = self.scheduler.submit(Job {
             config,
             traces: Arc::clone(&set),
             warmup: parsed.warmup,
+            priority: Priority::Interactive,
             key,
             reply: tx,
         });
         match submit {
-            Err(SubmitError::Busy) => return (429, error_body("queue full; retry shortly")),
-            Err(SubmitError::Closed) => return (503, error_body("service is shutting down")),
+            Err(SubmitError::Busy) => {
+                self.counters.shed_interactive.bump();
+                return (429, err("queue-full", "queue full; retry shortly", true));
+            }
+            Err(SubmitError::Closed) => {
+                return (503, err("draining", "service is shutting down", false))
+            }
             Ok(()) => {}
         }
         match rx.recv_timeout(REPLY_TIMEOUT) {
             Ok(result) => match result.result {
                 Ok(point) => {
                     let entry = Entry::of(&point);
-                    self.cache.insert(key, entry);
-                    self.counters.points_computed.bump();
+                    self.commit_point(key, entry);
                     (200, point_json(&parsed, config, key, &entry, false))
                 }
-                Err(e) => (500, point_error_body(&e)),
+                Err(e) => {
+                    self.breaker.record_failure(key);
+                    (500, point_error_body(&e, key))
+                }
             },
-            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
-                (503, error_body("evaluation did not finish in time"))
-            }
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => (
+                503,
+                ErrorBody::new(
+                    "evaluation-timeout",
+                    "evaluation did not finish in time",
+                    false,
+                )
+                .with_key(key)
+                .render(),
+            ),
         }
     }
 
-    /// `POST /v1/sweep`: a grid in one request.
+    /// `POST /v1/sweep`: a grid in one request, bulk lane (shed first
+    /// under pressure).
     fn sweep(&self, body: &[u8]) -> (u16, String) {
         let parsed = match parse_point_request(body, self.default_refs) {
             Ok(p) => p,
-            Err(why) => return (400, error_body(&why)),
+            Err(why) => return (400, err("bad-request", &why, false)),
         };
         if parsed.configs.is_empty() {
-            return (400, error_body("empty grid"));
+            return (400, err("bad-request", "empty grid", false));
         }
         let set = match self.trace_set(&parsed.model, parsed.refs) {
             Ok(s) => s,
-            Err(why) => return (400, error_body(&why)),
+            Err(why) => return (400, err("bad-request", &why, false)),
         };
         let keys: Vec<u64> = parsed
             .configs
@@ -359,14 +531,25 @@ impl Service {
         }
         let (tx, rx) = channel();
         let mut pending = 0usize;
+        let mut failures: Vec<PointError> = Vec::new();
         for (i, &key) in keys.iter().enumerate() {
             if slots[i].is_some() {
+                continue;
+            }
+            if self.breaker.is_quarantined(key) {
+                self.counters.quarantined.bump();
+                failures.push(PointError {
+                    config: parsed.configs[i],
+                    fault: PointFault::Quarantined,
+                    message: "point keeps failing; circuit breaker is open".to_string(),
+                });
                 continue;
             }
             let submit = self.scheduler.submit(Job {
                 config: parsed.configs[i],
                 traces: Arc::clone(&set),
                 warmup: parsed.warmup,
+                priority: Priority::Bulk,
                 key,
                 reply: tx.clone(),
             });
@@ -376,15 +559,15 @@ impl Service {
                     // Any already-submitted jobs still run; their replies
                     // land in the dropped receiver harmlessly and their
                     // results still reach the cache via a later request.
-                    return (429, error_body("queue full; retry shortly"));
+                    self.counters.shed_bulk.bump();
+                    return (429, err("queue-full", "queue full; retry shortly", true));
                 }
                 Err(SubmitError::Closed) => {
-                    return (503, error_body("service is shutting down"));
+                    return (503, err("draining", "service is shutting down", false));
                 }
             }
         }
         drop(tx);
-        let mut failures: Vec<PointError> = Vec::new();
         let deadline = Instant::now() + REPLY_TIMEOUT;
         let mut by_key: HashMap<u64, Result<Entry, PointError>> = HashMap::new();
         while pending > 0 {
@@ -395,17 +578,24 @@ impl Service {
                     match reply.result {
                         Ok(point) => {
                             let entry = Entry::of(&point);
-                            self.cache.insert(reply.key, entry);
-                            self.counters.points_computed.bump();
+                            self.commit_point(reply.key, entry);
                             by_key.insert(reply.key, Ok(entry));
                         }
                         Err(e) => {
+                            self.breaker.record_failure(reply.key);
                             by_key.insert(reply.key, Err(e));
                         }
                     }
                 }
                 Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
-                    return (503, error_body("evaluation did not finish in time"));
+                    return (
+                        503,
+                        err(
+                            "evaluation-timeout",
+                            "evaluation did not finish in time",
+                            false,
+                        ),
+                    );
                 }
             }
         }
@@ -568,17 +758,26 @@ fn parse_config(doc: &Json, default_word: u64) -> Result<CacheConfig, String> {
         .map_err(|e| format!("invalid config: {e}"))
 }
 
-fn error_body(message: &str) -> String {
-    format!("{{\"error\":\"{}\"}}", escape(message))
+/// Shorthand for a rendered [`ErrorBody`] without a point key.
+fn err(code: &str, message: &str, retryable: bool) -> String {
+    ErrorBody::new(code, message, retryable).render()
 }
 
-fn point_error_body(e: &PointError) -> String {
-    format!(
-        "{{\"error\":\"point evaluation failed\",\"fault\":\"{}\",\"config\":\"{}\",\"message\":\"{}\"}}",
-        e.fault,
-        escape(&e.config.to_string()),
-        escape(&e.message),
+/// The structured body for a failed evaluation: code `eval-<fault>`
+/// (e.g. `eval-panic`, `eval-timeout`), the point key attributed.
+/// Panics are marked retryable — the supervisor's own retry already
+/// absorbed transient ones, but a client retry can still succeed when
+/// the failure was injected chaos; systematic failures hit the circuit
+/// breaker and turn into non-retryable `quarantined` instead.
+fn point_error_body(e: &PointError, key: u64) -> String {
+    let retryable = matches!(e.fault, PointFault::Panic | PointFault::WorkerLoss);
+    ErrorBody::new(
+        &format!("eval-{}", e.fault),
+        &format!("point evaluation failed ({}): {}", e.config, e.message),
+        retryable,
     )
+    .with_key(key)
+    .render()
 }
 
 /// The per-point response fields shared by simulate and sweep. `f64`
@@ -666,6 +865,14 @@ impl Server {
                 .name("occache-accept".to_string())
                 .spawn(move || accept_loop(&listener, &service, &stop))?
         };
+        {
+            // Warm start off the accept path: /v1/health answers
+            // immediately, /v1/ready flips once the cache is loaded.
+            let service = Arc::clone(&service);
+            std::thread::Builder::new()
+                .name("occache-warm".to_string())
+                .spawn(move || service.warm_load())?;
+        }
         Ok(Server {
             addr,
             service,
@@ -696,6 +903,7 @@ impl Server {
     ///
     /// Propagates an accept-loop I/O failure (the drain still ran).
     pub fn stop(mut self) -> io::Result<()> {
+        self.service.begin_drain();
         self.stop.store(true, Ordering::SeqCst);
         let outcome = match self.accept.take() {
             Some(handle) => handle
@@ -740,6 +948,8 @@ fn accept_loop(
         }
     }
     // Drain: give in-flight connections a bounded window to finish.
+    // The readiness flag flips first so health checks route away.
+    service.begin_drain();
     let deadline = Instant::now() + DRAIN_DEADLINE;
     while active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
         std::thread::sleep(ACCEPT_POLL);
@@ -748,20 +958,36 @@ fn accept_loop(
 }
 
 fn serve_connection(stream: TcpStream, service: &Service, stop: &AtomicBool) -> io::Result<()> {
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    // The socket read timeout bounds each individual read; the
+    // connection deadline bounds the whole request, so a slow-loris
+    // trickling bytes inside the read timeout still gets cut off. A
+    // deadline shorter than the default read timeout tightens the
+    // per-read bound too, so the deadline overshoots by at most itself.
+    let read_timeout = service
+        .conn_timeout
+        .map_or(READ_TIMEOUT, |t| t.min(READ_TIMEOUT));
+    stream.set_read_timeout(Some(read_timeout))?;
+    let fault = service.fault.as_deref();
     let mut conn = Connection::new(stream);
     loop {
-        let outcome = match conn.read_request() {
+        let deadline = service.conn_timeout.map(|t| Instant::now() + t);
+        let outcome = match conn.read_request_before(deadline) {
             Ok(o) => o,
-            // An idle keep-alive connection timing out is a normal way
-            // for the exchange to end.
             Err(e)
                 if matches!(
                     e.kind(),
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                return Ok(())
+                // A half-sent request deserves a structured 408; an
+                // idle keep-alive timing out is a normal close.
+                if conn.mid_request() {
+                    service.counters.timeouts.bump();
+                    service.counters.client_errors.bump();
+                    let body = err("request-timeout", "request not completed in time", true);
+                    let _ = conn.write_json(408, &body);
+                }
+                return Ok(());
             }
             Err(e) => return Err(e),
         };
@@ -769,17 +995,39 @@ fn serve_connection(stream: TcpStream, service: &Service, stop: &AtomicBool) -> 
             ReadOutcome::Closed => return Ok(()),
             ReadOutcome::Malformed(e) => {
                 service.counters.client_errors.bump();
-                let status = match e {
-                    ParseError::TooLarge => 400,
-                    ParseError::BodyTooLarge => 413,
-                    ParseError::Bad(_) => 400,
+                let (status, code) = match e {
+                    ParseError::TooLarge | ParseError::BodyTooLarge => (413, "payload-too-large"),
+                    ParseError::Bad(_) => (400, "bad-request"),
                 };
-                conn.write_error(status, &e.to_string())?;
+                conn.write_json(status, &err(code, &e.to_string(), false))?;
                 return Ok(()); // framing is gone; close
             }
             ReadOutcome::Complete(request) => {
+                if let Some(stall) = fault.and_then(ServeFault::stall_read_now) {
+                    std::thread::sleep(stall);
+                }
+                if fault.is_some_and(ServeFault::drop_conn_now) {
+                    return Ok(()); // injected: vanish without a response
+                }
                 let keep_alive = request.head.keep_alive;
                 let (status, content_type, headers, body) = service.handle(&request);
+                if fault.is_some_and(ServeFault::torn_write_now) {
+                    // Injected: send only half the response, then close.
+                    let wire = crate::http::render_response(
+                        status,
+                        content_type,
+                        &headers,
+                        body.as_bytes(),
+                    );
+                    conn.write_torn_response(
+                        status,
+                        content_type,
+                        &headers,
+                        body.as_bytes(),
+                        wire.len() / 2,
+                    )?;
+                    return Ok(());
+                }
                 conn.write_response(status, content_type, &headers, body.as_bytes())?;
                 if !keep_alive || stop.load(Ordering::SeqCst) {
                     return Ok(());

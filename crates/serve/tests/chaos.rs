@@ -1,0 +1,274 @@
+//! Deterministic chaos tests: with socket and scheduler fault injection
+//! active (the in-process form of `OCCACHE_SERVE_FAULT`), every request
+//! must eventually yield a correct, bit-identical result or an
+//! attributed structured error — never a hang past its deadline, never
+//! silent corruption.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use occache_runtime::executor::SupervisorPolicy;
+use occache_serve::fault::ServeFault;
+use occache_serve::json::{ErrorBody, Json};
+use occache_serve::service::{Server, ServiceConfig};
+
+const METRICS: [&str; 4] = [
+    "miss_ratio",
+    "traffic_ratio",
+    "nibble_traffic_ratio",
+    "redundant_load_fraction",
+];
+
+/// One-shot request that tolerates chaos: a torn or dropped response is
+/// an `Err`, never a panic and never a partial success.
+fn try_http(
+    addr: &std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let wire = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(wire.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("receive: {e}"))?;
+    let text = String::from_utf8(response).map_err(|_| "non-UTF-8 response".to_string())?;
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("torn response {text:?}"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("response without header terminator {text:?}"))?;
+    let expected: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("response without content-length {text:?}"))?;
+    if body.len() != expected {
+        return Err(format!(
+            "torn body: {} of {expected} bytes in {text:?}",
+            body.len()
+        ));
+    }
+    Ok((status, body.to_string()))
+}
+
+/// The chaos contract, client side: retry transport faults and
+/// retryable structured errors on fresh connections; any terminal
+/// non-200 must be an attributed [`ErrorBody`].
+fn request_to_completion(
+    addr: &std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> String {
+    let mut last = String::new();
+    for _ in 0..12 {
+        match try_http(addr, method, path, body, Duration::from_secs(2)) {
+            Ok((200, text)) => return text,
+            Ok((status, text)) => {
+                let parsed = ErrorBody::parse(&text)
+                    .unwrap_or_else(|e| panic!("unattributed {status} body {text:?}: {e}"));
+                assert!(
+                    parsed.retryable,
+                    "terminal error under chaos must be retryable here: {text}"
+                );
+                last = text;
+            }
+            Err(why) => last = why,
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("request never completed under chaos; last outcome: {last}");
+}
+
+fn point_bits(text: &str) -> Vec<u64> {
+    let doc = Json::parse(text).unwrap_or_else(|e| panic!("unparseable {text:?}: {e}"));
+    METRICS
+        .iter()
+        .map(|f| {
+            doc.get(f)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("missing {f} in {text}"))
+                .to_bits()
+        })
+        .collect()
+}
+
+fn bodies() -> Vec<String> {
+    [(16, 8), (32, 16), (8, 4)]
+        .iter()
+        .map(|(block, sub)| {
+            format!(
+                "{{\"model\":\"pdp11\",\"refs\":1000,\
+                 \"config\":{{\"net\":256,\"block\":{block},\"sub\":{sub}}}}}"
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn torn_writes_and_dropped_connections_never_corrupt_results() {
+    let fault = Arc::new(ServeFault::parse("torn-write:3,drop-conn:4").expect("fault spec"));
+    let mut config = ServiceConfig::for_tests();
+    config.fault = Some(Arc::clone(&fault));
+    let chaotic = Server::start(&config).expect("start chaotic");
+    let clean = Server::start(&ServiceConfig::for_tests()).expect("start clean");
+
+    for body in bodies() {
+        // Three passes per point through the chaotic server: every pass
+        // must complete and agree bit-for-bit.
+        let reference = point_bits(&request_to_completion(
+            &chaotic.addr(),
+            "POST",
+            "/v1/simulate",
+            &body,
+        ));
+        for _ in 0..2 {
+            let repeat = point_bits(&request_to_completion(
+                &chaotic.addr(),
+                "POST",
+                "/v1/simulate",
+                &body,
+            ));
+            assert_eq!(repeat, reference, "repeat diverged under chaos");
+        }
+        // And agree with a fault-free server: chaos may slow requests
+        // down, never change answers.
+        let truth = point_bits(&request_to_completion(
+            &clean.addr(),
+            "POST",
+            "/v1/simulate",
+            &body,
+        ));
+        assert_eq!(reference, truth, "chaotic result diverged from clean");
+    }
+
+    let injected = fault.injected();
+    let fired = |kind: &str| {
+        injected
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
+    assert!(
+        fired("torn_write") >= 1,
+        "torn-write never fired: {injected:?}"
+    );
+    assert!(
+        fired("drop_conn") >= 1,
+        "drop-conn never fired: {injected:?}"
+    );
+
+    // The injections are visible on /metrics (scraped through the same
+    // chaotic socket, so retry that too).
+    let metrics = request_to_completion(&chaotic.addr(), "GET", "/metrics", "");
+    assert!(
+        metrics.contains("occache_fault_torn_write_injected_total"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("occache_fault_drop_conn_injected_total"),
+        "{metrics}"
+    );
+
+    chaotic.stop().expect("clean shutdown");
+    clean.stop().expect("clean shutdown");
+}
+
+#[test]
+fn stalled_reads_time_out_the_client_but_answers_stay_correct() {
+    // Every 2nd connection stalls for 1 s before the response; the
+    // client reads with a 300 ms timeout, so stalled attempts fail fast
+    // and the deterministic retry (next event, odd, unstalled) succeeds.
+    let fault = Arc::new(ServeFault::parse("stall-read:2:1").expect("fault spec"));
+    let mut config = ServiceConfig::for_tests();
+    config.fault = Some(Arc::clone(&fault));
+    let server = Server::start(&config).expect("start");
+
+    let body = &bodies()[0];
+    let mut results = Vec::new();
+    for _ in 0..4 {
+        let mut outcome = None;
+        for _ in 0..4 {
+            match try_http(
+                &server.addr(),
+                "POST",
+                "/v1/simulate",
+                body,
+                Duration::from_millis(300),
+            ) {
+                Ok((200, text)) => {
+                    outcome = Some(text);
+                    break;
+                }
+                Ok((status, text)) => panic!("unexpected status {status}: {text}"),
+                Err(_) => continue, // stalled attempt — retry
+            }
+        }
+        results.push(point_bits(
+            &outcome.expect("request never completed despite retries"),
+        ));
+    }
+    assert!(
+        results.windows(2).all(|w| w[0] == w[1]),
+        "stall chaos changed answers: {results:?}"
+    );
+    let injected = fault.injected();
+    let stalls = injected
+        .iter()
+        .find(|(k, _)| *k == "stall_read")
+        .map(|(_, n)| *n)
+        .unwrap_or(0);
+    assert!(stalls >= 1, "stall-read never fired: {injected:?}");
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn worker_panic_chaos_is_absorbed_by_the_supervisor_retry_budget() {
+    // Every 2nd evaluation panics; one supervisor retry re-runs the
+    // point (advancing the evaluation counter past the faulted slot),
+    // so every request still answers 200 with correct metrics.
+    let fault = Arc::new(ServeFault::parse("panic-worker:2").expect("fault spec"));
+    let mut policy = SupervisorPolicy::disabled();
+    policy.retries = 1;
+    let mut config = ServiceConfig::for_tests();
+    config.fault = Some(Arc::clone(&fault));
+    config.policy = policy;
+    let server = Server::start(&config).expect("start");
+    let clean = Server::start(&ServiceConfig::for_tests()).expect("start clean");
+
+    for body in bodies() {
+        let chaotic = point_bits(&request_to_completion(
+            &server.addr(),
+            "POST",
+            "/v1/simulate",
+            &body,
+        ));
+        let truth = point_bits(&request_to_completion(
+            &clean.addr(),
+            "POST",
+            "/v1/simulate",
+            &body,
+        ));
+        assert_eq!(chaotic, truth, "panic chaos changed an answer");
+    }
+    server.stop().expect("clean shutdown");
+    clean.stop().expect("clean shutdown");
+}

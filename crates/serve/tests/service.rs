@@ -1,14 +1,20 @@
 //! End-to-end tests over real sockets: a served design point must be
 //! bit-identical to direct evaluation, the second identical request must
-//! come from the cache, sweeps must preserve request order, and the
-//! server must shut down cleanly.
+//! come from the cache, sweeps must preserve request order, the server
+//! must shut down cleanly, and the hardening layers — connection
+//! deadlines, oversized-body rejection, the per-point circuit breaker,
+//! and write-behind crash recovery — must behave as DESIGN.md §10
+//! specifies.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use occache_core::CacheConfig;
 use occache_experiments::sweep::{evaluate_point, materialize};
-use occache_serve::json::Json;
+use occache_serve::fault::ServeFault;
+use occache_serve::json::{ErrorBody, Json};
 use occache_serve::service::{Server, ServiceConfig};
 use occache_workloads::WorkloadSpec;
 
@@ -203,4 +209,196 @@ fn routing_and_input_validation() {
         assert!(metrics.contains(family), "missing {family} in:\n{metrics}");
     }
     server.stop().expect("clean shutdown");
+}
+
+/// Polls `/v1/ready` until it answers 200 or the deadline passes.
+fn wait_ready(addr: &std::net::SocketAddr) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if http(addr, "GET", "/v1/ready", "").0 == 200 {
+            return;
+        }
+        assert!(Instant::now() < deadline, "server never became ready");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn health_is_liveness_and_ready_tracks_warmup_and_drain() {
+    let server = Server::start(&ServiceConfig::for_tests()).expect("start");
+    let addr = server.addr();
+
+    // Liveness answers from the very first accept.
+    let (status, body) = http(&addr, "GET", "/v1/health", "");
+    assert_eq!(status, 200, "{body}");
+    wait_ready(&addr);
+
+    // Draining: readiness flips to an attributed 503, liveness stays up.
+    server.service().begin_drain();
+    let (status, body) = http(&addr, "GET", "/v1/ready", "");
+    assert_eq!(status, 503, "{body}");
+    let parsed = ErrorBody::parse(&body).expect("structured ready error");
+    assert_eq!(parsed.code, "draining");
+    assert!(!parsed.retryable);
+    assert_eq!(http(&addr, "GET", "/v1/health", "").0, 200);
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn mid_request_deadline_answers_408_and_idle_connections_close_silently() {
+    let mut config = ServiceConfig::for_tests();
+    config.conn_timeout = Some(Duration::from_millis(200));
+    let server = Server::start(&config).expect("start");
+    let addr = server.addr();
+
+    // A slow-loris half request: the server must answer 408 within the
+    // deadline and close, never park the thread.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    stream
+        .write_all(b"POST /v1/simulate HTTP/1.1\r\nContent-")
+        .expect("partial head");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("server reply");
+    let text = String::from_utf8(response).expect("utf-8");
+    assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    let parsed = ErrorBody::parse(body).expect("structured 408 body");
+    assert_eq!(parsed.code, "request-timeout");
+    assert!(parsed.retryable, "a fresh, faster attempt can succeed");
+
+    // An idle connection (no bytes at all) is closed without a response.
+    let mut idle = TcpStream::connect(addr).expect("connect idle");
+    idle.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let mut nothing = Vec::new();
+    idle.read_to_end(&mut nothing).expect("silent close");
+    assert!(nothing.is_empty(), "{nothing:?}");
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn oversized_requests_are_refused_with_413() {
+    let server = Server::start(&ServiceConfig::for_tests()).expect("start");
+    let addr = server.addr();
+
+    // A body budget violation is detected from the head alone — the
+    // server refuses before reading 5 MB.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"POST /v1/simulate HTTP/1.1\r\nContent-Length: 5000000\r\n\r\n")
+        .expect("send oversized head");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("server reply");
+    let text = String::from_utf8(response).expect("utf-8");
+    assert!(text.starts_with("HTTP/1.1 413"), "{text}");
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    let parsed = ErrorBody::parse(body).expect("structured 413 body");
+    assert_eq!(parsed.code, "payload-too-large");
+    assert!(!parsed.retryable);
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn circuit_breaker_quarantines_a_repeatedly_failing_point() {
+    let mut config = ServiceConfig::for_tests();
+    // Every evaluation panics and the supervisor has no retry budget, so
+    // each request records one breaker failure for its key.
+    config.fault = Some(Arc::new(
+        ServeFault::parse("panic-worker:1").expect("fault spec"),
+    ));
+    config.breaker_threshold = 2;
+    let server = Server::start(&config).expect("start");
+    let addr = server.addr();
+    let body = r#"{"model":"pdp11","refs":1000,"config":{"net":256,"block":16,"sub":8}}"#;
+
+    // Two failing attempts, each an attributed eval-panic with the key.
+    let mut key = None;
+    for _ in 0..2 {
+        let (status, text) = http(&addr, "POST", "/v1/simulate", body);
+        assert_eq!(status, 500, "{text}");
+        let parsed = ErrorBody::parse(&text).expect("structured eval failure");
+        assert_eq!(parsed.code, "eval-panic");
+        assert!(parsed.retryable, "a panicked evaluation is retryable");
+        assert!(parsed.point_key.is_some(), "failure must carry its key");
+        key = parsed.point_key;
+    }
+
+    // The third attempt is refused without touching a worker.
+    let (status, text) = http(&addr, "POST", "/v1/simulate", body);
+    assert_eq!(status, 503, "{text}");
+    let parsed = ErrorBody::parse(&text).expect("structured quarantine");
+    assert_eq!(parsed.code, "quarantined");
+    assert!(!parsed.retryable);
+    assert_eq!(parsed.point_key, key, "quarantine names the same key");
+
+    // A sweep containing the quarantined point reports it as a failure
+    // with fault attribution instead of evaluating it.
+    let sweep = r#"{"model":"pdp11","refs":1000,"points":[{"net":256,"block":16,"sub":8}]}"#;
+    let (status, text) = http(&addr, "POST", "/v1/sweep", sweep);
+    assert_eq!(status, 200, "{text}");
+    let doc = json(&text);
+    let failures = doc
+        .get("failures")
+        .and_then(Json::as_array)
+        .expect("failures");
+    assert_eq!(failures.len(), 1);
+    assert_eq!(
+        failures[0].get("fault").and_then(Json::as_str),
+        Some("quarantined")
+    );
+
+    let (_, metrics) = http(&addr, "GET", "/metrics", "");
+    assert!(
+        metrics.contains("occache_quarantined_total 2"),
+        "simulate + sweep refusals:\n{metrics}"
+    );
+    server.stop().expect("clean shutdown");
+}
+
+#[test]
+fn restart_serves_journaled_points_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("occache-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("journal dir");
+    let mut config = ServiceConfig::for_tests();
+    config.journal_dir = Some(dir.to_string_lossy().into_owned());
+    let body = r#"{"model":"pdp11","refs":1000,"config":{"net":128,"block":16,"sub":8}}"#;
+
+    let first_run = {
+        let server = Server::start(&config).expect("start");
+        let (status, text) = http(&server.addr(), "POST", "/v1/simulate", body);
+        assert_eq!(status, 200, "{text}");
+        server.stop().expect("clean shutdown");
+        text
+    };
+
+    // A new process (new Server, same journal dir) must answer the same
+    // point from disk: cached, never recomputed, bit-identical.
+    let server = Server::start(&config).expect("restart");
+    let (status, text) = http(&server.addr(), "POST", "/v1/simulate", body);
+    assert_eq!(status, 200, "{text}");
+    let a = json(&first_run);
+    let b = json(&text);
+    assert_eq!(
+        b.get("cached").and_then(Json::as_bool),
+        Some(true),
+        "recovered point must come from the journal-warmed cache: {text}"
+    );
+    for field in METRICS {
+        assert_eq!(
+            metric_bits(&a, field),
+            metric_bits(&b, field),
+            "{field} across restart"
+        );
+    }
+    assert_eq!(
+        a.get("key").and_then(Json::as_str),
+        b.get("key").and_then(Json::as_str)
+    );
+    assert_eq!(server.service().cache().hits(), 1);
+    server.stop().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
 }
