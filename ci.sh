@@ -24,10 +24,34 @@ echo "== full workspace tests =="
 cargo test --workspace -q
 
 echo "== perf smoke: one-pass sweep vs direct simulation =="
-# Regenerates a Table-7-style grid both ways, asserts bit-identical
-# ratios, and records wall-clock + speedup in BENCH_sweep.json.
+# Regenerates a Table-7-style grid three ways (direct, sliced, and
+# generation-fused streaming), asserts bit-identical ratios, and
+# records wall-clock + throughput in BENCH_sweep.json.
 cargo build --release -q -p occache-bench --bin perf_smoke
 ./target/release/perf_smoke
+
+echo "-- perf trajectory gate: effective_refs_per_sec vs committed baseline --"
+# A real perf regression must fail loudly: the fresh measurement may not
+# fall more than 25% below the committed baseline (the streamed wall is
+# already a best-of-N, so scheduler noise is mostly filtered). An
+# improvement rewrites the committed trajectory point; anything short of
+# one restores the baseline file so noise never erodes the bar.
+CURRENT=$(sed -n 's/.*"effective_refs_per_sec": \([0-9]*\).*/\1/p' BENCH_sweep.json)
+BASELINE=$(git show HEAD:BENCH_sweep.json 2>/dev/null \
+  | sed -n 's/.*"effective_refs_per_sec": \([0-9]*\).*/\1/p')
+[ -n "$CURRENT" ] || { echo "FAIL: no effective_refs_per_sec in BENCH_sweep.json"; exit 1; }
+if [ -n "$BASELINE" ]; then
+  awk -v c="$CURRENT" -v b="$BASELINE" 'BEGIN { exit (c >= 0.75 * b) ? 0 : 1 }' \
+    || { echo "FAIL: effective_refs_per_sec $CURRENT regressed >25% below baseline $BASELINE"; exit 1; }
+  if awk -v c="$CURRENT" -v b="$BASELINE" 'BEGIN { exit (c > b) ? 0 : 1 }'; then
+    echo "   improved: $BASELINE -> $CURRENT refs/s (baseline rewritten)"
+  else
+    git checkout -- BENCH_sweep.json
+    echo "   held: $CURRENT refs/s within 25% of baseline $BASELINE (baseline kept)"
+  fi
+else
+  echo "   no committed baseline; keeping fresh measurement ($CURRENT refs/s)"
+fi
 
 echo "== integrity: manifest + verify + supervised fault injection =="
 # A real Table 7 run into a scratch results dir, then occache-verify on

@@ -76,7 +76,8 @@ pub use contention::SharedBus;
 pub use ibuffer::InstructionBuffer;
 pub use metrics::Metrics;
 pub use multisim::{
-    engine_supports, simulate_many, AllSizesLruEngine, MultiSimError, MAX_MULTISIM_CONFIGS,
+    engine_supports, simulate_many, simulate_many_pair, AllSizesLruEngine, MultiSimError,
+    MAX_MULTISIM_CONFIGS,
 };
 pub use split::SplitCache;
 pub use stackdist::{LruStackAnalyzer, SetAssocLruAnalyzer};

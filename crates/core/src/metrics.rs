@@ -58,10 +58,58 @@ pub struct Metrics {
     evicted_unreferenced_subs: u64,
 }
 
+/// The counters the one-pass engine actually has to accumulate per
+/// configuration. Under demand fetch + write-through every other
+/// `Metrics` field is a product of these (each counted miss fetches
+/// exactly one sub-block, each write writes through exactly one word,
+/// each eviction releases exactly `slots` sub-slots), so the engine's
+/// hot path updates four numbers and the rest are reconstructed here.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EngineCounters {
+    /// Counted accesses (identical for every configuration in a slice).
+    pub accesses: u64,
+    /// Data writes (identical for every configuration in a slice).
+    pub write_accesses: u64,
+    pub misses: u64,
+    pub write_misses: u64,
+    pub evicted_blocks: u64,
+    /// Total referenced sub-blocks across all evictions.
+    pub evicted_referenced_subs: u64,
+}
+
 impl Metrics {
     pub(crate) fn new(word_size: u64) -> Self {
         Metrics {
             word_size,
+            ..Metrics::default()
+        }
+    }
+
+    /// Expands the engine's compact counters into full `Metrics`,
+    /// bit-identical to accumulating through the recording methods:
+    /// demand fetch moves one `sub_size` sub-block per counted miss,
+    /// write-through moves one word per data write, and an eviction
+    /// releases `slots` sub-slots of which `evicted_referenced_subs`
+    /// were touched.
+    pub(crate) fn from_engine(
+        word_size: u64,
+        sub_size: u64,
+        slots: u64,
+        c: EngineCounters,
+    ) -> Metrics {
+        Metrics {
+            word_size,
+            accesses: c.accesses,
+            misses: c.misses,
+            fetch_bytes: c.misses * sub_size,
+            fetch_transactions: c.misses,
+            sub_loads: c.misses,
+            write_accesses: c.write_accesses,
+            write_misses: c.write_misses,
+            write_through_bytes: c.write_accesses * word_size,
+            evicted_blocks: c.evicted_blocks,
+            evicted_sub_slots: c.evicted_blocks * slots,
+            evicted_unreferenced_subs: c.evicted_blocks * slots - c.evicted_referenced_subs,
             ..Metrics::default()
         }
     }

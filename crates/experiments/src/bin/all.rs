@@ -61,6 +61,10 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    if let Err(e) = occache_experiments::sweep::try_slice_threads() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let mut bench = match Workbench::try_from_env() {
         Ok(b) => b,
         Err(e) => {

@@ -36,7 +36,7 @@ fn main() -> std::process::ExitCode {
                 .iter()
                 .map(|trace| {
                     let mut an = SetAssocLruAnalyzer::new(BLOCK, sets);
-                    for r in trace.refs.iter() {
+                    for r in trace.iter() {
                         an.access(r.address());
                     }
                     an.miss_ratio_at_ways(ways as usize)
@@ -61,10 +61,10 @@ fn main() -> std::process::ExitCode {
             .expect("valid geometry");
         for trace in traces {
             let mut an = SetAssocLruAnalyzer::new(BLOCK, BLOCKS / ways);
-            for r in trace.refs.iter() {
+            for r in trace.iter() {
                 an.access(r.address());
             }
-            let m = simulate(config, trace.refs.iter(), 0);
+            let m = simulate(config, trace.iter(), 0);
             assert_eq!(
                 an.misses_at_ways(ways as usize),
                 m.misses() + m.write_misses(),

@@ -63,7 +63,7 @@ fn main() -> std::process::ExitCode {
             let mut traffic = 0.0;
             let mut pollution = 0.0;
             for t in traces {
-                let m = simulate(config, t.refs.iter(), warmup);
+                let m = simulate(config, t.iter(), warmup);
                 miss += m.miss_ratio();
                 traffic += m.traffic_ratio();
                 pollution += m.prefetch_pollution();

@@ -50,7 +50,7 @@ pub fn run_buffers(bench: &mut Workbench) -> Artifact {
             let mut vax = InstructionBuffer::vax780();
             let mut cray = InstructionBuffer::cray_style(16, 8);
             let mut cache = SubBlockCache::new(standard_config(arch, 64, 2 * word, word));
-            for r in trace.refs.iter() {
+            for r in trace.iter() {
                 if r.kind() != AccessKind::InstrFetch {
                     continue;
                 }

@@ -132,7 +132,7 @@ pub fn run_bus_contention(bench: &mut Workbench) -> Artifact {
             let config = standard_config(arch, net, block, sub);
             let mut traffic = 0.0;
             for t in traces {
-                traffic += simulate(config, t.refs.iter(), warmup).traffic_ratio();
+                traffic += simulate(config, t.iter(), warmup).traffic_ratio();
             }
             traffic /= traces.len() as f64;
             let processors = bus.max_processors(traffic, TARGET);

@@ -49,7 +49,7 @@ pub fn run_writes(bench: &mut Workbench) -> Artifact {
                 .build()
                 .expect("valid geometry");
             for trace in traces {
-                let m: Metrics = simulate(config, trace.refs.iter(), warmup);
+                let m: Metrics = simulate(config, trace.iter(), warmup);
                 let denom = (m.accesses() * word) as f64;
                 match policy {
                     WritePolicy::WriteThrough => {
@@ -130,9 +130,9 @@ pub fn run_split(bench: &mut Workbench) -> Artifact {
             let mut unified_miss = 0.0;
             let mut split_miss = 0.0;
             for trace in traces {
-                unified_miss += simulate(unified_config, trace.refs.iter(), 0).miss_ratio();
+                unified_miss += simulate(unified_config, trace.iter(), 0).miss_ratio();
                 let mut split = SplitCache::new(half_config, half_config);
-                split.run(trace.refs.iter());
+                split.run(trace.iter());
                 split_miss += split.miss_ratio();
             }
             let n = traces.len() as f64;

@@ -100,6 +100,10 @@ where
         eprintln!("error: {e}");
         return std::process::ExitCode::FAILURE;
     }
+    if let Err(e) = crate::sweep::try_slice_threads() {
+        eprintln!("error: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
     let mut bench = match Workbench::try_from_env() {
         Ok(b) => b,
         Err(e) => {
@@ -502,7 +506,7 @@ pub fn run_table6(bench: &mut Workbench) -> Artifact {
     let mut sector_miss = 0.0;
     let mut unref = 0.0;
     for trace in traces {
-        let m: Metrics = simulate(sector, trace.refs.iter(), 0);
+        let m: Metrics = simulate(sector, trace.iter(), 0);
         sector_miss += m.miss_ratio();
         unref += m.unreferenced_sub_block_fraction();
     }
@@ -538,7 +542,7 @@ pub fn run_table6(bench: &mut Workbench) -> Artifact {
             .expect("set-associative geometry is valid");
         let mut miss = 0.0;
         for trace in traces {
-            miss += simulate(config, trace.refs.iter(), 0).miss_ratio();
+            miss += simulate(config, trace.iter(), 0).miss_ratio();
         }
         miss /= traces.len() as f64;
         let _ = writeln!(
@@ -659,7 +663,7 @@ pub fn run_table8(bench: &mut Workbench) -> Artifact {
         let mut scaled = 0.0;
         let mut redundant = 0.0;
         for trace in traces {
-            let m = simulate(config, trace.refs.iter(), warmup);
+            let m = simulate(config, trace.iter(), warmup);
             miss += m.miss_ratio();
             traffic += m.traffic_ratio();
             scaled += m.scaled_traffic_ratio(nibble);
@@ -758,7 +762,7 @@ pub fn run_risc2(bench: &mut Workbench) -> Artifact {
             .expect("RISC II geometry is valid");
         let mut miss = 0.0;
         for trace in traces {
-            miss += simulate(config, trace.refs.iter(), 0).miss_ratio();
+            miss += simulate(config, trace.iter(), 0).miss_ratio();
         }
         miss /= traces.len() as f64;
         let _ = writeln!(
@@ -814,7 +818,7 @@ pub fn run_ablations(bench: &mut Workbench) -> Artifact {
                 .expect("valid geometry");
             let mut miss = 0.0;
             for t in traces {
-                miss += simulate(config, t.refs.iter(), warmup).miss_ratio();
+                miss += simulate(config, t.iter(), warmup).miss_ratio();
             }
             miss /= traces.len() as f64;
             let _ = write!(row, " {ways}-way {miss:.4} ");
@@ -848,7 +852,7 @@ pub fn run_ablations(bench: &mut Workbench) -> Artifact {
                 .expect("valid geometry");
             let mut miss = 0.0;
             for t in traces {
-                miss += simulate(config, t.refs.iter(), warmup).miss_ratio();
+                miss += simulate(config, t.iter(), warmup).miss_ratio();
             }
             miss /= traces.len() as f64;
             let _ = write!(row, " {policy} {miss:.4} ");
@@ -877,7 +881,7 @@ pub fn run_ablations(bench: &mut Workbench) -> Artifact {
                 .expect("valid geometry");
             let mut miss = 0.0;
             for t in traces {
-                miss += simulate(config, t.refs.iter(), 0).miss_ratio();
+                miss += simulate(config, t.iter(), 0).miss_ratio();
             }
             miss /= traces.len() as f64;
             let _ = writeln!(report, "  {:>6} {:>9.4} {:>9.2}", net, miss, paper_miss);
@@ -914,7 +918,7 @@ pub fn run_ablations(bench: &mut Workbench) -> Artifact {
             let mut miss = 0.0;
             let mut traffic = 0.0;
             for t in traces {
-                let m = simulate(config, t.refs.iter(), warmup);
+                let m = simulate(config, t.iter(), warmup);
                 miss += m.miss_ratio();
                 traffic += m.traffic_ratio();
             }
@@ -957,7 +961,7 @@ pub fn run_ablations(bench: &mut Workbench) -> Artifact {
         for (label, warmup) in [("cold", 0usize), ("warm (5%)", len / 20)] {
             let mut miss = 0.0;
             for t in traces {
-                miss += simulate(config, t.refs.iter(), warmup).miss_ratio();
+                miss += simulate(config, t.iter(), warmup).miss_ratio();
             }
             miss /= traces.len() as f64;
             let _ = writeln!(report, "  {label:<12} miss {miss:.4}");
@@ -1001,7 +1005,7 @@ pub fn run_headline(bench: &mut Workbench) -> Artifact {
         let mut miss = 0.0;
         let mut traffic = 0.0;
         for t in traces {
-            let m = simulate(config, t.refs.iter(), warmup);
+            let m = simulate(config, t.iter(), warmup);
             miss += m.miss_ratio();
             traffic += m.traffic_ratio();
         }
@@ -1059,11 +1063,7 @@ mod tests {
         // instead of regenerating them.
         let second = b.traces_from(&WorkloadSpec::z8000_load_forward_set());
         for (a, c) in first.iter().zip(&second) {
-            assert!(
-                std::sync::Arc::ptr_eq(&a.refs, &c.refs),
-                "{} was generated twice",
-                a.name
-            );
+            assert!(a.shares_backing(c), "{} was generated twice", a.name);
         }
     }
 

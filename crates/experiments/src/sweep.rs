@@ -13,10 +13,10 @@
 use occache_core::{CacheConfig, FetchPolicy};
 use occache_workloads::{Architecture, WorkloadSpec};
 
-pub use occache_runtime::config::{multisim_disabled, try_jobs};
+pub use occache_runtime::config::{multisim_disabled, try_jobs, try_slice_threads};
 pub use occache_runtime::eval::{
-    evaluate_point, evaluate_results_with, evaluate_slice, plan_units, pool_workers, DesignPoint,
-    PointError, PointFault, SweepUnit, Trace,
+    evaluate_point, evaluate_results_with, evaluate_slice, plan_units, pool_workers, slice_workers,
+    DesignPoint, PointError, PointFault, SweepUnit, Trace,
 };
 pub use occache_runtime::executor::{
     batch_of, evaluate_points, evaluate_points_isolated, evaluate_points_isolated_with,
@@ -29,6 +29,23 @@ pub fn materialize(specs: &[WorkloadSpec], len: usize) -> Vec<Trace> {
     specs
         .iter()
         .map(|spec| Trace::new(spec.name(), spec.generator(0).take(len)))
+        .collect()
+}
+
+/// Streamed counterparts of [`materialize`]: each trace regenerates its
+/// reference stream on every iteration instead of holding a packed copy,
+/// so evaluation is generation-fused — references flow from the workload
+/// generator straight into the simulators. Because [`WorkloadSpec`]
+/// generators are deterministic per seed, a streamed trace replays
+/// exactly the stream its materialized twin packs, and fingerprints,
+/// journal keys and metrics come out identical.
+pub fn stream_traces(specs: &[WorkloadSpec], len: usize) -> Vec<Trace> {
+    specs
+        .iter()
+        .map(|spec| {
+            let spec = spec.clone();
+            Trace::streamed(spec.name(), len, move || spec.generator(0))
+        })
         .collect()
 }
 
@@ -281,10 +298,8 @@ mod tests {
                 SweepUnit::Direct(i) => seen[*i] += 1,
                 SweepUnit::Engine(members) => {
                     assert!(members.len() <= MAX_MULTISIM_CONFIGS);
-                    let b = configs[members[0]].block_size();
                     for &i in members {
                         assert!(engine_supports(&configs[i]));
-                        assert_eq!(configs[i].block_size(), b);
                         seen[i] += 1;
                     }
                 }

@@ -122,7 +122,7 @@ fn faulty_sweep_completes_reports_and_resumes() {
     // through a reader that fails after 64 bytes. The structured error is
     // the signal to drop that trace (with a note) rather than crash.
     let mut encoded = Vec::new();
-    write_trace(&mut encoded, traces[0].refs.iter()).unwrap();
+    write_trace(&mut encoded, traces[0].iter()).unwrap();
     let faulty = FaultyReader::new(&encoded[..], FaultMode::ErrorAfter(64));
     let mut survivors = Vec::new();
     let mut trace_notes = Vec::new();

@@ -17,6 +17,7 @@
 //! | `OCCACHE_REFS` | [`env_usize`] | caller-supplied (paper: 1 M) |
 //! | `OCCACHE_WARMUP` | [`env_usize`] | 0 |
 //! | `OCCACHE_JOBS` | [`try_jobs`] | hardware parallelism |
+//! | `OCCACHE_SLICE_THREADS` | [`try_slice_threads`] | `OCCACHE_JOBS`, else hardware |
 //! | `OCCACHE_NO_MULTISIM` | [`multisim_disabled`] | off |
 //! | `OCCACHE_FRESH` | [`fresh_requested`] | off |
 //! | `OCCACHE_RESULTS` | [`results_dir`] | `results/` |
@@ -71,6 +72,22 @@ pub fn env_usize_opt(var: &str) -> Result<Option<usize>, String> {
 /// Returns a message naming the variable when it is set but malformed.
 pub fn try_jobs() -> Result<Option<usize>, String> {
     env_usize("OCCACHE_JOBS", 0).map(|n| if n == 0 { None } else { Some(n) })
+}
+
+/// Worker-thread override specific to sweep-slice execution:
+/// `OCCACHE_SLICE_THREADS` env var. `Ok(None)` (unset or `0`) means
+/// "defer" — callers fall through to [`try_jobs`] and then to the
+/// hardware parallelism; `OCCACHE_SLICE_THREADS=1` forces slices to run
+/// serially. Unlike `OCCACHE_JOBS` it does not touch the serving
+/// layer's pools, so an operator can pin slice concurrency without
+/// resizing everything else. Malformed values are an error naming the
+/// variable — same strictness as every other `OCCACHE_*` knob.
+///
+/// # Errors
+///
+/// Returns a message naming the variable when it is set but malformed.
+pub fn try_slice_threads() -> Result<Option<usize>, String> {
+    env_usize("OCCACHE_SLICE_THREADS", 0).map(|n| if n == 0 { None } else { Some(n) })
 }
 
 /// Whether `OCCACHE_NO_MULTISIM` forces the direct simulator for every

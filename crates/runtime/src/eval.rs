@@ -5,7 +5,8 @@
 //! ("Multiple-trace miss and traffic ratios are the unweighted average
 //! of the miss and traffic ratios of individual runs", §3.3). Sweeps do
 //! not simulate every point independently: [`plan_units`] groups a grid
-//! into one-pass-compatible slices (same block size, LRU, demand fetch)
+//! into one-pass-compatible slices (LRU, demand fetch, write-through,
+//! power-of-two sets — geometry may differ freely per member)
 //! and [`evaluate_slice`] runs each through [`occache_core::multisim`],
 //! which yields every cache size's metrics from a single trace pass —
 //! bit-identical to [`occache_core::simulate`]. Points the engine cannot
@@ -18,22 +19,52 @@ use std::sync::Arc;
 use std::thread;
 
 use occache_core::{
-    engine_supports, simulate, simulate_many, BusModel, CacheConfig, Metrics, MAX_MULTISIM_CONFIGS,
+    engine_supports, simulate, simulate_many, simulate_many_pair, BusModel, CacheConfig, Metrics,
+    MAX_MULTISIM_CONFIGS,
 };
 use occache_trace::{MemRef, PackedTrace};
 
-/// A fully materialised trace, reusable across configurations.
+/// A named reference stream, reusable across configurations.
 ///
-/// References live in a shared [`PackedTrace`] (9 bytes per reference
-/// instead of 16), so cloning a `Trace` — as the memoizing workbench and
-/// the sweep workers do — bumps a reference count rather than copying a
-/// million-entry stream.
-#[derive(Debug, Clone)]
+/// Two backings exist. [`Trace::new`] fully materialises the stream
+/// into a shared [`PackedTrace`] (9 bytes per reference instead of 16),
+/// so cloning a `Trace` — as the memoizing workbench and the sweep
+/// workers do — bumps a reference count rather than copying a
+/// million-entry stream. [`Trace::streamed`] instead stores a
+/// replayable *factory*: every [`Trace::iter`] call regenerates the
+/// stream on the fly, so evaluation feeds references straight from the
+/// source (e.g. a workload generator) into the simulators without a
+/// packed copy ever existing. Both backings yield identical references
+/// in identical order for the same underlying stream, so journal keys,
+/// fingerprints and metrics do not depend on which one a sweep used.
+#[derive(Clone)]
 pub struct Trace {
     /// Trace name (as in the paper's workload tables).
     pub name: String,
-    /// The reference stream, shared by reference across workers.
-    pub refs: Arc<PackedTrace>,
+    source: TraceBacking,
+}
+
+#[derive(Clone)]
+enum TraceBacking {
+    /// Fully materialised, shared by reference across workers.
+    Packed(Arc<PackedTrace>),
+    /// Regenerated on every iteration from a replayable factory.
+    Streamed {
+        len: usize,
+        make: Arc<dyn Fn() -> Box<dyn Iterator<Item = MemRef> + Send> + Send + Sync>,
+    },
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("Trace");
+        s.field("name", &self.name).field("len", &self.len());
+        match &self.source {
+            TraceBacking::Packed(_) => s.field("backing", &"packed"),
+            TraceBacking::Streamed { .. } => s.field("backing", &"streamed"),
+        };
+        s.finish()
+    }
 }
 
 impl Trace {
@@ -41,7 +72,85 @@ impl Trace {
     pub fn new(name: impl Into<String>, refs: impl IntoIterator<Item = MemRef>) -> Self {
         Trace {
             name: name.into(),
-            refs: Arc::new(refs.into_iter().collect()),
+            source: TraceBacking::Packed(Arc::new(refs.into_iter().collect())),
+        }
+    }
+
+    /// A streamed trace: `make` must return a fresh iterator replaying
+    /// the *same* `len`-reference stream on every call (a deterministic
+    /// generator reseeded identically). Evaluation then consumes the
+    /// stream chunk-by-chunk without materialising it; iteration is
+    /// truncated to `len` so the declared length is authoritative.
+    pub fn streamed<F, I>(name: impl Into<String>, len: usize, make: F) -> Self
+    where
+        F: Fn() -> I + Send + Sync + 'static,
+        I: Iterator<Item = MemRef> + Send + 'static,
+    {
+        Trace {
+            name: name.into(),
+            source: TraceBacking::Streamed {
+                len,
+                make: Arc::new(move || Box::new(make())),
+            },
+        }
+    }
+
+    /// Number of references in the stream.
+    pub fn len(&self) -> usize {
+        match &self.source {
+            TraceBacking::Packed(refs) => refs.len(),
+            TraceBacking::Streamed { len, .. } => *len,
+        }
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this trace regenerates on iteration instead of replaying
+    /// a packed copy.
+    pub fn is_streamed(&self) -> bool {
+        matches!(self.source, TraceBacking::Streamed { .. })
+    }
+
+    /// Iterates the reference stream (decoding the packed copy, or
+    /// regenerating via the factory).
+    pub fn iter(&self) -> TraceIter<'_> {
+        match &self.source {
+            TraceBacking::Packed(refs) => TraceIter::Packed(refs.iter()),
+            TraceBacking::Streamed { len, make } => TraceIter::Streamed(make().take(*len)),
+        }
+    }
+
+    /// Whether two traces share the same backing store (packed buffer or
+    /// stream factory) — i.e. cloning one of them produced the other.
+    pub fn shares_backing(&self, other: &Trace) -> bool {
+        match (&self.source, &other.source) {
+            (TraceBacking::Packed(a), TraceBacking::Packed(b)) => Arc::ptr_eq(a, b),
+            (TraceBacking::Streamed { make: a, .. }, TraceBacking::Streamed { make: b, .. }) => {
+                Arc::ptr_eq(a, b)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Iterator over a [`Trace`]'s references, whichever backing it has.
+pub enum TraceIter<'a> {
+    /// Decoding a packed trace in place.
+    Packed(occache_trace::packed::PackedIter<'a>),
+    /// Draining a freshly regenerated stream.
+    Streamed(std::iter::Take<Box<dyn Iterator<Item = MemRef> + Send>>),
+}
+
+impl Iterator for TraceIter<'_> {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        match self {
+            TraceIter::Packed(it) => it.next(),
+            TraceIter::Streamed(it) => it.next(),
         }
     }
 }
@@ -74,7 +183,7 @@ pub fn evaluate_point(config: CacheConfig, traces: &[Trace], warmup: usize) -> D
     let mut scaled = 0.0;
     let mut redundant = 0.0;
     for trace in traces {
-        let metrics: Metrics = simulate(config, trace.refs.iter(), warmup);
+        let metrics: Metrics = simulate(config, trace.iter(), warmup);
         miss += metrics.miss_ratio();
         traffic += metrics.traffic_ratio();
         scaled += metrics.scaled_traffic_ratio(nibble);
@@ -109,9 +218,7 @@ pub fn evaluate_slice(
     let mut traffic = vec![0.0; configs.len()];
     let mut scaled = vec![0.0; configs.len()];
     let mut redundant = vec![0.0; configs.len()];
-    for trace in traces {
-        let all = simulate_many(configs, trace.refs.iter(), warmup)
-            .expect("sweep planner grouped an engine-incompatible slice");
+    let mut fold = |all: &[Metrics]| {
         for (i, metrics) in all.iter().enumerate() {
             miss[i] += metrics.miss_ratio();
             traffic[i] += metrics.traffic_ratio();
@@ -120,6 +227,24 @@ pub fn evaluate_slice(
                 redundant[i] += metrics.redundant_sub_loads() as f64 / metrics.sub_loads() as f64;
             }
         }
+    };
+    // Traces go through the engine two at a time: the paired run
+    // interleaves two independent engine passes to overlap their
+    // dependency chains (see `simulate_many_pair`), and folding the
+    // pair's metrics in trace order keeps the float accumulation
+    // sequence — and therefore every ratio — bit-identical to the
+    // one-trace-at-a-time loop.
+    let mut chunks = traces.chunks_exact(2);
+    for pair in chunks.by_ref() {
+        let (first, second) = simulate_many_pair(configs, pair[0].iter(), pair[1].iter(), warmup)
+            .expect("sweep planner grouped an engine-incompatible slice");
+        fold(&first);
+        fold(&second);
+    }
+    for trace in chunks.remainder() {
+        let all = simulate_many(configs, trace.iter(), warmup)
+            .expect("sweep planner grouped an engine-incompatible slice");
+        fold(&all);
     }
     let n = traces.len().max(1) as f64;
     configs
@@ -149,30 +274,26 @@ pub enum SweepUnit {
 
 /// Groups a config grid into one-pass-compatible slices.
 ///
-/// Engine-eligible configs (see [`engine_supports`]) sharing a block
-/// size share a slice — sub-block size, word size and associativity may
-/// differ, the engine tracks those per size — chunked at
-/// [`MAX_MULTISIM_CONFIGS`]; everything else becomes a direct unit.
-/// Deterministic for a given grid, and every input index appears in
-/// exactly one unit.
+/// Every engine-eligible config (see [`engine_supports`]) joins one
+/// shared slice in grid order — net size, block size, sub-block size,
+/// word size and associativity may all differ, the engine tracks those
+/// per residency class and per size — chunked at
+/// [`MAX_MULTISIM_CONFIGS`]; everything else becomes a direct unit. For
+/// the paper's Table 1/Table 7 grids this means the whole grid rides a
+/// single pass per trace. Deterministic for a given grid, and every
+/// input index appears in exactly one unit.
 pub fn plan_units(configs: &[CacheConfig]) -> Vec<SweepUnit> {
     let mut units = Vec::new();
-    let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+    let mut members: Vec<usize> = Vec::new();
     for (i, config) in configs.iter().enumerate() {
         if engine_supports(config) {
-            let key = config.block_size();
-            match groups.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, members)) => members.push(i),
-                None => groups.push((key, vec![i])),
-            }
+            members.push(i);
         } else {
             units.push(SweepUnit::Direct(i));
         }
     }
-    for (_, members) in groups {
-        for chunk in members.chunks(MAX_MULTISIM_CONFIGS) {
-            units.push(SweepUnit::Engine(chunk.to_vec()));
-        }
+    for chunk in members.chunks(MAX_MULTISIM_CONFIGS) {
+        units.push(SweepUnit::Engine(chunk.to_vec()));
     }
     units
 }
@@ -391,4 +512,19 @@ pub fn pool_workers(units: usize) -> usize {
         .unwrap_or(None)
         .unwrap_or(hardware)
         .min(units.max(1))
+}
+
+/// Worker count for slice-level sweep execution: `OCCACHE_SLICE_THREADS`
+/// when set (so an operator can pin sweep concurrency without resizing
+/// the serving pools), otherwise [`pool_workers`]'s `OCCACHE_JOBS` /
+/// hardware-parallelism fallback; always capped at the unit count.
+/// Binaries validate the variable strictly at startup via
+/// [`crate::config::try_slice_threads`]; by the time a pool is being
+/// sized, a malformed value falls back to the default rather than
+/// aborting mid-sweep.
+pub fn slice_workers(units: usize) -> usize {
+    match crate::config::try_slice_threads().unwrap_or(None) {
+        Some(n) => n.min(units.max(1)),
+        None => pool_workers(units),
+    }
 }

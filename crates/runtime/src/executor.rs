@@ -415,8 +415,9 @@ pub fn evaluate_results_supervised(
 }
 
 /// [`evaluate_results_supervised`] with the pool knobs exposed: an
-/// explicit worker-count override (`None` honours `OCCACHE_JOBS` /
-/// hardware parallelism via [`crate::eval::pool_workers`]) and an
+/// explicit worker-count override (`None` honours `OCCACHE_SLICE_THREADS`,
+/// then `OCCACHE_JOBS` / hardware parallelism, via
+/// [`crate::eval::slice_workers`]) and an
 /// `on_point` hook called exactly once per config — from worker threads,
 /// as each result lands — which the checkpoint layer uses to stream
 /// journal appends to its single writer thread and the serving layer
@@ -445,7 +446,7 @@ where
         plan_units(configs)
     };
     let workers = workers
-        .unwrap_or_else(|| crate::eval::pool_workers(units.len()))
+        .unwrap_or_else(|| crate::eval::slice_workers(units.len()))
         .min(units.len().max(1))
         .max(1);
     let mut slots: Vec<Option<Result<DesignPoint, PointError>>> = vec![None; configs.len()];

@@ -53,8 +53,8 @@ pub fn trace_fingerprint(traces: &[Trace]) -> u64 {
     for trace in traces {
         h.write(trace.name.as_bytes());
         h.write(&[0xff]);
-        h.write(&(trace.refs.len() as u64).to_le_bytes());
-        for r in trace.refs.iter() {
+        h.write(&(trace.len() as u64).to_le_bytes());
+        for r in trace.iter() {
             h.write(&[occache_trace::din::din_label(r.kind())]);
             h.write(&r.address().value().to_le_bytes());
         }

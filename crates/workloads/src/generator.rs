@@ -324,6 +324,23 @@ impl Iterator for ProgramGenerator {
     }
 }
 
+impl ProgramGenerator {
+    /// Fills `buf` with the next references of the stream and returns
+    /// the count written (always `buf.len()`: the generator is endless).
+    ///
+    /// This is the streaming-evaluation entry point: a sweep refills one
+    /// small buffer per engine chunk instead of materialising the whole
+    /// trace, and the references are exactly what per-item [`Iterator`]
+    /// calls would have produced.
+    pub fn next_chunk(&mut self, buf: &mut [MemRef]) -> usize {
+        for slot in buf.iter_mut() {
+            // The generator never returns None.
+            *slot = self.next().expect("ProgramGenerator is endless");
+        }
+        buf.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +429,23 @@ mod tests {
             s.footprint_bytes(),
             z.footprint_bytes()
         );
+    }
+
+    #[test]
+    fn chunked_generation_matches_per_item_iteration() {
+        // Uneven chunk sizes exercise the pending-data carry across
+        // refill boundaries.
+        let expected = generator(Architecture::Pdp11, 11).collect_refs(10_000);
+        let mut gen = generator(Architecture::Pdp11, 11);
+        let mut got = Vec::with_capacity(10_000);
+        let mut buf = vec![MemRef::new(Address::new(0), AccessKind::InstrFetch); 257];
+        while got.len() < 10_000 {
+            let room = (10_000 - got.len()).min(buf.len());
+            let n = gen.next_chunk(&mut buf[..room]);
+            assert_eq!(n, room);
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got, expected);
     }
 
     #[test]
