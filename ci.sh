@@ -263,4 +263,120 @@ set +e; wait "$RECOVER_PID"; RECOVER_RC=$?; set -e
 [ "$RECOVER_RC" -eq 0 ] \
   || { echo "FAIL: recovered server did not shut down cleanly"; cat "$RECOVER_LOG"; exit 1; }
 
+echo "== cluster gate: three nodes + router, peer chaos, one node killed =="
+# A three-node tier behind occache-route. The router's peer calls run
+# under drop-peer chaos; the open-loop loadgen routes client-side with
+# the same rendezvous hash and must meet its p99 SLO; results must be
+# bit-identical to a fresh single-node run; node 3 is SIGTERMed and the
+# router's breaker must mark it down while every request keeps getting
+# an answer; all four processes must drain cleanly on SIGTERM.
+cargo build --release -q -p occache-serve --bin occache-route
+CL_DIR=target/ci-cluster
+rm -rf "$CL_DIR"
+mkdir -p "$CL_DIR"
+CL_PORTS=$(./target/release/occache-loadgen --free-ports 5)
+CL_P1=$(echo "$CL_PORTS" | sed -n 1p); CL_P2=$(echo "$CL_PORTS" | sed -n 2p)
+CL_P3=$(echo "$CL_PORTS" | sed -n 3p); CL_PR=$(echo "$CL_PORTS" | sed -n 4p)
+CL_PS=$(echo "$CL_PORTS" | sed -n 5p)
+CL_PEERS="127.0.0.1:$CL_P1,127.0.0.1:$CL_P2,127.0.0.1:$CL_P3"
+CL_PIDS=()
+for P in "$CL_P1" "$CL_P2" "$CL_P3"; do
+  OCCACHE_SERVE_ADDR="127.0.0.1:$P" OCCACHE_PEERS="$CL_PEERS" \
+    OCCACHE_SELF="127.0.0.1:$P" OCCACHE_SERVE_WORKERS=2 \
+    OCCACHE_SERVE_JOURNAL="$CL_DIR/j$P" \
+    ./target/release/occache-serve > "$CL_DIR/node$P.log" 2>&1 &
+  CL_PIDS+=($!)
+done
+OCCACHE_PEERS="$CL_PEERS" OCCACHE_ROUTE_ADDR="127.0.0.1:$CL_PR" \
+  OCCACHE_SERVE_FAULT=drop-peer:2 \
+  ./target/release/occache-route > "$CL_DIR/route.log" 2>&1 &
+CL_ROUTE_PID=$!
+for P in "$CL_P1" "$CL_P2" "$CL_P3" "$CL_PR"; do
+  CL_UP=
+  for _ in $(seq 1 100); do
+    if curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$P/v1/health" \
+       | grep -q 200; then CL_UP=1; break; fi
+    sleep 0.1
+  done
+  [ -n "$CL_UP" ] || { echo "FAIL: 127.0.0.1:$P never became healthy"; cat "$CL_DIR"/*.log; exit 1; }
+done
+
+echo "-- open-loop loadgen across the shards, p99 SLO asserted --"
+timeout 180 ./target/release/occache-loadgen --peers "$CL_PEERS" \
+    --rate 40 --duration 5 --keyspace 32 --refs 20000 --slo-p99-ms 5000 \
+    --out "$CL_DIR/bench.json" --digest "$CL_DIR/cluster.digest" \
+  || { echo "FAIL: cluster loadgen failed or missed its SLO"; cat "$CL_DIR"/*.log; exit 1; }
+grep -q '"slo_met": true' "$CL_DIR/bench.json" \
+  || { echo "FAIL: bench entry does not record the SLO as met"; cat "$CL_DIR/bench.json"; exit 1; }
+
+echo "-- bit-identity: the same keyspace on a fresh single node --"
+OCCACHE_SERVE_ADDR="127.0.0.1:$CL_PS" OCCACHE_SERVE_WORKERS=2 \
+  ./target/release/occache-serve > "$CL_DIR/single.log" 2>&1 &
+CL_SINGLE_PID=$!
+for _ in $(seq 1 100); do
+  curl -s -o /dev/null "http://127.0.0.1:$CL_PS/v1/health" && break
+  sleep 0.1
+done
+timeout 180 ./target/release/occache-loadgen --peers "127.0.0.1:$CL_PS" \
+    --rate 40 --duration 5 --keyspace 32 --refs 20000 \
+    --out "$CL_DIR/bench_single.json" --digest "$CL_DIR/single.digest" \
+  || { echo "FAIL: single-node comparison run failed"; cat "$CL_DIR/single.log"; exit 1; }
+cmp "$CL_DIR/cluster.digest" "$CL_DIR/single.digest" \
+  || { echo "FAIL: cluster digests differ from the single-node run"; \
+       diff "$CL_DIR/cluster.digest" "$CL_DIR/single.digest" | head; exit 1; }
+echo "   $(wc -l < "$CL_DIR/cluster.digest") points bit-identical across 3-node and 1-node runs"
+kill -INT "$CL_SINGLE_PID"
+set +e; wait "$CL_SINGLE_PID"; set -e
+
+echo "-- scatter/merge through the router under drop-peer chaos --"
+curl -s -X POST "http://127.0.0.1:$CL_PR/v1/sweep" \
+  -d '{"model":"pdp11","refs":20000,"grid":{"nets":[256,512,1024]}}' \
+  > "$CL_DIR/router_sweep.json"
+grep -q '"failures":\[\]' "$CL_DIR/router_sweep.json" \
+  || { echo "FAIL: routed sweep reported failures"; head -c 600 "$CL_DIR/router_sweep.json"; exit 1; }
+curl -s "http://127.0.0.1:$CL_PR/metrics" > "$CL_DIR/route_metrics.txt"
+grep -Eq 'occache_fault_drop_peer_injected_total [1-9]' "$CL_DIR/route_metrics.txt" \
+  || { echo "FAIL: drop-peer chaos never fired on the router"; exit 1; }
+
+echo "-- peer warm fill: a node must fetch remote-owned points, not recompute --"
+curl -s -X POST "http://127.0.0.1:$CL_P1/v1/sweep" \
+  -d '{"model":"pdp11","refs":20000,"grid":{"nets":[256,512,1024]}}' > /dev/null
+curl -s "http://127.0.0.1:$CL_P1/metrics" > "$CL_DIR/node1_metrics.txt"
+grep -Eq 'occache_peer_fill_points_total [1-9]' "$CL_DIR/node1_metrics.txt" \
+  || { echo "FAIL: no peer fills recorded on node 1"; \
+       grep occache_peer "$CL_DIR/node1_metrics.txt"; exit 1; }
+
+echo "-- node 3 SIGTERMed: breaker must trip, requests must keep working --"
+kill -TERM "${CL_PIDS[2]}"
+set +e; wait "${CL_PIDS[2]}"; CL_N3_RC=$?; set -e
+[ "$CL_N3_RC" -eq 0 ] \
+  || { echo "FAIL: node 3 did not drain cleanly on SIGTERM"; cat "$CL_DIR/node$CL_P3.log"; exit 1; }
+sleep 2.5  # two failed probe rounds trip the router's breaker
+CL_ANSWERED=
+for _ in $(seq 1 10); do
+  if curl -s -X POST "http://127.0.0.1:$CL_PR/v1/simulate" \
+       -d '{"model":"pdp11","refs":20000,"config":{"net":256,"block":16,"sub":8}}' \
+     | grep -q '"miss_ratio"'; then CL_ANSWERED=1; break; fi
+  sleep 0.3
+done
+[ -n "$CL_ANSWERED" ] \
+  || { echo "FAIL: router stopped answering after losing one node"; cat "$CL_DIR/route.log"; exit 1; }
+curl -s "http://127.0.0.1:$CL_PR/metrics" > "$CL_DIR/route_metrics2.txt"
+grep -Eq 'occache_peer_down_total [1-9]' "$CL_DIR/route_metrics2.txt" \
+  || { echo "FAIL: router never marked the dead node down"; \
+       grep occache_peer "$CL_DIR/route_metrics2.txt"; exit 1; }
+grep -q "occache_peer_state{peer=\"127.0.0.1:$CL_P3\"} 0" "$CL_DIR/route_metrics2.txt" \
+  || { echo "FAIL: dead node not shown as down in occache_peer_state"; \
+       grep occache_peer_state "$CL_DIR/route_metrics2.txt"; exit 1; }
+
+echo "-- clean SIGTERM drain of the remaining processes --"
+for PID in "$CL_ROUTE_PID" "${CL_PIDS[0]}" "${CL_PIDS[1]}"; do
+  kill -TERM "$PID"
+  set +e; wait "$PID"; CL_RC=$?; set -e
+  [ "$CL_RC" -eq 0 ] || { echo "FAIL: pid $PID exited $CL_RC on SIGTERM"; cat "$CL_DIR"/*.log; exit 1; }
+done
+grep -q "shut down cleanly" "$CL_DIR/route.log" \
+  || { echo "FAIL: router drain message missing"; cat "$CL_DIR/route.log"; exit 1; }
+echo "   3-node cluster survived chaos, fill, and a node kill"
+
 echo "ci.sh: all gates passed"

@@ -1,0 +1,468 @@
+//! The open-loop cluster mode of `occache-loadgen` (`--peers`).
+//!
+//! Where the closed-loop mode drives one server as hard as one
+//! connection allows, the cluster mode models *arrivals*: requests are
+//! scheduled at a fixed rate regardless of how fast earlier ones
+//! complete, so latency includes queueing delay — the number an SLO is
+//! actually written against. Each request is routed client-side with
+//! the same rendezvous hash the `occache-route` front door and the
+//! nodes' peer-fill planner use ([`occache_serve::router::route_key`] /
+//! [`ranked`]), so a healthy cluster serves every key from its owning
+//! shard's cache; when a shard is down the client fails over to the
+//! next survivor in the ranking, exactly as the router does.
+//!
+//! The chaos contract carries over unchanged: every scheduled request
+//! must end in a correct result or a structured, attributed
+//! [`ErrorBody`] — an unattributed failure (once every ranked peer has
+//! been tried) fails the run. `--slo-p99-ms` turns the measured p99
+//! into a hard assertion; `--digest` writes the same sorted bit-pattern
+//! lines as the closed-loop mode, so a three-node run can be diffed
+//! bit-for-bit against a single-node run of the same keyspace.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use occache_core::CacheConfig;
+use occache_serve::json::{ErrorBody, Json};
+use occache_serve::router::{ranked, route_key};
+
+use crate::args::Parsed;
+use crate::client::HttpClient;
+use crate::CliError;
+
+/// Worker threads draining the open-loop arrival queue. More than the
+/// shard count so one slow shard cannot stall unrelated arrivals.
+const WORKERS: usize = 16;
+
+/// Transport-level attempts per ranked peer before failing over.
+const ATTEMPTS_PER_PEER: u32 = 2;
+
+/// One design point of the cycled keyspace.
+#[derive(Debug, Clone)]
+struct Point {
+    body: String,
+    route: u64,
+}
+
+/// Outcome counters shared across workers.
+#[derive(Debug, Default)]
+struct Outcomes {
+    ok: AtomicU64,
+    cached: AtomicU64,
+    attributed: AtomicU64,
+    failovers: AtomicU64,
+}
+
+/// Prints `n` distinct free loopback ports, one per line — a helper for
+/// scripts that must pick ephemeral ports *before* exporting them as a
+/// shared `OCCACHE_PEERS` list. All listeners stay open until every
+/// port is gathered, so the set is duplicate-free.
+///
+/// # Errors
+///
+/// Returns [`CliError::Io`] when a listener cannot be bound.
+pub fn free_ports(n: usize) -> Result<String, CliError> {
+    let mut listeners = Vec::with_capacity(n);
+    let mut out = String::new();
+    for _ in 0..n {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+        let _ = writeln!(out, "{}", listener.local_addr()?.port());
+        listeners.push(listener);
+    }
+    Ok(out)
+}
+
+/// Runs the open-loop cluster benchmark; returns the human-readable
+/// report.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for bad flags, [`CliError::Integrity`] when the
+/// SLO assertion fails or any request ends unattributed.
+pub fn run(parsed: &Parsed) -> Result<String, CliError> {
+    let peers: Vec<String> = parsed
+        .value("peers")
+        .unwrap_or_default()
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if peers.is_empty() {
+        return Err(CliError::Usage(
+            "--peers needs at least one HOST:PORT".into(),
+        ));
+    }
+    let model = parsed.value("model").unwrap_or("pdp11").to_string();
+    let refs: usize = parsed.value_or("refs", 20_000)?;
+    let rate: u64 = parsed.value_or("rate", 50)?;
+    let duration_secs: u64 = parsed.value_or("duration", 10)?;
+    let keyspace: usize = parsed.value_or("keyspace", 64)?;
+    let slo_p99_ms: Option<u64> = parsed.value_opt("slo-p99-ms")?;
+    let timeout_secs: u64 = parsed.value_or("timeout", 600)?;
+    let out = parsed
+        .value("out")
+        .unwrap_or("BENCH_serve.json")
+        .to_string();
+    let digest_path = parsed.value("digest").map(str::to_string);
+    let merge = parsed.switch("merge");
+    if rate == 0 || duration_secs == 0 || keyspace == 0 {
+        return Err(CliError::Usage(
+            "--rate, --duration and --keyspace must all be positive".into(),
+        ));
+    }
+    let timeout = Duration::from_secs(timeout_secs.max(1));
+
+    let word = occache_workloads::WorkloadSpec::set_by_name(&model)
+        .and_then(|specs| specs.first().map(|s| s.arch().word_size()))
+        .ok_or_else(|| CliError::Usage(format!("unknown model {model:?}")))?;
+    let points = build_keyspace(&model, refs, keyspace, word)?;
+
+    // Open-loop arrival schedule: one entry per tick, handed to whatever
+    // worker is free. Latency is measured from the *scheduled* instant,
+    // so a backed-up cluster shows up as latency, not as a lower rate.
+    let total = (rate * duration_secs) as usize;
+    let interval = Duration::from_nanos(1_000_000_000 / rate);
+    let (tx, rx) = mpsc::channel::<(usize, Instant)>();
+    let rx = Arc::new(Mutex::new(rx));
+    let outcomes = Arc::new(Outcomes::default());
+    let latencies = Arc::new(Mutex::new(Vec::<Duration>::with_capacity(total)));
+    let digests = Arc::new(Mutex::new(Vec::<String>::new()));
+    let failures = Arc::new(Mutex::new(Vec::<String>::new()));
+    let points = Arc::new(points);
+    let peers = Arc::new(peers);
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            let (rx, points, peers, outcomes, latencies, digests, failures) = (
+                Arc::clone(&rx),
+                Arc::clone(&points),
+                Arc::clone(&peers),
+                Arc::clone(&outcomes),
+                Arc::clone(&latencies),
+                Arc::clone(&digests),
+                Arc::clone(&failures),
+            );
+            std::thread::spawn(move || loop {
+                let job = rx.lock().map(|g| g.recv()).unwrap_or(Err(mpsc::RecvError));
+                let Ok((index, scheduled)) = job else { break };
+                let point = &points[index % points.len()];
+                match one_request(point, &peers, timeout, &outcomes) {
+                    Ok(Some(body)) => {
+                        record_success(&body, scheduled, &outcomes, &latencies, &digests);
+                    }
+                    Ok(None) => {
+                        // Attributed, non-retryable error: correct
+                        // behaviour under the chaos contract, but not a
+                        // success — counted, excluded from latency.
+                        outcomes.attributed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(why) => {
+                        if let Ok(mut f) = failures.lock() {
+                            f.push(why);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    for i in 0..total {
+        let scheduled = started + interval * (i as u32);
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        if tx.send((i, scheduled)).is_err() {
+            break;
+        }
+    }
+    drop(tx);
+    for worker in workers {
+        let _ = worker.join();
+    }
+    let wall = started.elapsed();
+
+    let unattributed = failures.lock().map(|f| f.clone()).unwrap_or_default();
+    if let Some(first) = unattributed.first() {
+        return Err(CliError::Integrity(format!(
+            "{} request(s) ended without an attributed error; first: {first}",
+            unattributed.len()
+        )));
+    }
+
+    let mut latencies = latencies.lock().map(|l| l.clone()).unwrap_or_default();
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1].as_secs_f64()
+    };
+    let p50 = quantile(0.5);
+    let p99 = quantile(0.99);
+    let ok = outcomes.ok.load(Ordering::Relaxed);
+    let cached = outcomes.cached.load(Ordering::Relaxed);
+    let attributed = outcomes.attributed.load(Ordering::Relaxed);
+    let failovers = outcomes.failovers.load(Ordering::Relaxed);
+    let throughput = ok as f64 / wall.as_secs_f64().max(1e-9);
+
+    if let Some(path) = &digest_path {
+        let mut lines = digests.lock().map(|d| d.clone()).unwrap_or_default();
+        lines.sort_unstable();
+        lines.dedup();
+        std::fs::write(path, lines.join("\n") + "\n")?;
+    }
+
+    let slo_met = slo_p99_ms.map(|ms| p99 * 1_000.0 <= ms as f64);
+    let entry = format!(
+        "{{\"peers\": {}, \"rate_rps\": {rate}, \"duration_seconds\": {duration_secs}, \
+         \"keyspace\": {keyspace}, \"requests\": {total}, \"ok\": {ok}, \
+         \"cached\": {cached}, \"attributed_errors\": {attributed}, \
+         \"failovers\": {failovers}, \"throughput_rps\": {throughput:?}, \
+         \"p50_seconds\": {p50:?}, \"p99_seconds\": {p99:?}, \
+         \"slo_p99_ms\": {}, \"slo_met\": {}}}",
+        peers.len(),
+        slo_p99_ms.map_or("null".to_string(), |ms| ms.to_string()),
+        slo_met.map_or("null".to_string(), |met| met.to_string()),
+    );
+    write_bench(&out, &entry, merge)?;
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "cluster: {} peers, open loop at {rate} req/s for {duration_secs}s ({total} arrivals, keyspace {keyspace})",
+        peers.len(),
+    );
+    let _ = writeln!(
+        report,
+        "served:  {ok} ok ({cached} cached), {attributed} attributed errors, {failovers} failovers, {throughput:.1} req/s",
+    );
+    let _ = writeln!(
+        report,
+        "latency: p50 {p50:.4}s p99 {p99:.4}s (from scheduled arrival)"
+    );
+    if let (Some(ms), Some(met)) = (slo_p99_ms, slo_met) {
+        let _ = writeln!(
+            report,
+            "slo:     p99 <= {ms}ms -> {}",
+            if met { "met" } else { "MISSED" }
+        );
+    }
+    if let Some(path) = &digest_path {
+        let _ = writeln!(report, "digest:  -> {path}");
+    }
+    let _ = writeln!(report, "wrote {out}");
+
+    if slo_met == Some(false) {
+        return Err(CliError::Integrity(format!(
+            "p99 {:.1}ms exceeds the {}ms SLO\n{report}",
+            p99 * 1_000.0,
+            slo_p99_ms.unwrap_or(0),
+        )));
+    }
+    Ok(report)
+}
+
+/// Builds the cycled keyspace: `keyspace` distinct valid design points
+/// spread over the Table 1 grid at power-of-two net sizes, each carrying
+/// its precomputed request body and rendezvous route key.
+fn build_keyspace(
+    model: &str,
+    refs: usize,
+    keyspace: usize,
+    word: u64,
+) -> Result<Vec<Point>, CliError> {
+    let mut points = Vec::with_capacity(keyspace);
+    'outer: for exp in 8..=14u32 {
+        let net = 1u64 << exp;
+        for (block, sub) in occache_experiments::sweep::table1_pairs(net, word) {
+            let config = CacheConfig::builder()
+                .net_size(net)
+                .block_size(block)
+                .sub_block_size(sub)
+                .word_size(word)
+                .build()
+                .map_err(|e| CliError::Usage(format!("keyspace point rejected: {e}")))?;
+            let body = format!(
+                "{{\"model\":\"{model}\",\"refs\":{refs},\
+                 \"config\":{{\"net\":{net},\"block\":{block},\"sub\":{sub},\
+                 \"assoc\":{},\"word\":{word}}}}}",
+                config.associativity(),
+            );
+            points.push(Point {
+                body,
+                route: route_key(model, refs, 0, &config),
+            });
+            if points.len() == keyspace {
+                break 'outer;
+            }
+        }
+    }
+    if points.len() < keyspace {
+        return Err(CliError::Usage(format!(
+            "keyspace {keyspace} exceeds the {} grid points available",
+            points.len()
+        )));
+    }
+    Ok(points)
+}
+
+/// One arrival: try each ranked peer in rendezvous order, a couple of
+/// transport attempts per peer on a fresh connection each. Returns
+/// `Ok(Some(body))` on 200, `Ok(None)` on an attributed non-retryable
+/// error, `Err` when every ranked peer failed without attribution.
+fn one_request(
+    point: &Point,
+    peers: &[String],
+    timeout: Duration,
+    outcomes: &Outcomes,
+) -> Result<Option<String>, String> {
+    let order = ranked(point.route, peers);
+    let mut last = String::new();
+    for (position, addr) in order.iter().enumerate() {
+        if position > 0 {
+            outcomes.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+        for _ in 0..ATTEMPTS_PER_PEER {
+            let response = HttpClient::connect_with_timeout(addr, timeout)
+                .and_then(|mut c| c.post("/v1/simulate", &point.body));
+            match response {
+                Ok(r) if r.status == 200 => return Ok(Some(r.body)),
+                Ok(r) => match ErrorBody::parse(&r.body) {
+                    Ok(body) if body.retryable => {
+                        last = format!("{addr}: status {} ({})", r.status, body.code);
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Ok(_) => return Ok(None),
+                    Err(why) => {
+                        return Err(format!(
+                            "{addr}: status {} with unattributed body {:?} ({why})",
+                            r.status, r.body
+                        ))
+                    }
+                },
+                Err(e) => {
+                    // Transport failure: a dead or unreachable shard.
+                    // Failing over to the next ranked survivor *is* the
+                    // attributed path — the ranking names the owner.
+                    last = format!("{addr}: {e}");
+                    break;
+                }
+            }
+        }
+    }
+    Err(format!("every ranked peer failed; last: {last}"))
+}
+
+/// Records one successful response: latency from the scheduled arrival,
+/// cache attribution, and the digest line.
+fn record_success(
+    body: &str,
+    scheduled: Instant,
+    outcomes: &Outcomes,
+    latencies: &Mutex<Vec<Duration>>,
+    digests: &Mutex<Vec<String>>,
+) {
+    outcomes.ok.fetch_add(1, Ordering::Relaxed);
+    if let Ok(mut l) = latencies.lock() {
+        l.push(scheduled.elapsed());
+    }
+    if let Ok(doc) = Json::parse(body) {
+        if doc.get("cached").and_then(Json::as_bool) == Some(true) {
+            outcomes.cached.fetch_add(1, Ordering::Relaxed);
+        }
+        let bits = |field: &str| doc.get(field).and_then(Json::as_f64).map(f64::to_bits);
+        if let (Some(key), Some(miss), Some(traffic), Some(nibble), Some(redundant)) = (
+            doc.get("key").and_then(Json::as_str),
+            bits("miss_ratio"),
+            bits("traffic_ratio"),
+            bits("nibble_traffic_ratio"),
+            bits("redundant_load_fraction"),
+        ) {
+            if let Ok(mut d) = digests.lock() {
+                d.push(format!(
+                    "{key} {miss:016x} {traffic:016x} {nibble:016x} {redundant:016x}"
+                ));
+            }
+        }
+    }
+}
+
+/// Writes the cluster entry to `out`: standalone JSON when `merge` is
+/// off or the file is absent, otherwise spliced as a `"cluster"` member
+/// into the existing closed-loop `BENCH_serve.json` — textually, so the
+/// float bit patterns already in the file survive untouched.
+fn write_bench(out: &str, entry: &str, merge: bool) -> Result<(), CliError> {
+    if merge {
+        if let Ok(existing) = std::fs::read_to_string(out) {
+            let trimmed = existing.trim_end();
+            if let Some(prefix) = trimmed.strip_suffix('}') {
+                let prefix = prefix.trim_end();
+                let joiner = if prefix.ends_with('{') { "" } else { ",\n" };
+                std::fs::write(out, format!("{prefix}{joiner}\"cluster\": {entry}\n}}\n"))?;
+                return Ok(());
+            }
+            return Err(CliError::Integrity(format!(
+                "--merge: {out} does not end in an object to splice into"
+            )));
+        }
+    }
+    std::fs::write(out, format!("{{\"cluster\": {entry}}}\n"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyspace_is_distinct_and_sized() {
+        let points = build_keyspace("pdp11", 2_000, 48, 2).unwrap();
+        assert_eq!(points.len(), 48);
+        let mut routes: Vec<u64> = points.iter().map(|p| p.route).collect();
+        routes.sort_unstable();
+        routes.dedup();
+        assert_eq!(routes.len(), 48, "route keys must be distinct");
+    }
+
+    #[test]
+    fn oversized_keyspace_is_a_usage_error() {
+        let err = build_keyspace("pdp11", 2_000, 100_000, 2).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn merge_splices_into_an_existing_object() {
+        let dir = std::env::temp_dir().join("occache_cluster_merge");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let path_str = path.to_str().unwrap();
+        std::fs::write(&path, "{\n\"speedup\": 2.5\n}\n").unwrap();
+        write_bench(path_str, "{\"ok\": 1}", true).unwrap();
+        let merged = std::fs::read_to_string(&path).unwrap();
+        assert!(merged.contains("\"speedup\": 2.5"), "{merged}");
+        assert!(merged.contains("\"cluster\": {\"ok\": 1}"), "{merged}");
+        occache_serve::json::Json::parse(&merged).expect("merged bench must stay valid JSON");
+        // Without an existing file the entry stands alone.
+        std::fs::remove_file(&path).unwrap();
+        write_bench(path_str, "{\"ok\": 2}", true).unwrap();
+        let fresh = std::fs::read_to_string(&path).unwrap();
+        occache_serve::json::Json::parse(&fresh).expect("fresh bench must be valid JSON");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn free_ports_are_distinct() {
+        let out = free_ports(4).unwrap();
+        let mut ports: Vec<&str> = out.lines().collect();
+        assert_eq!(ports.len(), 4);
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 4, "ports must be distinct: {out}");
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod args;
 pub mod client;
+pub mod cluster_cmd;
 mod error;
 pub mod gen;
 pub mod loadgen_cmd;

@@ -43,7 +43,9 @@ pub const USAGE: &str = "\
 occache-loadgen — closed-loop benchmark client for occache-serve
 
 USAGE:
-  occache-loadgen --addr HOST:PORT [flags]
+  occache-loadgen --addr HOST:PORT [flags]          closed-loop, one server
+  occache-loadgen --peers A,B,C [cluster flags]     open-loop, cluster
+  occache-loadgen --free-ports N                    print N free ports
 
 FLAGS:
   --addr HOST:PORT   server address (required)
@@ -62,6 +64,18 @@ FLAGS:
   --check            fail unless the repeated point is served from cache
                      with bit-identical metrics and /metrics scrapes clean
   --help             this text
+
+CLUSTER FLAGS (with --peers):
+  --peers A,B,C      shard addresses; requests are routed client-side
+                     with the same rendezvous hash occache-route uses,
+                     failing over to survivors when the owner is down
+  --rate RPS         open-loop arrival rate (default 50)
+  --duration SECS    how long to generate arrivals (default 10)
+  --keyspace N       distinct design points cycled (default 64)
+  --slo-p99-ms MS    fail the run unless p99 latency (measured from the
+                     scheduled arrival, queueing included) meets MS
+  --merge            splice the cluster entry into an existing --out
+                     file instead of overwriting it
 ";
 
 /// Backoff starts here and doubles per attempt.
@@ -99,12 +113,32 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let parsed = crate::args::parse(
         argv,
         &[
-            "addr", "model", "refs", "net", "out", "retries", "timeout", "hedge", "digest",
+            "addr",
+            "model",
+            "refs",
+            "net",
+            "out",
+            "retries",
+            "timeout",
+            "hedge",
+            "digest",
+            "peers",
+            "rate",
+            "duration",
+            "keyspace",
+            "slo-p99-ms",
+            "free-ports",
         ],
-        &["check", "help"],
+        &["check", "help", "merge"],
     )?;
     if parsed.switch("help") {
         return Ok(USAGE.to_string());
+    }
+    if let Some(n) = parsed.value_opt::<usize>("free-ports")? {
+        return crate::cluster_cmd::free_ports(n);
+    }
+    if parsed.value("peers").is_some() {
+        return crate::cluster_cmd::run(&parsed);
     }
     let addr = parsed
         .value("addr")

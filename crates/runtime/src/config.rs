@@ -27,6 +27,10 @@
 //! | `OCCACHE_SERVE_CONN_TIMEOUT` | [`env_timeout`] | 5 s |
 //! | `OCCACHE_SERVE_FAULT` | `occache-serve::fault` | none |
 //! | `OCCACHE_SERVE_*` | [`env_usize_opt`] | see `ServiceConfig` |
+//! | `OCCACHE_PEERS` | [`try_peers`] | none (single-node) |
+//! | `OCCACHE_SELF` | [`try_self_addr`] | none |
+//! | `OCCACHE_PEER_TIMEOUT` | [`try_peer_timeout`] | 2 s |
+//! | `OCCACHE_PEER_RETRIES` | [`try_peer_retries`] | 1 |
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -165,6 +169,120 @@ pub fn env_timeout(var: &str, default: Option<Duration>) -> Result<Option<Durati
     }
 }
 
+/// Default deadline for one peer HTTP call (`OCCACHE_PEER_TIMEOUT`).
+pub const DEFAULT_PEER_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Default bounded retry count for peer calls (`OCCACHE_PEER_RETRIES`).
+pub const DEFAULT_PEER_RETRIES: usize = 1;
+
+/// Validates one `host:port` peer address: non-empty host, numeric port
+/// in `1..=65535`. Kept to syntax only — resolution happens at connect
+/// time so a cluster can be configured before every node is up.
+///
+/// # Errors
+///
+/// Returns a message naming `var` and quoting the offending entry.
+pub fn parse_peer_addr(var: &str, raw: &str) -> Result<String, String> {
+    let raw = raw.trim();
+    let Some((host, port)) = raw.rsplit_once(':') else {
+        return Err(format!("{var} entry {raw:?} is not host:port"));
+    };
+    if host.is_empty() {
+        return Err(format!("{var} entry {raw:?} has an empty host"));
+    }
+    match port.parse::<u32>() {
+        Ok(p) if (1..=65_535).contains(&p) => Ok(format!("{host}:{port}")),
+        _ => Err(format!("{var} entry {raw:?} has an invalid port")),
+    }
+}
+
+/// Parses `OCCACHE_PEERS`: a comma-separated static peer list of
+/// `host:port` addresses. `Ok(None)` when unset (single-node mode).
+/// Fail-fast on anything questionable — an empty list, a malformed
+/// entry, or a duplicate address refuses to start, because a typo here
+/// silently reshards the keyspace.
+///
+/// # Errors
+///
+/// Returns a message naming the variable and the offending entry.
+pub fn try_peers() -> Result<Option<Vec<String>>, String> {
+    let raw = match std::env::var("OCCACHE_PEERS") {
+        Ok(v) => v,
+        Err(std::env::VarError::NotPresent) => return Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            return Err("OCCACHE_PEERS is not valid UTF-8".into());
+        }
+    };
+    let mut peers = Vec::new();
+    for entry in raw.split(',') {
+        let addr = parse_peer_addr("OCCACHE_PEERS", entry)?;
+        if peers.contains(&addr) {
+            return Err(format!("OCCACHE_PEERS lists {addr:?} twice"));
+        }
+        peers.push(addr);
+    }
+    if peers.is_empty() {
+        return Err("OCCACHE_PEERS is set but names no peers".into());
+    }
+    Ok(Some(peers))
+}
+
+/// Parses `OCCACHE_SELF`: this node's own entry in the peer list, so a
+/// shard knows which keys it owns. Must be present and a member of
+/// `peers` whenever `OCCACHE_PEERS` is set on a node.
+///
+/// # Errors
+///
+/// Returns a message naming the variable when absent, malformed, or not
+/// listed in `peers`.
+pub fn try_self_addr(peers: &[String]) -> Result<String, String> {
+    let raw = match std::env::var("OCCACHE_SELF") {
+        Ok(v) => v,
+        Err(std::env::VarError::NotPresent) => {
+            return Err("OCCACHE_PEERS is set but OCCACHE_SELF is not".into());
+        }
+        Err(std::env::VarError::NotUnicode(_)) => {
+            return Err("OCCACHE_SELF is not valid UTF-8".into());
+        }
+    };
+    let addr = parse_peer_addr("OCCACHE_SELF", &raw)?;
+    if !peers.iter().any(|p| p == &addr) {
+        return Err(format!("OCCACHE_SELF {addr:?} is not in OCCACHE_PEERS"));
+    }
+    Ok(addr)
+}
+
+/// Parses `OCCACHE_PEER_TIMEOUT`: the strict per-call deadline on peer
+/// fill/probe requests, seconds as a float (default 2 s). Unlike the
+/// connection timeouts this one cannot be disabled — a peer call with no
+/// deadline would couple one node's latency to another's failure, which
+/// is the exact coupling the breaker exists to cut.
+///
+/// # Errors
+///
+/// Returns a message naming the variable when set but malformed or `off`.
+pub fn try_peer_timeout() -> Result<Duration, String> {
+    match env_timeout("OCCACHE_PEER_TIMEOUT", Some(DEFAULT_PEER_TIMEOUT))? {
+        Some(d) => Ok(d),
+        None => Err(
+            "OCCACHE_PEER_TIMEOUT must be a positive deadline (peer calls cannot run unbounded)"
+                .into(),
+        ),
+    }
+}
+
+/// Parses `OCCACHE_PEER_RETRIES`: how many times a failed peer call is
+/// retried (with deterministic backoff) before the node gives up and
+/// computes locally. Default 1; `0` disables retries but still falls
+/// back to local computation.
+///
+/// # Errors
+///
+/// Returns a message naming the variable when set but malformed.
+pub fn try_peer_retries() -> Result<usize, String> {
+    env_usize("OCCACHE_PEER_RETRIES", DEFAULT_PEER_RETRIES)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +298,75 @@ mod tests {
         std::env::remove_var("OCCACHE_TEST_ENV_USIZE");
         assert_eq!(env_usize("OCCACHE_TEST_ENV_USIZE", 5), Ok(5));
         assert_eq!(env_usize_opt("OCCACHE_TEST_ENV_USIZE"), Ok(None));
+    }
+
+    #[test]
+    fn peer_addr_parsing_is_strict() {
+        assert_eq!(
+            parse_peer_addr("OCCACHE_PEERS", " 10.0.0.1:7800 "),
+            Ok("10.0.0.1:7800".to_string())
+        );
+        assert!(parse_peer_addr("OCCACHE_PEERS", "no-port").is_err());
+        assert!(parse_peer_addr("OCCACHE_PEERS", ":7800").is_err());
+        assert!(parse_peer_addr("OCCACHE_PEERS", "host:").is_err());
+        assert!(parse_peer_addr("OCCACHE_PEERS", "host:0").is_err());
+        assert!(parse_peer_addr("OCCACHE_PEERS", "host:65536").is_err());
+        assert!(parse_peer_addr("OCCACHE_PEERS", "host:80x").is_err());
+    }
+
+    #[test]
+    fn self_addr_must_be_a_listed_peer() {
+        // try_self_addr reads OCCACHE_SELF; no other test touches it, so
+        // set/remove here races with nothing.
+        let peers = vec!["a:1".to_string(), "b:2".to_string()];
+        std::env::remove_var("OCCACHE_SELF");
+        assert!(try_self_addr(&peers).is_err());
+        std::env::set_var("OCCACHE_SELF", "c:3");
+        assert!(try_self_addr(&peers).is_err());
+        std::env::set_var("OCCACHE_SELF", "bad");
+        assert!(try_self_addr(&peers).is_err());
+        std::env::set_var("OCCACHE_SELF", "b:2");
+        assert_eq!(try_self_addr(&peers), Ok("b:2".to_string()));
+        std::env::remove_var("OCCACHE_SELF");
+    }
+
+    #[test]
+    fn peer_env_vars_parse_strictly() {
+        // One test covers all three peer variables so no parallel test
+        // observes a transient set_var (tests share the process env).
+        assert_eq!(try_peers(), Ok(None));
+        assert_eq!(try_peer_timeout(), Ok(DEFAULT_PEER_TIMEOUT));
+        assert_eq!(try_peer_retries(), Ok(DEFAULT_PEER_RETRIES));
+
+        std::env::set_var("OCCACHE_PEERS", "a:1,b:2,a:1");
+        assert!(try_peers().unwrap_err().contains("twice"));
+        std::env::set_var("OCCACHE_PEERS", "a:1,,b:2");
+        assert!(try_peers().is_err());
+        std::env::set_var("OCCACHE_PEERS", "");
+        assert!(try_peers().is_err());
+        std::env::set_var("OCCACHE_PEERS", "a:1, b:2");
+        assert_eq!(
+            try_peers(),
+            Ok(Some(vec!["a:1".to_string(), "b:2".to_string()]))
+        );
+        std::env::remove_var("OCCACHE_PEERS");
+
+        std::env::set_var("OCCACHE_PEER_TIMEOUT", "soon");
+        assert!(try_peer_timeout().is_err());
+        std::env::set_var("OCCACHE_PEER_TIMEOUT", "off");
+        assert!(
+            try_peer_timeout().is_err(),
+            "peer deadline cannot be disabled"
+        );
+        std::env::set_var("OCCACHE_PEER_TIMEOUT", "0.5");
+        assert_eq!(try_peer_timeout(), Ok(Duration::from_millis(500)));
+        std::env::remove_var("OCCACHE_PEER_TIMEOUT");
+
+        std::env::set_var("OCCACHE_PEER_RETRIES", "-1");
+        assert!(try_peer_retries().is_err());
+        std::env::set_var("OCCACHE_PEER_RETRIES", "3");
+        assert_eq!(try_peer_retries(), Ok(3));
+        std::env::remove_var("OCCACHE_PEER_RETRIES");
     }
 
     #[test]

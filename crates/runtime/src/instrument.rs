@@ -232,6 +232,30 @@ impl Registry {
         self
     }
 
+    /// Adds a gauge family with one integer sample per label value,
+    /// labeled `{key="value"}` in the given order — per-peer state
+    /// exposition and any other small labelled set of current values.
+    pub fn labeled_gauge(
+        &mut self,
+        name: &str,
+        help: &str,
+        key: &str,
+        samples: impl IntoIterator<Item = (String, u64)>,
+    ) -> &mut Self {
+        let mut meta = Some((help.to_string(), "gauge"));
+        for (label, value) in samples {
+            self.push(
+                name,
+                meta.take(),
+                Sample {
+                    labels: format!("{{{key}=\"{label}\"}}"),
+                    value: Value::Int(u128::from(value)),
+                },
+            );
+        }
+        self
+    }
+
     /// Adds a counter family with one fixed-precision float sample per
     /// label value, labeled `{key="value"}` in the given order.
     pub fn labeled_counter_seconds(

@@ -102,6 +102,33 @@ struct State {
     eval_micros: AtomicU64,
 }
 
+impl State {
+    /// A coherent `(points_done, eval_micros)` pair. The two counters
+    /// are separate atomics, so one load of each can tear against a
+    /// completing worker — under drain that yields an average computed
+    /// from a fresh count over a stale time sum, which is exactly the
+    /// 0 s / 60 s-clamped `Retry-After` outlier. Workers publish micros
+    /// before count (Release); re-reading the count (Acquire) and
+    /// retrying until it is unchanged therefore bounds the pair: the
+    /// micros read lies between two identical counts, so it includes
+    /// every completed point and no partial one. Bounded retries — under
+    /// sustained churn the last pair is still ordered (micros ≥ the
+    /// matching sum for `done`), which only over-estimates the average,
+    /// never zeroes it.
+    fn rate_snapshot(&self) -> (u64, u64) {
+        let mut done = self.points_done.load(Ordering::Acquire);
+        for _ in 0..8 {
+            let micros = self.eval_micros.load(Ordering::Acquire);
+            let done_after = self.points_done.load(Ordering::Acquire);
+            if done == done_after {
+                return (done, micros);
+            }
+            done = done_after;
+        }
+        (done, self.eval_micros.load(Ordering::Acquire))
+    }
+}
+
 #[derive(Debug, Default)]
 struct WorkerGauge {
     busy_now: AtomicBool,
@@ -224,11 +251,11 @@ impl Scheduler {
     /// Observed mean evaluation time per point, or `None` before the
     /// first point completes.
     pub fn avg_point_micros(&self) -> Option<u64> {
-        let done = self.state.points_done.load(Ordering::Relaxed);
+        let (done, micros) = self.state.rate_snapshot();
         if done == 0 {
             return None;
         }
-        Some(self.state.eval_micros.load(Ordering::Relaxed) / done)
+        Some(micros / done)
     }
 
     /// A queue-depth-aware `Retry-After` estimate in whole seconds: how
@@ -281,10 +308,13 @@ fn worker_loop(state: &State, index: usize) {
         let elapsed = started.elapsed().as_micros() as u64;
         gauge.busy_micros.fetch_add(elapsed, Ordering::Relaxed);
         gauge.busy_now.store(false, Ordering::Relaxed);
+        // Micros first (Release), count second: a reader that observes
+        // the new `points_done` is guaranteed to also observe at least
+        // the matching `eval_micros` — see `State::rate_snapshot`.
+        state.eval_micros.fetch_add(elapsed, Ordering::Release);
         state
             .points_done
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        state.eval_micros.fetch_add(elapsed, Ordering::Relaxed);
+            .fetch_add(batch.len() as u64, Ordering::Release);
     }
 }
 
@@ -459,6 +489,46 @@ mod tests {
         drop(tx);
         sched.shutdown();
         assert_eq!(rx.iter().count(), 8, "shutdown must drain the queue");
+    }
+
+    #[test]
+    fn rate_snapshot_never_tears_under_concurrent_completion() {
+        // A writer publishes (micros, done) in worker order — micros
+        // first — with exactly 1 000 µs per point. Any coherent snapshot
+        // therefore satisfies micros ≥ done × 1 000; a torn pair (fresh
+        // count over a stale sum, the old two-Relaxed-loads bug) breaks
+        // that and yields the 0 s Retry-After outlier.
+        let state = Arc::new(State {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            open: AtomicBool::new(true),
+            capacity: 1,
+            max_batch: 1,
+            policy: SupervisorPolicy::disabled(),
+            busy: Vec::new(),
+            points_done: AtomicU64::new(0),
+            eval_micros: AtomicU64::new(0),
+        });
+        let writer = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                for _ in 0..50_000u64 {
+                    state.eval_micros.fetch_add(1_000, Ordering::Release);
+                    state.points_done.fetch_add(1, Ordering::Release);
+                }
+            })
+        };
+        let mut observed = 0u64;
+        while observed < 50_000 {
+            let (done, micros) = state.rate_snapshot();
+            assert!(
+                micros >= done.saturating_mul(1_000),
+                "torn snapshot: done={done} micros={micros}"
+            );
+            observed = done;
+        }
+        writer.join().expect("writer thread");
+        assert_eq!(state.rate_snapshot(), (50_000, 50_000_000));
     }
 
     #[test]

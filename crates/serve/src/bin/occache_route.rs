@@ -1,0 +1,48 @@
+//! The `occache-route` binary: the thin cluster front door. Binds,
+//! routes requests to the shard list, drains on SIGINT/SIGTERM.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use occache_runtime::interrupt;
+use occache_serve::router::{RouterConfig, RouterServer};
+
+fn main() -> ExitCode {
+    interrupt::install();
+    let config = match RouterConfig::try_from_env() {
+        Ok(c) => c,
+        Err(why) => {
+            eprintln!("occache-route: {why}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match RouterServer::start(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("occache-route: could not bind {}: {e}", config.addr);
+            return ExitCode::from(1);
+        }
+    };
+    println!("occache-route listening on {}", server.addr());
+    println!(
+        "peers={} peer_timeout={}s retries={} chaos={}",
+        config.peers.join(","),
+        config.policy.timeout.as_secs_f64(),
+        config.policy.retries,
+        if config.fault.is_some() { "on" } else { "off" },
+    );
+    while !interrupt::requested() && !server.finished() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("occache-route: draining in-flight work");
+    match server.stop() {
+        Ok(()) => {
+            eprintln!("occache-route: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("occache-route: accept loop failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

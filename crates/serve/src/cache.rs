@@ -61,6 +61,18 @@ impl ResultCache {
         found
     }
 
+    /// Whether a point is resident, without touching the hit/miss
+    /// counters — the peer-fill planner peeks before deciding which
+    /// misses to ask an owner for, and must not distort the cache stats
+    /// the later authoritative lookup records.
+    pub fn contains(&self, key: u64) -> bool {
+        self.inner
+            .lock()
+            .expect("result cache lock")
+            .map
+            .contains_key(&key)
+    }
+
     /// Inserts a computed point. Non-finite entries are refused — the
     /// same gate the journal applies — so a poisoned metric can never be
     /// served twice. Returns whether the entry was stored.

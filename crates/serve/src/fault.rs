@@ -17,6 +17,14 @@
 //!   inside the worker (compiled into the supervisor policy via
 //!   [`FaultPlan::panic_every`]), exercising retry, fault attribution
 //!   and the circuit breaker.
+//! * `drop-peer:K` — every K-th outbound peer call (fill or forward)
+//!   fails before dialing, exercising peer retry, the per-peer breaker
+//!   and the compute-locally fallback.
+//! * `slow-peer:K[:secs]` — every K-th outbound peer call stalls `secs`
+//!   (default 3) before dialing, eating into the strict peer deadline.
+//! * `flap-peer:K` — every K-th peer health probe is reported failed
+//!   regardless of the real answer, flapping the per-peer breaker
+//!   through down/half-open/up.
 //!
 //! Every injection is counted and exposed on `/metrics`
 //! (`occache_fault_*_injected_total`), which is how the CI chaos gate
@@ -30,6 +38,10 @@ use occache_runtime::executor::FaultPlan;
 /// Default stall for `stall-read` when the spec gives no seconds.
 const DEFAULT_STALL: Duration = Duration::from_secs(6);
 
+/// Default stall for `slow-peer` when the spec gives no seconds —
+/// longer than the default `OCCACHE_PEER_TIMEOUT` so the call times out.
+const DEFAULT_PEER_STALL: Duration = Duration::from_secs(3);
+
 /// The parsed fault plan plus its per-kind event counters.
 #[derive(Debug, Default)]
 pub struct ServeFault {
@@ -37,12 +49,21 @@ pub struct ServeFault {
     stall_read: Option<(u64, Duration)>,
     drop_conn: Option<u64>,
     panic_worker: Option<u64>,
+    drop_peer: Option<u64>,
+    slow_peer: Option<(u64, Duration)>,
+    flap_peer: Option<u64>,
     torn_events: AtomicU64,
     stall_events: AtomicU64,
     drop_events: AtomicU64,
+    drop_peer_events: AtomicU64,
+    slow_peer_events: AtomicU64,
+    flap_peer_events: AtomicU64,
     torn_fired: AtomicU64,
     stall_fired: AtomicU64,
     drop_fired: AtomicU64,
+    drop_peer_fired: AtomicU64,
+    slow_peer_fired: AtomicU64,
+    flap_peer_fired: AtomicU64,
 }
 
 impl ServeFault {
@@ -69,31 +90,33 @@ impl ServeFault {
             if fields.next().is_some() {
                 return Err(format!("fault spec `{part}` has too many fields"));
             }
+            let stall_extra = |default: Duration| -> Result<Duration, String> {
+                match extra {
+                    None => Ok(default),
+                    Some(raw) => {
+                        let secs: f64 = raw
+                            .parse()
+                            .map_err(|_| format!("fault spec `{part}` has non-numeric seconds"))?;
+                        if !secs.is_finite() || secs <= 0.0 {
+                            return Err(format!("fault spec `{part}` seconds must be positive"));
+                        }
+                        Ok(Duration::from_secs_f64(secs))
+                    }
+                }
+            };
             match kind {
                 "torn-write" if extra.is_none() => plan.torn_write = Some(period),
                 "drop-conn" if extra.is_none() => plan.drop_conn = Some(period),
                 "panic-worker" if extra.is_none() => plan.panic_worker = Some(period),
-                "stall-read" => {
-                    let stall = match extra {
-                        None => DEFAULT_STALL,
-                        Some(raw) => {
-                            let secs: f64 = raw.parse().map_err(|_| {
-                                format!("fault spec `{part}` has non-numeric seconds")
-                            })?;
-                            if !secs.is_finite() || secs <= 0.0 {
-                                return Err(format!(
-                                    "fault spec `{part}` seconds must be positive"
-                                ));
-                            }
-                            Duration::from_secs_f64(secs)
-                        }
-                    };
-                    plan.stall_read = Some((period, stall));
-                }
+                "drop-peer" if extra.is_none() => plan.drop_peer = Some(period),
+                "flap-peer" if extra.is_none() => plan.flap_peer = Some(period),
+                "stall-read" => plan.stall_read = Some((period, stall_extra(DEFAULT_STALL)?)),
+                "slow-peer" => plan.slow_peer = Some((period, stall_extra(DEFAULT_PEER_STALL)?)),
                 _ => {
                     return Err(format!(
                         "unknown fault `{part}` (torn-write:K, stall-read:K[:secs], \
-                         drop-conn:K, panic-worker:K)"
+                         drop-conn:K, panic-worker:K, drop-peer:K, slow-peer:K[:secs], \
+                         flap-peer:K)"
                     ))
                 }
             }
@@ -145,6 +168,33 @@ impl ServeFault {
         Self::fire(self.drop_conn, &self.drop_events, &self.drop_fired)
     }
 
+    /// Counts one outbound peer-call event; true when it must fail
+    /// before dialing.
+    pub fn drop_peer_now(&self) -> bool {
+        Self::fire(
+            self.drop_peer,
+            &self.drop_peer_events,
+            &self.drop_peer_fired,
+        )
+    }
+
+    /// Counts one outbound peer-call event; `Some(stall)` when it must
+    /// stall before dialing.
+    pub fn slow_peer_now(&self) -> Option<Duration> {
+        let (period, stall) = self.slow_peer?;
+        Self::fire(Some(period), &self.slow_peer_events, &self.slow_peer_fired).then_some(stall)
+    }
+
+    /// Counts one health-probe event; true when the probe result must be
+    /// reported as a failure regardless of the real answer.
+    pub fn flap_peer_now(&self) -> bool {
+        Self::fire(
+            self.flap_peer,
+            &self.flap_peer_events,
+            &self.flap_peer_fired,
+        )
+    }
+
     /// The worker-panic plan to compile into the supervisor policy, if
     /// `panic-worker:K` was requested.
     pub fn worker_fault(&self) -> Option<FaultPlan> {
@@ -154,11 +204,14 @@ impl ServeFault {
     /// Injections fired so far, by kind, for `/metrics`. `panic-worker`
     /// fires inside the supervisor and is visible there as retried/
     /// failed points rather than here.
-    pub fn injected(&self) -> [(&'static str, u64); 3] {
+    pub fn injected(&self) -> [(&'static str, u64); 6] {
         [
             ("torn_write", self.torn_fired.load(Ordering::SeqCst)),
             ("stall_read", self.stall_fired.load(Ordering::SeqCst)),
             ("drop_conn", self.drop_fired.load(Ordering::SeqCst)),
+            ("drop_peer", self.drop_peer_fired.load(Ordering::SeqCst)),
+            ("slow_peer", self.slow_peer_fired.load(Ordering::SeqCst)),
+            ("flap_peer", self.flap_peer_fired.load(Ordering::SeqCst)),
         ]
     }
 }
@@ -183,8 +236,32 @@ mod tests {
         assert!(f.worker_fault().is_some());
         assert_eq!(
             f.injected(),
-            [("torn_write", 2), ("stall_read", 1), ("drop_conn", 1)]
+            [
+                ("torn_write", 2),
+                ("stall_read", 1),
+                ("drop_conn", 1),
+                ("drop_peer", 0),
+                ("slow_peer", 0),
+                ("flap_peer", 0),
+            ]
         );
+    }
+
+    #[test]
+    fn peer_faults_fire_on_their_own_event_streams() {
+        let f = ServeFault::parse("drop-peer:2,slow-peer:2:0.25,flap-peer:3").unwrap();
+        assert!(!f.drop_peer_now());
+        assert!(f.drop_peer_now());
+        assert_eq!(f.slow_peer_now(), None);
+        assert_eq!(f.slow_peer_now(), Some(Duration::from_millis(250)));
+        assert!((0..2).all(|_| !f.flap_peer_now()));
+        assert!(f.flap_peer_now());
+        assert!(ServeFault::parse("slow-peer:1")
+            .unwrap()
+            .slow_peer_now()
+            .is_some());
+        assert!(ServeFault::parse("drop-peer:1:2").is_err());
+        assert!(ServeFault::parse("flap-peer:0").is_err());
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //! * [`persist`] — the write-behind result journal (crash recovery).
 //! * [`scheduler`] — the bounded-queue worker pool that coalesces
 //!   compatible points into one-pass multisim engine slices.
+//! * [`peer`] — the cluster peer table: health probes, per-peer circuit
+//!   breakers, and the deadline-bounded peer HTTP client.
+//! * [`router`] — rendezvous-hash request routing and the thin
+//!   `occache-route` front door that scatters sweeps across shards.
 //! * [`service`] — routing, request handling, accept loop, graceful
 //!   shutdown.
 
@@ -35,6 +39,8 @@ pub mod fault;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod peer;
 pub mod persist;
+pub mod router;
 pub mod scheduler;
 pub mod service;

@@ -45,8 +45,29 @@ pub struct Counters {
     pub points_cached: Counter,
     /// Design points computed by the scheduler.
     pub points_computed: Counter,
+    /// Design points obtained from an owning peer's cache (warm fill).
+    pub peer_fill_points: Counter,
+    /// Design points computed locally although a remote peer owns them
+    /// (owner down or fill failed).
+    pub peer_steal: Counter,
+    /// Peer-originated (`peer_fill: true`) requests answered.
+    pub peer_fill_served: Counter,
     /// End-to-end latency of simulate/sweep requests.
     pub latency: Histogram,
+}
+
+/// Peer-tier stats sampled from the [`crate::peer::PeerSet`] at render
+/// time — present only when the node runs in a cluster.
+#[derive(Debug, Clone)]
+pub struct PeerStats {
+    /// Per-peer breaker state: 0 down, 1 half-open, 2 up.
+    pub states: Vec<(String, u64)>,
+    /// Breaker trips since start.
+    pub down_total: u64,
+    /// Failed liveness probes since start.
+    pub probe_failures: u64,
+    /// Outbound peer calls attempted.
+    pub calls: u64,
 }
 
 /// Point-in-time gauges the service assembles from its other layers for
@@ -83,6 +104,7 @@ pub fn registry(
     gauges: Gauges,
     worker_busy: &[Duration],
     faults_injected: &[(&'static str, u64)],
+    peer: Option<&PeerStats>,
 ) -> Registry {
     let mut reg = Registry::new();
     reg.counter(
@@ -160,6 +182,21 @@ pub fn registry(
         "Design points computed by the scheduler.",
         counters.points_computed.get(),
     )
+    .counter(
+        "occache_peer_fill_points_total",
+        "Design points obtained from an owning peer's cache.",
+        counters.peer_fill_points.get(),
+    )
+    .counter(
+        "occache_peer_steal_total",
+        "Remote-owned design points computed locally (owner down or fill failed).",
+        counters.peer_steal.get(),
+    )
+    .counter(
+        "occache_peer_fill_served_total",
+        "Peer-originated (peer_fill) requests answered.",
+        counters.peer_fill_served.get(),
+    )
     .gauge(
         "occache_queue_depth",
         "Jobs waiting in the scheduler queue.",
@@ -215,6 +252,29 @@ pub fn registry(
         "occache_request_seconds_count",
         u128::from(counters.latency.count()),
     );
+    if let Some(peer) = peer {
+        reg.counter(
+            "occache_peer_down_total",
+            "Per-peer circuit-breaker trips.",
+            peer.down_total,
+        )
+        .counter(
+            "occache_peer_probe_failures_total",
+            "Failed liveness probes.",
+            peer.probe_failures,
+        )
+        .counter(
+            "occache_peer_calls_total",
+            "Outbound peer calls attempted.",
+            peer.calls,
+        )
+        .labeled_gauge(
+            "occache_peer_state",
+            "Per-peer breaker state: 0 down, 1 half-open, 2 up.",
+            "peer",
+            peer.states.iter().cloned(),
+        );
+    }
     for (kind, fired) in faults_injected {
         reg.counter(
             &format!("occache_fault_{kind}_injected_total"),
@@ -231,8 +291,9 @@ pub fn render(
     gauges: Gauges,
     worker_busy: &[Duration],
     faults_injected: &[(&'static str, u64)],
+    peer: Option<&PeerStats>,
 ) -> String {
-    registry(counters, gauges, worker_busy, faults_injected).render_prometheus()
+    registry(counters, gauges, worker_busy, faults_injected, peer).render_prometheus()
 }
 
 #[cfg(test)]
@@ -262,6 +323,7 @@ mod tests {
             },
             &[Duration::from_secs(1), Duration::from_secs(2)],
             &[("torn_write", 2), ("drop_conn", 0)],
+            None,
         );
         for needle in [
             "occache_requests_total 1",
@@ -285,6 +347,38 @@ mod tests {
             "occache_request_seconds_count 1",
             "occache_fault_torn_write_injected_total 2",
             "occache_fault_drop_conn_injected_total 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        assert!(
+            !text.contains("occache_peer_state"),
+            "peer families should be absent outside a cluster:\n{text}"
+        );
+    }
+
+    #[test]
+    fn peer_families_render_when_clustered() {
+        let counters = Counters::default();
+        counters.peer_fill_points.bump();
+        let stats = PeerStats {
+            states: vec![
+                ("127.0.0.1:7801".to_string(), 2),
+                ("127.0.0.1:7802".to_string(), 0),
+            ],
+            down_total: 1,
+            probe_failures: 3,
+            calls: 7,
+        };
+        let text = render(&counters, Gauges::default(), &[], &[], Some(&stats));
+        for needle in [
+            "occache_peer_fill_points_total 1",
+            "occache_peer_steal_total 0",
+            "occache_peer_fill_served_total 0",
+            "occache_peer_down_total 1",
+            "occache_peer_probe_failures_total 3",
+            "occache_peer_calls_total 7",
+            "occache_peer_state{peer=\"127.0.0.1:7801\"} 2",
+            "occache_peer_state{peer=\"127.0.0.1:7802\"} 0",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

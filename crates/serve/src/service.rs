@@ -54,8 +54,10 @@ use crate::cache::ResultCache;
 use crate::fault::ServeFault;
 use crate::http::{Connection, ParseError, ReadOutcome, Request};
 use crate::json::{escape, ErrorBody, Json};
-use crate::metrics::{Counters, Gauges};
+use crate::metrics::{Counters, Gauges, PeerStats};
+use crate::peer::{PeerPolicy, PeerSet};
 use crate::persist::WriteBehind;
+use crate::router::{ranked, render_peer_request, route_key};
 use crate::scheduler::{Job, Priority, Scheduler, SubmitError, TraceSet};
 
 /// How long a connection may sit idle (or mid-read) before the server
@@ -112,6 +114,15 @@ pub struct ServiceConfig {
     /// Deterministic chaos injection (`OCCACHE_SERVE_FAULT`; unset ⇒
     /// none).
     pub fault: Option<Arc<ServeFault>>,
+    /// The cluster's static peer list (`OCCACHE_PEERS`; unset ⇒
+    /// single-node, no fill, no probes).
+    pub peers: Option<Vec<String>>,
+    /// This node's own entry in `peers` (`OCCACHE_SELF`; required when
+    /// `peers` is set).
+    pub self_addr: Option<String>,
+    /// Deadline/retry/breaker policy for outbound peer calls
+    /// (`OCCACHE_PEER_TIMEOUT`, `OCCACHE_PEER_RETRIES`).
+    pub peer_policy: PeerPolicy,
 }
 
 impl ServiceConfig {
@@ -121,6 +132,7 @@ impl ServiceConfig {
     ///
     /// Returns a message naming the malformed variable.
     pub fn try_from_env() -> Result<ServiceConfig, String> {
+        let peers = occache_runtime::config::try_peers()?;
         let workers = match env_usize_opt("OCCACHE_SERVE_WORKERS")? {
             Some(n) if n > 0 => n,
             Some(_) | None => occache_runtime::config::try_jobs()?.unwrap_or_else(|| {
@@ -150,6 +162,12 @@ impl ServiceConfig {
             breaker_threshold: env_usize_opt("OCCACHE_SERVE_BREAKER")?
                 .map_or(DEFAULT_THRESHOLD, |n| n.min(u32::MAX as usize) as u32),
             fault: ServeFault::try_from_env()?.map(Arc::new),
+            self_addr: match &peers {
+                Some(list) => Some(occache_runtime::config::try_self_addr(list)?),
+                None => None,
+            },
+            peers,
+            peer_policy: PeerPolicy::try_from_env()?,
         })
     }
 
@@ -169,6 +187,9 @@ impl ServiceConfig {
             journal_dir: None,
             breaker_threshold: DEFAULT_THRESHOLD,
             fault: None,
+            peers: None,
+            self_addr: None,
+            peer_policy: PeerPolicy::for_tests(),
         }
     }
 }
@@ -184,6 +205,7 @@ pub struct Service {
     started: Instant,
     breaker: Breaker,
     persist: Option<WriteBehind>,
+    peers: Option<Arc<PeerSet>>,
     fault: Option<Arc<ServeFault>>,
     conn_timeout: Option<Duration>,
     warm_dir: Option<String>,
@@ -234,6 +256,14 @@ impl Service {
             started: Instant::now(),
             breaker: Breaker::new(config.breaker_threshold),
             persist,
+            peers: config.peers.clone().map(|peers| {
+                PeerSet::start(
+                    peers,
+                    config.self_addr.clone(),
+                    config.peer_policy.clone(),
+                    config.fault.clone(),
+                )
+            }),
             fault: config.fault.clone(),
             conn_timeout: config.conn_timeout,
             warm_dir: config.warm_start.clone(),
@@ -271,6 +301,12 @@ impl Service {
     /// The result cache (integration tests inspect it).
     pub fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// The peer set, when this node runs in a cluster (tests inspect
+    /// breaker state).
+    pub fn peer_set(&self) -> Option<&Arc<PeerSet>> {
+        self.peers.as_ref()
     }
 
     /// Materialises (or recalls) the named model at `refs` references
@@ -349,11 +385,18 @@ impl Service {
             ("GET", "/metrics") => {
                 self.counters.scrapes.bump();
                 let faults = self.fault.as_ref().map(|f| f.injected());
+                let peer_stats = self.peers.as_ref().map(|p| PeerStats {
+                    states: p.state_gauge(),
+                    down_total: p.down_total(),
+                    probe_failures: p.probe_failures(),
+                    calls: p.calls_made(),
+                });
                 let text = crate::metrics::render(
                     &self.counters,
                     self.gauges(),
                     &self.scheduler.worker_busy(),
                     faults.as_ref().map_or(&[], |f| &f[..]),
+                    peer_stats.as_ref(),
                 );
                 return (200, "text/plain; version=0.0.4", Vec::new(), text);
             }
@@ -428,6 +471,109 @@ impl Service {
         self.breaker.record_success(key);
     }
 
+    /// Warm-cache fill: asks each remote owner for this request's
+    /// missing points before computing anything locally. Points that
+    /// come back are committed as fills; points whose owner is down,
+    /// self, or whose fill call failed stay missing and fall through to
+    /// the local scheduler (counted as steals when a remote owner should
+    /// have had them). Returns how many points were filled.
+    fn peer_fill(
+        &self,
+        peers: &PeerSet,
+        parsed: &PointRequest,
+        missing: &[(CacheConfig, u64)],
+    ) -> usize {
+        let addrs = peers.addrs();
+        let mut groups: HashMap<String, Vec<(CacheConfig, u64)>> = HashMap::new();
+        for (config, key) in missing {
+            let rkey = route_key(&parsed.model, parsed.refs, parsed.warmup, config);
+            let order = ranked(rkey, &addrs);
+            let Some(&owner) = order.first() else {
+                continue;
+            };
+            if peers.is_self(owner) {
+                continue; // ours to compute; no fill, no steal
+            }
+            if !peers.available(owner) {
+                self.counters.peer_steal.bump();
+                continue;
+            }
+            groups
+                .entry(owner.to_string())
+                .or_default()
+                .push((*config, *key));
+        }
+        let mut filled = 0usize;
+        for (addr, points) in &groups {
+            let configs: Vec<CacheConfig> = points.iter().map(|(c, _)| *c).collect();
+            let wire =
+                render_peer_request(&parsed.model, parsed.refs, parsed.warmup, &configs, false);
+            if let Ok((200, reply)) = peers.call(addr, "POST", "/v1/sweep", wire.as_bytes()) {
+                filled += self.absorb_fill(&reply);
+            }
+            // Whatever the owner did not deliver is stolen: computed
+            // here even though the key hashes elsewhere.
+            for (_, key) in points {
+                if !self.cache.contains(*key) {
+                    self.counters.peer_steal.bump();
+                }
+            }
+        }
+        filled
+    }
+
+    /// Parses a peer's sweep response and commits every returned point
+    /// as a fill: cached and journalled (so a crash-restart replays it),
+    /// but *not* counted computed — `occache_points_computed_total`
+    /// stays a truthful measure of local scheduler work. The `f64`
+    /// metrics round-trip bit-exactly because both sides render with
+    /// [`fmt_f64_exact`].
+    fn absorb_fill(&self, reply: &[u8]) -> usize {
+        let Ok(text) = std::str::from_utf8(reply) else {
+            return 0;
+        };
+        let Ok(doc) = Json::parse(text) else {
+            return 0;
+        };
+        let Some(points) = doc.get("points").and_then(Json::as_array) else {
+            return 0;
+        };
+        let mut filled = 0usize;
+        for p in points {
+            let Some(key) = p
+                .get("key")
+                .and_then(Json::as_str)
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+            else {
+                continue;
+            };
+            let metric = |name: &str| p.get(name).and_then(Json::as_f64);
+            let (Some(miss), Some(traffic), Some(nibble), Some(redundant)) = (
+                metric("miss_ratio"),
+                metric("traffic_ratio"),
+                metric("nibble_traffic_ratio"),
+                metric("redundant_load_fraction"),
+            ) else {
+                continue;
+            };
+            let entry = Entry {
+                miss,
+                traffic,
+                nibble,
+                redundant,
+            };
+            if self.cache.insert(key, entry) {
+                filled += 1;
+                self.counters.peer_fill_points.bump();
+                if let Some(persist) = &self.persist {
+                    persist.record(key, entry);
+                    self.counters.journal_appends.bump();
+                }
+            }
+        }
+        filled
+    }
+
     /// `POST /v1/simulate`: one design point, interactive lane.
     fn simulate(&self, body: &[u8]) -> (u16, String) {
         let parsed = match parse_point_request(body, self.default_refs) {
@@ -442,10 +588,25 @@ impl Service {
             Some(c) => *c,
             None => return (400, err("bad-request", "no config given", false)),
         };
+        if parsed.fill {
+            self.counters.peer_fill_served.bump();
+        }
         let key = point_key(&config, set.fingerprint, parsed.warmup);
         if let Some(entry) = self.cache.get(key) {
             self.counters.points_cached.bump();
             return (200, point_json(&parsed, config, key, &entry, true));
+        }
+        // Miss: if another shard owns this key, ask it before computing
+        // (`peer_fill` requests themselves never fan out further).
+        if !parsed.fill {
+            if let Some(peers) = &self.peers {
+                if self.peer_fill(peers, &parsed, &[(config, key)]) > 0 {
+                    if let Some(entry) = self.cache.get(key) {
+                        self.counters.points_cached.bump();
+                        return (200, point_json(&parsed, config, key, &entry, true));
+                    }
+                }
+            }
         }
         if self.breaker.is_quarantined(key) {
             self.counters.quarantined.bump();
@@ -518,11 +679,30 @@ impl Service {
             Ok(s) => s,
             Err(why) => return (400, err("bad-request", &why, false)),
         };
+        if parsed.fill {
+            self.counters.peer_fill_served.bump();
+        }
         let keys: Vec<u64> = parsed
             .configs
             .iter()
             .map(|c| point_key(c, set.fingerprint, parsed.warmup))
             .collect();
+        // Fill pass: batch-ask each remote owner for the points it
+        // should already hold, so the cache pass below hits instead of
+        // recomputing another shard's work.
+        if !parsed.fill {
+            if let Some(peers) = &self.peers {
+                let missing: Vec<(CacheConfig, u64)> = keys
+                    .iter()
+                    .zip(&parsed.configs)
+                    .filter(|(key, _)| !self.cache.contains(**key))
+                    .map(|(key, config)| (*config, *key))
+                    .collect();
+                if !missing.is_empty() {
+                    self.peer_fill(peers, &parsed, &missing);
+                }
+            }
+        }
         // Cache pass first, then submit every miss back-to-back so a
         // worker claims them as one coalesced batch.
         let mut slots: Vec<Option<(Entry, bool)>> = Vec::with_capacity(keys.len());
@@ -653,16 +833,23 @@ impl Service {
     }
 }
 
-/// A decoded simulate/sweep request body.
+/// A decoded simulate/sweep request body. Shared with the router, which
+/// parses only to compute routing keys.
 #[derive(Debug)]
-struct PointRequest {
-    model: String,
-    refs: usize,
-    warmup: usize,
-    configs: Vec<CacheConfig>,
+pub(crate) struct PointRequest {
+    pub(crate) model: String,
+    pub(crate) refs: usize,
+    pub(crate) warmup: usize,
+    /// `peer_fill: true` marks a peer-originated request: answer from
+    /// local cache/scheduler, never fan out again (no fill loops).
+    pub(crate) fill: bool,
+    pub(crate) configs: Vec<CacheConfig>,
 }
 
-fn parse_point_request(body: &[u8], default_refs: usize) -> Result<PointRequest, String> {
+pub(crate) fn parse_point_request(
+    body: &[u8],
+    default_refs: usize,
+) -> Result<PointRequest, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     let doc = Json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
     let model = doc
@@ -680,6 +867,10 @@ fn parse_point_request(body: &[u8], default_refs: usize) -> Result<PointRequest,
     let warmup = match doc.get("warmup") {
         None => 0,
         Some(v) => v.as_usize().ok_or("\"warmup\" must be a whole number")?,
+    };
+    let fill = match doc.get("peer_fill") {
+        None => false,
+        Some(v) => v.as_bool().ok_or("\"peer_fill\" must be a boolean")?,
     };
     let default_word = WorkloadSpec::set_by_name(&model)
         .and_then(|specs| specs.first().map(|s| s.arch().word_size()))
@@ -730,6 +921,7 @@ fn parse_point_request(body: &[u8], default_refs: usize) -> Result<PointRequest,
         model,
         refs,
         warmup,
+        fill,
         configs,
     })
 }
@@ -912,6 +1104,9 @@ impl Server {
             None => Ok(()),
         };
         self.service.scheduler.shutdown();
+        if let Some(peers) = &self.service.peers {
+            peers.shutdown();
+        }
         outcome
     }
 }
