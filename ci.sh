@@ -114,6 +114,9 @@ echo "== serving-mode gate: occache-serve driven by occache-loadgen =="
 # tier-1 `cargo build --release` does not refresh these binaries.
 cargo build --release -q -p occache-serve --bin occache-serve
 cargo build --release -q -p occache-cli --bin occache-loadgen
+# The dashboard doubles as CI's strict metrics parser (--parse-metrics),
+# used by the chaos/recovery/cluster gates below in place of raw greps.
+cargo build --release -q -p occache-top --bin occache-top
 SERVE_LOG=target/ci-serve.log
 SERVE_BENCH=target/ci-BENCH_serve.json
 rm -f "$SERVE_LOG" "$SERVE_BENCH"
@@ -210,12 +213,17 @@ timeout 180 ./target/release/occache-loadgen --addr "$CHAOS_ADDR" --refs 20000 \
 grep -Eq '"retries": [1-9]' "$CHAOS_BENCH" \
   || { echo "FAIL: chaos run finished without a single client retry"; cat "$CHAOS_BENCH"; exit 1; }
 # ...and the injected fault counters must be visible on /metrics (the
-# scrape itself can be torn, so allow a few attempts).
+# scrape itself can be torn, so allow a few attempts). The strict
+# exposition parser replaces the old greps: a torn scrape now fails the
+# parse instead of silently matching half a line.
 METRICS_OK=
 for _ in $(seq 1 6); do
   if curl -s "http://$CHAOS_ADDR/metrics" > target/ci-chaos-metrics.txt 2>/dev/null \
-     && grep -Eq 'occache_fault_torn_write_injected_total [1-9]' target/ci-chaos-metrics.txt \
-     && grep -Eq 'occache_fault_drop_conn_injected_total [1-9]' target/ci-chaos-metrics.txt; then
+     && TORN=$(./target/release/occache-top --parse-metrics target/ci-chaos-metrics.txt \
+                 --get occache_fault_torn_write_injected_total) \
+     && DROP=$(./target/release/occache-top --parse-metrics target/ci-chaos-metrics.txt \
+                 --get occache_fault_drop_conn_injected_total) \
+     && [ "$TORN" -ge 1 ] && [ "$DROP" -ge 1 ]; then
     METRICS_OK=1; break
   fi
   sleep 0.2
@@ -254,9 +262,11 @@ cmp target/ci-chaos-before.txt target/ci-chaos-after.txt \
 # Recovery means recall, not recompute: every point must have come from
 # the journal-warmed cache.
 curl -s "http://$RECOVER_ADDR/metrics" > target/ci-recover-metrics.txt
-grep -q 'occache_points_computed_total 0' target/ci-recover-metrics.txt \
-  || { echo "FAIL: recovered server recomputed points instead of serving the journal"; \
-       grep occache_points_computed_total target/ci-recover-metrics.txt; exit 1; }
+RECOMPUTED=$(./target/release/occache-top --parse-metrics target/ci-recover-metrics.txt \
+               --get occache_points_computed_total)
+[ "$RECOMPUTED" = "0" ] \
+  || { echo "FAIL: recovered server recomputed $RECOMPUTED points instead of serving the journal"; \
+       exit 1; }
 echo "   $(wc -l < target/ci-chaos-after.txt) points bit-identical across kill -9"
 kill -INT "$RECOVER_PID"
 set +e; wait "$RECOVER_PID"; RECOVER_RC=$?; set -e
@@ -342,8 +352,10 @@ echo "-- peer warm fill: a node must fetch remote-owned points, not recompute --
 curl -s -X POST "http://127.0.0.1:$CL_P1/v1/sweep" \
   -d '{"model":"pdp11","refs":20000,"grid":{"nets":[256,512,1024]}}' > /dev/null
 curl -s "http://127.0.0.1:$CL_P1/metrics" > "$CL_DIR/node1_metrics.txt"
-grep -Eq 'occache_peer_fill_points_total [1-9]' "$CL_DIR/node1_metrics.txt" \
-  || { echo "FAIL: no peer fills recorded on node 1"; \
+FILLS=$(./target/release/occache-top --parse-metrics "$CL_DIR/node1_metrics.txt" \
+          --get occache_peer_fill_points_total)
+[ -n "$FILLS" ] && [ "$FILLS" -ge 1 ] \
+  || { echo "FAIL: no peer fills recorded on node 1 (got '$FILLS')"; \
        grep occache_peer "$CL_DIR/node1_metrics.txt"; exit 1; }
 
 echo "-- node 3 SIGTERMed: breaker must trip, requests must keep working --"
@@ -362,11 +374,15 @@ done
 [ -n "$CL_ANSWERED" ] \
   || { echo "FAIL: router stopped answering after losing one node"; cat "$CL_DIR/route.log"; exit 1; }
 curl -s "http://127.0.0.1:$CL_PR/metrics" > "$CL_DIR/route_metrics2.txt"
-grep -Eq 'occache_peer_down_total [1-9]' "$CL_DIR/route_metrics2.txt" \
-  || { echo "FAIL: router never marked the dead node down"; \
+DOWNS=$(./target/release/occache-top --parse-metrics "$CL_DIR/route_metrics2.txt" \
+          --get occache_peer_down_total)
+[ -n "$DOWNS" ] && [ "$DOWNS" -ge 1 ] \
+  || { echo "FAIL: router never marked the dead node down (got '$DOWNS')"; \
        grep occache_peer "$CL_DIR/route_metrics2.txt"; exit 1; }
-grep -q "occache_peer_state{peer=\"127.0.0.1:$CL_P3\"} 0" "$CL_DIR/route_metrics2.txt" \
-  || { echo "FAIL: dead node not shown as down in occache_peer_state"; \
+N3_STATE=$(./target/release/occache-top --parse-metrics "$CL_DIR/route_metrics2.txt" \
+             --get "occache_peer_state{peer=\"127.0.0.1:$CL_P3\"}")
+[ "$N3_STATE" = "0" ] \
+  || { echo "FAIL: dead node not shown as down in occache_peer_state (got '$N3_STATE')"; \
        grep occache_peer_state "$CL_DIR/route_metrics2.txt"; exit 1; }
 
 echo "-- clean SIGTERM drain of the remaining processes --"
@@ -378,5 +394,74 @@ done
 grep -q "shut down cleanly" "$CL_DIR/route.log" \
   || { echo "FAIL: router drain message missing"; cat "$CL_DIR/route.log"; exit 1; }
 echo "   3-node cluster survived chaos, fill, and a node kill"
+
+echo "== observability gate: occache-top over a live sweep and a live node =="
+# One dashboard frame, built entirely from real sources: the atomically
+# flushed progress feed of a sweep that is still running, the
+# /v1/status + /metrics of a live serve node (through the strict
+# exposition parser), and the checkpoint journals on disk. The gate
+# asserts every pane end to end, then re-checks the sealed state after
+# the sweep lands.
+OBS_DIR=target/ci-obs
+OBS_LOG=target/ci-obs-serve.log
+rm -rf "$OBS_DIR" "$OBS_LOG" target/ci-obs-frame.txt target/ci-obs-final.txt
+OBS_PORT=$(./target/release/occache-loadgen --free-ports 1)
+# A self-entry in OCCACHE_PEERS makes the node export occache_peer_state,
+# so the frame carries a breaker column to assert on.
+OCCACHE_SERVE_ADDR="127.0.0.1:$OBS_PORT" OCCACHE_SERVE_WORKERS=2 \
+  OCCACHE_PEERS="127.0.0.1:$OBS_PORT" OCCACHE_SELF="127.0.0.1:$OBS_PORT" \
+  ./target/release/occache-serve > "$OBS_LOG" 2>&1 &
+OBS_PID=$!
+for _ in $(seq 1 100); do
+  curl -s -o /dev/null "http://127.0.0.1:$OBS_PORT/v1/health" && break
+  sleep 0.1
+done
+# Warm the node so the latency quantiles exist, then start a sweep that
+# flushes the progress feed after every point.
+curl -s -X POST "http://127.0.0.1:$OBS_PORT/v1/simulate" \
+  -d '{"model":"pdp11","refs":2000,"config":{"net":256,"block":16,"sub":8}}' > /dev/null
+OCCACHE_RESULTS="$OBS_DIR" OCCACHE_REFS=100000 OCCACHE_PROGRESS_EVERY=1 \
+  ./target/release/table7 > /dev/null 2>&1 &
+OBS_SWEEP_PID=$!
+OBS_LIVE=
+for _ in $(seq 1 300); do
+  ./target/release/occache-top --once --plain --no-bench \
+    --results "$OBS_DIR" --metrics "127.0.0.1:$OBS_PORT" > target/ci-obs-frame.txt || true
+  if grep -q " table7 " target/ci-obs-frame.txt \
+     && grep -q "live" target/ci-obs-frame.txt \
+     && grep -Eq "computed [1-9]" target/ci-obs-frame.txt; then
+    OBS_LIVE=1; break
+  fi
+  kill -0 "$OBS_SWEEP_PID" 2>/dev/null || break
+  sleep 0.1
+done
+[ -n "$OBS_LIVE" ] \
+  || { echo "FAIL: occache-top never showed a live phase with computed points"; \
+       cat target/ci-obs-frame.txt; exit 1; }
+# The same frame must carry the live node's ops fields.
+grep -q "occache-serve" target/ci-obs-frame.txt \
+  || { echo "FAIL: serve node missing from the ops pane"; cat target/ci-obs-frame.txt; exit 1; }
+grep -Eq "queue [0-9]" target/ci-obs-frame.txt \
+  || { echo "FAIL: queue depth missing from the ops pane"; cat target/ci-obs-frame.txt; exit 1; }
+grep -q "peers: 127.0.0.1:$OBS_PORT up" target/ci-obs-frame.txt \
+  || { echo "FAIL: breaker state missing from the ops pane"; cat target/ci-obs-frame.txt; exit 1; }
+set +e; wait "$OBS_SWEEP_PID"; OBS_SWEEP_RC=$?; set -e
+[ "$OBS_SWEEP_RC" -eq 0 ] || { echo "FAIL: observability sweep exited $OBS_SWEEP_RC"; exit 1; }
+# After the run: feed sealed, report complete, journal healthy in the
+# run browser.
+./target/release/occache-top --once --plain --no-bench \
+  --results "$OBS_DIR" > target/ci-obs-final.txt
+grep -q "sealed" target/ci-obs-final.txt \
+  || { echo "FAIL: progress feed not sealed after the sweep"; cat target/ci-obs-final.txt; exit 1; }
+grep -q "report: complete" target/ci-obs-final.txt \
+  || { echo "FAIL: RUN_REPORT not complete after the sweep"; cat target/ci-obs-final.txt; exit 1; }
+grep -Eq "table7 .* ok" target/ci-obs-final.txt \
+  || { echo "FAIL: sealed journal not shown healthy in the run browser"; \
+       cat target/ci-obs-final.txt; exit 1; }
+kill -INT "$OBS_PID"
+set +e; wait "$OBS_PID"; OBS_RC=$?; set -e
+[ "$OBS_RC" -eq 0 ] \
+  || { echo "FAIL: observability node did not shut down cleanly"; cat "$OBS_LOG"; exit 1; }
+echo "   live frame asserted: sweep progress, ops fields, sealed run browser"
 
 echo "ci.sh: all gates passed"

@@ -45,6 +45,7 @@ use std::sync::{Mutex, OnceLock};
 
 use occache_core::CacheConfig;
 use occache_runtime::journal::{point_body, seal, tombstone_body};
+use occache_runtime::progress::ProgressWriter;
 
 use crate::report::{results_dir, write_result_in};
 use crate::run_report::PhaseReport;
@@ -307,7 +308,7 @@ where
         traces,
         warmup,
         fresh,
-        |cfgs, tr, w, sink: &JournalSink| {
+        |cfgs, tr, w, sink: &JournalSink, _progress: &ProgressWriter| {
             let results = eval(cfgs, tr, w);
             for (i, r) in results.iter().enumerate() {
                 sink(i, r);
@@ -336,6 +337,14 @@ pub type JournalSink<'a> = dyn Fn(usize, &Result<DesignPoint, PointError>) + Syn
 /// evaluated, and a tombstone would push an innocent point toward
 /// quarantine.
 ///
+/// The phase also drives the live progress feed
+/// (`[occache_runtime::progress]`, `results/.checkpoint/PROGRESS.json`):
+/// an initial snapshot lands once resume has settled restored and
+/// quarantined counts, every journal-sink completion feeds it, and the
+/// feed is sealed — interrupt flag included — before the outcome
+/// returns. `eval` receives the [`ProgressWriter`] so it can fold in
+/// what only it observes (supervisor retry tallies).
+///
 /// # Errors
 ///
 /// As [`evaluate_checkpointed_in`]; additionally any journal-append
@@ -355,6 +364,7 @@ where
         &[Trace],
         usize,
         &JournalSink,
+        &ProgressWriter,
     ) -> Vec<Result<DesignPoint, PointError>>,
 {
     let path = journal_path(dir, artifact);
@@ -383,17 +393,30 @@ where
     let mut pending_idx = Vec::new();
     let mut pending_cfg = Vec::new();
     let mut resumed = 0;
+    let mut quarantined = 0;
     for (i, (&config, &key)) in configs.iter().zip(&keys).enumerate() {
         if let Some(entry) = scan.points.get(&key) {
             slots[i] = Some(Ok(restore_point(config, entry)));
             resumed += 1;
         } else if let Some(&fails) = scan.fails.get(&key).filter(|&&n| n >= QUARANTINE_AFTER) {
             slots[i] = Some(Err(PointError::quarantined(config, fails)));
+            quarantined += 1;
         } else {
             pending_idx.push(i);
             pending_cfg.push(config);
         }
     }
+
+    // The live progress feed starts once resume has settled what is
+    // already done, and is sealed before this call returns — so a
+    // dashboard sees `restored` jump at phase start, `computed` climb
+    // during evaluation, and `sealed: true` exactly when the journal is
+    // consistent with the outcome.
+    let every = occache_runtime::config::try_progress_every().unwrap_or_else(|e| {
+        eprintln!("warning: ignoring invalid progress settings: {e}");
+        16
+    });
+    let progress = ProgressWriter::start(dir, artifact, configs.len(), resumed, quarantined, every);
 
     if !pending_cfg.is_empty() {
         if let Some(parent) = path.parent() {
@@ -418,6 +441,7 @@ where
             })?;
         let tx = Mutex::new(Some(tx));
         let pending_keys: Vec<u64> = pending_idx.iter().map(|&i| keys[i]).collect();
+        let progress = &progress;
         let sink = |pi: usize, result: &Result<DesignPoint, PointError>| {
             let Some(&key) = pending_keys.get(pi) else {
                 return; // out-of-range index from a buggy eval: ignore
@@ -426,19 +450,28 @@ where
                 Ok(p) => match Entry::of(p).non_finite_field() {
                     // Reject poisoned metrics at the journal gate: a
                     // NaN/inf must not round-trip into an artifact.
-                    Some(_) => tombstone_body(key, 1),
-                    None => point_body(key, &Entry::of(p)),
+                    Some(_) => {
+                        progress.failed(false);
+                        tombstone_body(key, 1)
+                    }
+                    None => {
+                        progress.completed();
+                        point_body(key, &Entry::of(p))
+                    }
                 },
                 // An interrupted point was never evaluated: no tombstone,
                 // so the resumed run retries it without a quarantine mark.
                 Err(e) if e.fault == PointFault::Interrupted => return,
-                Err(_) => tombstone_body(key, 1),
+                Err(e) => {
+                    progress.failed(e.fault == PointFault::Timeout);
+                    tombstone_body(key, 1)
+                }
             };
             if let Some(tx) = tx.lock().expect("journal sender lock").as_ref() {
                 let _ = tx.send(format!("{}\n", seal(&body)));
             }
         };
-        let results = eval(&pending_cfg, traces, warmup, &sink);
+        let results = eval(&pending_cfg, traces, warmup, &sink, progress);
         // Close the channel and reap the writer; its I/O verdict is the
         // journal's.
         *tx.lock().expect("journal sender lock") = None;
@@ -467,6 +500,8 @@ where
             slots[i] = Some(result);
         }
     }
+
+    progress.seal(occache_runtime::interrupt::requested());
 
     let mut outcome = SweepOutcome {
         resumed,
@@ -526,9 +561,16 @@ pub fn evaluate_checkpointed(
     // Stream each point into the journal as the supervisor finishes it,
     // so a SIGINT mid-sweep still leaves everything completed so far
     // sealed on disk.
-    let supervised = |cfgs: &[CacheConfig], tr: &[Trace], w: usize, sink: &JournalSink| {
+    let supervised = |cfgs: &[CacheConfig],
+                      tr: &[Trace],
+                      w: usize,
+                      sink: &JournalSink,
+                      progress: &ProgressWriter| {
         let (results, s) =
             evaluate_results_supervised_with(&policy, cfgs, tr, w, None, |i, r| sink(i, r));
+        // The retry tally only exists in supervisor stats; fold it
+        // into the progress feed so the seal carries it.
+        progress.add_retries(s.retries);
         stats.lock().expect("supervisor stats lock").merge(s);
         results
     };
@@ -561,6 +603,16 @@ pub fn evaluate_checkpointed(
                 trace_fp: trace_fingerprint(traces),
                 config_fp: config_fingerprint(configs),
             });
+            // Phase boundary: flush the report accumulated so far as an
+            // in-flight snapshot, so RUN_REPORT.json is readable mid-run
+            // (marked `"in_progress": true` until the binary's final
+            // sealed write). Failure to flush must not fail the science.
+            if let Err(e) = crate::run_report::flush(&dir) {
+                eprintln!(
+                    "warning: could not flush {}: {e}",
+                    crate::run_report::RUN_REPORT_FILE
+                );
+            }
             outcome
         }
         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {

@@ -134,6 +134,33 @@ pub fn render(phases: &[PhaseReport], interrupted: bool) -> String {
     out
 }
 
+/// Renders the in-flight variant of the report: byte-identical to
+/// [`render`] except for one extra `"in_progress": true` line after the
+/// opening brace. The final [`write`] drops the marker again, so a
+/// completed run's report bytes are unchanged by mid-run flushing.
+pub fn render_in_progress(phases: &[PhaseReport], interrupted: bool) -> String {
+    let sealed = render(phases, interrupted);
+    debug_assert!(sealed.starts_with("{\n"));
+    format!("{{\n\"in_progress\": true,\n{}", &sealed[2..])
+}
+
+/// Flushes the phases accumulated so far as an in-flight snapshot
+/// (atomic replace, marked `"in_progress": true`). Called at phase
+/// boundaries so an operator — or `occache-top` — reads supervision
+/// totals mid-run instead of waiting for process exit; the final
+/// [`write`] replaces it with the sealed bytes.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the atomic write.
+pub fn flush(dir: &Path) -> io::Result<PathBuf> {
+    write_result_in(
+        dir,
+        RUN_REPORT_FILE,
+        &render_in_progress(&phases(), crate::interrupt::requested()),
+    )
+}
+
 /// Writes the accumulated report to `dir/RUN_REPORT.json` (atomically),
 /// returning the path. An empty registry still writes a report — all
 /// zeros is exactly what a clean no-op run should say.
@@ -194,5 +221,21 @@ mod tests {
     fn interrupted_run_is_marked() {
         let text = render(&[sample("table7", 0)], true);
         assert!(text.contains("\"interrupted\": true"), "{text}");
+    }
+
+    #[test]
+    fn in_progress_variant_only_adds_the_marker_line() {
+        let phases = [sample("table7", 0), sample("fig2", 1)];
+        let sealed = render(&phases, false);
+        let partial = render_in_progress(&phases, false);
+        assert!(
+            partial.starts_with("{\n\"in_progress\": true,\n"),
+            "{partial}"
+        );
+        assert_eq!(
+            &partial["{\n\"in_progress\": true,\n".len()..],
+            &sealed[2..]
+        );
+        assert!(!sealed.contains("in_progress"), "{sealed}");
     }
 }

@@ -94,6 +94,29 @@ pub fn try_slice_threads() -> Result<Option<usize>, String> {
     env_usize("OCCACHE_SLICE_THREADS", 0).map(|n| if n == 0 { None } else { Some(n) })
 }
 
+/// How many completed points between progress-feed flushes:
+/// `OCCACHE_PROGRESS_EVERY` env var, default 16. `0`/unset means the
+/// default; `1` flushes on every completion (CI uses this to observe
+/// short sweeps).
+///
+/// # Errors
+///
+/// Returns a message naming the variable when it is set but malformed.
+pub fn try_progress_every() -> Result<usize, String> {
+    env_usize("OCCACHE_PROGRESS_EVERY", 0).map(|n| if n == 0 { 16 } else { n })
+}
+
+/// Dashboard refresh interval for `occache-top`: `OCCACHE_TOP_TICK`
+/// milliseconds (default 1000, minimum 100 — a faster redraw than that
+/// only burns CPU the sweeps need).
+///
+/// # Errors
+///
+/// Returns a message naming the variable when it is set but malformed.
+pub fn try_top_tick_ms() -> Result<u64, String> {
+    env_usize("OCCACHE_TOP_TICK", 1000).map(|n| (n as u64).max(100))
+}
+
 /// Whether `OCCACHE_NO_MULTISIM` forces the direct simulator for every
 /// point (equivalence tests and honest before/after timing set it).
 pub fn multisim_disabled() -> bool {

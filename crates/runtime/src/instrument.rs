@@ -343,6 +343,289 @@ impl Registry {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The strict text-exposition parser: the read side of render_prometheus.
+// ---------------------------------------------------------------------------
+
+/// Why a metrics exposition was rejected: the 1-based line number and
+/// what was wrong with it. Strictness is the point — `occache-top` and
+/// the CI gates consume scrapes through this parser instead of ad-hoc
+/// greps, so a malformed exposition is a loud failure, never a silently
+/// missed sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "metrics line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+/// One parsed sample row: the raw label block (braces included, empty
+/// for unlabeled samples) and the value, both as written and as a
+/// number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextSample {
+    /// The label block exactly as written (e.g. `{peer="127.0.0.1:1"}`),
+    /// or empty.
+    pub labels: String,
+    /// The value exactly as written (re-render reproduces the bytes).
+    pub raw_value: String,
+    /// The value as a finite number.
+    pub value: f64,
+}
+
+impl TextSample {
+    /// The value of label `key` inside this sample's label block, if
+    /// present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        let inner = self.labels.strip_prefix('{')?.strip_suffix('}')?;
+        for pair in inner.split(',') {
+            let (k, v) = pair.split_once('=')?;
+            if k == key {
+                return v.strip_prefix('"')?.strip_suffix('"');
+            }
+        }
+        None
+    }
+}
+
+/// One parsed metric family: `# HELP`/`# TYPE` metadata when present
+/// (bare companion rows such as a summary's `_count` carry none) and
+/// the samples in exposition order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextFamily {
+    /// The family name.
+    pub name: String,
+    /// `Some((help, type))` when the family carried header lines.
+    pub meta: Option<(String, String)>,
+    /// The sample rows, in order.
+    pub samples: Vec<TextSample>,
+}
+
+/// A fully parsed text exposition, families in input order. Parsing is
+/// lossless: [`Exposition::render`] reproduces the input byte for byte,
+/// which the round-trip property test pins for every [`Registry`]
+/// output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// The families, in input order.
+    pub families: Vec<TextFamily>,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_block(block: &str) -> bool {
+    let Some(inner) = block.strip_prefix('{').and_then(|s| s.strip_suffix('}')) else {
+        return false;
+    };
+    if inner.is_empty() {
+        return false;
+    }
+    inner.split(',').all(|pair| {
+        let Some((key, value)) = pair.split_once('=') else {
+            return false;
+        };
+        valid_metric_name(key)
+            && value.len() >= 2
+            && value.starts_with('"')
+            && value.ends_with('"')
+            && !value[1..value.len() - 1].contains(['"', '\\'])
+    })
+}
+
+impl Exposition {
+    /// Parses a Prometheus text exposition strictly: every line must be
+    /// a `# HELP`, a `# TYPE` immediately following its `# HELP`, or a
+    /// `name{labels} value` sample with a valid name, a well-formed
+    /// label block and a finite value. Anything else — torn lines,
+    /// unknown comments, a header without samples — is an error naming
+    /// the line.
+    ///
+    /// # Errors
+    ///
+    /// A [`MetricsError`] carrying the 1-based line number and reason.
+    pub fn parse(text: &str) -> Result<Exposition, MetricsError> {
+        let err = |line: usize, reason: &str| MetricsError {
+            line,
+            reason: reason.to_string(),
+        };
+        if !text.is_empty() && !text.ends_with('\n') {
+            return Err(err(
+                text.lines().count(),
+                "exposition does not end with a newline (torn scrape?)",
+            ));
+        }
+        let mut families: Vec<TextFamily> = Vec::new();
+        // A `# HELP` opens a pending family that must be completed by a
+        // `# TYPE` for the same name and then at least one sample.
+        let mut pending: Option<(String, String, Option<String>)> = None;
+        for (i, line) in text.lines().enumerate() {
+            let line_no = i + 1;
+            if let Some(rest) = line.strip_prefix("# ") {
+                if let Some(help_rest) = rest.strip_prefix("HELP ") {
+                    if let Some((name, _, kind)) = &pending {
+                        if kind.is_none() {
+                            return Err(err(line_no, &format!("HELP {name} has no TYPE line")));
+                        }
+                        return Err(err(line_no, &format!("family {name} has no samples")));
+                    }
+                    let (name, help) = help_rest
+                        .split_once(' ')
+                        .ok_or_else(|| err(line_no, "HELP line without help text"))?;
+                    if !valid_metric_name(name) {
+                        return Err(err(line_no, &format!("invalid metric name {name:?}")));
+                    }
+                    pending = Some((name.to_string(), help.to_string(), None));
+                } else if let Some(type_rest) = rest.strip_prefix("TYPE ") {
+                    let (name, kind) = type_rest
+                        .split_once(' ')
+                        .ok_or_else(|| err(line_no, "TYPE line without a type"))?;
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                    ) {
+                        return Err(err(line_no, &format!("unknown metric type {kind:?}")));
+                    }
+                    match &mut pending {
+                        Some((pname, _, pkind @ None)) if pname == name => {
+                            *pkind = Some(kind.to_string());
+                        }
+                        _ => {
+                            return Err(err(
+                                line_no,
+                                &format!("TYPE {name} does not follow its HELP line"),
+                            ));
+                        }
+                    }
+                } else {
+                    return Err(err(line_no, "comment is neither # HELP nor # TYPE"));
+                }
+                continue;
+            }
+            // A sample row: name, optional label block, single space,
+            // value. The label block is delimited by its closing brace
+            // (label values may contain spaces), so the split point is
+            // structural, not "the last space on the line".
+            let (name, labels, raw_value) = match line.find('{') {
+                Some(open) => {
+                    let close = line
+                        .rfind('}')
+                        .filter(|&c| c > open)
+                        .ok_or_else(|| err(line_no, "unterminated label block"))?;
+                    let block = &line[open..=close];
+                    if !valid_label_block(block) {
+                        return Err(err(line_no, &format!("malformed label block {block:?}")));
+                    }
+                    let value = line[close + 1..]
+                        .strip_prefix(' ')
+                        .ok_or_else(|| err(line_no, "sample line without a value"))?;
+                    (&line[..open], block.to_string(), value)
+                }
+                None => {
+                    let (name, value) = line
+                        .rsplit_once(' ')
+                        .ok_or_else(|| err(line_no, "sample line without a value"))?;
+                    (name, String::new(), value)
+                }
+            };
+            if !valid_metric_name(name) {
+                return Err(err(line_no, &format!("invalid metric name {name:?}")));
+            }
+            let value: f64 = raw_value
+                .parse()
+                .ok()
+                .filter(|v: &f64| v.is_finite())
+                .ok_or_else(|| err(line_no, &format!("invalid sample value {raw_value:?}")))?;
+            let sample = TextSample {
+                labels,
+                raw_value: raw_value.to_string(),
+                value,
+            };
+            if let Some((pname, help, kind)) = pending.take() {
+                let kind =
+                    kind.ok_or_else(|| err(line_no, &format!("HELP {pname} has no TYPE line")))?;
+                if pname != name {
+                    return Err(err(
+                        line_no,
+                        &format!("sample {name} under headers for {pname}"),
+                    ));
+                }
+                families.push(TextFamily {
+                    name: name.to_string(),
+                    meta: Some((help, kind)),
+                    samples: vec![sample],
+                });
+            } else if let Some(family) = families.last_mut().filter(|f| f.name == name) {
+                family.samples.push(sample);
+            } else {
+                families.push(TextFamily {
+                    name: name.to_string(),
+                    meta: None,
+                    samples: vec![sample],
+                });
+            }
+        }
+        if let Some((name, _, _)) = pending {
+            let line = text.lines().count();
+            return Err(err(line, &format!("family {name} has no samples")));
+        }
+        Ok(Exposition { families })
+    }
+
+    /// Re-renders the exposition. For any text accepted by
+    /// [`Exposition::parse`] this reproduces the input exactly.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        for family in &self.families {
+            if let Some((help, kind)) = &family.meta {
+                let _ = writeln!(out, "# HELP {} {help}", family.name);
+                let _ = writeln!(out, "# TYPE {} {kind}", family.name);
+            }
+            for sample in &family.samples {
+                let _ = writeln!(out, "{}{} {}", family.name, sample.labels, sample.raw_value);
+            }
+        }
+        out
+    }
+
+    /// The named family, if present.
+    pub fn family(&self, name: &str) -> Option<&TextFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// The first sample value of the named family — the common case for
+    /// unlabeled counters and gauges.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.family(name)?.samples.first().map(|s| s.value)
+    }
+
+    /// The value of the sample whose label block contains `key="label"`
+    /// in the named family (quantile and per-peer lookups).
+    pub fn labeled(&self, name: &str, key: &str, label: &str) -> Option<f64> {
+        self.family(name)?
+            .samples
+            .iter()
+            .find(|s| s.label(key) == Some(label))
+            .map(|s| s.value)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +704,66 @@ occache_request_seconds{quantile=\"0.99\"} 1.048576
 occache_request_seconds_count 10
 ";
         assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn parser_round_trips_a_full_exposition() {
+        let mut reg = Registry::new();
+        reg.counter("occache_requests_total", "Requests accepted.", 3)
+            .gauge_seconds("occache_uptime_seconds", "Seconds since start.", 6.5)
+            .bare("occache_workers_busy", 1)
+            .labeled_gauge(
+                "occache_peer_state",
+                "Per-peer breaker state.",
+                "peer",
+                [("127.0.0.1:7801".to_string(), 2)],
+            )
+            .summary(
+                "occache_request_seconds",
+                "Latency quantiles.",
+                [("0.5".to_string(), 0.001024), ("0.99".to_string(), 1.5)],
+            )
+            .bare("occache_request_seconds_count", 10);
+        let text = reg.render_prometheus();
+        let parsed = Exposition::parse(&text).expect("render output must parse");
+        assert_eq!(parsed.render(), text, "lossless round trip");
+        assert_eq!(parsed.value("occache_requests_total"), Some(3.0));
+        assert_eq!(parsed.value("occache_uptime_seconds"), Some(6.5));
+        assert_eq!(
+            parsed.labeled("occache_peer_state", "peer", "127.0.0.1:7801"),
+            Some(2.0)
+        );
+        assert_eq!(
+            parsed.labeled("occache_request_seconds", "quantile", "0.99"),
+            Some(1.5)
+        );
+        assert_eq!(parsed.value("occache_request_seconds_count"), Some(10.0));
+        assert_eq!(parsed.value("no_such_family"), None);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_expositions_by_line() {
+        let cases: &[(&str, usize)] = &[
+            ("occache_x\n", 1),                                       // no value
+            ("occache_x nan\n", 1),                                   // non-finite
+            ("occache_x 1", 1),                                       // torn: no newline
+            ("# HELP occache_x help\noccache_x 1\n", 2),              // HELP without TYPE
+            ("# HELP occache_x help\n# TYPE occache_y counter\n", 2), // name mismatch
+            ("# TYPE occache_x counter\noccache_x 1\n", 1),           // TYPE without HELP
+            ("# HELP occache_x h\n# TYPE occache_x counter\n", 2),    // no samples
+            ("# bogus comment\n", 1),
+            ("occache_x{peer=unquoted} 1\n", 1),
+            ("occache_x{peer=\"a\" 1\n", 1),
+            ("1bad_name 2\n", 1),
+        ];
+        for (text, line) in cases {
+            let e = Exposition::parse(text).expect_err(text);
+            assert_eq!(e.line, *line, "{text:?}: {e}");
+        }
+        assert!(Exposition::parse("")
+            .expect("empty is valid")
+            .families
+            .is_empty());
     }
 
     #[test]

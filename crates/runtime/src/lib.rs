@@ -31,6 +31,10 @@
 //!   checksummed lines) and the read-side scan; the write-side
 //!   orchestration (locking, compaction, resume) stays in
 //!   `occache-experiments::checkpoint`.
+//! * [`progress`] — the live progress feed
+//!   (`results/.checkpoint/PROGRESS.json`): an atomically replaced,
+//!   checksummed snapshot of the running sweep phase, written by the
+//!   supervised execution path and tailed by `occache-top`.
 //! * [`interrupt`] — cooperative SIGINT/SIGTERM handling shared by the
 //!   batch bins and the server's accept loop.
 //! * [`fmt`] — the shortest-round-trip f64 rendering convention shared
@@ -46,4 +50,5 @@ pub mod instrument;
 pub mod interrupt;
 pub mod journal;
 pub mod keys;
+pub mod progress;
 pub mod queue;

@@ -1,0 +1,105 @@
+//! Property: every exposition the instrument [`Registry`] can render is
+//! accepted by the strict text parser, and re-rendering the parsed form
+//! reproduces the input byte for byte. This is the contract that lets
+//! `occache-top` and the CI gates read `/metrics` through
+//! [`Exposition::parse`] instead of ad-hoc greps: if the renderer and
+//! the parser ever drift, this test fails before a dashboard misreads a
+//! scrape.
+
+use occache_runtime::instrument::{Exposition, Registry};
+use proptest::prelude::*;
+
+/// One randomly chosen family to add to a registry. The fields are raw
+/// draws; `apply` maps them onto one of the sink builder methods.
+#[derive(Debug, Clone, Copy)]
+struct FamilySpec {
+    kind: u8,
+    name_idx: u64,
+    int_value: u64,
+    float_bits: u64,
+    labels: u8,
+}
+
+impl FamilySpec {
+    fn name(&self) -> String {
+        format!("occache_prop_{}_total", self.name_idx % 32)
+    }
+
+    /// A finite float derived from the draw (quantile-scale magnitudes).
+    fn float(&self) -> f64 {
+        (self.float_bits % 1_000_000_007) as f64 / 4096.0
+    }
+
+    fn apply(&self, reg: &mut Registry) {
+        let name = self.name();
+        let labels = usize::from(self.labels % 3) + 1;
+        match self.kind % 7 {
+            0 => {
+                reg.counter(&name, "A counter family.", self.int_value);
+            }
+            1 => {
+                reg.gauge(&name, "A gauge family.", self.int_value);
+            }
+            2 => {
+                reg.gauge_seconds(&name, "Seconds since something.", self.float());
+            }
+            3 => {
+                reg.bare(&name, u128::from(self.int_value));
+            }
+            4 => {
+                reg.labeled_gauge(
+                    &name,
+                    "Per-peer state.",
+                    "peer",
+                    (0..labels).map(|i| (format!("127.0.0.1:78{i:02}"), self.int_value + i as u64)),
+                );
+            }
+            5 => {
+                reg.labeled_counter_seconds(
+                    &name,
+                    "Cumulative time per worker.",
+                    "worker",
+                    (0..labels).map(|i| (i.to_string(), self.float() + i as f64)),
+                );
+            }
+            _ => {
+                reg.summary(
+                    &name,
+                    "Latency quantiles.",
+                    [("0.5", 1.0), ("0.99", 2.0)]
+                        .map(|(q, scale)| (q.to_string(), self.float() * scale)),
+                );
+                reg.bare(&format!("{name}_count"), u128::from(self.int_value));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_registry_render_round_trips(
+        count in 0usize..8,
+        specs in collection::vec(
+            (0u8..=255, 0u64..1_000_000, 0u64..u64::MAX / 2, 0u64..u64::MAX / 2, 0u8..=255)
+                .prop_map(|(kind, name_idx, int_value, float_bits, labels)| FamilySpec {
+                    kind,
+                    name_idx,
+                    int_value,
+                    float_bits,
+                    labels,
+                }),
+            8,
+        ),
+    ) {
+        let mut reg = Registry::new();
+        for spec in &specs[..count] {
+            spec.apply(&mut reg);
+        }
+        let text = reg.render_prometheus();
+        let parsed = Exposition::parse(&text)
+            .unwrap_or_else(|e| panic!("render output rejected: {e}\n{text}"));
+        prop_assert_eq!(parsed.render(), text);
+    }
+}

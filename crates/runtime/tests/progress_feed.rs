@@ -1,0 +1,70 @@
+//! Property: the progress-feed reader never blocks, panics or
+//! mis-attributes counts, whatever bytes it finds. For randomly drawn
+//! snapshots, every byte-truncated prefix of the on-disk record — and
+//! every single-byte corruption — must read as "no snapshot", never as
+//! a snapshot with different counts; the intact record must round-trip
+//! exactly.
+
+use occache_runtime::progress::{parse_progress, read_progress, ProgressSnapshot};
+use proptest::prelude::*;
+
+fn snapshot(draw: (u64, u64, u64, u64, u64, u8)) -> ProgressSnapshot {
+    let (total, computed, restored, failed, elapsed, flags) = draw;
+    ProgressSnapshot {
+        artifact: format!("artifact_{}", total % 13),
+        total: total as usize,
+        computed: computed as usize,
+        restored: restored as usize,
+        failed: failed as usize,
+        timed_out: (failed / 2) as usize,
+        quarantined: (restored % 3) as usize,
+        retries: (computed % 5) as usize,
+        elapsed_ms: u128::from(elapsed),
+        sealed: flags & 1 != 0,
+        interrupted: flags & 2 != 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_and_corrupted_records_never_misread(
+        draw in (0u64..10_000, 0u64..10_000, 0u64..10_000, 0u64..100, 0u64..1 << 40, 0u8..4),
+        flip in 0usize..4096,
+    ) {
+        let snap = snapshot(draw);
+        let line = snap.render();
+        // The intact record round-trips exactly.
+        prop_assert_eq!(parse_progress(&line), Some(snap.clone()));
+        // Every prefix cut inside the record reads as nothing. (The cut
+        // dropping only the trailing newline still parses — the reader
+        // trims — so the loop stops before it.)
+        for cut in 0..line.len() - 1 {
+            prop_assert_eq!(parse_progress(&line[..cut]), None);
+        }
+        // A flipped payload byte reads as nothing (checksum) — or, if
+        // the flip hits redundant syntax, still as the same snapshot,
+        // never different counts.
+        let pos = flip % line.len();
+        let mut bytes = line.clone().into_bytes();
+        bytes[pos] = bytes[pos].wrapping_add(1);
+        if let Some(reparsed) = parse_progress(&String::from_utf8_lossy(&bytes)) {
+            prop_assert_eq!(reparsed, snap);
+        }
+    }
+}
+
+#[test]
+fn reader_tolerates_missing_and_garbage_files() {
+    let dir = std::env::temp_dir().join(format!("occache-progress-prop-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join("PROGRESS.json");
+    assert_eq!(read_progress(&path), None, "missing file");
+    std::fs::write(&path, b"{\"not\": \"a progress record\"}\n").expect("write foreign JSON");
+    assert_eq!(read_progress(&path), None, "foreign JSON");
+    std::fs::write(&path, [0xff, 0xfe, 0x00, 0x41]).expect("write garbage");
+    assert_eq!(read_progress(&path), None, "binary garbage");
+    std::fs::remove_dir_all(&dir).expect("remove scratch dir");
+}

@@ -496,16 +496,21 @@ impl Router {
             .iter()
             .filter(|a| self.peers.available(a))
             .count();
+        // `journal_replayed` is always 0 here — the router is stateless —
+        // but stays in the schema so dashboards read one shape for both
+        // front-ends.
         format!(
             "{{\"service\":\"occache-route\",\"peers\":{},\"peers_up\":{up},\
              \"forwarded\":{},\"rerouted\":{},\"unroutable\":{},\
-             \"peer_down_total\":{},\"uptime_seconds\":{:?}}}",
+             \"peer_down_total\":{},\"uptime_seconds\":{:?},\"uptime_s\":{},\
+             \"journal_replayed\":0}}",
             self.addrs.len(),
             self.counters.forwarded.get(),
             self.counters.rerouted.get(),
             self.counters.unroutable.get(),
             self.peers.down_total(),
             self.started.elapsed().as_secs_f64(),
+            self.started.elapsed().as_secs(),
         )
     }
 

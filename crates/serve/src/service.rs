@@ -211,6 +211,7 @@ pub struct Service {
     warm_dir: Option<String>,
     ready: AtomicBool,
     draining: AtomicBool,
+    journal_replayed: usize,
 }
 
 impl Service {
@@ -224,11 +225,13 @@ impl Service {
             policy.fault = plan;
         }
         let mut persist = None;
+        let mut journal_replayed = 0;
         let cache = ResultCache::new(config.cache_capacity);
         if let Some(dir) = &config.journal_dir {
             match WriteBehind::open(std::path::Path::new(dir)) {
                 Ok((wb, recovered)) => {
                     let n = recovered.len();
+                    journal_replayed = n;
                     for (key, entry) in recovered {
                         cache.insert(key, entry);
                     }
@@ -269,6 +272,7 @@ impl Service {
             warm_dir: config.warm_start.clone(),
             ready: AtomicBool::new(false),
             draining: AtomicBool::new(false),
+            journal_replayed,
         }
     }
 
@@ -440,11 +444,23 @@ impl Service {
 
     fn status_json(&self) -> String {
         let g = self.gauges();
+        // Peer summary: how many cluster peers this node knows and how
+        // many its breakers currently consider routable. A single node
+        // reports 0/0.
+        let (peers, peers_up) = match &self.peers {
+            Some(set) => {
+                let addrs = set.addrs();
+                let up = addrs.iter().filter(|a| set.available(a)).count();
+                (addrs.len(), up)
+            }
+            None => (0, 0),
+        };
         format!(
             "{{\"service\":\"occache-serve\",\"queue_depth\":{},\"workers\":{},\
              \"workers_busy\":{},\"cache_entries\":{},\"cache_hits\":{},\
-             \"cache_misses\":{},\"uptime_seconds\":{:?},\"ready\":{},\
-             \"draining\":{},\"retry_after\":{},\"quarantined\":{}}}",
+             \"cache_misses\":{},\"uptime_seconds\":{:?},\"uptime_s\":{},\"ready\":{},\
+             \"draining\":{},\"retry_after\":{},\"quarantined\":{},\
+             \"journal_replayed\":{},\"peers\":{},\"peers_up\":{}}}",
             g.queue_depth,
             g.workers,
             g.workers_busy,
@@ -452,10 +468,14 @@ impl Service {
             g.cache_hits,
             g.cache_misses,
             g.uptime_seconds,
+            self.started.elapsed().as_secs(),
             g.ready,
             g.draining,
             g.retry_after,
             self.breaker.tripped(),
+            self.journal_replayed,
+            peers,
+            peers_up,
         )
     }
 

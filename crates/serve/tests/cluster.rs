@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use occache_core::CacheConfig;
 use occache_serve::json::{ErrorBody, Json};
 use occache_serve::peer::http_call;
-use occache_serve::router::{ranked, route_key};
+use occache_serve::router::{ranked, route_key, RouterConfig, RouterServer};
 use occache_serve::service::{Server, ServiceConfig};
 
 const MODEL: &str = "pdp11";
@@ -284,6 +284,18 @@ fn restarted_node_rejoins_with_cache_replayed() {
         replayed >= owned_by_b as u64,
         "rejoined node replayed {replayed} entries, owns {owned_by_b}"
     );
+    // The replay count itself is a first-class status field, and the
+    // clustered node reports its peer summary.
+    assert_eq!(
+        doc.get("journal_replayed").and_then(Json::as_u64),
+        Some(replayed),
+        "{status}"
+    );
+    assert_eq!(
+        doc.get("peers").and_then(Json::as_u64),
+        Some(addrs.len() as u64),
+        "{status}"
+    );
 
     for config in &points {
         resilient_simulate(config, &addrs);
@@ -304,5 +316,41 @@ fn restarted_node_rejoins_with_cache_replayed() {
 
     node_a.stop().expect("node a stop");
     node_b.stop().expect("node b stop");
+    let _ = std::fs::remove_dir_all(&temp);
+}
+
+#[test]
+fn router_status_reports_uptime_and_peer_summary() {
+    let ports = free_ports(1);
+    let addr = format!("127.0.0.1:{}", ports[0]);
+    let temp = std::env::temp_dir().join(format!("occache-route-status-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&temp);
+    let peers = vec![addr.clone()];
+    let node = Server::start(&node_config(&addr, &peers, &temp.join("j"))).expect("node");
+    await_healthy(&addr);
+    let router = RouterServer::start(&RouterConfig::for_tests(peers)).expect("router");
+    let raddr = router.addr().to_string();
+
+    let (status, body) = http_call(&raddr, "GET", "/v1/status", b"", CALL_TIMEOUT)
+        .map(|(s, b)| (s, String::from_utf8_lossy(&b).into_owned()))
+        .expect("router status");
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).expect("status json");
+    assert_eq!(
+        doc.get("service").and_then(Json::as_str),
+        Some("occache-route"),
+        "{body}"
+    );
+    // The same operational summary shape as occache-serve: integer
+    // uptime, a (vacuous) replay count, and the peer roster.
+    assert!(
+        doc.get("uptime_s").and_then(Json::as_u64).is_some(),
+        "{body}"
+    );
+    assert_eq!(doc.get("journal_replayed").and_then(Json::as_u64), Some(0));
+    assert_eq!(doc.get("peers").and_then(Json::as_u64), Some(1), "{body}");
+
+    router.stop().expect("router stop");
+    node.stop().expect("node stop");
     let _ = std::fs::remove_dir_all(&temp);
 }

@@ -196,6 +196,16 @@ fn routing_and_input_validation() {
     assert_eq!(status, 200);
     let stat = json(&stat);
     assert_eq!(stat.get("workers").and_then(Json::as_u64), Some(2));
+    // The operational summary occache-top reads: integer uptime, replay
+    // count and peer summary are always present (a single node without a
+    // journal reports zeros).
+    assert!(
+        stat.get("uptime_s").and_then(Json::as_u64).is_some(),
+        "{stat:?}"
+    );
+    assert_eq!(stat.get("journal_replayed").and_then(Json::as_u64), Some(0));
+    assert_eq!(stat.get("peers").and_then(Json::as_u64), Some(0));
+    assert_eq!(stat.get("peers_up").and_then(Json::as_u64), Some(0));
 
     let (status, metrics) = http(&addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
@@ -399,6 +409,14 @@ fn restart_serves_journaled_points_bit_identically() {
         b.get("key").and_then(Json::as_str)
     );
     assert_eq!(server.service().cache().hits(), 1);
+    // The restarted node owns up to the replay in its status summary.
+    let (status, stat) = http(&server.addr(), "GET", "/v1/status", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        json(&stat).get("journal_replayed").and_then(Json::as_u64),
+        Some(1),
+        "{stat}"
+    );
     server.stop().expect("clean shutdown");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,15 @@
+//! `occache-top`: live operations dashboard and run browser for the
+//! occache workspace.
+//!
+//! The crate is split the same way the dashboards it replaces were
+//! not: [`sources`] is the pure data layer (read the progress feed,
+//! the run report, node `/v1/status` + `/metrics`, checkpoint
+//! journals and committed benchmarks into one [`sources::Frame`]),
+//! and [`render`] is a pure `Frame -> String` function. Neither side
+//! touches a terminal, so both are testable headlessly; the binary
+//! (`occache-top`) only owns flags, the tick loop and the alternate
+//! screen. Std-only, like the rest of the workspace: the TUI is
+//! hand-rolled ANSI, not a widget library.
+
+pub mod render;
+pub mod sources;

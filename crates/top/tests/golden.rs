@@ -1,0 +1,175 @@
+//! Golden-frame regression: a synthetic [`Frame`] exercising every
+//! pane renders to byte-identical committed fixtures, in both plain
+//! and ANSI modes.
+//!
+//! The fixtures were produced by this same test (run with
+//! `OCCACHE_GOLDEN_REGEN=1`), so any renderer change that moves a
+//! single byte fails here first — which is the property the binary's
+//! diff-free full-redraw loop and the CI `--once --plain` gate both
+//! depend on. The frame is synthetic (fixed counts, fixed uptimes) so
+//! the output carries no wall-clock.
+
+use std::path::{Path, PathBuf};
+
+use occache_runtime::progress::ProgressSnapshot;
+use occache_top::render::render;
+use occache_top::sources::{
+    ArtifactEntry, BenchSeries, Frame, NodeOps, PhaseRow, ReportSummary, RunEntry,
+};
+
+const WIDTH: usize = 100;
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join(name)
+}
+
+/// A frame that lights up every pane: a live phase with ETA, a
+/// mid-flight report, one healthy node with peers in all three breaker
+/// states plus one dead node, a clean and a torn journal, artifacts,
+/// and two bench series.
+fn reference_frame() -> Frame {
+    Frame {
+        results_dir: "results/".to_string(),
+        progress: Some(ProgressSnapshot {
+            artifact: "fig6".to_string(),
+            total: 1024,
+            computed: 500,
+            restored: 12,
+            failed: 3,
+            timed_out: 2,
+            quarantined: 1,
+            retries: 4,
+            elapsed_ms: 8_200,
+            sealed: false,
+            interrupted: false,
+        }),
+        report: Some(ReportSummary {
+            in_progress: true,
+            interrupted: false,
+            phases: vec![
+                PhaseRow {
+                    artifact: "table7".to_string(),
+                    computed: 120,
+                    restored: 0,
+                    failed: 0,
+                    timed_out: 0,
+                    quarantined: 0,
+                    retries: 0,
+                    wall_ms: 4_100,
+                },
+                PhaseRow {
+                    artifact: "fig5".to_string(),
+                    computed: 88,
+                    restored: 40,
+                    failed: 2,
+                    timed_out: 1,
+                    quarantined: 1,
+                    retries: 3,
+                    wall_ms: 65_000,
+                },
+            ],
+        }),
+        nodes: vec![
+            NodeOps {
+                addr: "127.0.0.1:7801".to_string(),
+                reachable: true,
+                service: "occache-serve".to_string(),
+                uptime_s: Some(42),
+                journal_replayed: Some(3),
+                queue_depth: Some(2.0),
+                shed_interactive: Some(0.0),
+                shed_bulk: Some(5.0),
+                p50_s: Some(0.004_1),
+                p99_s: Some(0.017_9),
+                peers: vec![
+                    ("127.0.0.1:7801".to_string(), 2),
+                    ("127.0.0.1:7802".to_string(), 1),
+                    ("127.0.0.1:7803".to_string(), 0),
+                ],
+            },
+            NodeOps {
+                addr: "127.0.0.1:7804".to_string(),
+                reachable: false,
+                ..NodeOps::default()
+            },
+        ],
+        runs: vec![
+            RunEntry {
+                artifact: "fig6".to_string(),
+                points: 512,
+                fails: 1,
+                bad_lines: 0,
+                torn_tail_bytes: 0,
+                readable: true,
+            },
+            RunEntry {
+                artifact: "table7".to_string(),
+                points: 120,
+                fails: 0,
+                bad_lines: 2,
+                torn_tail_bytes: 13,
+                readable: true,
+            },
+        ],
+        artifacts: vec![
+            ArtifactEntry {
+                name: "RUN_REPORT.json".to_string(),
+                bytes: 800,
+            },
+            ArtifactEntry {
+                name: "table7.txt".to_string(),
+                bytes: 3_200,
+            },
+        ],
+        bench: vec![
+            BenchSeries {
+                name: "sweep Mref/s".to_string(),
+                unit: "M".to_string(),
+                values: vec![25.0, 26.0, 24.0, 150.0, 207.7],
+            },
+            BenchSeries {
+                name: "serve p99".to_string(),
+                unit: "ms".to_string(),
+                values: vec![18.0, 13.6],
+            },
+        ],
+    }
+}
+
+fn check_or_regen(name: &str, rendered: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("OCCACHE_GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, rendered).expect("write golden fixture");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{name} missing ({e}); regenerate with OCCACHE_GOLDEN_REGEN=1"));
+    assert_eq!(
+        rendered, committed,
+        "{name} diverged from the committed golden; if the change is \
+         intentional, regenerate with OCCACHE_GOLDEN_REGEN=1"
+    );
+}
+
+#[test]
+fn plain_frame_matches_committed_golden() {
+    check_or_regen("golden_plain.txt", &render(&reference_frame(), WIDTH, true));
+}
+
+#[test]
+fn ansi_frame_matches_committed_golden() {
+    check_or_regen("golden_ansi.txt", &render(&reference_frame(), WIDTH, false));
+}
+
+#[test]
+fn render_is_deterministic_across_calls() {
+    let frame = reference_frame();
+    assert_eq!(
+        render(&frame, WIDTH, false),
+        render(&frame, WIDTH, false),
+        "renderer must be a pure function of the frame"
+    );
+}
