@@ -2,7 +2,10 @@
 //! simulation over materialized traces, the sliced one-pass sweep over
 //! the same materialized traces, and the sliced sweep fed by streaming
 //! generation — and record wall-clock and throughput in
-//! `BENCH_sweep.json`.
+//! `BENCH_sweep.json`. A fourth pass re-runs the grid under FIFO
+//! replacement, timing the one-pass FIFO engine against per-config
+//! direct simulation, so the trajectory gate covers every shipped
+//! engine, not just the LRU fast path.
 //!
 //! All paths simulate identical work and are checked here to produce
 //! bit-identical ratios before the timing is trusted; the speedup and
@@ -100,6 +103,46 @@ fn main() {
         );
     }
 
+    // The same grid down the FIFO axis: per-config direct simulation vs
+    // the one-pass FIFO slice engine, bit-identity asserted before the
+    // timing is trusted (exactly as above for LRU).
+    let fifo_configs: Vec<CacheConfig> = configs
+        .iter()
+        .map(|c| {
+            CacheConfig::builder()
+                .net_size(c.net_size())
+                .block_size(c.block_size())
+                .sub_block_size(c.sub_block_size())
+                .word_size(c.word_size())
+                .replacement(occache_core::ReplacementPolicy::Fifo)
+                .build()
+                .expect("FIFO twin of a Table-1 geometry is valid")
+        })
+        .collect();
+    let t2 = Instant::now();
+    let fifo_direct = points(evaluate_results_with(
+        &fifo_configs,
+        &traces,
+        0,
+        evaluate_point,
+    ));
+    let fifo_direct_s = t2.elapsed().as_secs_f64();
+    let mut fifo_sliced = fifo_direct.clone();
+    let mut fifo_sim_s = f64::MAX;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        fifo_sliced = points(evaluate_results_sliced(&fifo_configs, &traces, 0));
+        fifo_sim_s = fifo_sim_s.min(t.elapsed().as_secs_f64());
+    }
+    for (d, s) in fifo_direct.iter().zip(&fifo_sliced) {
+        assert_eq!(d.config, s.config);
+        assert!(
+            d.miss_ratio == s.miss_ratio && d.traffic_ratio == s.traffic_ratio,
+            "FIFO sliced sweep diverged from direct at {}: timing would be meaningless",
+            d.config
+        );
+    }
+
     let threads = slice_workers(plan_units(&configs).len() * traces.len());
     let total_refs = (configs.len() * traces.len() * refs_per_trace) as f64;
     let json = format!(
@@ -108,7 +151,9 @@ fn main() {
          \"threads\": {},\n  \"streamed\": true,\n  \
          \"direct_wall_s\": {:.3},\n  \"sliced_wall_s\": {:.3},\n  \
          \"gen_wall_s\": {:.3},\n  \"sim_wall_s\": {:.3},\n  \"speedup\": {:.2},\n  \
-         \"effective_refs_per_sec\": {:.0}\n}}\n",
+         \"effective_refs_per_sec\": {:.0},\n  \
+         \"fifo_direct_wall_s\": {:.3},\n  \"fifo_sim_wall_s\": {:.3},\n  \
+         \"fifo_vs_direct\": {:.2},\n  \"fifo_refs_per_sec\": {:.0}\n}}\n",
         configs.len(),
         traces.len(),
         refs_per_trace,
@@ -119,12 +164,18 @@ fn main() {
         fused_s,
         direct_s / fused_s,
         total_refs / fused_s,
+        fifo_direct_s,
+        fifo_sim_s,
+        fifo_direct_s / fifo_sim_s,
+        total_refs / fifo_sim_s,
     );
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     print!("{json}");
     eprintln!(
         "perf smoke: direct {direct_s:.3}s, sliced {sliced_s:.3}s, \
-         streamed {fused_s:.3}s best-of-{REPS} (gen alone {gen_s:.3}s, {:.2}x)",
-        direct_s / fused_s
+         streamed {fused_s:.3}s best-of-{REPS} (gen alone {gen_s:.3}s, {:.2}x); \
+         fifo direct {fifo_direct_s:.3}s vs engine {fifo_sim_s:.3}s ({:.2}x)",
+        direct_s / fused_s,
+        fifo_direct_s / fifo_sim_s,
     );
 }

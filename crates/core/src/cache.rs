@@ -66,7 +66,7 @@ pub struct SubBlockCache {
 impl SubBlockCache {
     /// Creates a cache with a fixed default seed for Random replacement.
     pub fn new(config: CacheConfig) -> Self {
-        SubBlockCache::with_seed(config, 0x0cac_4e5e)
+        SubBlockCache::with_seed(config, crate::DEFAULT_RANDOM_SEED)
     }
 
     /// Creates a cache seeding the Random-replacement generator with `seed`.

@@ -21,9 +21,11 @@
 //! * [`BusModel`] — the §4.3 `a + b·w` bus-cost models and scaled traffic
 //!   ratios (nibble-mode memories, transactional busses),
 //! * [`LruStackAnalyzer`] — single-pass Mattson stack-distance analysis,
-//! * [`AllSizesLruEngine`] / [`simulate_many`] — a one-pass engine that
-//!   produces bit-identical metrics for every cache size of an LRU,
-//!   demand-fetch design slice ([`multisim`]),
+//! * [`SliceEngine`] / [`simulate_many`] — one-pass engines
+//!   ([`AllSizesLruEngine`], [`AllSizesFifoEngine`],
+//!   [`AllSizesRandomEngine`]) that produce bit-identical metrics for
+//!   every cache size of a demand-fetch design slice, one engine per
+//!   replacement policy ([`multisim`]),
 //! * [`SplitCache`] — the split I/D extension flagged as further work.
 //!
 //! # Example: the paper's miss/traffic trade-off
@@ -76,8 +78,9 @@ pub use contention::SharedBus;
 pub use ibuffer::InstructionBuffer;
 pub use metrics::Metrics;
 pub use multisim::{
-    engine_supports, simulate_many, simulate_many_pair, AllSizesLruEngine, MultiSimError,
-    MAX_MULTISIM_CONFIGS,
+    engine_for, engine_for_seeded, engine_supports, simulate_many, simulate_many_pair,
+    simulate_many_seeded, AllSizesFifoEngine, AllSizesLruEngine, AllSizesRandomEngine, EngineKind,
+    MultiSimError, SliceEngine, ENGINE_CHUNK, MAX_MULTISIM_CONFIGS,
 };
 pub use split::SplitCache;
 pub use stackdist::{LruStackAnalyzer, SetAssocLruAnalyzer};
@@ -107,7 +110,21 @@ pub fn simulate<I>(config: CacheConfig, refs: I, warmup: usize) -> Metrics
 where
     I: IntoIterator<Item = occache_trace::MemRef>,
 {
-    let mut cache = SubBlockCache::new(config);
+    simulate_seeded(config, refs, warmup, DEFAULT_RANDOM_SEED)
+}
+
+/// The seed [`SubBlockCache::new`], [`simulate`] and the one-pass
+/// engines all use for Random replacement, so every default-seeded path
+/// produces the same (deterministic) victim choices.
+pub const DEFAULT_RANDOM_SEED: u64 = 0x0cac_4e5e;
+
+/// [`simulate`] with an explicit seed for the Random-replacement
+/// generator (other policies ignore it).
+pub fn simulate_seeded<I>(config: CacheConfig, refs: I, warmup: usize, seed: u64) -> Metrics
+where
+    I: IntoIterator<Item = occache_trace::MemRef>,
+{
+    let mut cache = SubBlockCache::with_seed(config, seed);
     let mut iter = refs.into_iter();
     for r in iter.by_ref().take(warmup) {
         cache.access(r.address(), r.kind());

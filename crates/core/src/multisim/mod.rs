@@ -1,92 +1,81 @@
-//! One-pass multi-configuration LRU simulation.
+//! One-pass multi-configuration simulation, policy-generic.
 //!
-//! The paper chose LRU partly because "LRU permits more efficient
-//! simulation": with LRU replacement and bit-selection set mapping, a
-//! set holds exactly the `A` most-recently-referenced distinct blocks of
-//! its congruence class, so a *single* pass over a trace can decide
-//! hits and misses for many cache sizes at once (Mattson's stack
-//! algorithms; [`LruStackAnalyzer`](crate::LruStackAnalyzer) is the
-//! miss-count-only sketch of the idea).
+//! A *slice* is a set of configurations sharing demand fetch,
+//! write-through accounting, power-of-two set counts and one replacement
+//! policy — net size, block size, sub-block size, word size and
+//! associativity may all differ per configuration. For such a slice a
+//! single pass over a trace yields every configuration's metrics,
+//! bit-identical to running [`simulate`](crate::simulate) once per
+//! configuration. Three engines implement the pass, one per policy the
+//! direct simulator knows:
 //!
-//! [`AllSizesLruEngine`] is the full-fidelity version: for a *slice* of
-//! configurations — LRU replacement, demand fetch, write-through
-//! accounting; net size, block size, sub-block size, word size and
-//! associativity may all differ per configuration — it presents each
-//! reference to every configuration in one pass. Configurations with
-//! equal block size, set count and associativity make identical
-//! residency and victim decisions, so they share one *residency class*;
-//! the engine keeps, per class and per set, the `A` most-recently-used
-//! resident blocks in recency order (the LRU inclusion property says
-//! those are exactly the residents). A reference then costs, per class,
-//! one probe of at most `A` block numbers plus a prefix shift to restore
-//! recency order — `O(Σ A_i)` for the whole slice, independent of trace
-//! length and of how many blocks the trace has ever touched. Because a
-//! class owns its block shift, an entire sweep grid (every block size ×
-//! net size × sub-block size) can ride one pass over the trace: for the
-//! paper's 4-way Table 7 grids that is a few dozen word compares per
-//! reference covering all fifty-odd configurations, far cheaper than
-//! maintaining a merged recency stack of every once-referenced block
-//! and scanning it for classmate ranks — and six passes fewer than
-//! slicing the grid by block size.
+//! * [`AllSizesLruEngine`] (`lru` module) — the Mattson-style
+//!   stack-simulation engine, permutation-packed recency per set.
+//! * [`AllSizesFifoEngine`] (`fifo` module) — fill-order queues; FIFO
+//!   has no inclusion property across associativities (CIPARSim's
+//!   intersection property degenerates to exact class sharing), but the
+//!   residency-class structure still collapses a whole grid into one
+//!   pass.
+//! * [`AllSizesRandomEngine`] (`random` module) — deterministic seeded
+//!   replication of the direct simulator's per-cache RNG, one generator
+//!   per residency class.
+//!
+//! All three sit behind the object-safe [`SliceEngine`] trait, and
+//! [`ENGINE_REGISTRY`] maps a [`EngineKind`] to its builder — the seam
+//! where future organisations (victim caches, way prediction) plug in
+//! without touching the planner. [`simulate_many`] /
+//! [`simulate_many_pair`] pick the engine from the slice's policy, so
+//! callers never name a concrete engine type.
+//!
+//! The machinery shared by the engines lives here: the deduplicated
+//! **residency class** ([`ClassState`] — configurations with equal block
+//! size, set count and associativity make identical residency and
+//! victim decisions under LRU *and* FIFO, and share one RNG draw
+//! sequence under Random, so they share block-level state), the
+//! shape-specialised reference loops ([`SpecCtx`], const-generic over
+//! way count and a `FIFO` flag so hit promotion compiles out), and the
+//! flat per-configuration counter bank from which full [`Metrics`] are
+//! reconstructed exactly (under demand fetch + write-through every
+//! derived counter is a product of the counted/write misses and
+//! eviction counts).
 //!
 //! Sub-block bitmasks are kept **per configuration** for each resident
 //! way, because evictions (which clear them) happen at different times
 //! for different cache sizes. Under demand fetch a sub-block is valid
-//! exactly when it has been referenced (the fetch *is* a reference, and
-//! nothing else fills), so one mask word per (way, configuration)
-//! serves as both the valid and the referenced set — the policies that
-//! split the two (prefetch fills unreferenced sub-blocks) are exactly
-//! the ones the engine rejects. A set is laid out as the `A` block
-//! numbers in recency order followed by `A` fixed-position mask rows of
-//! `m` member words each, with a packed per-set **permutation word**
-//! (sixteen 4-bit fields, capping associativity at 16) mapping recency
-//! rank to physical mask row. A recency promote therefore rotates only
-//! the block words and the permutation's 4-bit fields; the mask rows —
-//! the bulk of the set at several members — never move, and a hit
-//! touches exactly one of them. Empty ways hold a sentinel block number
-//! (`u64::MAX`, which no real block can equal once blocks span at least
-//! two bytes), so sets are always structurally full: the probe compares
-//! every way unconditionally and the insert path is one unified
-//! shift-and-fill, with eviction statistics gated on the victim being
-//! real. The specialised runners lean on two measured facts: hits on
-//! the two most-recent ways dominate (straight-line reuse plus the
-//! instruction/data ping-pong), so those short-circuit before the full
-//! probe; and consecutive references chain through the same set's
-//! words, so chunks are run through two classes — and, when a second
-//! trace is available, two engines ([`simulate_many_pair`]) — with
-//! their per-reference steps interleaved to overlap the
-//! store-to-load-forwarding stalls.
+//! exactly when it has been referenced, so one mask word per (way,
+//! configuration) serves as both the valid and the referenced set.
+//! Empty ways hold a sentinel block number (`u64::MAX`, which no real
+//! block can equal once blocks span at least two bytes), so sets are
+//! always structurally full and the insert path is one unified
+//! shift-and-fill with eviction statistics gated on the victim being
+//! real.
 //!
-//! The access path itself accumulates only what demand fetch +
-//! write-through cannot derive: per-configuration counted/write misses
-//! and eviction counts, in flat arrays the per-size loops stream over
-//! branch-free. Everything else in [`Metrics`] is a product of those
-//! (one sub-block fetched per counted miss, one word written through
-//! per data write, `slots` sub-slots released per eviction) and is
-//! reconstructed exactly at read-out, so [`simulate_many`] stays
-//! bit-identical to running [`simulate`] once per configuration —
-//! including warm-start resets, write accounting and the eviction
-//! statistics. The equivalence is enforced by property tests in
-//! `tests/multisim_equiv.rs`.
-//!
-//! What the engine deliberately does **not** express (callers fall back
-//! to [`simulate`]): FIFO and Random replacement (not stack algorithms —
-//! no inclusion property), the prefetch and load-forward fetch policies
-//! (fill width depends on per-size valid bits in ways that break the
-//! shared-pass structure), copy-back write accounting (write-back bytes
-//! depend on per-size dirty state at eviction), and geometries whose set
-//! count is not a power of two (bit-selection needs one).
+//! What no engine expresses (callers fall back to [`simulate`]): the
+//! prefetch and load-forward fetch policies (fill width depends on
+//! per-size valid bits in ways that break the shared-pass structure),
+//! copy-back write accounting (write-back bytes depend on per-size
+//! dirty state at eviction), and geometries whose set count is not a
+//! power of two (bit-selection needs one). The equivalence of every
+//! engine to the direct simulator is enforced by property tests in
+//! `tests/multisim_equiv.rs` and `tests/policy_equiv.rs`.
 //!
 //! [`simulate`]: crate::simulate
-//! [`SubBlockCache`]: crate::SubBlockCache
 
 use std::error::Error;
 use std::fmt;
 
-use occache_trace::{AccessKind, Address, MemRef};
+use occache_trace::{AccessKind, MemRef};
 
 use crate::config::{CacheConfig, FetchPolicy, ReplacementPolicy, WritePolicy};
 use crate::metrics::{EngineCounters, Metrics};
+
+mod fifo;
+mod lru;
+mod random;
+
+pub use fifo::AllSizesFifoEngine;
+pub use lru::AllSizesLruEngine;
+pub use random::AllSizesRandomEngine;
 
 /// Maximum configurations one engine instance simulates per pass.
 ///
@@ -137,8 +126,69 @@ impl fmt::Display for MultiSimError {
 
 impl Error for MultiSimError {}
 
-/// Whether a single configuration is expressible on the one-pass engine
-/// (LRU + demand fetch + write-through + power-of-two set count).
+/// Which one-pass engine a slice runs on — one per replacement policy
+/// the direct simulator implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EngineKind {
+    /// The permutation-packed LRU stack engine.
+    Lru,
+    /// The fill-order-queue FIFO engine.
+    Fifo,
+    /// The seeded deterministic Random engine.
+    Random,
+}
+
+impl EngineKind {
+    /// Every engine kind, in planner dispatch order.
+    pub const ALL: [EngineKind; 3] = [EngineKind::Lru, EngineKind::Fifo, EngineKind::Random];
+
+    /// Stable lowercase name (environment knobs, progress feeds,
+    /// metrics labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Lru => "lru",
+            EngineKind::Fifo => "fifo",
+            EngineKind::Random => "random",
+        }
+    }
+
+    /// Dense index into per-kind count arrays (`ALL[k.index()] == k`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Parses a lowercase engine name as produced by
+    /// [`as_str`](EngineKind::as_str) (case-insensitive).
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        EngineKind::ALL
+            .into_iter()
+            .find(|k| s.eq_ignore_ascii_case(k.as_str()))
+    }
+
+    /// The engine that can run `config` in one pass, or `None` when only
+    /// the direct simulator can (prefetch/load-forward, copy-back,
+    /// non-power-of-two sets, >16 ways).
+    pub fn for_config(config: &CacheConfig) -> Option<EngineKind> {
+        if supports_or_reason(config).is_some() {
+            return None;
+        }
+        Some(match config.replacement() {
+            ReplacementPolicy::Lru => EngineKind::Lru,
+            ReplacementPolicy::Fifo => EngineKind::Fifo,
+            ReplacementPolicy::Random => EngineKind::Random,
+        })
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Whether a single configuration is expressible on some one-pass
+/// engine (demand fetch + write-through + power-of-two set count, any
+/// replacement policy).
 ///
 /// Configurations failing this must run on the direct simulator; see the
 /// module docs for why each exclusion exists.
@@ -147,9 +197,6 @@ pub fn engine_supports(config: &CacheConfig) -> bool {
 }
 
 fn supports_or_reason(config: &CacheConfig) -> Option<&'static str> {
-    if config.replacement() != ReplacementPolicy::Lru {
-        return Some("one-pass simulation requires LRU (FIFO/Random have no inclusion property)");
-    }
     if config.fetch() != FetchPolicy::Demand {
         return Some("one-pass simulation requires demand fetch");
     }
@@ -171,6 +218,122 @@ fn supports_or_reason(config: &CacheConfig) -> Option<&'static str> {
         );
     }
     None
+}
+
+/// One replacement policy's one-pass engine, behind an object-safe
+/// interface so planners and evaluation loops never name a concrete
+/// engine type.
+///
+/// All implementations promise the same contract the LRU engine always
+/// had: [`metrics`](SliceEngine::metrics) is bit-identical to running
+/// [`simulate`](crate::simulate) once per member configuration over the
+/// same references, [`reset_metrics`](SliceEngine::reset_metrics)
+/// zeroes counters while keeping cache (and RNG) state for warm starts,
+/// and [`run_pair`](SliceEngine::run_pair) equals two sequential
+/// [`access_run`](SliceEngine::access_run) calls — engines override it
+/// only to *schedule* the two passes better (the LRU engine interleaves
+/// them), never to change results.
+pub trait SliceEngine: Send {
+    /// Which policy family this engine simulates.
+    fn kind(&self) -> EngineKind;
+
+    /// Feeds a run of references through every member configuration.
+    fn access_run(&mut self, refs: &[MemRef]);
+
+    /// Zeroes every configuration's metrics while keeping cache state —
+    /// the warm-start discipline.
+    fn reset_metrics(&mut self);
+
+    /// Metrics accumulated so far, in member-configuration order.
+    fn metrics(&self) -> Vec<Metrics>;
+
+    /// Clones the engine, state and all (paired runs drive one engine
+    /// per trace from a shared starting point).
+    fn clone_box(&self) -> Box<dyn SliceEngine>;
+
+    /// Downcast hook so a concrete engine can recognise a same-type
+    /// partner in [`run_pair`](SliceEngine::run_pair).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Presents one chunk to this engine and another chunk to a second
+    /// engine over the same configurations. The default runs the two
+    /// sequentially; the LRU engine overrides it to interleave the
+    /// per-reference steps when the partner is also an LRU engine.
+    fn run_pair(&mut self, refs: &[MemRef], other: &mut dyn SliceEngine, other_refs: &[MemRef]) {
+        self.access_run(refs);
+        other.access_run(other_refs);
+    }
+}
+
+/// An [`EngineSpec`] builder: constructs an engine for a slice; `seed`
+/// feeds policies with random state (deterministic engines ignore it).
+pub type EngineBuilder = fn(&[CacheConfig], u64) -> Result<Box<dyn SliceEngine>, MultiSimError>;
+
+/// One registered engine: the seam where a new organisation (victim
+/// cache, way prediction, ...) plugs into the planner without touching
+/// it — add a kind, a builder, and a registry row.
+pub struct EngineSpec {
+    /// The policy family the engine covers.
+    pub kind: EngineKind,
+    /// Builds an engine for a slice.
+    pub build: EngineBuilder,
+}
+
+/// Every one-pass engine the planner can dispatch to, in
+/// [`EngineKind::ALL`] order.
+pub static ENGINE_REGISTRY: &[EngineSpec] = &[
+    EngineSpec {
+        kind: EngineKind::Lru,
+        build: |configs, _seed| Ok(Box::new(AllSizesLruEngine::new(configs)?)),
+    },
+    EngineSpec {
+        kind: EngineKind::Fifo,
+        build: |configs, _seed| Ok(Box::new(AllSizesFifoEngine::new(configs)?)),
+    },
+    EngineSpec {
+        kind: EngineKind::Random,
+        build: |configs, seed| Ok(Box::new(AllSizesRandomEngine::with_seed(configs, seed)?)),
+    },
+];
+
+/// Builds the one-pass engine matching a slice's replacement policy,
+/// seeding random state with [`DEFAULT_RANDOM_SEED`](crate::DEFAULT_RANDOM_SEED)
+/// — the direct simulator's default, so results stay bit-identical to
+/// [`simulate`](crate::simulate).
+///
+/// # Errors
+///
+/// Returns a [`MultiSimError`] when the slice is empty, too wide, mixes
+/// replacement policies, or contains an engine-inexpressible
+/// configuration.
+pub fn engine_for(configs: &[CacheConfig]) -> Result<Box<dyn SliceEngine>, MultiSimError> {
+    engine_for_seeded(configs, crate::DEFAULT_RANDOM_SEED)
+}
+
+/// [`engine_for`] with an explicit seed for random-state policies.
+///
+/// # Errors
+///
+/// Returns a [`MultiSimError`] exactly as [`engine_for`] would.
+pub fn engine_for_seeded(
+    configs: &[CacheConfig],
+    seed: u64,
+) -> Result<Box<dyn SliceEngine>, MultiSimError> {
+    let first = configs.first().ok_or(MultiSimError::NoConfigs)?;
+    let kind = match EngineKind::for_config(first) {
+        Some(kind) => kind,
+        None => {
+            return Err(MultiSimError::Unsupported {
+                config: *first,
+                why: supports_or_reason(first).unwrap_or("unsupported configuration"),
+            });
+        }
+    };
+    let spec = ENGINE_REGISTRY
+        .iter()
+        .find(|s| s.kind == kind)
+        .expect("every engine kind has a registry row");
+    (spec.build)(configs, seed)
 }
 
 /// Per-configuration eviction/miss accumulators plus the two slice-wide
@@ -230,23 +393,31 @@ struct SizeMeta {
 /// off.
 const EMPTY_WAY: u64 = u64::MAX;
 
-/// One deduplicated residency class: the set-mapped LRU state shared by
-/// every configuration with this (block size, set count, associativity)
-/// triple.
+/// One deduplicated residency class: the set-mapped block-level state
+/// shared by every configuration with this (block size, set count,
+/// associativity) triple.
+///
+/// Configurations in one class make identical fill and eviction
+/// decisions under LRU and FIFO alike — sub-block state never feeds
+/// back into block-level residency — so the class is policy-agnostic
+/// storage and the policy lives in how the runners update it.
 ///
 /// `data` packs each set as `[block_0 .. block_{A-1},
 /// masks_0 .. masks_{A-1}]` — the `A` resident block numbers
-/// contiguous (so the probe reads one cache line) and in recency order,
-/// most recent first, followed by `A` rows of `m = meta.len()`
-/// member-configuration mask words in **physical** order. Mask rows
-/// never move: promoting a block rotates only the block words, and the
-/// per-set entry of `perm` — sixteen 4-bit fields mapping recency rank
-/// to physical mask row — is updated instead. Rotating the mask rows
-/// too would make every LRU promotion copy `A * m` words through a
-/// store-to-load-forwarding chain; one packed-permutation word update
-/// replaces all of that traffic. Unoccupied ways hold [`EMPTY_WAY`]
-/// with zero masks, so every set is structurally full and the hot path
-/// never consults an occupancy count.
+/// contiguous (so the probe reads one cache line) and in stack order
+/// (LRU: recency, most recent first; FIFO: fill order, newest first),
+/// followed by `A` rows of `m = meta.len()` member-configuration mask
+/// words in **physical** order. Mask rows never move: moving a block
+/// rotates only the block words, and the per-set entry of `perm` —
+/// sixteen 4-bit fields mapping stack rank to physical mask row — is
+/// updated instead. Rotating the mask rows too would make every
+/// promotion copy `A * m` words through a store-to-load-forwarding
+/// chain; one packed-permutation word update replaces all of that
+/// traffic. Unoccupied ways hold [`EMPTY_WAY`] with zero masks, so
+/// every set is structurally full and the hot path never consults an
+/// occupancy count. (The Random engine reuses the same layout with
+/// blocks at fixed physical positions and the permutation left at
+/// identity; see [`random`].)
 #[derive(Debug, Clone)]
 struct ClassState {
     /// log2 of the block size: addresses shift down by this to become
@@ -261,16 +432,16 @@ struct ClassState {
     /// `num_sets * assoc * (1 + meta.len())` words of per-set state
     /// (see the struct docs for the layout).
     data: Vec<u64>,
-    /// Per-set recency→physical-mask-row permutation, 4 bits per rank
-    /// (which is why the engine caps associativity at 16 ways).
+    /// Per-set rank→physical-mask-row permutation, 4 bits per rank
+    /// (which is why the engines cap associativity at 16 ways).
     perm: Vec<u64>,
 }
 
-/// The identity recency permutation: rank `r` maps to physical row `r`.
+/// The identity permutation: rank `r` maps to physical row `r`.
 const IDENT_PERM: u64 = 0xFEDC_BA98_7654_3210;
 
 /// Promotes rank `pos` of a packed permutation to rank 0, shifting
-/// ranks `0..pos` up by one — the LRU-stack rotation, applied to the
+/// ranks `0..pos` up by one — the stack rotation, applied to the
 /// 4-bit fields instead of the mask rows they name.
 #[inline]
 fn promote(perm: u64, pos: usize) -> u64 {
@@ -292,7 +463,11 @@ fn promote(perm: u64, pos: usize) -> u64 {
 /// Factoring the per-reference step into [`SpecCtx::visit`] lets one
 /// reference loop drive either a single class ([`ClassState::run_spec`])
 /// or two classes interleaved ([`run_pair_spec`]); see the latter for
-/// why interleaving pays.
+/// why interleaving pays. `visit` is const-generic over a `FIFO` flag:
+/// with it set, hits update only the hit way's mask row — no block
+/// rotation, no permutation update — which is exactly the direct
+/// simulator's "hits do not disturb the queue" FIFO semantics, and the
+/// miss path (shift-and-fill at the back) is shared with LRU.
 struct SpecCtx<'a, const M: usize> {
     shift: u32,
     set_mask: u64,
@@ -373,9 +548,11 @@ impl<'a, const M: usize> SpecCtx<'a, M> {
     }
 
     /// Presents one reference to this class: the entire per-reference
-    /// step of the specialised runners.
+    /// step of the specialised runners. With `FIFO` set, hits touch
+    /// only the hit way's mask row; the queue and permutation move on
+    /// misses alone.
     #[inline(always)]
-    fn visit<const WAYS: usize>(&mut self, a: u64, wmask: u64) {
+    fn visit<const WAYS: usize, const FIFO: bool>(&mut self, a: u64, wmask: u64) {
         let row_words = WAYS * (1 + M);
         let block = a >> self.shift;
         let set = (block & self.set_mask) as usize;
@@ -384,27 +561,30 @@ impl<'a, const M: usize> SpecCtx<'a, M> {
         let perms = &mut *self.perms;
         let row = &mut data[base..base + row_words];
         let bits = &self.bit_table[((a >> self.min_shift) & self.off_mask) as usize];
-        // Top-two fast path: hits on the two most recent ways cover
-        // both straight-line reuse and the in-set ping-pong of two
+        // Top-two fast path: hits on the two newest ways cover both
+        // straight-line reuse and the in-set ping-pong of two
         // interleaved streams (instruction fetches alternating with
         // data references), so this branch predicts far better than
         // a front-way-only check — and which of the two ways hit is
         // resolved with selects, not a second branch. Mask rows are
         // physical: only the hit way's row is touched, found through
-        // the permutation word, and a way-1 hit swaps the two front
-        // permutation fields instead of moving any masks.
+        // the permutation word. Under LRU a way-1 hit swaps the two
+        // front permutation fields instead of moving any masks; under
+        // FIFO hits move nothing at all.
         let p = perms[set];
         if WAYS >= 2 {
             let h1 = row[1] == block;
             if row[0] == block || h1 {
-                let b0 = row[0];
-                row[0] = block;
-                row[1] = if h1 { b0 } else { row[1] };
                 let phys0 = (p as usize) & (WAYS - 1);
                 let phys1 = ((p >> 4) as usize) & (WAYS - 1);
                 let mrow = WAYS + if h1 { phys1 } else { phys0 } * M;
-                let swapped = (p & !0xFF) | (((p & 15) << 4) | ((p >> 4) & 15));
-                perms[set] = if h1 { swapped } else { p };
+                if !FIFO {
+                    let b0 = row[0];
+                    row[0] = block;
+                    row[1] = if h1 { b0 } else { row[1] };
+                    let swapped = (p & !0xFF) | (((p & 15) << 4) | ((p >> 4) & 15));
+                    perms[set] = if h1 { swapped } else { p };
+                }
                 for w in 0..M {
                     let bit = bits[w];
                     let old = row[mrow + w];
@@ -461,11 +641,18 @@ impl<'a, const M: usize> SpecCtx<'a, M> {
             self.miss_write[w] += missed & wmask;
             row[mrow + w] = old | bit;
         }
+        // FIFO hits leave the queue untouched — only misses shift the
+        // block words and rotate the permutation (and for FIFO a miss
+        // always has pos == WAYS - 1: pure shift-and-fill at the back,
+        // consuming sentinels in fill order while any remain).
+        if FIFO && hit {
+            return;
+        }
         // Shift block words right where their slot index is ≤ pos,
         // leave the rest: with const bounds this unrolls to pure
         // load/select/store, no branch on `pos`. The mask rows stay
         // put — the permutation promotion below is the whole of the
-        // recency bookkeeping for them.
+        // stack bookkeeping for them.
         for t in (1..WAYS).rev() {
             let shifted = row[t - 1];
             let kept = row[t];
@@ -502,7 +689,7 @@ impl<'a, const M: usize> SpecCtx<'a, M> {
 /// the out-of-order window, overlapping those stalls (and sharing the
 /// one address load per reference); measured on the Table 7 grid this
 /// is worth roughly a third of the pass.
-fn run_pair_spec<const WAYS: usize, const MA: usize, const MB: usize>(
+fn run_pair_spec<const WAYS: usize, const MA: usize, const MB: usize, const FIFO: bool>(
     first: &mut ClassState,
     second: &mut ClassState,
     addrs: &[u64],
@@ -516,8 +703,8 @@ fn run_pair_spec<const WAYS: usize, const MA: usize, const MB: usize>(
     for (&a, &lane) in addrs.iter().zip(lanes) {
         // All-ones for data writes (lane 0), zero for counted refs.
         let wmask = u64::from(lane & 1).wrapping_sub(1);
-        ca.visit::<WAYS>(a, wmask);
-        cb.visit::<WAYS>(a, wmask);
+        ca.visit::<WAYS, FIFO>(a, wmask);
+        cb.visit::<WAYS, FIFO>(a, wmask);
     }
     ca.flush(miss, evicted_blocks, evicted_referenced);
     cb.flush(miss, evicted_blocks, evicted_referenced);
@@ -529,8 +716,10 @@ fn run_pair_spec<const WAYS: usize, const MA: usize, const MB: usize>(
 /// specialisation — run alone via [`ClassState::run`].
 ///
 /// Pairing never changes results (classes are independent); it only
-/// changes how their per-reference steps are scheduled.
-fn run_classes(
+/// changes how their per-reference steps are scheduled. Policy comes in
+/// through the const `FIFO` flag — the LRU and FIFO engines share this
+/// scheduler.
+fn run_classes<const FIFO: bool>(
     classes: &mut [ClassState],
     addrs: &[u64],
     lanes: &[u8],
@@ -547,7 +736,7 @@ fn run_classes(
             if a.assoc == 4 && b.assoc == 4 {
                 macro_rules! pair {
                     ($ma:literal, $mb:literal) => {{
-                        run_pair_spec::<4, $ma, $mb>(
+                        run_pair_spec::<4, $ma, $mb, FIFO>(
                             a,
                             b,
                             addrs,
@@ -604,78 +793,17 @@ fn run_classes(
                 }
             }
         }
-        classes[i].run(addrs, lanes, miss, evicted_blocks, evicted_referenced);
+        classes[i].run::<FIFO>(addrs, lanes, miss, evicted_blocks, evicted_referenced);
         i += 1;
     }
-}
-
-/// One side of a [`run_quad_spec`] call: an adjacent class pair of one
-/// engine, that engine's decoded chunk, and its counter bank.
-type QuadSide<'a> = (
-    &'a mut ClassState,
-    &'a mut ClassState,
-    &'a [u64],
-    &'a [u8],
-    &'a mut CounterBank,
-);
-
-/// Runs two engines' chunks through an adjacent class pair of each,
-/// all four per-reference steps interleaved in a single loop.
-///
-/// The two engines see different references, so their chains share
-/// nothing at all; the four-way interleave is what finally covers the
-/// store-to-load forwarding stalls a two-way interleave still exposes.
-/// Chunks must be the same length (the caller falls back otherwise).
-fn run_quad_spec<const WAYS: usize, const MA: usize, const MB: usize>(
-    side_a: QuadSide<'_>,
-    side_b: QuadSide<'_>,
-) {
-    let (a1, a2, addrs_a, lanes_a, bank_a) = side_a;
-    let (b1, b2, addrs_b, lanes_b, bank_b) = side_b;
-    debug_assert_eq!(addrs_a.len(), addrs_b.len());
-    let mut ca1 = SpecCtx::<MA>::new::<WAYS>(a1);
-    let mut ca2 = SpecCtx::<MB>::new::<WAYS>(a2);
-    let mut cb1 = SpecCtx::<MA>::new::<WAYS>(b1);
-    let mut cb2 = SpecCtx::<MB>::new::<WAYS>(b2);
-    for i in 0..addrs_a.len().min(addrs_b.len()) {
-        let aa = addrs_a[i];
-        let ab = addrs_b[i];
-        // All-ones for data writes (lane 0), zero for counted refs.
-        let wa = u64::from(lanes_a[i] & 1).wrapping_sub(1);
-        let wb = u64::from(lanes_b[i] & 1).wrapping_sub(1);
-        ca1.visit::<WAYS>(aa, wa);
-        cb1.visit::<WAYS>(ab, wb);
-        ca2.visit::<WAYS>(aa, wa);
-        cb2.visit::<WAYS>(ab, wb);
-    }
-    ca1.flush(
-        &mut bank_a.miss,
-        &mut bank_a.evicted_blocks,
-        &mut bank_a.evicted_referenced,
-    );
-    ca2.flush(
-        &mut bank_a.miss,
-        &mut bank_a.evicted_blocks,
-        &mut bank_a.evicted_referenced,
-    );
-    cb1.flush(
-        &mut bank_b.miss,
-        &mut bank_b.evicted_blocks,
-        &mut bank_b.evicted_referenced,
-    );
-    cb2.flush(
-        &mut bank_b.miss,
-        &mut bank_b.evicted_blocks,
-        &mut bank_b.evicted_referenced,
-    );
 }
 
 impl ClassState {
     /// Presents one reference (`lane` 1 = counted, 0 = data write) to
     /// this class and its member configurations. Generic fallback for
     /// shapes [`ClassState::run`] has no specialisation for, and the
-    /// single-reference [`AllSizesLruEngine::access`] path.
-    fn one(
+    /// single-reference `access` paths.
+    fn one<const FIFO: bool>(
         &mut self,
         a: u64,
         lane: usize,
@@ -700,13 +828,25 @@ impl ClassState {
         }
         let hit = j != usize::MAX;
         // The way being replaced at the front: the hit way, or the
-        // least-recent way (victim) on a miss.
+        // oldest way (victim) on a miss.
         let pos = if hit { j } else { ways - 1 };
         let perm = &mut self.perm[set];
         // The mask row of the touched way never moves; the permutation
         // names it and is rotated in its stead below.
         let mrow = ways + (((*perm >> (4 * pos)) & 15) as usize) * m;
         let miss_ctr = &mut miss[lane];
+        if FIFO && hit {
+            // FIFO hits leave the queue and permutation untouched;
+            // only the hit way's mask rows pick up the sub-block.
+            for (w, sm) in self.meta.iter().enumerate() {
+                let bit = 1u64 << ((a >> sm.sub_shift) & sm.slot_mask);
+                let old = row[mrow + w];
+                miss_ctr[usize::from(sm.si) & (MAX_MULTISIM_CONFIGS - 1)] +=
+                    u64::from(old & bit == 0);
+                row[mrow + w] = old | bit;
+            }
+            return;
+        }
         if !hit && row[ways - 1] != EMPTY_WAY {
             // Evicting a real block: record its referenced sub-blocks
             // for every member configuration before the refill below
@@ -738,7 +878,7 @@ impl ClassState {
     /// The specialisations cover every (associativity, member-count)
     /// shape the paper grids produce; anything else falls back to the
     /// generic per-reference path, which is exact but branchier.
-    fn run(
+    fn run<const FIFO: bool>(
         &mut self,
         addrs: &[u64],
         lanes: &[u8],
@@ -748,7 +888,13 @@ impl ClassState {
     ) {
         macro_rules! spec {
             ($w:literal, $m:literal) => {
-                self.run_spec::<$w, $m>(addrs, lanes, miss, evicted_blocks, evicted_referenced)
+                self.run_spec::<$w, $m, FIFO>(
+                    addrs,
+                    lanes,
+                    miss,
+                    evicted_blocks,
+                    evicted_referenced,
+                )
             };
         }
         match (self.assoc, self.meta.len()) {
@@ -774,7 +920,7 @@ impl ClassState {
             (8, 2) => spec!(8, 2),
             _ => {
                 for (&a, &lane) in addrs.iter().zip(lanes) {
-                    self.one(
+                    self.one::<FIFO>(
                         a,
                         usize::from(lane),
                         miss,
@@ -794,7 +940,7 @@ impl ClassState {
     /// Must be exactly equivalent to calling [`ClassState::one`] per
     /// reference; `access_run_matches_per_reference_access` and the
     /// equivalence proptests enforce this.
-    fn run_spec<const WAYS: usize, const M: usize>(
+    fn run_spec<const WAYS: usize, const M: usize, const FIFO: bool>(
         &mut self,
         addrs: &[u64],
         lanes: &[u8],
@@ -806,41 +952,18 @@ impl ClassState {
         for (&a, &lane) in addrs.iter().zip(lanes) {
             // All-ones for data writes (lane 0), zero for counted refs.
             let wmask = u64::from(lane & 1).wrapping_sub(1);
-            ctx.visit::<WAYS>(a, wmask);
+            ctx.visit::<WAYS, FIFO>(a, wmask);
         }
         ctx.flush(miss, evicted_blocks, evicted_referenced);
     }
 }
 
-/// The one-pass all-sizes LRU engine. See the module docs for the
-/// algorithm; construct with [`AllSizesLruEngine::new`] and drive with
-/// [`access`](AllSizesLruEngine::access), or use [`simulate_many`].
-///
-/// ```
-/// use occache_core::{simulate, simulate_many, CacheConfig};
-/// use occache_trace::MemRef;
-///
-/// let configs: Vec<CacheConfig> = [64u64, 256]
-///     .iter()
-///     .map(|&net| {
-///         CacheConfig::builder()
-///             .net_size(net)
-///             .block_size(16)
-///             .sub_block_size(8)
-///             .word_size(2)
-///             .build()
-///             .expect("valid geometry")
-///     })
-///     .collect();
-/// let trace: Vec<MemRef> = (0..500u64).map(|i| MemRef::read((i * 13) % 640 * 2)).collect();
-/// let all = simulate_many(&configs, trace.iter().copied(), 0)?;
-/// for (config, metrics) in configs.iter().zip(&all) {
-///     assert_eq!(*metrics, simulate(*config, trace.iter().copied(), 0));
-/// }
-/// # Ok::<(), occache_core::MultiSimError>(())
-/// ```
+/// The construction, chunk-decode and read-out machinery every engine
+/// shares: per-slice residency classes, the counter bank, the per-size
+/// read-out tables, and the chunk scratch buffers. Engines wrap this
+/// and differ only in how they run a decoded chunk through the classes.
 #[derive(Debug, Clone)]
-pub struct AllSizesLruEngine {
+struct EngineCore {
     /// Number of configurations (prefix of the per-size arrays).
     n: usize,
     classes: Vec<ClassState>,
@@ -850,24 +973,17 @@ pub struct AllSizesLruEngine {
     /// Bus word size (write-through accounting).
     word_size: [u64; MAX_MULTISIM_CONFIGS],
     bank: CounterBank,
-    /// Chunk scratch: addresses decoded once per [`access_run`] chunk so
+    /// Chunk scratch: addresses decoded once per `access_run` chunk so
     /// the per-class passes read plain words instead of re-decoding
     /// every reference per class.
-    ///
-    /// [`access_run`]: AllSizesLruEngine::access_run
     scratch_addr: Vec<u64>,
     /// Chunk scratch: counter lane per reference (1 counted, 0 write).
     scratch_lane: Vec<u8>,
 }
 
-impl AllSizesLruEngine {
-    /// Builds an engine for a compatible slice of configurations.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`MultiSimError`] when the slice is empty or too wide,
-    /// or a configuration needs an unsupported policy/geometry.
-    pub fn new(configs: &[CacheConfig]) -> Result<Self, MultiSimError> {
+impl EngineCore {
+    /// Validates a slice for `policy` and builds its residency classes.
+    fn new(configs: &[CacheConfig], policy: ReplacementPolicy) -> Result<Self, MultiSimError> {
         if configs.is_empty() {
             return Err(MultiSimError::NoConfigs);
         }
@@ -879,6 +995,13 @@ impl AllSizesLruEngine {
         for &config in configs {
             if let Some(why) = supports_or_reason(&config) {
                 return Err(MultiSimError::Unsupported { config, why });
+            }
+            if config.replacement() != policy {
+                return Err(MultiSimError::Unsupported {
+                    config,
+                    why: "a one-pass slice must not mix replacement policies \
+                          (the planner groups per policy)",
+                });
             }
         }
         let mut classes: Vec<ClassState> = Vec::new();
@@ -927,7 +1050,7 @@ impl AllSizesLruEngine {
             }
             class.perm = vec![IDENT_PERM; sets];
         }
-        Ok(AllSizesLruEngine {
+        Ok(EngineCore {
             n: configs.len(),
             classes,
             sub_size,
@@ -937,57 +1060,6 @@ impl AllSizesLruEngine {
             scratch_addr: Vec::new(),
             scratch_lane: Vec::new(),
         })
-    }
-
-    /// Presents one reference to every simulated configuration.
-    pub fn access(&mut self, addr: Address, kind: AccessKind) {
-        let counted = u64::from(kind.is_counted());
-        self.bank.accesses += counted;
-        self.bank.write_accesses += 1 - counted;
-        let CounterBank {
-            miss,
-            evicted_blocks,
-            evicted_referenced,
-            ..
-        } = &mut self.bank;
-        let a = addr.value();
-        for class in &mut self.classes {
-            class.one(
-                a,
-                counted as usize,
-                miss,
-                evicted_blocks,
-                evicted_referenced,
-            );
-        }
-    }
-
-    /// Feeds a run of references through the engine, class by class: the
-    /// chunked ingest fast path the streamed evaluation loop drives, one
-    /// buffer refill at a time, without materialising a whole trace.
-    ///
-    /// Residency classes are independent simulations, so processing the
-    /// whole chunk for one class before the next is exactly equivalent
-    /// to presenting each reference to every class in turn — and much
-    /// faster, because each class's tight inner loop keeps its set
-    /// state cache-resident and its branch history coherent instead of
-    /// cycling through every class's working set per reference.
-    pub fn access_run(&mut self, refs: &[MemRef]) {
-        self.decode_chunk(refs);
-        let CounterBank {
-            miss,
-            evicted_blocks,
-            evicted_referenced,
-            ..
-        } = &mut self.bank;
-        run_classes(
-            &mut self.classes,
-            &self.scratch_addr,
-            &self.scratch_lane,
-            miss,
-            evicted_blocks,
-            evicted_referenced,
-        );
     }
 
     /// Decodes one chunk into the address/lane scratch and folds the
@@ -1004,9 +1076,18 @@ impl AllSizesLruEngine {
         }
     }
 
+    /// Folds one reference's access totals into the bank (per-reference
+    /// `access` paths) and returns its counter lane.
+    fn count_one(&mut self, kind: AccessKind) -> usize {
+        let counted = u64::from(kind.is_counted());
+        self.bank.accesses += counted;
+        self.bank.write_accesses += 1 - counted;
+        counted as usize
+    }
+
     /// Whether `other` simulates the identical residency-class layout
-    /// (same configurations in the same order), making the two engines
-    /// eligible for the interleaved paired run.
+    /// (same configurations in the same order), making two engines
+    /// eligible for an interleaved paired run.
     fn same_shape(&self, other: &Self) -> bool {
         self.n == other.n
             && self.classes.len() == other.classes.len()
@@ -1018,134 +1099,14 @@ impl AllSizesLruEngine {
             })
     }
 
-    /// Presents one chunk to this engine and another chunk to a
-    /// second engine over the same configurations, interleaving their
-    /// per-reference steps.
-    ///
-    /// Two engines driven by different traces are completely
-    /// independent, so their steps overlap perfectly in the
-    /// out-of-order window (see [`run_pair_spec`] for why that pays);
-    /// combined with adjacent-class pairing this keeps four
-    /// dependency chains in flight. Results are exactly what two
-    /// separate [`access_run`](Self::access_run) calls would produce —
-    /// which is also the fallback when the chunks differ in length or
-    /// the engines in shape.
-    pub fn access_run_pair(&mut self, refs: &[MemRef], other: &mut Self, other_refs: &[MemRef]) {
-        if refs.len() != other_refs.len() || !self.same_shape(other) {
-            self.access_run(refs);
-            other.access_run(other_refs);
-            return;
-        }
-        self.decode_chunk(refs);
-        other.decode_chunk(other_refs);
-        let Self {
-            classes: classes_a,
-            bank: bank_a,
-            scratch_addr: addrs_a,
-            scratch_lane: lanes_a,
-            ..
-        } = self;
-        let Self {
-            classes: classes_b,
-            bank: bank_b,
-            scratch_addr: addrs_b,
-            scratch_lane: lanes_b,
-            ..
-        } = other;
-        let mut i = 0;
-        while i < classes_a.len() {
-            if i + 1 < classes_a.len() {
-                let (head_a, tail_a) = classes_a.split_at_mut(i + 1);
-                let (head_b, tail_b) = classes_b.split_at_mut(i + 1);
-                let a1 = &mut head_a[i];
-                let a2 = &mut tail_a[0];
-                let b1 = &mut head_b[i];
-                let b2 = &mut tail_b[0];
-                if a1.assoc == 4 && a2.assoc == 4 {
-                    macro_rules! quad {
-                        ($ma:literal, $mb:literal) => {{
-                            run_quad_spec::<4, $ma, $mb>(
-                                (a1, a2, addrs_a, lanes_a, bank_a),
-                                (b1, b2, addrs_b, lanes_b, bank_b),
-                            );
-                            true
-                        }};
-                    }
-                    let done = match (a1.meta.len(), a2.meta.len()) {
-                        (1, 1) => quad!(1, 1),
-                        (1, 2) => quad!(1, 2),
-                        (1, 3) => quad!(1, 3),
-                        (1, 4) => quad!(1, 4),
-                        (1, 5) => quad!(1, 5),
-                        (1, 6) => quad!(1, 6),
-                        (2, 1) => quad!(2, 1),
-                        (2, 2) => quad!(2, 2),
-                        (2, 3) => quad!(2, 3),
-                        (2, 4) => quad!(2, 4),
-                        (2, 5) => quad!(2, 5),
-                        (2, 6) => quad!(2, 6),
-                        (3, 1) => quad!(3, 1),
-                        (3, 2) => quad!(3, 2),
-                        (3, 3) => quad!(3, 3),
-                        (3, 4) => quad!(3, 4),
-                        (3, 5) => quad!(3, 5),
-                        (3, 6) => quad!(3, 6),
-                        (4, 1) => quad!(4, 1),
-                        (4, 2) => quad!(4, 2),
-                        (4, 3) => quad!(4, 3),
-                        (4, 4) => quad!(4, 4),
-                        (4, 5) => quad!(4, 5),
-                        (4, 6) => quad!(4, 6),
-                        (5, 1) => quad!(5, 1),
-                        (5, 2) => quad!(5, 2),
-                        (5, 3) => quad!(5, 3),
-                        (5, 4) => quad!(5, 4),
-                        (5, 5) => quad!(5, 5),
-                        (5, 6) => quad!(5, 6),
-                        (6, 1) => quad!(6, 1),
-                        (6, 2) => quad!(6, 2),
-                        (6, 3) => quad!(6, 3),
-                        (6, 4) => quad!(6, 4),
-                        (6, 5) => quad!(6, 5),
-                        (6, 6) => quad!(6, 6),
-                        _ => false,
-                    };
-                    if done {
-                        i += 2;
-                        continue;
-                    }
-                }
-            }
-            classes_a[i].run(
-                addrs_a,
-                lanes_a,
-                &mut bank_a.miss,
-                &mut bank_a.evicted_blocks,
-                &mut bank_a.evicted_referenced,
-            );
-            classes_b[i].run(
-                addrs_b,
-                lanes_b,
-                &mut bank_b.miss,
-                &mut bank_b.evicted_blocks,
-                &mut bank_b.evicted_referenced,
-            );
-            i += 1;
-        }
-    }
-
-    /// Zeroes every configuration's metrics while keeping cache state —
-    /// the warm-start discipline, mirroring
-    /// [`SubBlockCache::reset_metrics`](crate::SubBlockCache::reset_metrics).
-    pub fn reset_metrics(&mut self) {
+    /// Zeroes every configuration's metrics while keeping cache state.
+    fn reset_metrics(&mut self) {
         self.bank = CounterBank::default();
     }
 
-    /// Metrics accumulated so far, in the order of the configurations
-    /// given to [`AllSizesLruEngine::new`]. Derived counters (fetch
-    /// traffic, write-through bytes, evicted sub-slots) are expanded
-    /// from the compact per-size counts here, exactly.
-    pub fn metrics(&self) -> Vec<Metrics> {
+    /// Expands the compact per-size counters into full [`Metrics`],
+    /// exactly.
+    fn metrics(&self) -> Vec<Metrics> {
         (0..self.n)
             .map(|si| {
                 Metrics::from_engine(
@@ -1172,11 +1133,14 @@ impl AllSizesLruEngine {
 /// The one-pass counterpart of [`simulate`](crate::simulate): `warmup`
 /// references prime the caches and are excluded from the metrics, and
 /// every returned [`Metrics`] is bit-identical to what
-/// `simulate(configs[i], refs, warmup)` would produce.
+/// `simulate(configs[i], refs, warmup)` would produce. The engine is
+/// chosen by the slice's replacement policy; Random slices are seeded
+/// with [`DEFAULT_RANDOM_SEED`](crate::DEFAULT_RANDOM_SEED), matching
+/// the direct simulator's default.
 ///
 /// # Errors
 ///
-/// Returns a [`MultiSimError`] when the slice cannot run on the engine;
+/// Returns a [`MultiSimError`] when the slice cannot run on any engine;
 /// see [`engine_supports`] for the per-configuration conditions.
 pub fn simulate_many<I>(
     configs: &[CacheConfig],
@@ -1186,7 +1150,26 @@ pub fn simulate_many<I>(
 where
     I: IntoIterator<Item = MemRef>,
 {
-    let mut engine = AllSizesLruEngine::new(configs)?;
+    simulate_many_seeded(configs, refs, warmup, crate::DEFAULT_RANDOM_SEED)
+}
+
+/// [`simulate_many`] with an explicit seed for random-state policies —
+/// bit-identical to `simulate_seeded(configs[i], refs, warmup, seed)`
+/// per member (deterministic engines ignore the seed).
+///
+/// # Errors
+///
+/// Returns a [`MultiSimError`] exactly as [`simulate_many`] would.
+pub fn simulate_many_seeded<I>(
+    configs: &[CacheConfig],
+    refs: I,
+    warmup: usize,
+    seed: u64,
+) -> Result<Vec<Metrics>, MultiSimError>
+where
+    I: IntoIterator<Item = MemRef>,
+{
+    let mut engine = engine_for_seeded(configs, seed)?;
     let mut iter = refs.into_iter();
     // Buffer the stream into chunks sized to stay cache-resident while
     // the per-class tiled loops of `access_run` sweep over them.
@@ -1214,8 +1197,9 @@ where
 }
 
 /// [`simulate_many`] for two traces at once: one engine per trace,
-/// driven chunk-by-chunk through
-/// [`AllSizesLruEngine::access_run_pair`] so the two passes interleave.
+/// driven chunk-by-chunk through [`SliceEngine::run_pair`] so the two
+/// passes can interleave (the LRU engine does; other engines run the
+/// chunks sequentially).
 ///
 /// Returns exactly what two separate [`simulate_many`] calls would
 /// (the interleave never mixes state); the pairing is purely a
@@ -1234,8 +1218,8 @@ where
     I: IntoIterator<Item = MemRef>,
     J: IntoIterator<Item = MemRef>,
 {
-    let mut engine_a = AllSizesLruEngine::new(configs)?;
-    let mut engine_b = engine_a.clone();
+    let mut engine_a = engine_for(configs)?;
+    let mut engine_b = engine_a.clone_box();
     let mut iter_a = refs_a.into_iter();
     let mut iter_b = refs_b.into_iter();
     let mut buf_a: Vec<MemRef> = Vec::with_capacity(ENGINE_CHUNK);
@@ -1254,7 +1238,7 @@ where
         // stay aligned until one stream ends (the pair call falls back
         // to serial runs for ragged tails).
         remaining -= take.min(buf_a.len().max(buf_b.len()));
-        engine_a.access_run_pair(&buf_a, &mut engine_b, &buf_b);
+        engine_a.run_pair(&buf_a, engine_b.as_mut(), &buf_b);
     }
     engine_a.reset_metrics();
     engine_b.reset_metrics();
@@ -1266,15 +1250,15 @@ where
         if buf_a.is_empty() && buf_b.is_empty() {
             break;
         }
-        engine_a.access_run_pair(&buf_a, &mut engine_b, &buf_b);
+        engine_a.run_pair(&buf_a, engine_b.as_mut(), &buf_b);
     }
     Ok((engine_a.metrics(), engine_b.metrics()))
 }
 
-/// Chunk size (in references) used when feeding an iterator through the
-/// engine's tiled [`access_run`](AllSizesLruEngine::access_run) path: a
-/// chunk this size stays L1/L2-resident while every residency class
-/// sweeps over it.
+/// Chunk size (in references) used when feeding an iterator through an
+/// engine's tiled [`access_run`](SliceEngine::access_run) path: a chunk
+/// this size stays L1/L2-resident while every residency class sweeps
+/// over it.
 pub const ENGINE_CHUNK: usize = 4096;
 
 #[cfg(test)]
@@ -1292,9 +1276,25 @@ mod tests {
             .unwrap()
     }
 
+    pub(super) fn cfg_policy(
+        net: u64,
+        block: u64,
+        sub: u64,
+        policy: ReplacementPolicy,
+    ) -> CacheConfig {
+        CacheConfig::builder()
+            .net_size(net)
+            .block_size(block)
+            .sub_block_size(sub)
+            .word_size(2)
+            .replacement(policy)
+            .build()
+            .unwrap()
+    }
+
     /// A deterministic trace with loops, strides and writes — enough
     /// structure to exercise hits, conflict misses and evictions.
-    fn mixed_trace(len: u64, span: u64) -> Vec<MemRef> {
+    pub(super) fn mixed_trace(len: u64, span: u64) -> Vec<MemRef> {
         (0..len)
             .map(|i| {
                 let addr = (i * 7 + (i / 13) * 31) % span * 2;
@@ -1353,20 +1353,36 @@ mod tests {
     }
 
     #[test]
-    fn rejects_unsupported_policies() {
-        let lru = cfg(64, 8, 4);
-        let fifo = CacheConfig::builder()
-            .net_size(64)
-            .block_size(8)
-            .sub_block_size(4)
-            .word_size(2)
-            .replacement(ReplacementPolicy::Fifo)
-            .build()
-            .unwrap();
-        assert!(engine_supports(&lru));
-        assert!(!engine_supports(&fifo));
+    fn every_replacement_policy_is_engine_eligible() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            let config = cfg_policy(64, 8, 4, policy);
+            assert!(engine_supports(&config), "{policy:?}");
+        }
+        assert_eq!(
+            EngineKind::for_config(&cfg_policy(64, 8, 4, ReplacementPolicy::Fifo)),
+            Some(EngineKind::Fifo)
+        );
+        assert_eq!(
+            EngineKind::for_config(&cfg_policy(64, 8, 4, ReplacementPolicy::Random)),
+            Some(EngineKind::Random)
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_features_and_mixed_policies() {
+        let fifo = cfg_policy(64, 8, 4, ReplacementPolicy::Fifo);
+        // A FIFO config no longer falls back — but it cannot ride an
+        // LRU engine instance.
         assert!(matches!(
             AllSizesLruEngine::new(&[fifo]),
+            Err(MultiSimError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            engine_for(&[cfg(64, 8, 4), fifo]),
             Err(MultiSimError::Unsupported { .. })
         ));
         let prefetch = CacheConfig::builder()
@@ -1378,6 +1394,7 @@ mod tests {
             .build()
             .unwrap();
         assert!(!engine_supports(&prefetch));
+        assert_eq!(EngineKind::for_config(&prefetch), None);
         let copy_back = CacheConfig::builder()
             .net_size(64)
             .block_size(8)
@@ -1387,6 +1404,28 @@ mod tests {
             .build()
             .unwrap();
         assert!(!engine_supports(&copy_back));
+    }
+
+    #[test]
+    fn engine_kind_names_round_trip() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(EngineKind::ALL[kind.index()], kind);
+        }
+        assert_eq!(EngineKind::parse("LRU"), Some(EngineKind::Lru));
+        assert_eq!(EngineKind::parse("direct"), None);
+    }
+
+    #[test]
+    fn registry_dispatches_each_policy_to_its_engine() {
+        for (policy, kind) in [
+            (ReplacementPolicy::Lru, EngineKind::Lru),
+            (ReplacementPolicy::Fifo, EngineKind::Fifo),
+            (ReplacementPolicy::Random, EngineKind::Random),
+        ] {
+            let engine = engine_for(&[cfg_policy(64, 8, 4, policy)]).unwrap();
+            assert_eq!(engine.kind(), kind);
+        }
     }
 
     #[test]
@@ -1409,6 +1448,7 @@ mod tests {
             AllSizesLruEngine::new(&[]),
             Err(MultiSimError::NoConfigs)
         ));
+        assert!(matches!(engine_for(&[]), Err(MultiSimError::NoConfigs)));
         let oversized = [cfg(64, 8, 4); MAX_MULTISIM_CONFIGS + 1];
         assert!(matches!(
             AllSizesLruEngine::new(&oversized),

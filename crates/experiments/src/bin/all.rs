@@ -65,6 +65,14 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    if let Err(e) = occache_experiments::sweep::try_multisim_disabled() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = occache_experiments::sweep::try_replacement_override() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let mut bench = match Workbench::try_from_env() {
         Ok(b) => b,
         Err(e) => {

@@ -568,9 +568,11 @@ pub fn evaluate_checkpointed(
                       progress: &ProgressWriter| {
         let (results, s) =
             evaluate_results_supervised_with(&policy, cfgs, tr, w, None, |i, r| sink(i, r));
-        // The retry tally only exists in supervisor stats; fold it
-        // into the progress feed so the seal carries it.
+        // The retry and evaluation-path tallies only exist in
+        // supervisor stats; fold them into the progress feed so the
+        // seal carries them.
         progress.add_retries(s.retries);
+        progress.add_engine_points(s.engine_points, s.direct_points);
         stats.lock().expect("supervisor stats lock").merge(s);
         results
     };
@@ -597,6 +599,8 @@ pub fn evaluate_checkpointed(
                 non_finite: outcome.non_finite(),
                 retries: stats.retries,
                 abandoned_threads: stats.abandoned_threads,
+                engine_points: stats.engine_points,
+                direct_points: stats.direct_points,
                 bad_journal_lines: outcome.journal.bad_lines,
                 repaired_tail_bytes: outcome.journal.repaired_tail_bytes,
                 wall_ms: started.elapsed().as_millis(),

@@ -24,6 +24,15 @@ use crate::report::write_result_in;
 /// The report file name under the results directory.
 pub const RUN_REPORT_FILE: &str = "RUN_REPORT.json";
 
+/// The Prometheus text-exposition sidecar written next to the report:
+/// the same totals as machine-checkable samples, so CI gates read one
+/// number with `occache-top --parse-metrics results/RUN_METRICS.prom
+/// --get <name>` instead of grepping JSON. The per-evaluation-path
+/// counters (`occache_run_points_engine_*_total`,
+/// `occache_run_points_direct_total`) are the load-bearing ones: the
+/// Table-7 grids must show zero direct-simulator fallbacks.
+pub const RUN_METRICS_FILE: &str = "RUN_METRICS.prom";
+
 /// What one checkpointed sweep phase (one `evaluate_checkpointed` call)
 /// did. One artifact can contribute several phases — `table7` runs once
 /// per architecture — and the report keeps them separate.
@@ -47,6 +56,12 @@ pub struct PhaseReport {
     pub retries: usize,
     /// Watchdog threads abandoned at their deadline.
     pub abandoned_threads: usize,
+    /// Computed points per one-pass slice engine, indexed by
+    /// [`occache_core::EngineKind::index`] (LRU, FIFO, Random).
+    pub engine_points: [usize; 3],
+    /// Computed points that fell back to the direct per-config
+    /// simulator (unsupported geometry/feature or containment re-run).
+    pub direct_points: usize,
     /// Corrupt journal lines found (and compacted away) on load.
     pub bad_journal_lines: usize,
     /// Bytes of torn journal tail repaired on load.
@@ -93,8 +108,10 @@ pub fn render(phases: &[PhaseReport], interrupted: bool) -> String {
         out.push_str(&format!(
             "{{\"artifact\":\"{}\",\"computed\":{},\"restored\":{},\"failed\":{},\
              \"timed_out\":{},\"quarantined\":{},\"non_finite\":{},\"retries\":{},\
-             \"abandoned_threads\":{},\"bad_journal_lines\":{},\"repaired_tail_bytes\":{},\
-             \"wall_ms\":{},\"trace_fp\":\"{:016x}\",\"config_fp\":\"{:016x}\"}}{comma}\n",
+             \"abandoned_threads\":{},\"engine_lru\":{},\"engine_fifo\":{},\
+             \"engine_random\":{},\"direct\":{},\"bad_journal_lines\":{},\
+             \"repaired_tail_bytes\":{},\"wall_ms\":{},\"trace_fp\":\"{:016x}\",\
+             \"config_fp\":\"{:016x}\"}}{comma}\n",
             p.artifact,
             p.computed,
             p.restored,
@@ -104,6 +121,10 @@ pub fn render(phases: &[PhaseReport], interrupted: bool) -> String {
             p.non_finite,
             p.retries,
             p.abandoned_threads,
+            p.engine_points[0],
+            p.engine_points[1],
+            p.engine_points[2],
+            p.direct_points,
             p.bad_journal_lines,
             p.repaired_tail_bytes,
             p.wall_ms,
@@ -127,6 +148,10 @@ pub fn render(phases: &[PhaseReport], interrupted: bool) -> String {
         .bare("non_finite", total(|p| p.non_finite))
         .bare("retries", total(|p| p.retries))
         .bare("abandoned_threads", total(|p| p.abandoned_threads))
+        .bare("engine_lru", total(|p| p.engine_points[0]))
+        .bare("engine_fifo", total(|p| p.engine_points[1]))
+        .bare("engine_random", total(|p| p.engine_points[2]))
+        .bare("direct", total(|p| p.direct_points))
         .bare("bad_journal_lines", total(|p| p.bad_journal_lines))
         .bare("repaired_tail_bytes", total(|p| p.repaired_tail_bytes))
         .bare("wall_ms", phases.iter().map(|p| p.wall_ms).sum::<u128>());
@@ -144,35 +169,85 @@ pub fn render_in_progress(phases: &[PhaseReport], interrupted: bool) -> String {
     format!("{{\n\"in_progress\": true,\n{}", &sealed[2..])
 }
 
+/// Renders the metrics sidecar ([`RUN_METRICS_FILE`]): run totals as
+/// strict Prometheus text exposition. Every sample is a counter over
+/// the whole run so far, so gates compare exact integers.
+pub fn render_metrics(phases: &[PhaseReport]) -> String {
+    let total = |f: fn(&PhaseReport) -> usize| phases.iter().map(f).sum::<usize>() as u64;
+    let mut reg = Registry::new();
+    reg.counter(
+        "occache_run_points_computed_total",
+        "Design points simulated in this run (all evaluation paths)",
+        total(|p| p.computed),
+    )
+    .counter(
+        "occache_run_points_restored_total",
+        "Design points restored from the checkpoint journal",
+        total(|p| p.restored),
+    )
+    .counter(
+        "occache_run_points_failed_total",
+        "Design points that failed, all classes",
+        total(|p| p.failed),
+    )
+    .counter(
+        "occache_run_points_engine_lru_total",
+        "Points computed by the one-pass LRU slice engine",
+        total(|p| p.engine_points[0]),
+    )
+    .counter(
+        "occache_run_points_engine_fifo_total",
+        "Points computed by the one-pass FIFO slice engine",
+        total(|p| p.engine_points[1]),
+    )
+    .counter(
+        "occache_run_points_engine_random_total",
+        "Points computed by the one-pass seeded-Random slice engine",
+        total(|p| p.engine_points[2]),
+    )
+    .counter(
+        "occache_run_points_direct_total",
+        "Points that fell back to the direct per-config simulator",
+        total(|p| p.direct_points),
+    );
+    reg.render_prometheus()
+}
+
 /// Flushes the phases accumulated so far as an in-flight snapshot
-/// (atomic replace, marked `"in_progress": true`). Called at phase
-/// boundaries so an operator — or `occache-top` — reads supervision
-/// totals mid-run instead of waiting for process exit; the final
-/// [`write`] replaces it with the sealed bytes.
+/// (atomic replace, marked `"in_progress": true`), plus the metrics
+/// sidecar. Called at phase boundaries so an operator — or
+/// `occache-top` — reads supervision totals mid-run instead of waiting
+/// for process exit; the final [`write`] replaces it with the sealed
+/// bytes.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors from the atomic write.
+/// Propagates filesystem errors from the atomic writes.
 pub fn flush(dir: &Path) -> io::Result<PathBuf> {
+    let snapshot = phases();
+    write_result_in(dir, RUN_METRICS_FILE, &render_metrics(&snapshot))?;
     write_result_in(
         dir,
         RUN_REPORT_FILE,
-        &render_in_progress(&phases(), crate::interrupt::requested()),
+        &render_in_progress(&snapshot, crate::interrupt::requested()),
     )
 }
 
-/// Writes the accumulated report to `dir/RUN_REPORT.json` (atomically),
-/// returning the path. An empty registry still writes a report — all
-/// zeros is exactly what a clean no-op run should say.
+/// Writes the accumulated report to `dir/RUN_REPORT.json` and the
+/// metrics sidecar to `dir/RUN_METRICS.prom` (both atomically),
+/// returning the report path. An empty registry still writes a report —
+/// all zeros is exactly what a clean no-op run should say.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors from the atomic write.
+/// Propagates filesystem errors from the atomic writes.
 pub fn write(dir: &Path) -> io::Result<PathBuf> {
+    let snapshot = phases();
+    write_result_in(dir, RUN_METRICS_FILE, &render_metrics(&snapshot))?;
     write_result_in(
         dir,
         RUN_REPORT_FILE,
-        &render(&phases(), crate::interrupt::requested()),
+        &render(&snapshot, crate::interrupt::requested()),
     )
 }
 
@@ -191,6 +266,8 @@ mod tests {
             non_finite: 0,
             retries: 1,
             abandoned_threads: timed_out,
+            engine_points: [7, 2, 1],
+            direct_points: timed_out,
             bad_journal_lines: 0,
             repaired_tail_bytes: 0,
             wall_ms: 42,
@@ -206,8 +283,28 @@ mod tests {
         assert!(text.contains("\"artifact\":\"fig2\""));
         assert!(text.contains("\"timed_out\": 1"), "{text}");
         assert!(text.contains("\"computed\": 20"), "{text}");
+        assert!(text.contains("\"engine_lru\":7"), "{text}");
+        assert!(text.contains("\"engine_lru\": 14"), "{text}");
+        assert!(text.contains("\"engine_fifo\": 4"), "{text}");
+        assert!(text.contains("\"engine_random\": 2"), "{text}");
+        assert!(text.contains("\"direct\": 1"), "{text}");
         assert!(text.contains("\"trace_fp\":\"0000000000000abc\""));
         assert!(text.contains("\"interrupted\": false"), "{text}");
+    }
+
+    #[test]
+    fn metrics_sidecar_exposes_engine_split_as_strict_exposition() {
+        let text = render_metrics(&[sample("table7", 0), sample("fig2", 1)]);
+        // The sidecar must round-trip through the same strict parser
+        // occache-top --parse-metrics uses for the CI gate.
+        let exposition =
+            occache_runtime::instrument::Exposition::parse(&text).expect("strict parse");
+        let get = |name: &str| exposition.value(name).expect(name);
+        assert_eq!(get("occache_run_points_computed_total"), 20.0);
+        assert_eq!(get("occache_run_points_engine_lru_total"), 14.0);
+        assert_eq!(get("occache_run_points_engine_fifo_total"), 4.0);
+        assert_eq!(get("occache_run_points_engine_random_total"), 2.0);
+        assert_eq!(get("occache_run_points_direct_total"), 1.0);
     }
 
     #[test]

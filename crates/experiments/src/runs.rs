@@ -104,6 +104,14 @@ where
         eprintln!("error: {e}");
         return std::process::ExitCode::FAILURE;
     }
+    if let Err(e) = crate::sweep::try_multisim_disabled() {
+        eprintln!("error: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    if let Err(e) = crate::sweep::try_replacement_override() {
+        eprintln!("error: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
     let mut bench = match Workbench::try_from_env() {
         Ok(b) => b,
         Err(e) => {

@@ -13,10 +13,13 @@
 use occache_core::{CacheConfig, FetchPolicy};
 use occache_workloads::{Architecture, WorkloadSpec};
 
-pub use occache_runtime::config::{multisim_disabled, try_jobs, try_slice_threads};
+pub use occache_runtime::config::{
+    multisim_disabled, replacement_override, try_jobs, try_multisim_disabled,
+    try_replacement_override, try_slice_threads, DisabledEngines,
+};
 pub use occache_runtime::eval::{
-    evaluate_point, evaluate_results_with, evaluate_slice, plan_units, pool_workers, slice_workers,
-    DesignPoint, PointError, PointFault, SweepUnit, Trace,
+    evaluate_point, evaluate_results_with, evaluate_slice, plan_units, plan_units_disabling,
+    pool_workers, slice_workers, DesignPoint, PointError, PointFault, SweepUnit, Trace,
 };
 pub use occache_runtime::executor::{
     batch_of, evaluate_points, evaluate_points_isolated, evaluate_points_isolated_with,
@@ -69,20 +72,27 @@ pub fn table1_pairs(net: u64, word: u64) -> Vec<(u64, u64)> {
 }
 
 /// Builds the paper's standard configuration (4-way, LRU, demand) for an
-/// architecture and geometry.
+/// architecture and geometry. `OCCACHE_REPLACEMENT=fifo|random|lru`
+/// overrides the replacement policy grid-wide, which is how a stock
+/// Table-7 sweep is re-run down a different policy axis — point keys,
+/// journals and artifacts all see the overridden config, so runs under
+/// different policies never collide.
 ///
 /// # Panics
 ///
 /// Panics if the geometry is invalid for the Table 1 grid (callers pass
 /// pairs from [`table1_pairs`], which are always valid).
 pub fn standard_config(arch: Architecture, net: u64, block: u64, sub: u64) -> CacheConfig {
-    CacheConfig::builder()
+    let mut builder = CacheConfig::builder();
+    builder
         .net_size(net)
         .block_size(block)
         .sub_block_size(sub)
-        .word_size(arch.word_size())
-        .build()
-        .expect("Table 1 geometry is valid")
+        .word_size(arch.word_size());
+    if let Some(policy) = replacement_override() {
+        builder.replacement(policy);
+    }
+    builder.build().expect("Table 1 geometry is valid")
 }
 
 /// Like [`standard_config`] but with the load-forward fetch policy.
@@ -258,8 +268,9 @@ mod tests {
         }
     }
 
-    /// A Table-7-style grid plus configs the engine cannot express (FIFO,
-    /// prefetch, copy-back): exercises both planner paths.
+    /// A Table-7-style grid plus a FIFO config (engine-eligible, but on
+    /// its own policy's slice) and configs no engine can express
+    /// (prefetch, copy-back): exercises every planner path.
     fn mixed_grid() -> Vec<CacheConfig> {
         let mut configs = Vec::new();
         for net in [64u64, 256] {
@@ -290,28 +301,38 @@ mod tests {
 
     #[test]
     fn planner_covers_every_index_exactly_once() {
+        use occache_core::EngineKind;
         let configs = mixed_grid();
         let units = plan_units(&configs);
         let mut seen = vec![0usize; configs.len()];
         for unit in &units {
             match unit {
                 SweepUnit::Direct(i) => seen[*i] += 1,
-                SweepUnit::Engine(members) => {
+                SweepUnit::Engine { kind, members } => {
                     assert!(members.len() <= MAX_MULTISIM_CONFIGS);
                     for &i in members {
                         assert!(engine_supports(&configs[i]));
+                        assert_eq!(EngineKind::for_config(&configs[i]), Some(*kind));
                         seen[i] += 1;
                     }
                 }
             }
         }
         assert!(seen.iter().all(|&n| n == 1), "{seen:?}");
-        // The three policy fallbacks are the only direct units.
+        // Only prefetch and copy-back still need the direct simulator;
+        // the FIFO config rides its own policy's engine slice.
         let direct = units
             .iter()
             .filter(|u| matches!(u, SweepUnit::Direct(_)))
             .count();
-        assert_eq!(direct, 3);
+        assert_eq!(direct, 2);
+        assert!(
+            units
+                .iter()
+                .any(|u| matches!(u, SweepUnit::Engine { kind, members }
+                    if *kind == EngineKind::Fifo && members.len() == 1)),
+            "{units:?}"
+        );
         // Sharing must actually happen: fewer engine passes than engine
         // points (each geometry common to both nets shares one pass).
         let engine_units = units.len() - direct;
@@ -319,9 +340,33 @@ mod tests {
         assert!(
             units
                 .iter()
-                .any(|u| matches!(u, SweepUnit::Engine(m) if m.len() > 1)),
+                .any(|u| matches!(u, SweepUnit::Engine { members, .. } if members.len() > 1)),
             "{units:?}"
         );
+    }
+
+    #[test]
+    fn planner_honours_per_engine_disabling() {
+        let configs = mixed_grid();
+        let disabled = DisabledEngines {
+            fifo: true,
+            ..DisabledEngines::NONE
+        };
+        let units = plan_units_disabling(&configs, disabled);
+        // The FIFO config joins prefetch and copy-back on the direct
+        // path; the LRU grid still rides its engine.
+        let direct = units
+            .iter()
+            .filter(|u| matches!(u, SweepUnit::Direct(_)))
+            .count();
+        assert_eq!(direct, 3);
+        assert!(units
+            .iter()
+            .all(|u| !matches!(u, SweepUnit::Engine { kind, .. }
+                if *kind == occache_core::EngineKind::Fifo)));
+        let all_direct = plan_units_disabling(&configs, DisabledEngines::ALL);
+        assert_eq!(all_direct.len(), configs.len());
+        assert!(all_direct.iter().all(|u| matches!(u, SweepUnit::Direct(_))));
     }
 
     #[test]

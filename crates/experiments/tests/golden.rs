@@ -41,6 +41,7 @@ fn regenerate() -> BTreeMap<String, u64> {
     std::env::set_var("OCCACHE_RESULTS", &scratch);
     std::env::set_var("OCCACHE_JOBS", "1");
     std::env::remove_var("OCCACHE_NO_MULTISIM");
+    std::env::remove_var("OCCACHE_REPLACEMENT");
     std::env::remove_var("OCCACHE_REFS");
     std::env::remove_var("OCCACHE_WARMUP");
     std::env::remove_var("OCCACHE_POINT_TIMEOUT");

@@ -33,6 +33,7 @@ fn emit_table7(threads: &str) -> BTreeMap<String, Vec<u8>> {
     std::env::set_var("OCCACHE_JOBS", "1");
     std::env::set_var("OCCACHE_SLICE_THREADS", threads);
     std::env::remove_var("OCCACHE_NO_MULTISIM");
+    std::env::remove_var("OCCACHE_REPLACEMENT");
     std::env::remove_var("OCCACHE_REFS");
     std::env::remove_var("OCCACHE_WARMUP");
     std::env::remove_var("OCCACHE_POINT_TIMEOUT");

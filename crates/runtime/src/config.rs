@@ -18,7 +18,8 @@
 //! | `OCCACHE_WARMUP` | [`env_usize`] | 0 |
 //! | `OCCACHE_JOBS` | [`try_jobs`] | hardware parallelism |
 //! | `OCCACHE_SLICE_THREADS` | [`try_slice_threads`] | `OCCACHE_JOBS`, else hardware |
-//! | `OCCACHE_NO_MULTISIM` | [`multisim_disabled`] | off |
+//! | `OCCACHE_NO_MULTISIM` | [`try_multisim_disabled`] | none disabled |
+//! | `OCCACHE_REPLACEMENT` | [`try_replacement_override`] | grid default (LRU) |
 //! | `OCCACHE_FRESH` | [`fresh_requested`] | off |
 //! | `OCCACHE_RESULTS` | [`results_dir`] | `results/` |
 //! | `OCCACHE_POINT_TIMEOUT` | [`parse_timeout`] | 300 s |
@@ -117,10 +118,149 @@ pub fn try_top_tick_ms() -> Result<u64, String> {
     env_usize("OCCACHE_TOP_TICK", 1000).map(|n| (n as u64).max(100))
 }
 
-/// Whether `OCCACHE_NO_MULTISIM` forces the direct simulator for every
-/// point (equivalence tests and honest before/after timing set it).
-pub fn multisim_disabled() -> bool {
-    std::env::var("OCCACHE_NO_MULTISIM").is_ok_and(|v| !v.is_empty() && v != "0")
+/// Which one-pass engines `OCCACHE_NO_MULTISIM` forces off, routing
+/// their points to the direct simulator instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DisabledEngines {
+    /// The permutation-packed LRU engine is off.
+    pub lru: bool,
+    /// The one-pass FIFO engine is off.
+    pub fifo: bool,
+    /// The seeded Random engine is off.
+    pub random: bool,
+}
+
+impl DisabledEngines {
+    /// Every engine enabled (the default).
+    pub const NONE: DisabledEngines = DisabledEngines {
+        lru: false,
+        fifo: false,
+        random: false,
+    };
+
+    /// Every engine disabled: the all-direct escape hatch.
+    pub const ALL: DisabledEngines = DisabledEngines {
+        lru: true,
+        fifo: true,
+        random: true,
+    };
+
+    /// Whether `kind`'s engine is disabled.
+    pub fn contains(self, kind: occache_core::EngineKind) -> bool {
+        match kind {
+            occache_core::EngineKind::Lru => self.lru,
+            occache_core::EngineKind::Fifo => self.fifo,
+            occache_core::EngineKind::Random => self.random,
+        }
+    }
+
+    fn set(&mut self, kind: occache_core::EngineKind) {
+        match kind {
+            occache_core::EngineKind::Lru => self.lru = true,
+            occache_core::EngineKind::Fifo => self.fifo = true,
+            occache_core::EngineKind::Random => self.random = true,
+        }
+    }
+
+    /// Parses an `OCCACHE_NO_MULTISIM` value: empty or `0` disables
+    /// nothing, `1` or `all` disables every engine (the historical
+    /// all-or-nothing behaviour), and otherwise a comma-separated list
+    /// of engine names (`lru`, `fifo`, `random`, case-insensitive,
+    /// whitespace around items ignored) disables exactly those.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending item when the list
+    /// contains anything that is not an engine name.
+    pub fn parse(value: &str) -> Result<DisabledEngines, String> {
+        let v = value.trim();
+        if v.is_empty() || v == "0" {
+            return Ok(DisabledEngines::NONE);
+        }
+        if v == "1" || v.eq_ignore_ascii_case("all") {
+            return Ok(DisabledEngines::ALL);
+        }
+        let mut out = DisabledEngines::NONE;
+        for item in v.split(',') {
+            let item = item.trim();
+            match occache_core::EngineKind::parse(item) {
+                Some(kind) => out.set(kind),
+                None => {
+                    return Err(format!(
+                        "{item:?} is not an engine name (expected lru, fifo or random)"
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Which engines `OCCACHE_NO_MULTISIM` forces off, strictly parsed:
+/// unset means none, and see [`DisabledEngines::parse`] for the value
+/// grammar (`fifo,random` disables those two; `1`/`all` disables every
+/// engine — equivalence tests and honest before/after timing use it).
+///
+/// # Errors
+///
+/// Returns a message naming the variable when it is set but malformed.
+pub fn try_multisim_disabled() -> Result<DisabledEngines, String> {
+    match std::env::var("OCCACHE_NO_MULTISIM") {
+        Ok(v) => DisabledEngines::parse(&v).map_err(|e| format!("OCCACHE_NO_MULTISIM: {e}")),
+        Err(std::env::VarError::NotPresent) => Ok(DisabledEngines::NONE),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("OCCACHE_NO_MULTISIM is not valid UTF-8".to_string())
+        }
+    }
+}
+
+/// [`try_multisim_disabled`] for mid-run contexts: a malformed value
+/// disables *every* engine rather than erroring out — the conservative
+/// reading (the variable was set to turn engines off) and a superset of
+/// the historical any-nonempty-value behaviour.
+pub fn multisim_disabled() -> DisabledEngines {
+    try_multisim_disabled().unwrap_or(DisabledEngines::ALL)
+}
+
+/// The replacement-policy override for grid builders:
+/// `OCCACHE_REPLACEMENT` env var — `lru`, `fifo` or `random`
+/// (case-insensitive). `Ok(None)` when unset or empty: keep the grid's
+/// own default. This is how a stock Table-7 sweep is re-run down a
+/// different policy axis without a dedicated binary.
+///
+/// # Errors
+///
+/// Returns a message naming the variable when it is set but malformed.
+pub fn try_replacement_override() -> Result<Option<occache_core::ReplacementPolicy>, String> {
+    match std::env::var("OCCACHE_REPLACEMENT") {
+        Ok(v) => {
+            let v = v.trim();
+            if v.is_empty() {
+                return Ok(None);
+            }
+            if v.eq_ignore_ascii_case("lru") {
+                Ok(Some(occache_core::ReplacementPolicy::Lru))
+            } else if v.eq_ignore_ascii_case("fifo") {
+                Ok(Some(occache_core::ReplacementPolicy::Fifo))
+            } else if v.eq_ignore_ascii_case("random") {
+                Ok(Some(occache_core::ReplacementPolicy::Random))
+            } else {
+                Err(format!(
+                    "OCCACHE_REPLACEMENT={v:?} is not a replacement policy (expected lru, fifo or random)"
+                ))
+            }
+        }
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("OCCACHE_REPLACEMENT is not valid UTF-8".to_string())
+        }
+    }
+}
+
+/// [`try_replacement_override`] for mid-run contexts: a malformed value
+/// keeps the grid default instead of erroring out.
+pub fn replacement_override() -> Option<occache_core::ReplacementPolicy> {
+    try_replacement_override().unwrap_or(None)
 }
 
 /// Whether the user asked to ignore existing checkpoints: `--fresh` on the
@@ -390,6 +530,97 @@ mod tests {
         std::env::set_var("OCCACHE_PEER_RETRIES", "3");
         assert_eq!(try_peer_retries(), Ok(3));
         std::env::remove_var("OCCACHE_PEER_RETRIES");
+    }
+
+    #[test]
+    fn disabled_engines_parse_covers_grammar_and_malformed_values() {
+        use occache_core::EngineKind;
+        // Value-level parsing needs no env vars, so it cannot race.
+        assert_eq!(DisabledEngines::parse(""), Ok(DisabledEngines::NONE));
+        assert_eq!(DisabledEngines::parse(" 0 "), Ok(DisabledEngines::NONE));
+        assert_eq!(DisabledEngines::parse("1"), Ok(DisabledEngines::ALL));
+        assert_eq!(DisabledEngines::parse("all"), Ok(DisabledEngines::ALL));
+        assert_eq!(DisabledEngines::parse("ALL"), Ok(DisabledEngines::ALL));
+        let fr = DisabledEngines::parse("fifo,random").unwrap();
+        assert!(fr.fifo && fr.random && !fr.lru);
+        assert!(fr.contains(EngineKind::Fifo));
+        assert!(fr.contains(EngineKind::Random));
+        assert!(!fr.contains(EngineKind::Lru));
+        let spaced = DisabledEngines::parse(" LRU , fifo ").unwrap();
+        assert!(spaced.lru && spaced.fifo && !spaced.random);
+        assert_eq!(
+            DisabledEngines::parse("random,random"),
+            Ok(DisabledEngines {
+                random: true,
+                ..DisabledEngines::NONE
+            })
+        );
+        // Malformed values: anything that is not an engine name, a
+        // trailing comma's empty item, and the old truthy forms that
+        // never named engines.
+        for bad in [
+            "direct",
+            "fifo,",
+            ",fifo",
+            "yes",
+            "2",
+            "fifo;random",
+            "fifo random",
+        ] {
+            assert!(DisabledEngines::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn multisim_disabled_env_is_strict_then_lenient() {
+        // try_multisim_disabled reads OCCACHE_NO_MULTISIM; only this
+        // test sets it, and executor tests that read it never run while
+        // it is set to a malformed value long enough to matter — keep
+        // the set/remove window minimal anyway.
+        assert_eq!(try_multisim_disabled(), Ok(DisabledEngines::NONE));
+        std::env::set_var("OCCACHE_NO_MULTISIM", "fifo, random");
+        assert_eq!(
+            try_multisim_disabled(),
+            Ok(DisabledEngines {
+                fifo: true,
+                random: true,
+                ..DisabledEngines::NONE
+            })
+        );
+        std::env::set_var("OCCACHE_NO_MULTISIM", "sometimes");
+        let err = try_multisim_disabled().unwrap_err();
+        assert!(err.contains("OCCACHE_NO_MULTISIM"), "{err}");
+        // Lenient mid-run reading: malformed means "all off", the
+        // conservative superset of the historical truthy behaviour.
+        assert_eq!(multisim_disabled(), DisabledEngines::ALL);
+        std::env::remove_var("OCCACHE_NO_MULTISIM");
+        assert_eq!(multisim_disabled(), DisabledEngines::NONE);
+    }
+
+    #[test]
+    fn replacement_override_parses_strictly() {
+        use occache_core::ReplacementPolicy;
+        // try_replacement_override reads OCCACHE_REPLACEMENT; no other
+        // test touches it.
+        assert_eq!(try_replacement_override(), Ok(None));
+        std::env::set_var("OCCACHE_REPLACEMENT", "fifo");
+        assert_eq!(
+            try_replacement_override(),
+            Ok(Some(ReplacementPolicy::Fifo))
+        );
+        std::env::set_var("OCCACHE_REPLACEMENT", " Random ");
+        assert_eq!(
+            try_replacement_override(),
+            Ok(Some(ReplacementPolicy::Random))
+        );
+        std::env::set_var("OCCACHE_REPLACEMENT", "LRU");
+        assert_eq!(try_replacement_override(), Ok(Some(ReplacementPolicy::Lru)));
+        std::env::set_var("OCCACHE_REPLACEMENT", "");
+        assert_eq!(try_replacement_override(), Ok(None));
+        std::env::set_var("OCCACHE_REPLACEMENT", "mru");
+        assert!(try_replacement_override().is_err());
+        assert_eq!(replacement_override(), None);
+        std::env::remove_var("OCCACHE_REPLACEMENT");
     }
 
     #[test]

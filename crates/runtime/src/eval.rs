@@ -5,21 +5,25 @@
 //! ("Multiple-trace miss and traffic ratios are the unweighted average
 //! of the miss and traffic ratios of individual runs", §3.3). Sweeps do
 //! not simulate every point independently: [`plan_units`] groups a grid
-//! into one-pass-compatible slices (LRU, demand fetch, write-through,
-//! power-of-two sets — geometry may differ freely per member)
-//! and [`evaluate_slice`] runs each through [`occache_core::multisim`],
+//! into one-pass-compatible slices per replacement policy (demand
+//! fetch, write-through, power-of-two sets — geometry may differ
+//! freely per member) and [`evaluate_slice`] runs each through the
+//! matching [`occache_core::multisim`] engine (LRU, FIFO or Random),
 //! which yields every cache size's metrics from a single trace pass —
-//! bit-identical to [`occache_core::simulate`]. Points the engine cannot
-//! express (FIFO/Random, prefetch, copy-back) fall back to the direct
-//! simulator, and `OCCACHE_NO_MULTISIM=1` forces the direct path
-//! everywhere (used by equivalence tests and timing comparisons).
+//! bit-identical to [`occache_core::simulate`]. Only points no engine
+//! can express (prefetch/load-forward, copy-back, non-power-of-two
+//! sets) fall back to the direct simulator, and
+//! `OCCACHE_NO_MULTISIM=<list>` forces the direct path for the listed
+//! engines — or all of them with `OCCACHE_NO_MULTISIM=all` — (used by
+//! equivalence tests and timing comparisons; see
+//! [`crate::config::multisim_disabled`]).
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
 
 use occache_core::{
-    engine_supports, simulate, simulate_many, simulate_many_pair, BusModel, CacheConfig, Metrics,
+    simulate, simulate_many, simulate_many_pair, BusModel, CacheConfig, EngineKind, Metrics,
     MAX_MULTISIM_CONFIGS,
 };
 use occache_trace::{MemRef, PackedTrace};
@@ -266,34 +270,58 @@ pub fn evaluate_slice(
 /// simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SweepUnit {
-    /// Indices into the config grid, one-pass-compatible with each other.
-    Engine(Vec<usize>),
-    /// Index of a config the engine cannot express.
+    /// A slice of config-grid indices, one-pass-compatible with each
+    /// other, bound for one policy's engine.
+    Engine {
+        /// Which one-pass engine runs this slice.
+        kind: EngineKind,
+        /// Indices into the config grid.
+        members: Vec<usize>,
+    },
+    /// Index of a config no engine can express.
     Direct(usize),
 }
 
-/// Groups a config grid into one-pass-compatible slices.
+/// Groups a config grid into one-pass-compatible slices, one slice
+/// family per replacement policy.
 ///
-/// Every engine-eligible config (see [`engine_supports`]) joins one
-/// shared slice in grid order — net size, block size, sub-block size,
-/// word size and associativity may all differ, the engine tracks those
-/// per residency class and per size — chunked at
+/// Every engine-eligible config (see [`EngineKind::for_config`]) joins
+/// its policy's shared slice in grid order — net size, block size,
+/// sub-block size, word size and associativity may all differ, the
+/// engine tracks those per residency class and per size — chunked at
 /// [`MAX_MULTISIM_CONFIGS`]; everything else becomes a direct unit. For
 /// the paper's Table 1/Table 7 grids this means the whole grid rides a
-/// single pass per trace. Deterministic for a given grid, and every
-/// input index appears in exactly one unit.
+/// single pass per trace regardless of the policy axis. Deterministic
+/// for a given grid, and every input index appears in exactly one unit:
+/// direct units in grid order first, then engine slices in
+/// [`EngineKind::ALL`] order.
 pub fn plan_units(configs: &[CacheConfig]) -> Vec<SweepUnit> {
+    plan_units_disabling(configs, crate::config::DisabledEngines::NONE)
+}
+
+/// [`plan_units`] with some engines forced off: their configs route to
+/// direct units instead. This is the hook behind the
+/// `OCCACHE_NO_MULTISIM` escape hatch (see
+/// [`crate::config::multisim_disabled`]).
+pub fn plan_units_disabling(
+    configs: &[CacheConfig],
+    disabled: crate::config::DisabledEngines,
+) -> Vec<SweepUnit> {
     let mut units = Vec::new();
-    let mut members: Vec<usize> = Vec::new();
+    let mut members: [Vec<usize>; EngineKind::ALL.len()] = Default::default();
     for (i, config) in configs.iter().enumerate() {
-        if engine_supports(config) {
-            members.push(i);
-        } else {
-            units.push(SweepUnit::Direct(i));
+        match EngineKind::for_config(config) {
+            Some(kind) if !disabled.contains(kind) => members[kind.index()].push(i),
+            _ => units.push(SweepUnit::Direct(i)),
         }
     }
-    for chunk in members.chunks(MAX_MULTISIM_CONFIGS) {
-        units.push(SweepUnit::Engine(chunk.to_vec()));
+    for kind in EngineKind::ALL {
+        for chunk in members[kind.index()].chunks(MAX_MULTISIM_CONFIGS) {
+            units.push(SweepUnit::Engine {
+                kind,
+                members: chunk.to_vec(),
+            });
+        }
     }
     units
 }

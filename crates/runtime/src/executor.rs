@@ -35,8 +35,8 @@ use occache_core::CacheConfig;
 
 use crate::config::parse_timeout;
 use crate::eval::{
-    evaluate_point, evaluate_results_with, evaluate_slice, panic_message, plan_units, DesignPoint,
-    PointError, SweepUnit, Trace,
+    evaluate_point, evaluate_results_with, evaluate_slice, panic_message, plan_units_disabling,
+    DesignPoint, PointError, SweepUnit, Trace,
 };
 use crate::journal::JournalHealth;
 
@@ -277,14 +277,23 @@ impl SupervisorPolicy {
     }
 }
 
-/// What the supervisor did beyond plain evaluation: retry attempts and
-/// watchdog threads abandoned at their deadline. Feeds RUN_REPORT.json.
+/// What the supervisor did beyond plain evaluation: retry attempts,
+/// watchdog threads abandoned at their deadline, and how many points
+/// each execution path computed. Feeds RUN_REPORT.json (and through it
+/// the progress feed and the `occache-top` SWEEP pane).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SuperviseStats {
     /// Evaluation attempts made after a first failure.
     pub retries: usize,
     /// Watchdog threads leaked because their point overran the deadline.
     pub abandoned_threads: usize,
+    /// Points computed per one-pass engine, indexed by
+    /// [`EngineKind::index`](occache_core::EngineKind::index).
+    pub engine_points: [usize; 3],
+    /// Points computed on the direct simulator — planner fallbacks,
+    /// engines disabled via `OCCACHE_NO_MULTISIM`, and per-member
+    /// containment re-runs after a slice failure.
+    pub direct_points: usize,
 }
 
 impl SuperviseStats {
@@ -292,6 +301,20 @@ impl SuperviseStats {
     pub fn merge(&mut self, other: SuperviseStats) {
         self.retries += other.retries;
         self.abandoned_threads += other.abandoned_threads;
+        for (mine, theirs) in self.engine_points.iter_mut().zip(other.engine_points) {
+            *mine += theirs;
+        }
+        self.direct_points += other.direct_points;
+    }
+
+    /// Points computed per one-pass engine, as `(kind, count)` pairs in
+    /// [`EngineKind::ALL`](occache_core::EngineKind::ALL) order.
+    pub fn engine_point_counts(&self) -> [(occache_core::EngineKind, usize); 3] {
+        let mut out = [(occache_core::EngineKind::Lru, 0); 3];
+        for (slot, kind) in out.iter_mut().zip(occache_core::EngineKind::ALL) {
+            *slot = (kind, self.engine_points[kind.index()]);
+        }
+        out
     }
 }
 
@@ -440,11 +463,10 @@ pub fn evaluate_results_supervised_with<H>(
 where
     H: Fn(usize, &Result<DesignPoint, PointError>) + Sync,
 {
-    let units = if crate::config::multisim_disabled() {
-        (0..configs.len()).map(SweepUnit::Direct).collect()
-    } else {
-        plan_units(configs)
-    };
+    // Per-policy escape hatch: disabled engines' configs become direct
+    // units; the planner already routes engine-inexpressible configs
+    // there unconditionally.
+    let units = plan_units_disabling(configs, crate::config::multisim_disabled());
     let workers = workers
         .unwrap_or_else(|| crate::eval::slice_workers(units.len()))
         .min(units.len().max(1))
@@ -476,9 +498,10 @@ where
                         SweepUnit::Direct(i) => {
                             let r =
                                 supervise_point(policy, configs[*i], traces, warmup, &mut local);
+                            local.direct_points += 1;
                             emit(&mut done, *i, r);
                         }
-                        SweepUnit::Engine(members) => {
+                        SweepUnit::Engine { kind, members } => {
                             let slice: Vec<CacheConfig> =
                                 members.iter().map(|&i| configs[i]).collect();
                             let owned = traces.to_vec();
@@ -491,6 +514,7 @@ where
                             });
                             match run {
                                 Deadline::Finished(Ok(points)) => {
+                                    local.engine_points[kind.index()] += members.len();
                                     for (&i, p) in members.iter().zip(points) {
                                         emit(&mut done, i, Ok(p));
                                     }
@@ -509,6 +533,7 @@ where
                                         let r = supervise_point(
                                             policy, configs[i], traces, warmup, &mut local,
                                         );
+                                        local.direct_points += 1;
                                         emit(&mut done, i, r);
                                     }
                                 }
@@ -779,7 +804,14 @@ mod tests {
         let (configs, traces) = small_grid();
         let policy = SupervisorPolicy::disabled();
         let (supervised, stats) = evaluate_results_supervised(&policy, &configs, &traces, 0);
-        assert_eq!(stats, SuperviseStats::default());
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.abandoned_threads, 0);
+        // The whole LRU grid rides the LRU engine; nothing is direct.
+        assert_eq!(
+            stats.engine_points[occache_core::EngineKind::Lru.index()],
+            configs.len()
+        );
+        assert_eq!(stats.direct_points, 0);
         let plain = evaluate_results_with(&configs, &traces, 0, evaluate_point);
         for (s, p) in supervised.iter().zip(&plain) {
             let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());

@@ -77,11 +77,22 @@ pub fn config_fingerprint(configs: &[CacheConfig]) -> u64 {
 
 /// The journal key of one design point: config (its full `Debug`
 /// rendering, which covers every field) + trace fingerprint + warm-up.
+///
+/// Random-replacement points additionally fold in the replacement seed
+/// ([`occache_core::DEFAULT_RANDOM_SEED`] everywhere today): their
+/// metrics are a function of the seed, so a journal resumed — or a
+/// cluster peer consulted — after a seed change must miss rather than
+/// serve another seed's numbers. Deterministic policies do *not* fold
+/// the seed, keeping every existing LRU/FIFO journal and golden hash
+/// valid.
 pub fn point_key(config: &CacheConfig, fingerprint: u64, warmup: usize) -> u64 {
     let mut h = Fnv::new();
     h.write(format!("{config:?}").as_bytes());
     h.write(&fingerprint.to_le_bytes());
     h.write(&(warmup as u64).to_le_bytes());
+    if config.replacement() == occache_core::ReplacementPolicy::Random {
+        h.write(&occache_core::DEFAULT_RANDOM_SEED.to_le_bytes());
+    }
     h.finish()
 }
 
@@ -110,5 +121,34 @@ mod tests {
         assert_ne!(base, point_key(&config, 2, 0));
         assert_ne!(base, point_key(&config, 1, 100));
         assert_eq!(base, point_key(&config, 1, 0));
+    }
+
+    #[test]
+    fn random_points_fold_the_seed_and_stay_stable() {
+        use occache_core::ReplacementPolicy;
+        let build = |policy| {
+            occache_core::CacheConfig::builder()
+                .net_size(64)
+                .block_size(8)
+                .sub_block_size(4)
+                .word_size(2)
+                .replacement(policy)
+                .build()
+                .expect("valid geometry")
+        };
+        // Stable across calls (journal resume and cluster routing key
+        // on this), and distinct per policy — the Debug rendering
+        // already separates policies; the seed fold must not collapse
+        // that.
+        let random = build(ReplacementPolicy::Random);
+        assert_eq!(point_key(&random, 1, 0), point_key(&random, 1, 0));
+        let keys = [
+            point_key(&build(ReplacementPolicy::Lru), 1, 0),
+            point_key(&build(ReplacementPolicy::Fifo), 1, 0),
+            point_key(&random, 1, 0),
+        ];
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[2]);
+        assert_ne!(keys[1], keys[2]);
     }
 }

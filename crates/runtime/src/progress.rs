@@ -9,10 +9,18 @@
 //! therefore never sees a half-written report: a read either yields a
 //! checksum-verified snapshot or nothing.
 //!
-//! Record format (v1):
-//! `{"v":1,"artifact":"<name>","total":T,"computed":C,"restored":R,
-//! "failed":F,"timed_out":O,"quarantined":Q,"retries":E,"elapsed_ms":M,
-//! "sealed":B,"interrupted":I,"sum":"<fnv1a(body) as 016x>"}`.
+//! Record format (v2):
+//! `{"v":2,"artifact":"<name>","total":T,"computed":C,"restored":R,
+//! "failed":F,"timed_out":O,"quarantined":Q,"retries":E,
+//! "engine_lru":L,"engine_fifo":G,"engine_random":N,"direct":D,
+//! "elapsed_ms":M,"sealed":B,"interrupted":I,
+//! "sum":"<fnv1a(body) as 016x>"}`. The four engine columns split the
+//! computed points by which evaluation path produced them — the three
+//! one-pass slice engines (see `occache_core::SliceEngine`) and the
+//! per-config direct simulator fallback — so a dashboard can show *how*
+//! a sweep is running, not just how far along it is. v1 readers reject
+//! v2 records (and vice versa) via the version field; the feed is
+//! ephemeral per phase, so no migration is needed.
 
 use std::fs;
 use std::io::Write as _;
@@ -27,7 +35,7 @@ use crate::keys::fnv1a;
 pub const PROGRESS_FILE: &str = "PROGRESS.json";
 
 /// The progress schema version this build reads and writes.
-pub const PROGRESS_VERSION: u32 = 1;
+pub const PROGRESS_VERSION: u32 = 2;
 
 /// The progress-feed path for a results directory.
 pub fn progress_path(dir: &Path) -> PathBuf {
@@ -54,6 +62,12 @@ pub struct ProgressSnapshot {
     pub quarantined: usize,
     /// Supervisor retry attempts so far.
     pub retries: usize,
+    /// Computed points that ran on a one-pass slice engine, indexed by
+    /// `occache_core::EngineKind::index()` (LRU, FIFO, Random).
+    pub engine_points: [usize; 3],
+    /// Computed points that fell back to the direct per-config
+    /// simulator (unsupported geometry/feature, or containment re-run).
+    pub direct_points: usize,
     /// Wall-clock since phase start, milliseconds.
     pub elapsed_ms: u128,
     /// True once the phase ended (normally or by interrupt) and this
@@ -93,7 +107,8 @@ impl ProgressSnapshot {
         let body = format!(
             "\"v\":{PROGRESS_VERSION},\"artifact\":\"{}\",\"total\":{},\"computed\":{},\
              \"restored\":{},\"failed\":{},\"timed_out\":{},\"quarantined\":{},\
-             \"retries\":{},\"elapsed_ms\":{},\"sealed\":{},\"interrupted\":{}",
+             \"retries\":{},\"engine_lru\":{},\"engine_fifo\":{},\"engine_random\":{},\
+             \"direct\":{},\"elapsed_ms\":{},\"sealed\":{},\"interrupted\":{}",
             self.artifact,
             self.total,
             self.computed,
@@ -102,6 +117,10 @@ impl ProgressSnapshot {
             self.timed_out,
             self.quarantined,
             self.retries,
+            self.engine_points[0],
+            self.engine_points[1],
+            self.engine_points[2],
+            self.direct_points,
             self.elapsed_ms,
             self.sealed,
             self.interrupted,
@@ -111,8 +130,9 @@ impl ProgressSnapshot {
 }
 
 /// Parses one progress record. `None` for anything that is not a
-/// complete, checksum-verified v1 record — a torn prefix, a flipped
-/// byte, a foreign file — so a reader can never mis-attribute counts.
+/// complete, checksum-verified v2 record — a torn prefix, a flipped
+/// byte, a stale-version line, a foreign file — so a reader can never
+/// mis-attribute counts.
 pub fn parse_progress(text: &str) -> Option<ProgressSnapshot> {
     let trimmed = text.trim();
     let inner = trimmed.strip_prefix('{')?.strip_suffix('}')?;
@@ -123,7 +143,7 @@ pub fn parse_progress(text: &str) -> Option<ProgressSnapshot> {
     }
     let mut version = None;
     let mut artifact = None;
-    let mut fields = [None::<usize>; 7];
+    let mut fields = [None::<usize>; 11];
     let mut elapsed_ms = None;
     let mut sealed = None;
     let mut interrupted = None;
@@ -143,6 +163,10 @@ pub fn parse_progress(text: &str) -> Option<ProgressSnapshot> {
             "timed_out" => fields[4] = Some(value.parse().ok()?),
             "quarantined" => fields[5] = Some(value.parse().ok()?),
             "retries" => fields[6] = Some(value.parse().ok()?),
+            "engine_lru" => fields[7] = Some(value.parse().ok()?),
+            "engine_fifo" => fields[8] = Some(value.parse().ok()?),
+            "engine_random" => fields[9] = Some(value.parse().ok()?),
+            "direct" => fields[10] = Some(value.parse().ok()?),
             "elapsed_ms" => elapsed_ms = Some(value.parse::<u128>().ok()?),
             "sealed" => sealed = Some(value.parse::<bool>().ok()?),
             "interrupted" => interrupted = Some(value.parse::<bool>().ok()?),
@@ -161,6 +185,8 @@ pub fn parse_progress(text: &str) -> Option<ProgressSnapshot> {
         timed_out: fields[4]?,
         quarantined: fields[5]?,
         retries: fields[6]?,
+        engine_points: [fields[7]?, fields[8]?, fields[9]?],
+        direct_points: fields[10]?,
         elapsed_ms: elapsed_ms?,
         sealed: sealed?,
         interrupted: interrupted?,
@@ -231,6 +257,8 @@ impl ProgressWriter {
                 timed_out: 0,
                 quarantined,
                 retries: 0,
+                engine_points: [0; 3],
+                direct_points: 0,
                 elapsed_ms: 0,
                 sealed: false,
                 interrupted: false,
@@ -307,6 +335,19 @@ impl ProgressWriter {
         state.retries += n;
     }
 
+    /// Folds a batch of evaluation-path tallies in at once — slice-engine
+    /// points per `occache_core::EngineKind` plus direct-simulator
+    /// fallbacks — for callers that learn the split from supervisor
+    /// stats after a batch returns. Lands with the next flush (the seal
+    /// at the latest).
+    pub fn add_engine_points(&self, engine: [usize; 3], direct: usize) {
+        let mut state = self.state.lock().expect("progress state lock");
+        for (total, n) in state.engine_points.iter_mut().zip(engine) {
+            *total += n;
+        }
+        state.direct_points += direct;
+    }
+
     /// Seals the feed: the final snapshot, flushed unconditionally, with
     /// `sealed: true` (and the interrupt flag). Call exactly once at
     /// phase end.
@@ -334,6 +375,8 @@ mod tests {
             timed_out: 1,
             quarantined: 2,
             retries: 3,
+            engine_points: [8, 3, 1],
+            direct_points: 2,
             elapsed_ms: 1500,
             sealed: false,
             interrupted: false,
@@ -368,6 +411,18 @@ mod tests {
     }
 
     #[test]
+    fn stale_version_records_are_rejected() {
+        // A well-formed v1 line (correctly checksummed, engine columns
+        // absent) must not parse as v2: the reader would otherwise
+        // invent engine counts.
+        let body = "\"v\":1,\"artifact\":\"t\",\"total\":4,\"computed\":1,\"restored\":0,\
+                    \"failed\":0,\"timed_out\":0,\"quarantined\":0,\"retries\":0,\
+                    \"elapsed_ms\":10,\"sealed\":false,\"interrupted\":false";
+        let line = format!("{{{body},\"sum\":\"{:016x}\"}}\n", fnv1a(body.as_bytes()));
+        assert_eq!(parse_progress(&line), None);
+    }
+
+    #[test]
     fn eta_extrapolates_the_point_rate() {
         let snap = sample();
         // 12 computed in 1500 ms -> 125 ms/point; 30 remaining.
@@ -394,10 +449,14 @@ mod tests {
         assert_eq!((mid.computed, mid.failed, mid.timed_out), (1, 1, 1));
         w.retried();
         w.completed(); // below the flush interval: not yet on disk
+        w.add_engine_points([2, 0, 0], 1);
+        w.add_engine_points([0, 1, 0], 0);
         w.seal(false);
         let last = read_progress(&progress_path(&dir)).expect("sealed snapshot");
         assert!(last.sealed);
         assert_eq!((last.computed, last.retries), (2, 1));
+        assert_eq!(last.engine_points, [2, 1, 0]);
+        assert_eq!(last.direct_points, 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

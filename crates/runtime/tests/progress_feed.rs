@@ -19,6 +19,12 @@ fn snapshot(draw: (u64, u64, u64, u64, u64, u8)) -> ProgressSnapshot {
         timed_out: (failed / 2) as usize,
         quarantined: (restored % 3) as usize,
         retries: (computed % 5) as usize,
+        engine_points: [
+            (computed % 7) as usize,
+            (computed % 11) as usize,
+            (computed % 13) as usize,
+        ],
+        direct_points: (total % 7) as usize,
         elapsed_ms: u128::from(elapsed),
         sealed: flags & 1 != 0,
         interrupted: flags & 2 != 0,

@@ -118,6 +118,19 @@ fn render_sweep(frame: &Frame, width: usize, style: &Style, push: &mut impl FnMu
                 p.retries,
                 fmt_ms(p.elapsed_ms),
             ));
+            // Which evaluation path computed the points: the three
+            // one-pass slice engines and the direct-simulator fallback.
+            // `direct` is the column an operator wants at zero on a
+            // stock grid, so it gets the warning color when non-zero.
+            let direct = if p.direct_points == 0 {
+                style.paint(GREEN, "direct 0")
+            } else {
+                style.paint(YELLOW, &format!("direct {}", p.direct_points))
+            };
+            push(format!(
+                "   engines: lru {}  fifo {}  random {}  {}",
+                p.engine_points[0], p.engine_points[1], p.engine_points[2], direct,
+            ));
         }
     }
     if let Some(report) = &frame.report {

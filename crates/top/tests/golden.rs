@@ -41,6 +41,8 @@ fn reference_frame() -> Frame {
             timed_out: 2,
             quarantined: 1,
             retries: 4,
+            engine_points: [420, 50, 18],
+            direct_points: 12,
             elapsed_ms: 8_200,
             sealed: false,
             interrupted: false,
